@@ -1,0 +1,33 @@
+//! Figures 1 and 2 — program/machine balance and demand/supply ratios:
+//! prints both tables and times representative balance measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbb_bench::experiments::{figure1, figure2, render_figure1, render_figure2, Sizes};
+use mbb_core::balance::measure_program_balance;
+use mbb_memsim::machine::MachineModel;
+use mbb_workloads::kernels;
+
+fn bench(c: &mut Criterion) {
+    let sizes = Sizes::quick();
+    let fig1 = figure1(sizes);
+    println!("\n-- Figure 1: program and machine balance (bytes per flop) --");
+    println!("{}", render_figure1(&fig1));
+    println!("-- Figure 2: demand/supply ratios --");
+    println!("{}", render_figure2(&figure2(&fig1)));
+
+    let m = MachineModel::origin2000().scaled_levels(&[16, 64]);
+    let conv = kernels::convolution(1 << 14, 3);
+    let mm = kernels::mm_jki(64);
+    let mut g = c.benchmark_group("balance_measurement");
+    g.sample_size(10);
+    g.bench_function("convolution_16k", |b| {
+        b.iter(|| measure_program_balance(std::hint::black_box(&conv), &m).unwrap().memory())
+    });
+    g.bench_function("mm_jki_64", |b| {
+        b.iter(|| measure_program_balance(std::hint::black_box(&mm), &m).unwrap().memory())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 3 — effective bandwidth of the stride-one kernels on both
+//! machines: prints the series and times one kernel simulation per
+//! machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbb_bench::experiments::{figure3, render_figure3, Sizes};
+use mbb_core::balance::measure_program_balance;
+use mbb_memsim::machine::MachineModel;
+use mbb_workloads::stream_kernels::stream_kernel;
+
+fn bench(c: &mut Criterion) {
+    println!("\n-- Figure 3: effective bandwidth of the stride-1 kernels --");
+    println!("{}", render_figure3(&figure3(Sizes::quick())));
+
+    let p = stream_kernel(1, 2, 1 << 16);
+    let origin = MachineModel::origin2000();
+    let exemplar = MachineModel::exemplar();
+    let mut g = c.benchmark_group("fig3_kernel_sim");
+    g.sample_size(10);
+    g.bench_function("1w2r_on_origin", |b| {
+        b.iter(|| measure_program_balance(std::hint::black_box(&p), &origin).unwrap().flops)
+    });
+    g.bench_function("1w2r_on_exemplar", |b| {
+        b.iter(|| measure_program_balance(std::hint::black_box(&p), &exemplar).unwrap().flops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

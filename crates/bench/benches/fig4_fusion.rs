@@ -1,0 +1,67 @@
+//! Figure 4 — bandwidth-minimal vs edge-weighted fusion: prints the cost
+//! comparison and times the three fusion strategies on the Figure-4 graph
+//! and on larger random programs (strategy-scaling ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbb_bench::experiments::{figure4, render_figure4};
+use mbb_core::fusion::{
+    build_fusion_graph, exhaustive_min_bandwidth, greedy_fusion, recursive_bisection_fusion,
+    two_partition_min_bandwidth,
+};
+use mbb_ir::builder::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random program of `n` conforming loops over a pool of arrays, with a
+/// reduction pair at the ends to create a fusion-preventing constraint.
+fn random_program(nests: usize, arrays: usize, seed: u64) -> mbb_ir::Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = 64usize;
+    let mut b = ProgramBuilder::new("random");
+    let pool: Vec<_> = (0..arrays).map(|k| b.array_in(format!("a{k}"), &[len])).collect();
+    let s = b.scalar_printed("sum", 0.0);
+    let hi = len as i64 - 1;
+    for k in 0..nests {
+        let i = b.var(format!("i{k}"));
+        let n_reads = rng.gen_range(1..=3.min(arrays));
+        let mut expr = lit(1.0);
+        for _ in 0..n_reads {
+            let a = pool[rng.gen_range(0..arrays)];
+            expr = expr + ld(a.at([v(i)]));
+        }
+        b.nest(format!("n{k}"), &[(i, 0, hi)], vec![accumulate(s, expr)]);
+    }
+    b.finish()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n-- Figure 4: bandwidth-minimal vs edge-weighted fusion --");
+    println!("{}", render_figure4(&figure4()));
+
+    let fig4 = mbb_workloads::figures::figure4(64);
+    let g4 = build_fusion_graph(&fig4);
+    let mut group = c.benchmark_group("fusion_strategies");
+    group.sample_size(20);
+    group.bench_function("figure4_exhaustive", |b| {
+        b.iter(|| exhaustive_min_bandwidth(std::hint::black_box(&g4)).1)
+    });
+    group.bench_function("figure4_two_partition_mincut", |b| {
+        b.iter(|| two_partition_min_bandwidth(std::hint::black_box(&g4), 4, 5).unwrap().1)
+    });
+    group.bench_function("figure4_greedy", |b| {
+        b.iter(|| greedy_fusion(std::hint::black_box(&g4)).groups.len())
+    });
+    group.bench_function("figure4_recursive_bisection", |b| {
+        b.iter(|| recursive_bisection_fusion(std::hint::black_box(&g4)).groups.len())
+    });
+    for nests in [8usize, 16, 32] {
+        let p = random_program(nests, 10, 42);
+        let g = build_fusion_graph(&p);
+        group.bench_with_input(BenchmarkId::new("greedy_random", nests), &g, |b, g| {
+            b.iter(|| greedy_fusion(std::hint::black_box(g)).groups.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 5 — the hypergraph minimal-cut algorithm: scaling measurement.
+//!
+//! The paper bounds the two-partitioning algorithm by `O(E(E+E') + V)`
+//! where `E` is the number of arrays and `V` the number of loops, noting
+//! that it is *linear in the number of loops*.  This bench measures the
+//! solve time on random hypergraphs as edges and nodes grow independently,
+//! so the claim can be eyeballed from the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbb_hypergraph::graph::{HyperEdge, Hypergraph};
+use mbb_hypergraph::mincut::{min_hyperedge_cut, min_hyperedge_cut_dinic};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_hypergraph(nodes: usize, edges: usize, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hg = Hypergraph::new(nodes);
+    for _ in 0..edges {
+        let pins: Vec<usize> = (0..rng.gen_range(2..=4))
+            .map(|_| rng.gen_range(0..nodes))
+            .collect();
+        hg.add_edge(HyperEdge::weighted(pins, rng.gen_range(1..=3)));
+    }
+    hg
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_mincut_scaling");
+    group.sample_size(20);
+    // Scaling in the number of hyperedges (arrays), nodes fixed.
+    for edges in [8usize, 16, 32, 64] {
+        let hg = random_hypergraph(16, edges, 7);
+        group.bench_with_input(BenchmarkId::new("edges", edges), &hg, |b, hg| {
+            b.iter(|| min_hyperedge_cut(std::hint::black_box(hg), 0, 15).cut_weight)
+        });
+    }
+    // Scaling in the number of nodes (loops), edges fixed: the paper's
+    // "linear in the number of loops" observation.
+    for nodes in [8usize, 16, 32, 64, 128] {
+        let hg = random_hypergraph(nodes, 24, 11);
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &hg, |b, hg| {
+            b.iter(|| min_hyperedge_cut(std::hint::black_box(hg), 0, nodes - 1).cut_weight)
+        });
+    }
+    // Max-flow engine ablation: Edmonds–Karp (the paper's Ford–Fulkerson
+    // instantiation) vs Dinic on the same instance.
+    let hg = random_hypergraph(32, 64, 3);
+    group.bench_function("engine_edmonds_karp", |b| {
+        b.iter(|| min_hyperedge_cut(std::hint::black_box(&hg), 0, 31).cut_weight)
+    });
+    group.bench_function("engine_dinic", |b| {
+        b.iter(|| min_hyperedge_cut_dinic(std::hint::black_box(&hg), 0, 31).cut_weight)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 6 — array shrinking and peeling: prints the storage/traffic
+//! reduction table and times the transformation pipeline and its pieces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbb_bench::experiments::{figure6, render_figure6};
+use mbb_core::storage::{contract, peel, shrink_storage};
+use mbb_memsim::machine::MachineModel;
+use mbb_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("\n-- Figure 6: array shrinking and peeling --");
+    let m = MachineModel::origin2000().scaled(512);
+    println!("{}", render_figure6(&figure6(24, &m)));
+
+    let p = figures::figure6(24);
+    let a = p.array_by_name("a").unwrap();
+    let mut g = c.benchmark_group("fig6_transforms");
+    g.sample_size(20);
+    g.bench_function("peel_column", |b| {
+        b.iter(|| peel(std::hint::black_box(&p), a, 1, 0).unwrap().program.arrays.len())
+    });
+    let peeled = peel(&p, a, 1, 0).unwrap().program;
+    g.bench_function("shrink_storage_driver", |b| {
+        b.iter(|| shrink_storage(std::hint::black_box(&peeled)).1.len())
+    });
+    // Contraction alone on a purpose-built contractible program.
+    let small = {
+        use mbb_ir::builder::*;
+        let n = 64usize;
+        let mut bld = ProgramBuilder::new("ct");
+        let x = bld.array_in("x", &[n]);
+        let t = bld.array_zero("t", &[n]);
+        let y = bld.array_out("y", &[n]);
+        let i = bld.var("i");
+        bld.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), ld(x.at([v(i)])) * lit(2.0)),
+                assign(y.at([v(i)]), ld(t.at([v(i)]))),
+            ],
+        );
+        bld.finish()
+    };
+    let t = small.array_by_name("t").unwrap();
+    g.bench_function("contract_to_scalar", |b| {
+        b.iter(|| contract(std::hint::black_box(&small), t).unwrap().bytes_after)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

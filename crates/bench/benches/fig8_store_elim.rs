@@ -1,0 +1,30 @@
+//! Figure 8 — the effect of loop fusion and store elimination: prints the
+//! timing table (original / fused / store-eliminated on both machines) and
+//! times the transformation and the simulations behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbb_bench::experiments::{figure8, render_figure8, Sizes};
+use mbb_core::fusion::{apply, build_fusion_graph, Partitioning};
+use mbb_core::stores::eliminate_all_stores;
+use mbb_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("\n-- Figure 8: effect of loop fusion and store elimination --");
+    println!("{}", render_figure8(&figure8(Sizes::quick())));
+
+    let p = figures::figure7(1 << 12);
+    let g = build_fusion_graph(&p);
+    let fused = apply(&p, &Partitioning::all_fused(g.n)).unwrap();
+    let mut group = c.benchmark_group("fig8_transforms");
+    group.sample_size(20);
+    group.bench_function("fuse_figure7", |b| {
+        b.iter(|| apply(std::hint::black_box(&p), &Partitioning::all_fused(2)).unwrap().nests.len())
+    });
+    group.bench_function("eliminate_stores_figure7", |b| {
+        b.iter(|| eliminate_all_stores(std::hint::black_box(&fused)).1.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! §2.1 — the two-loop example: prints the table (update loop ≈ 2× the
+//! read loop because it consumes twice the memory bandwidth) and times the
+//! underlying simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbb_bench::experiments::{render_sec21, sec21, Sizes};
+use mbb_core::balance::time_program;
+use mbb_memsim::machine::MachineModel;
+use mbb_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    let sizes = Sizes::quick();
+    println!("\n-- §2.1: the write-back loop vs the read loop --");
+    println!("{}", render_sec21(&sec21(sizes)));
+
+    let origin = MachineModel::origin2000();
+    let update = figures::sec21_update_loop(1 << 16);
+    let read = figures::sec21_read_loop(1 << 16);
+    let mut g = c.benchmark_group("sec21");
+    g.sample_size(10);
+    g.bench_function("simulate_update_loop", |b| {
+        b.iter(|| time_program(std::hint::black_box(&update), &origin).unwrap().time_s)
+    });
+    g.bench_function("simulate_read_loop", |b| {
+        b.iter(|| time_program(std::hint::black_box(&read), &origin).unwrap().time_s)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! §2.3 — NAS/SP per-subroutine memory-bandwidth utilisation: prints the
+//! table (paper: 5 of 7 subroutines at ≥ 84%) and times one subroutine's
+//! trace simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbb_bench::experiments::{render_sp_utilization, sp_utilization, Sizes};
+use mbb_core::balance::measure_program_balance;
+use mbb_memsim::machine::MachineModel;
+use mbb_workloads::nas_sp::{x_solve, SpGrid};
+
+fn bench(c: &mut Criterion) {
+    println!("\n-- §2.3: NAS/SP per-subroutine bandwidth utilisation --");
+    println!("{}", render_sp_utilization(&sp_utilization(Sizes::quick())));
+
+    let m = MachineModel::origin2000().scaled_levels(&[16, 64]);
+    let p = x_solve(SpGrid::cubed(10));
+    let mut g = c.benchmark_group("sp_subroutine_sim");
+    g.sample_size(10);
+    g.bench_function("x_solve_10cubed", |b| {
+        b.iter(|| measure_program_balance(std::hint::black_box(&p), &m).unwrap().flops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

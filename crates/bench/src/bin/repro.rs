@@ -1,0 +1,99 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [all|sec21|fig1|fig2|fig3|fig4|fig6|fig8|sp|scaling|opt] [--quick]
+//! ```
+//!
+//! Without arguments, runs everything at full size (tens of seconds of
+//! simulation).  `--quick` uses the reduced sizes the test-suite uses.
+
+use mbb_bench::experiments::{self, Sizes};
+use mbb_memsim::machine::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes = if quick { Sizes::quick() } else { Sizes::full() };
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    println!("== Reproduction of Ding & Kennedy, IPPS 2000 ==");
+    println!(
+        "sizes: {} (stream N = {}, cache scale ÷{})\n",
+        if quick { "quick" } else { "full" },
+        sizes.stream_n,
+        sizes.cache_scale
+    );
+
+    if want("sec21") {
+        println!("-- §2.1: the write-back loop vs the read loop --");
+        println!("{}", experiments::render_sec21(&experiments::sec21(sizes)));
+    }
+
+    let fig1 = if want("fig1") || want("fig2") || want("scaling") {
+        Some(experiments::figure1(sizes))
+    } else {
+        None
+    };
+
+    if want("fig1") {
+        println!("-- Figure 1: program and machine balance (bytes per flop) --");
+        println!("{}", experiments::render_figure1(fig1.as_ref().unwrap()));
+        println!(
+            "note: IR register balance runs higher than the paper's hand counts\n\
+             (no loop-invariant register promotion); see EXPERIMENTS.md.\n"
+        );
+    }
+
+    if want("fig2") {
+        println!("-- Figure 2: demand / supply ratios on the Origin2000 --");
+        println!(
+            "{}",
+            experiments::render_figure2(&experiments::figure2(fig1.as_ref().unwrap()))
+        );
+    }
+
+    if want("fig3") {
+        println!("-- Figure 3: effective bandwidth of the stride-1 kernels --");
+        println!("{}", experiments::render_figure3(&experiments::figure3(sizes)));
+    }
+
+    if want("sp") {
+        println!("-- §2.3: NAS/SP per-subroutine bandwidth utilisation --");
+        println!("{}", experiments::render_sp_utilization(&experiments::sp_utilization(sizes)));
+    }
+
+    if want("scaling") {
+        println!("-- §2.3: memory bandwidth needed to feed an R10K-class CPU --");
+        println!(
+            "{}",
+            experiments::render_scaling(&experiments::scaling_study(fig1.as_ref().unwrap()))
+        );
+    }
+
+    if want("fig4") {
+        println!("-- Figure 4: bandwidth-minimal vs edge-weighted fusion --");
+        println!("{}", experiments::render_figure4(&experiments::figure4()));
+    }
+
+    if want("fig6") {
+        println!("-- Figure 6: array shrinking and peeling --");
+        let n = if quick { 16 } else { 64 };
+        let m = MachineModel::origin2000().scaled(512);
+        println!("{}", experiments::render_figure6(&experiments::figure6(n, &m)));
+    }
+
+    if want("opt") {
+        println!("-- optimiser study (ours): the §3 strategy across the suite --");
+        println!(
+            "{}",
+            experiments::render_optimizer_study(&experiments::optimizer_study(sizes))
+        );
+    }
+
+    if want("fig8") {
+        println!("-- Figure 8: effect of loop fusion and store elimination --");
+        println!("{}", experiments::render_figure8(&experiments::figure8(sizes)));
+    }
+}

@@ -1,0 +1,8 @@
+//! # mbb-bench — reproduction harness
+//!
+//! Shared table-formatting and experiment plumbing for the `repro` binary
+//! and the Criterion benches.  Each paper table/figure has one generator
+//! function here so the binary and the benches print identical rows.
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,313 @@
+//! The logic behind the `mbbc` command-line driver (kept in a library so
+//! the test-suite can drive it without spawning processes).
+//!
+//! Three commands over programs written in the paper's pseudo-code (see
+//! `mbb_ir::parse` for the grammar):
+//!
+//! * `run` — interpret the program and print observable outputs and
+//!   execution counters;
+//! * `report` — the §2 methodology: program balance per channel on a
+//!   chosen machine, demand/supply ratios, the CPU-utilisation bound, and
+//!   the predicted execution time with its bottleneck;
+//! * `optimize` — the §3 strategy: fuse, shrink storage, eliminate stores;
+//!   prints the optimised program (in the same parseable syntax), the
+//!   transformation log, and before/after traffic and time.
+
+use std::fmt::Write as _;
+
+use mbb_core::advisor::advise;
+use mbb_core::balance::{measure_program_balance, ratios, time_program};
+use mbb_core::pipeline::{optimize, verify_equivalent, OptimizeOptions};
+use mbb_core::regroup::regroup_all;
+use mbb_ir::{parse, pretty, Program};
+use mbb_memsim::machine::MachineModel;
+use mbb_memsim::timing::Bottleneck;
+
+/// Options shared by the commands.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// The machine model to measure against.
+    pub machine: MachineModel,
+    /// Pipeline configuration (optimize only).
+    pub pipeline: OptimizeOptions,
+    /// Also apply inter-array data regrouping after the pipeline.
+    pub regroup: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            machine: MachineModel::origin2000(),
+            pipeline: OptimizeOptions::default(),
+            regroup: false,
+        }
+    }
+}
+
+/// The `advise` command: the §4 bandwidth-tuning report.
+pub fn cmd_advise(src: &str, opts: &Options) -> Result<String, String> {
+    let p = load(src)?;
+    Ok(advise(&p, &opts.machine)?.to_string())
+}
+
+/// Parses a machine name: `origin` (default), `exemplar`, or
+/// `origin/N` for the cache-scaled variant.
+pub fn machine_by_name(name: &str) -> Result<MachineModel, String> {
+    if let Some(rest) = name.strip_prefix("origin/") {
+        let n: u64 = rest.parse().map_err(|_| format!("bad scale `{rest}`"))?;
+        return Ok(MachineModel::origin2000().scaled(n));
+    }
+    match name {
+        "origin" | "origin2000" => Ok(MachineModel::origin2000()),
+        "exemplar" | "pa8000" => Ok(MachineModel::exemplar()),
+        other => Err(format!(
+            "unknown machine `{other}` (try origin, exemplar, origin/64)"
+        )),
+    }
+}
+
+/// Parses source text, surfacing errors with line numbers.
+pub fn load(src: &str) -> Result<Program, String> {
+    parse::parse(src).map_err(|e| e.to_string())
+}
+
+/// The `graph` command: render the program's fusion graph as Graphviz
+/// DOT — solid directed edges for dependences, dashed red edges for
+/// fusion-preventing pairs, node labels listing the arrays each nest
+/// touches.
+pub fn cmd_graph(src: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let p = load(src)?;
+    let g = mbb_core::fusion::build_fusion_graph(&p);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph fusion {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for k in 0..g.n {
+        let arrays: Vec<&str> = g.arrays_of[k]
+            .iter()
+            .map(|&a| p.array(a).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  n{k} [label=\"{}\\n{{{}}}\"];",
+            p.nests[k].name,
+            arrays.join(", ")
+        );
+    }
+    for &(a, b) in &g.deps {
+        let _ = writeln!(out, "  n{a} -> n{b};");
+    }
+    for &(a, b) in &g.preventing {
+        let _ = writeln!(
+            out,
+            "  n{a} -> n{b} [dir=none, style=dashed, color=red, constraint=false];"
+        );
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+/// The `trace` command: emit the program's access trace (Dinero-style
+/// text, one access per line) to the returned string.  Intended for
+/// interop with external cache simulators; traces grow with N.
+pub fn cmd_trace(src: &str) -> Result<String, String> {
+    let p = load(src)?;
+    let mut buf = Vec::new();
+    {
+        let mut w = mbb_memsim::tracefile::TraceWriter::new(&mut buf);
+        mbb_ir::interp::run_traced(&p, &mut w).map_err(|e| e.to_string())?;
+        w.finish().map_err(|e| e.to_string())?;
+    }
+    String::from_utf8(buf).map_err(|e| e.to_string())
+}
+
+/// The `run` command.
+pub fn cmd_run(src: &str) -> Result<String, String> {
+    let p = load(src)?;
+    let r = mbb_ir::interp::run(&p).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}: ran {} iterations, {} flops, {} loads, {} stores",
+        p.name, r.stats.iterations, r.stats.flops, r.stats.loads, r.stats.stores);
+    for (name, v) in &r.observation.scalars {
+        let _ = writeln!(out, "  {name} = {v}");
+    }
+    for (name, vs) in &r.observation.arrays {
+        let shown = vs.iter().take(8).map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", ");
+        let _ = writeln!(out, "  {name}[0..{}] = [{shown}{}]", vs.len(),
+            if vs.len() > 8 { ", …" } else { "" });
+    }
+    Ok(out)
+}
+
+/// The `report` command.
+pub fn cmd_report(src: &str, opts: &Options) -> Result<String, String> {
+    let p = load(src)?;
+    let b = measure_program_balance(&p, &opts.machine).map_err(|e| e.to_string())?;
+    let r = ratios(&b, &opts.machine);
+    let t = time_program(&p, &opts.machine).map_err(|e| e.to_string())?;
+    let supply = opts.machine.balance();
+    let channel_names: Vec<String> = (0..supply.len())
+        .map(|k| {
+            if k == 0 {
+                "Reg↔L1".to_string()
+            } else if k + 1 == supply.len() {
+                "Mem".to_string()
+            } else {
+                format!("L{}↔L{}", k, k + 1)
+            }
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
+    let _ = writeln!(out, "  flops: {}", b.flops);
+    let _ = writeln!(out, "  {:<8} {:>12} {:>12} {:>8}", "channel", "demand B/f", "supply B/f", "ratio");
+    for (k, name) in channel_names.iter().enumerate() {
+        let _ = writeln!(out, "  {:<8} {:>12.2} {:>12.2} {:>7.1}×",
+            name, b.bytes_per_flop[k], supply[k], r.ratios[k]);
+    }
+    let _ = writeln!(out, "  CPU utilisation bound: {:.0}%", r.cpu_utilization_bound * 100.0);
+    let bottleneck = match t.bottleneck {
+        Bottleneck::Compute => "compute".to_string(),
+        Bottleneck::Channel(k) => channel_names[k].clone(),
+    };
+    let _ = writeln!(out, "  predicted time: {:.4} s (bottleneck: {bottleneck})", t.time_s);
+    Ok(out)
+}
+
+/// The `optimize` command; returns `(report, optimized_source)`.
+pub fn cmd_optimize(src: &str, opts: &Options) -> Result<(String, String), String> {
+    let p = load(src)?;
+    let before_t = time_program(&p, &opts.machine).map_err(|e| e.to_string())?;
+    let before_b = measure_program_balance(&p, &opts.machine).map_err(|e| e.to_string())?;
+
+    let mut outcome = optimize(&p, opts.pipeline);
+    let mut regroup_actions = Vec::new();
+    if opts.regroup {
+        let (next, actions) = regroup_all(&outcome.program);
+        outcome.program = next;
+        regroup_actions = actions;
+    }
+    verify_equivalent(&p, &outcome.program, 1e-9)
+        .map_err(|d| format!("internal error: transformation changed behaviour: {d}"))?;
+
+    let after_t = time_program(&outcome.program, &opts.machine).map_err(|e| e.to_string())?;
+    let after_b =
+        measure_program_balance(&outcome.program, &opts.machine).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
+    if let Some(part) = &outcome.partitioning {
+        let _ = writeln!(out, "  fusion: {} nests -> {} partitions (array loads {} -> {})",
+            p.nests.len(), part.groups.len(),
+            outcome.arrays_cost_before, outcome.arrays_cost_after);
+    }
+    for a in &outcome.shrink_actions {
+        let _ = writeln!(out, "  storage: {a:?}");
+    }
+    for s in &outcome.store_eliminations {
+        let _ = writeln!(out, "  store elimination: `{}` ({} store(s) removed)",
+            s.array, s.stores_removed);
+    }
+    for a in &regroup_actions {
+        let _ = writeln!(out, "  regrouped: {{{}}} -> `{}`", a.members.join(", "), a.grouped);
+    }
+    let _ = writeln!(out, "  storage bytes:    {} -> {}",
+        outcome.storage_before, outcome.storage_after);
+    let _ = writeln!(out, "  memory traffic:   {} -> {} bytes",
+        before_b.report.mem_bytes(), after_b.report.mem_bytes());
+    let _ = writeln!(out, "  memory balance:   {:.2} -> {:.2} bytes/flop",
+        before_b.memory(), after_b.memory());
+    let _ = writeln!(out, "  predicted time:   {:.4} s -> {:.4} s ({:.2}× speedup)",
+        before_t.time_s, after_t.time_s, before_t.time_s / after_t.time_s);
+    let _ = writeln!(out, "  equivalence:      verified (interpreted both versions)");
+
+    Ok((out, pretty::program(&outcome.program)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+program fig7
+  array res[4096]
+  array data[4096]
+  scalar sum = 0  // printed
+  for i = 0, 4095
+    res[i] = (res[i] + data[i])
+  end for
+  for j = 0, 4095
+    sum = (sum + res[j])
+  end for
+"#;
+
+    #[test]
+    fn run_reports_counters_and_outputs() {
+        let out = cmd_run(SRC).unwrap();
+        assert!(out.contains("8192 iterations"), "{out}");
+        assert!(out.contains("sum = "), "{out}");
+    }
+
+    #[test]
+    fn report_shows_channels_and_bound() {
+        let out = cmd_report(SRC, &Options::default()).unwrap();
+        assert!(out.contains("Mem"), "{out}");
+        assert!(out.contains("CPU utilisation bound"), "{out}");
+        assert!(out.contains("bottleneck"), "{out}");
+    }
+
+    #[test]
+    fn optimize_round_trips_through_the_parser() {
+        let (report, optimized) = cmd_optimize(SRC, &Options::default()).unwrap();
+        assert!(report.contains("store elimination"), "{report}");
+        assert!(report.contains("speedup"), "{report}");
+        // The emitted program must itself parse and behave identically.
+        let p = load(SRC).unwrap();
+        let q = load(&optimized).unwrap_or_else(|e| panic!("{e}\n{optimized}"));
+        let rp = mbb_ir::interp::run(&p).unwrap();
+        let rq = mbb_ir::interp::run(&q).unwrap();
+        assert!(rp.observation.approx_eq(&rq.observation, 1e-9));
+    }
+
+    #[test]
+    fn machine_names() {
+        assert!(machine_by_name("origin").is_ok());
+        assert!(machine_by_name("exemplar").is_ok());
+        assert_eq!(machine_by_name("origin/64").unwrap().caches[1].size, 64 * 1024);
+        assert!(machine_by_name("cray").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let e = cmd_run("for i = 0, 3\n  bogus[i] = 1\nend for\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+}
+
+#[cfg(test)]
+mod graph_tests {
+    use super::*;
+
+    #[test]
+    fn graph_emits_dot_with_deps_and_constraints() {
+        let src = r#"
+array a[32]
+scalar s  // printed
+scalar t  // printed
+for i = 0, 31
+  s = (s + a[i])
+end for
+for j = 0, 31
+  t = (t + s)
+end for
+"#;
+        let dot = cmd_graph(src).unwrap();
+        assert!(dot.starts_with("digraph fusion {"), "{dot}");
+        assert!(dot.contains("n0 -> n1;"), "dependence edge missing:\n{dot}");
+        assert!(dot.contains("style=dashed"), "preventing edge missing:\n{dot}");
+        assert!(dot.contains("{a}"), "array label missing:\n{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

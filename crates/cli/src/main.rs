@@ -1,0 +1,130 @@
+//! `mbbc` — the command-line driver.
+//!
+//! ```text
+//! mbbc run      FILE
+//! mbbc report   FILE [--machine origin|exemplar|origin/N]
+//! mbbc optimize FILE [--machine …] [--no-fuse] [--no-shrink]
+//!                    [--no-store-elim] [--emit]
+//! ```
+//!
+//! `FILE` is a loop program in the paper's pseudo-code (grammar:
+//! `mbb_ir::parse`); `-` reads standard input.  `--emit` prints the
+//! optimised program (itself parseable) after the report.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use mbb_cli::{cmd_advise, cmd_optimize, cmd_report, cmd_run, machine_by_name, Options};
+use mbb_core::pipeline::FusionStrategy;
+
+fn usage() -> &'static str {
+    "usage: mbbc <run|report|advise|optimize|trace|graph> FILE [options]\n\
+     options:\n\
+       --machine origin|exemplar|origin/N   machine model (default origin)\n\
+       --no-fuse | --no-shrink | --no-store-elim   disable a pipeline stage\n\
+       --exhaustive | --bisection            alternative fusion strategies\n\
+       --normalize                           expand + distribute before fusing\n\
+       --regroup                             interleave co-accessed arrays\n\
+       --emit                                print the optimised program\n"
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::from(2);
+    };
+    if !matches!(
+        cmd.as_str(),
+        "run" | "report" | "advise" | "optimize" | "optimise" | "trace" | "graph"
+    ) {
+        eprintln!("mbbc: unknown command `{cmd}`\n{}", usage());
+        return ExitCode::from(2);
+    }
+    let Some(file) = args.get(1) else {
+        eprint!("{}", usage());
+        return ExitCode::from(2);
+    };
+
+    let mut opts = Options::default();
+    let mut emit = false;
+    let mut k = 2;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--machine" => {
+                k += 1;
+                match args.get(k).map(|m| machine_by_name(m)) {
+                    Some(Ok(m)) => opts.machine = m,
+                    Some(Err(e)) => {
+                        eprintln!("mbbc: {e}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("mbbc: --machine needs a value");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--no-fuse" => opts.pipeline.fusion = FusionStrategy::None,
+            "--normalize" | "--normalise" => opts.pipeline.normalize = true,
+            "--bisection" => opts.pipeline.fusion = FusionStrategy::Bisection,
+            "--exhaustive" => opts.pipeline.fusion = FusionStrategy::Exhaustive,
+            "--no-shrink" => opts.pipeline.shrink = false,
+            "--no-store-elim" => opts.pipeline.eliminate_stores = false,
+            "--emit" => emit = true,
+            "--regroup" => opts.regroup = true,
+            other => {
+                eprintln!("mbbc: unknown option `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+        k += 1;
+    }
+
+    let src = match read_source(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mbbc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&src),
+        "trace" => mbb_cli::cmd_trace(&src),
+        "graph" => mbb_cli::cmd_graph(&src),
+        "report" => cmd_report(&src, &opts),
+        "advise" => cmd_advise(&src, &opts),
+        "optimize" | "optimise" => cmd_optimize(&src, &opts).map(|(report, program)| {
+            if emit {
+                format!("{report}\n{program}")
+            } else {
+                report
+            }
+        }),
+        other => unreachable!("command `{other}` validated above"),
+    };
+
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mbbc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `mbbc` binary itself (argument handling, exit
+//! codes, stdin input), using the path Cargo exports for integration tests.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn mbbc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mbbc"))
+}
+
+const SRC: &str = "array a[64]\nscalar s  // printed\nfor i = 0, 63\n  s = (s + a[i])\nend for\n";
+
+fn write_temp(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mbbc_test_{name}_{}.loop", std::process::id()));
+    std::fs::write(&path, SRC).unwrap();
+    path
+}
+
+#[test]
+fn run_command_succeeds() {
+    let p = write_temp("run");
+    let out = mbbc().args(["run", p.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("64 iterations"), "{stdout}");
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn report_with_machine_flag() {
+    let p = write_temp("report");
+    let out = mbbc()
+        .args(["report", p.to_str().unwrap(), "--machine", "exemplar"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Exemplar"), "{stdout}");
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn stdin_input_via_dash() {
+    let mut child = mbbc()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(SRC.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s = "));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = mbbc().args(["frobnicate", "x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = mbbc().args(["run", "/nonexistent/prog.loop"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn parse_error_reports_line() {
+    let mut child = mbbc()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"for i = 0, 3\n  nope[i] = 1\nend for\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
+fn trace_emits_dinero_lines() {
+    let p = write_temp("trace");
+    let out = mbbc().args(["trace", p.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().unwrap();
+    assert!(first.starts_with("r "), "{first}");
+    assert_eq!(stdout.lines().count(), 64);
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn optimize_emit_round_trips() {
+    let p = write_temp("opt");
+    let out = mbbc()
+        .args(["optimize", p.to_str().unwrap(), "--emit", "--no-shrink"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("equivalence:      verified"), "{stdout}");
+    assert!(stdout.contains("for i = 0, 63"), "{stdout}");
+    let _ = std::fs::remove_file(p);
+}

@@ -1,0 +1,644 @@
+//! Iteration embedding and guard-context subscript normalisation.
+//!
+//! Figure 6(b) of the paper fuses a *one*-dimensional boundary loop
+//! (`b[i,N] = g(b[i,N], a[i,1])`) into the last iteration of a
+//! two-dimensional nest by guarding it with `if (j = N)`.  Two passes make
+//! that reproducible mechanically:
+//!
+//! * [`embed_nest`] — move a depth-(d−1) nest into a chosen constant
+//!   iteration of an adjacent depth-d nest, wrapped in the guard;
+//! * [`normalize_guarded_consts`] — inside a branch guarded by
+//!   `var == k`, rewrite constant subscripts equal to `k` into `var`
+//!   (`b[i, N-1]` → `b[i, j]` under `j == N-1`), which is what lets the
+//!   contraction analysis see the boundary access as part of the same
+//!   per-iteration live range and collapse the whole array to a scalar,
+//!   exactly as Figure 6(c) does with `b1`.
+
+use mbb_ir::deps::nest_access;
+use mbb_ir::expr::{Affine, CmpOp, Cond, Expr, Ref, Sub};
+use mbb_ir::program::{LoopNest, Program, Stmt, VarId};
+
+/// Why embedding was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EmbedError {
+    /// The nests are not adjacent in program order (`src == dst + 1`).
+    NotAdjacent,
+    /// The source nest's loops do not conform to the destination's with
+    /// one level removed.
+    NonConforming,
+    /// `at` is not the destination level's constant upper bound (only
+    /// last-iteration embedding is supported — that is when execution
+    /// order is preserved for every dependence direction the conservative
+    /// check admits).
+    NotLastIteration,
+    /// A shared array access could not be proven safe to interleave.
+    UnsafeInterleaving,
+}
+
+/// Embeds nest `src` (= `dst + 1` in program order, depth `d−1`) into the
+/// final iteration of level `level` of nest `dst` (depth `d`), guarded by
+/// `if level_var == at`.
+///
+/// Safety argument: `src` originally runs after all of `dst`.  Embedded at
+/// the last level-`level` iteration, each of `src`'s bodies runs after
+/// `dst`'s body for the *same* inner iteration but before `dst`'s bodies
+/// for later inner iterations.  The conservative check therefore requires
+/// that for every array both nests touch with at least one write, `src`'s
+/// subscripts match `dst`'s at the same inner iteration (offset 0 on every
+/// shared level, constants allowed when equal or provably disjoint).
+pub fn embed_nest(
+    prog: &Program,
+    dst: usize,
+    level: usize,
+    at: i64,
+) -> Result<Program, EmbedError> {
+    let src = dst + 1;
+    if src >= prog.nests.len() {
+        return Err(EmbedError::NotAdjacent);
+    }
+    let (nd, ns) = (&prog.nests[dst], &prog.nests[src]);
+    if ns.loops.len() + 1 != nd.loops.len() || level >= nd.loops.len() {
+        return Err(EmbedError::NonConforming);
+    }
+    // Loops of src must conform to dst's loops with `level` removed.
+    let reduced: Vec<_> = nd
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|&(l, _)| l != level)
+        .map(|(_, lp)| lp)
+        .collect();
+    for (ls, ld) in ns.loops.iter().zip(&reduced) {
+        if !ls.conforms_to(ld) {
+            return Err(EmbedError::NonConforming);
+        }
+    }
+    // Last iteration only.
+    match nd.loops[level].hi.as_const() {
+        Some(hi) if hi == at && nd.loops[level].step == 1 => {}
+        _ => return Err(EmbedError::NotLastIteration),
+    }
+
+    // Conservative interleaving check on shared arrays with a write.
+    let (acc_d, acc_s) = (nest_access(nd), nest_access(ns));
+    let shared: Vec<_> = acc_d
+        .arrays_touched()
+        .intersection(&acc_s.arrays_touched())
+        .copied()
+        .filter(|a| {
+            acc_d.array_writes.contains(a) || acc_s.array_writes.contains(a)
+        })
+        .collect();
+    for arr in shared {
+        if !interleaving_safe(nd, ns, level, at, arr) {
+            return Err(EmbedError::UnsafeInterleaving);
+        }
+    }
+    // Scalars: a scalar written by either and touched by both would change
+    // meaning if src's updates interleave with dst's later iterations.
+    let scalar_conflict = acc_d
+        .scalar_writes
+        .iter()
+        .any(|s| acc_s.scalar_reads.contains(s) || acc_s.scalar_writes.contains(s))
+        || acc_s
+            .scalar_writes
+            .iter()
+            .any(|s| acc_d.scalar_reads.contains(s) || acc_d.scalar_writes.contains(s));
+    if scalar_conflict {
+        return Err(EmbedError::UnsafeInterleaving);
+    }
+
+    // Build: rename src's loop vars onto dst's (skipping `level`), wrap in
+    // the guard, append to dst's body.
+    let mut out = prog.clone();
+    let mut body = ns.body.clone();
+    let fresh: Vec<VarId> = ns
+        .loops
+        .iter()
+        .map(|lp| out.add_var(format!("{}__emb", prog.var_name(lp.var))))
+        .collect();
+    for (lp, &f) in ns.loops.iter().zip(&fresh) {
+        body = body.iter().map(|s| s.rename(lp.var, f)).collect();
+    }
+    for (ld, &f) in reduced.iter().zip(&fresh) {
+        body = body.iter().map(|s| s.rename(f, ld.var)).collect();
+    }
+    let guard = Cond::new(Affine::var(nd.loops[level].var), CmpOp::Eq, Affine::constant(at));
+    let mut new_dst = nd.clone();
+    new_dst.name = format!("{}+{}@", nd.name, ns.name);
+    new_dst.body.push(Stmt::If { cond: guard, then_: body, else_: Vec::new() });
+    out.nests[dst] = new_dst;
+    out.nests.remove(src);
+    out.fusion_preventing = prog
+        .fusion_preventing
+        .iter()
+        .filter(|&&(a, b)| a != src && b != src)
+        .map(|&(a, b)| {
+            let shift = |x: usize| if x > src { x - 1 } else { x };
+            (shift(a), shift(b))
+        })
+        .collect();
+    Ok(out)
+}
+
+/// True when interleaving src's accesses to `arr` at the last level-`level`
+/// iteration is provably safe: along `level`, dst touches the array only at
+/// offsets that keep writes within the current iteration visible (offset
+/// exactly 0 for writes) and src touches only the plane `at` (constant) or,
+/// along shared levels, the same iteration (offset 0).
+fn interleaving_safe(
+    nd: &LoopNest,
+    ns: &LoopNest,
+    level: usize,
+    at: i64,
+    arr: mbb_ir::program::ArrayId,
+) -> bool {
+    // dst side: every subscript either does not involve `level`'s variable,
+    // or is exactly `var(level) + 0`.
+    let vd = nd.loops[level].var;
+    let mut ok = true;
+    nd.for_each_ref(&mut |r, _| {
+        if let Ref::Element(a, subs) = r {
+            if *a != arr {
+                return;
+            }
+            for s in subs {
+                let Some(e) = s.as_plain() else {
+                    ok = false;
+                    return;
+                };
+                let coef = e.coeff(vd);
+                if coef != 0 && e.as_var_plus_const() != Some((vd, 0)) {
+                    ok = false;
+                }
+            }
+        }
+    });
+    if !ok {
+        return false;
+    }
+    // src side: the dimensions where dst used var(level) must be the
+    // constant `at` in src (same plane as the guarded iteration); shared
+    // inner variables must appear with offset 0.
+    let shared_vars: std::collections::BTreeSet<VarId> = nd
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|&(l, _)| l != level)
+        .map(|(_, lp)| lp.var)
+        .collect();
+    let src_vars: std::collections::BTreeSet<VarId> =
+        ns.loops.iter().map(|lp| lp.var).collect();
+    ns.for_each_ref(&mut |r, _| {
+        if let Ref::Element(a, subs) = r {
+            if *a != arr {
+                return;
+            }
+            for s in subs {
+                let Some(e) = s.as_plain() else {
+                    ok = false;
+                    return;
+                };
+                if let Some(k) = e.as_const() {
+                    // A constant subscript must be the guarded plane or a
+                    // plane dst never writes through var(level)… requiring
+                    // the guarded plane keeps this simple and sufficient.
+                    if k != at {
+                        ok = false;
+                    }
+                } else if let Some((v, c)) = e.as_var_plus_const() {
+                    if c != 0 || (!src_vars.contains(&v) && !shared_vars.contains(&v)) {
+                        ok = false;
+                    }
+                } else {
+                    ok = false;
+                }
+            }
+        }
+    });
+    ok
+}
+
+/// Rewrites constant subscripts into loop variables where an enclosing
+/// guard proves them equal (`b[i, 4]` → `b[i, j]` under `if j == 4`),
+/// enabling contraction of boundary accesses.  Semantics-preserving by
+/// construction.
+pub fn normalize_guarded_consts(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    for nest in &mut out.nests {
+        let body = std::mem::take(&mut nest.body);
+        nest.body = normalize_stmts(&body, &mut Vec::new());
+    }
+    out
+}
+
+fn normalize_stmts(stmts: &[Stmt], known: &mut Vec<(VarId, i64)>) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|st| match st {
+            Stmt::Assign { lhs, rhs } => Stmt::Assign {
+                lhs: normalize_ref(lhs, known),
+                rhs: normalize_expr(rhs, known),
+            },
+            Stmt::If { cond, then_, else_ } => {
+                let eq = as_var_eq(cond);
+                if let Some(pair) = eq {
+                    known.push(pair);
+                }
+                let then_ = normalize_stmts(then_, known);
+                if eq.is_some() {
+                    known.pop();
+                }
+                let else_ = normalize_stmts(else_, known);
+                Stmt::If { cond: cond.clone(), then_, else_ }
+            }
+        })
+        .collect()
+}
+
+fn as_var_eq(cond: &Cond) -> Option<(VarId, i64)> {
+    match mbb_ir::ranges::normalize_cond(cond) {
+        Some((v, CmpOp::Eq, k)) => Some((v, k)),
+        _ => None,
+    }
+}
+
+fn normalize_ref(r: &Ref, known: &[(VarId, i64)]) -> Ref {
+    match r {
+        Ref::Scalar(s) => Ref::Scalar(*s),
+        Ref::Element(a, subs) => Ref::Element(
+            *a,
+            subs.iter()
+                .map(|s| {
+                    if s.modulo.is_none() {
+                        if let Some(k) = s.expr.as_const() {
+                            if let Some(&(v, _)) = known.iter().rev().find(|&&(_, kv)| kv == k) {
+                                return Sub::plain(Affine::var(v));
+                            }
+                        }
+                    }
+                    s.clone()
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn normalize_expr(e: &Expr, known: &[(VarId, i64)]) -> Expr {
+    e.map_refs(&mut |r| normalize_ref(r, known))
+}
+
+/// Prunes conditionals whose outcome is statically decidable from the
+/// enclosing loop bounds and guards: `if j == 0 …` inside a `j = 1..N`
+/// loop keeps only its else branch.  Peeling and loop splitting leave such
+/// dead guards behind; pruning them un-pins arrays from nests that can no
+/// longer touch them, which re-enables contraction.
+pub fn simplify_guards(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    for nest in &mut out.nests {
+        // Constant unit-step bounds give exact intervals; anything else gets
+        // an unbounded interval (no pruning, still sound).
+        let mut intervals: std::collections::BTreeMap<VarId, (i64, i64)> = Default::default();
+        for lp in &nest.loops {
+            if lp.step == 1 {
+                if let (Some(lo), Some(hi)) = (lp.lo.as_const(), lp.hi.as_const()) {
+                    intervals.insert(lp.var, (lo, hi));
+                }
+            }
+        }
+        let body = std::mem::take(&mut nest.body);
+        nest.body = simplify_stmts(&body, &mut intervals);
+    }
+    out
+}
+
+fn cond_decidable(
+    cond: &Cond,
+    intervals: &std::collections::BTreeMap<VarId, (i64, i64)>,
+) -> Option<bool> {
+    let (v, op, k) = mbb_ir::ranges::normalize_cond(cond)?;
+    let &(lo, hi) = intervals.get(&v)?;
+    if lo > hi {
+        return None;
+    }
+    let all = |f: &dyn Fn(i64) -> bool| f(lo) && f(hi);
+    match op {
+        CmpOp::Eq => {
+            if lo == hi && lo == k {
+                Some(true)
+            } else if k < lo || k > hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Ne => cond_decidable(
+            &Cond::new(Affine::var(v), CmpOp::Eq, Affine::constant(k)),
+            intervals,
+        )
+        .map(|b| !b),
+        CmpOp::Le => {
+            if all(&|x| x <= k) {
+                Some(true)
+            } else if all(&|x| x > k) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Lt => {
+            if all(&|x| x < k) {
+                Some(true)
+            } else if all(&|x| x >= k) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Ge => {
+            if all(&|x| x >= k) {
+                Some(true)
+            } else if all(&|x| x < k) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Gt => {
+            if all(&|x| x > k) {
+                Some(true)
+            } else if all(&|x| x <= k) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn refine_interval(iv: (i64, i64), op: CmpOp, k: i64, taken: bool) -> (i64, i64) {
+    let (lo, hi) = iv;
+    match (op, taken) {
+        (CmpOp::Eq, true) => (lo.max(k), hi.min(k)),
+        (CmpOp::Eq, false) | (CmpOp::Ne, true) => {
+            if k == lo {
+                (lo + 1, hi)
+            } else if k == hi {
+                (lo, hi - 1)
+            } else {
+                (lo, hi)
+            }
+        }
+        (CmpOp::Ne, false) => (lo.max(k), hi.min(k)),
+        (CmpOp::Le, true) => (lo, hi.min(k)),
+        (CmpOp::Le, false) | (CmpOp::Gt, true) => (lo.max(k + 1), hi),
+        (CmpOp::Lt, true) => (lo, hi.min(k - 1)),
+        (CmpOp::Lt, false) | (CmpOp::Ge, true) => (lo.max(k), hi),
+        (CmpOp::Ge, false) => (lo, hi.min(k - 1)),
+        (CmpOp::Gt, false) => (lo, hi.min(k)),
+    }
+}
+
+fn simplify_stmts(
+    stmts: &[Stmt],
+    intervals: &mut std::collections::BTreeMap<VarId, (i64, i64)>,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for st in stmts {
+        match st {
+            Stmt::Assign { .. } => out.push(st.clone()),
+            Stmt::If { cond, then_, else_ } => match cond_decidable(cond, intervals) {
+                Some(true) => out.extend(simplify_stmts(then_, intervals)),
+                Some(false) => out.extend(simplify_stmts(else_, intervals)),
+                None => {
+                    let refined = mbb_ir::ranges::normalize_cond(cond);
+                    let branch = |body: &[Stmt],
+                                      taken: bool,
+                                      intervals: &mut std::collections::BTreeMap<
+                        VarId,
+                        (i64, i64),
+                    >| {
+                        match refined {
+                            Some((v, op, k)) if intervals.contains_key(&v) => {
+                                let saved = intervals[&v];
+                                intervals.insert(v, refine_interval(saved, op, k, taken));
+                                let res = simplify_stmts(body, intervals);
+                                intervals.insert(v, saved);
+                                res
+                            }
+                            _ => simplify_stmts(body, intervals),
+                        }
+                    };
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_: branch(then_, true, intervals),
+                        else_: branch(else_, false, intervals),
+                    });
+                }
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::builder::*;
+    use mbb_ir::{interp, validate};
+
+    /// A 2-D compute nest followed by a 1-D boundary loop on the last
+    /// column — the Figure-6 pattern.
+    fn boundary_program(n: usize) -> mbb_ir::Program {
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("bp");
+        let bb = b.array_out("b", &[n, n]);
+        let (i, j) = (b.var("i"), b.var("j"));
+        let i2 = b.var("i2");
+        b.nest(
+            "compute",
+            &[(j, 0, hi), (i, 0, hi)],
+            vec![assign(bb.at([v(i), v(j)]), Expr::Input(mbb_ir::SourceId(9), vec![v(i), v(j)]))],
+        );
+        b.nest(
+            "boundary",
+            &[(i2, 0, hi)],
+            vec![assign(
+                bb.at([v(i2), c(hi)]),
+                ld(bb.at([v(i2), c(hi)])) * lit(2.0),
+            )],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn embed_boundary_into_last_iteration() {
+        let n = 8usize;
+        let p = boundary_program(n);
+        let before = interp::run(&p).unwrap();
+        let q = embed_nest(&p, 0, 0, n as i64 - 1).unwrap();
+        assert_eq!(q.nests.len(), 1);
+        validate::validate(&q).unwrap();
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+    }
+
+    #[test]
+    fn embed_requires_last_iteration() {
+        let p = boundary_program(8);
+        assert_eq!(embed_nest(&p, 0, 0, 3).err(), Some(EmbedError::NotLastIteration));
+    }
+
+    #[test]
+    fn embed_rejects_wrong_plane() {
+        // Boundary touches column 0, not the last: interleaving with the
+        // last iteration would read/write the wrong time step.
+        let n = 8usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("wp");
+        let bb = b.array_out("b", &[n, n]);
+        let (i, j) = (b.var("i"), b.var("j"));
+        let i2 = b.var("i2");
+        b.nest(
+            "compute",
+            &[(j, 0, hi), (i, 0, hi)],
+            vec![assign(bb.at([v(i), v(j)]), lit(1.0))],
+        );
+        b.nest(
+            "boundary",
+            &[(i2, 0, hi)],
+            vec![assign(bb.at([v(i2), c(0)]), lit(5.0))],
+        );
+        let p = b.finish();
+        assert_eq!(embed_nest(&p, 0, 0, hi).err(), Some(EmbedError::UnsafeInterleaving));
+    }
+
+    #[test]
+    fn embed_rejects_nonconforming() {
+        let mut p = boundary_program(8);
+        // Shrink the boundary loop's range so it no longer conforms.
+        p.nests[1].loops[0].hi = Affine::constant(3);
+        assert_eq!(embed_nest(&p, 0, 0, 7).err(), Some(EmbedError::NonConforming));
+    }
+
+    #[test]
+    fn normalize_rewrites_guarded_consts() {
+        use mbb_ir::CmpOp;
+        let n = 8usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("ng");
+        let t = b.array_out("t", &[n, n]);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest(
+            "k",
+            &[(j, 0, hi), (i, 0, hi)],
+            vec![
+                assign(t.at([v(i), v(j)]), lit(1.0)),
+                if_then(
+                    cmp(v(j), CmpOp::Eq, c(hi)),
+                    vec![assign(t.at([v(i), c(hi)]), lit(2.0))],
+                ),
+            ],
+        );
+        let p = b.finish();
+        let q = normalize_guarded_consts(&p);
+        validate::validate(&q).unwrap();
+        // The const subscript under the guard became the variable.
+        let text = mbb_ir::pretty::program(&q);
+        assert!(text.contains("t[i,j] = 2"), "{text}");
+        let before = interp::run(&p).unwrap();
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+    }
+
+    #[test]
+    fn normalize_leaves_unguarded_consts() {
+        let n = 4usize;
+        let mut b = ProgramBuilder::new("ng2");
+        let t = b.array_out("t", &[n]);
+        let i = b.var("i");
+        b.nest("k", &[(i, 0, n as i64 - 1)], vec![assign(t.at([c(2)]), lit(1.0))]);
+        let p = b.finish();
+        let q = normalize_guarded_consts(&p);
+        let text = mbb_ir::pretty::program(&q);
+        assert!(text.contains("t[2]"), "{text}");
+    }
+
+    #[test]
+    fn simplify_prunes_decidable_guards() {
+        use mbb_ir::CmpOp;
+        let mut b = ProgramBuilder::new("sg");
+        let t = b.array_out("t", &[8]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 1, 7)],
+            vec![
+                // Always false inside i = 1..7.
+                if_else(
+                    cmp(v(i), CmpOp::Eq, c(0)),
+                    vec![assign(t.at([v(i)]), lit(-1.0))],
+                    vec![assign(t.at([v(i)]), lit(1.0))],
+                ),
+                // Always true.
+                if_then(cmp(v(i), CmpOp::Ge, c(1)), vec![accumulate(s, lit(1.0))]),
+                // Undecidable: stays, with refined nested pruning.
+                if_then(
+                    cmp(v(i), CmpOp::Ge, c(4)),
+                    vec![if_then(cmp(v(i), CmpOp::Ge, c(2)), vec![accumulate(s, lit(1.0))])],
+                ),
+            ],
+        );
+        let p = b.finish();
+        let q = simplify_guards(&p);
+        validate::validate(&q).unwrap();
+        // Outer structure: assign, accumulate, one surviving If whose body
+        // collapsed to a bare accumulate.
+        assert_eq!(q.nests[0].body.len(), 3);
+        assert!(matches!(q.nests[0].body[0], Stmt::Assign { .. }));
+        assert!(matches!(q.nests[0].body[1], Stmt::Assign { .. }));
+        match &q.nests[0].body[2] {
+            Stmt::If { then_, .. } => {
+                assert_eq!(then_.len(), 1);
+                assert!(matches!(then_[0], Stmt::Assign { .. }));
+            }
+            other => panic!("expected surviving If, got {other:?}"),
+        }
+        let before = interp::run(&p).unwrap();
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+    }
+
+    #[test]
+    fn simplify_keeps_semantics_on_boundary_guards() {
+        // The post-peeling shape: guard j == 0 inside a j = 0..0 nest and a
+        // j = 1..N nest.
+        let n = 6usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("sg2");
+        let a = b.array_out("a", &[n]);
+        let j = b.var("j");
+        let j2 = b.var("j2");
+        let body = |jv: mbb_ir::VarId| {
+            vec![if_else(
+                cmp(v(jv), mbb_ir::CmpOp::Eq, c(0)),
+                vec![assign(a.at([v(jv)]), lit(7.0))],
+                vec![assign(a.at([v(jv)]), lit(9.0))],
+            )]
+        };
+        b.nest("first", &[(j, 0, 0)], body(j));
+        b.nest("rest", &[(j2, 1, hi)], body(j2));
+        let p = b.finish();
+        let q = simplify_guards(&p);
+        // Both guards pruned to bare assignments.
+        assert!(matches!(q.nests[0].body[0], Stmt::Assign { .. }));
+        assert!(matches!(q.nests[1].body[0], Stmt::Assign { .. }));
+        let before = interp::run(&p).unwrap();
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+    }
+
+    use mbb_ir::Affine;
+    use mbb_ir::Expr;
+}

@@ -1,0 +1,300 @@
+//! Scalar expansion — the inverse of contraction.
+//!
+//! A scalar temporary carried through a loop body serialises the body: the
+//! conservative statement-dependence analysis must keep every statement
+//! touching it together, which blocks loop distribution.  Expanding the
+//! scalar into a per-iteration array cell removes the false dependence:
+//!
+//! ```text
+//! t = a[i] * 2            t_x[i] = a[i] * 2
+//! b[i] = t + 1      →     b[i]   = t_x[i] + 1
+//! ```
+//!
+//! after which distribution can split the statements, the
+//! bandwidth-minimal partitioner can rearrange them, and — when they end
+//! up fused back together — contraction turns `t_x` back into a register.
+//! (Expansion temporarily *increases* storage; it is an enabling pass, not
+//! an optimisation, which is why the pipeline only uses it through the
+//! expand → distribute → fuse → contract sequence.)
+
+use mbb_ir::expr::{Expr, Ref, Sub};
+use mbb_ir::program::{ArrayDecl, ArrayId, Init, Program, ScalarId, Stmt};
+
+/// Why a scalar cannot be expanded in a nest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExpandError {
+    /// The scalar's value is observable output (expansion would lose the
+    /// final value unless it is also written back, which this pass does
+    /// not do).
+    Printed,
+    /// The scalar is read before any write in the body (loop-carried or
+    /// live-in value), so per-iteration cells would change meaning.
+    CarriedValue,
+    /// The scalar is not referenced in the nest.
+    NotUsed,
+    /// The scalar is also used in another nest (expansion is per-nest).
+    UsedElsewhere,
+    /// The nest has no loops (no iteration space to expand over).
+    NoLoops,
+    /// A loop bound is not a constant (the expanded array needs a static
+    /// extent).
+    NonConstantBounds,
+    /// The scalar is accessed under a conditional; a guarded write makes
+    /// "defined before use, every iteration" undecidable here.
+    Guarded,
+}
+
+/// Expands scalar `s` over the iteration space of nest `nest_idx`,
+/// replacing it with a fresh array indexed by the nest's loop variables.
+pub fn expand_scalar(
+    prog: &Program,
+    nest_idx: usize,
+    s: ScalarId,
+) -> Result<(Program, ArrayId), ExpandError> {
+    let decl = prog.scalar(s);
+    if decl.printed {
+        return Err(ExpandError::Printed);
+    }
+    // Per-nest use only.
+    for (k, nest) in prog.nests.iter().enumerate() {
+        if k == nest_idx {
+            continue;
+        }
+        let mut used = false;
+        nest.for_each_ref(&mut |r, _| {
+            if matches!(r, Ref::Scalar(x) if *x == s) {
+                used = true;
+            }
+        });
+        if used {
+            return Err(ExpandError::UsedElsewhere);
+        }
+    }
+    let nest = &prog.nests[nest_idx];
+    if nest.loops.is_empty() {
+        return Err(ExpandError::NoLoops);
+    }
+    // Constant bounds for the expanded extents; record per-level offsets so
+    // subscripts are 0-based.
+    let mut dims = Vec::with_capacity(nest.loops.len());
+    let mut lows = Vec::with_capacity(nest.loops.len());
+    for lp in &nest.loops {
+        let (Some(lo), Some(hi)) = (lp.lo.as_const(), lp.hi.as_const()) else {
+            return Err(ExpandError::NonConstantBounds);
+        };
+        if lp.step != 1 || hi < lo {
+            return Err(ExpandError::NonConstantBounds);
+        }
+        dims.push((hi - lo + 1) as usize);
+        lows.push(lo);
+    }
+
+    // Top-level def-before-use, no guards.
+    let mut defined = false;
+    for st in &nest.body {
+        match st {
+            Stmt::Assign { lhs, rhs } => {
+                let mut reads_before_def = false;
+                rhs.for_each_ref(&mut |r| {
+                    if matches!(r, Ref::Scalar(x) if *x == s) {
+                        reads_before_def = true;
+                    }
+                });
+                if reads_before_def && !defined {
+                    return Err(ExpandError::CarriedValue);
+                }
+                if matches!(lhs, Ref::Scalar(x) if *x == s) {
+                    defined = true;
+                }
+            }
+            Stmt::If { .. } => {
+                let mut touches = false;
+                st.for_each_ref(&mut |r, _| {
+                    if matches!(r, Ref::Scalar(x) if *x == s) {
+                        touches = true;
+                    }
+                });
+                if touches {
+                    return Err(ExpandError::Guarded);
+                }
+            }
+        }
+    }
+    if !defined {
+        // Never written: either unused (error) or read-only (carried).
+        let mut read = false;
+        nest.for_each_ref(&mut |r, _| {
+            if matches!(r, Ref::Scalar(x) if *x == s) {
+                read = true;
+            }
+        });
+        return Err(if read { ExpandError::CarriedValue } else { ExpandError::NotUsed });
+    }
+
+    // Build the expanded array; subscripts are (var − lo) per level,
+    // reversed so the innermost variable is stride-1.
+    let mut out = prog.clone();
+    let mut name = format!("{}_x", decl.name);
+    while out.arrays.iter().any(|a| a.name == name)
+        || out.scalars.iter().any(|sc| sc.name == name)
+    {
+        name.push('_');
+    }
+    let source = out.fresh_source();
+    let rev_dims: Vec<usize> = dims.iter().rev().copied().collect();
+    let arr = out.add_array(ArrayDecl {
+        name,
+        dims: rev_dims,
+        init: Init::Zero,
+        live_out: false,
+        source,
+    });
+    let subs: Vec<Sub> = nest
+        .loops
+        .iter()
+        .zip(&lows)
+        .rev()
+        .map(|(lp, &lo)| Sub::plain(mbb_ir::Affine::var(lp.var) - lo))
+        .collect();
+    let replacement = Ref::Element(arr, subs);
+
+    let new_body: Vec<Stmt> = nest
+        .body
+        .iter()
+        .map(|st| match st {
+            Stmt::Assign { lhs, rhs } => {
+                let rhs = rhs.map_loads(&mut |r| {
+                    if matches!(r, Ref::Scalar(x) if *x == s) {
+                        Some(Expr::Load(replacement.clone()))
+                    } else {
+                        None
+                    }
+                });
+                let lhs = if matches!(lhs, Ref::Scalar(x) if *x == s) {
+                    replacement.clone()
+                } else {
+                    lhs.clone()
+                };
+                Stmt::Assign { lhs, rhs }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    out.nests[nest_idx].body = new_body;
+    Ok((out, arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::distribute_nest;
+    use crate::pipeline::verify_equivalent;
+    use crate::storage::contract;
+    use mbb_ir::builder::*;
+    use mbb_ir::validate;
+
+    /// `t = a[i]*2; b[i] = t + 1` — the module-level example.
+    fn temp_program(n: usize) -> (mbb_ir::Program, ScalarId) {
+        let mut bld = ProgramBuilder::new("tp");
+        let a = bld.array_in("a", &[n]);
+        let b = bld.array_out("b", &[n]);
+        let t = bld.scalar("t", 0.0);
+        let i = bld.var("i");
+        bld.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t.r(), ld(a.at([v(i)])) * lit(2.0)),
+                assign(b.at([v(i)]), ld(t.r()) + lit(1.0)),
+            ],
+        );
+        (bld.finish(), t)
+    }
+
+    #[test]
+    fn expansion_preserves_semantics() {
+        let (p, t) = temp_program(32);
+        let (q, arr) = expand_scalar(&p, 0, t).unwrap();
+        validate::validate(&q).unwrap();
+        verify_equivalent(&p, &q, 0.0).unwrap();
+        assert_eq!(q.array(arr).dims, vec![32]);
+    }
+
+    #[test]
+    fn expand_distribute_fuse_contract_round_trip() {
+        // The enabling chain: the scalar blocks distribution; expansion
+        // unblocks it; contraction later restores the register.
+        let (p, t) = temp_program(24);
+        assert!(distribute_nest(&p, 0).is_err(), "scalar should block distribution");
+        let (q, arr) = expand_scalar(&p, 0, t).unwrap();
+        let d = distribute_nest(&q, 0).unwrap();
+        assert_eq!(d.nests.len(), 2);
+        verify_equivalent(&p, &d, 0.0).unwrap();
+        // Re-fuse and contract the expanded array away again.
+        let g = crate::fusion::build_fusion_graph(&d);
+        let refused = crate::fusion::apply(&d, &crate::fusion::Partitioning::all_fused(g.n)).unwrap();
+        let oc = contract(&refused, arr).unwrap();
+        assert!(oc.scalar_replacement.is_some(), "t_x returns to a register");
+        verify_equivalent(&p, &oc.program, 0.0).unwrap();
+    }
+
+    #[test]
+    fn expansion_over_two_levels_uses_both_subscripts() {
+        let n = 6usize;
+        let mut bld = ProgramBuilder::new("two");
+        let a = bld.array_in("a", &[n, n]);
+        let b = bld.array_out("b", &[n, n]);
+        let t = bld.scalar("t", 0.0);
+        let (i, j) = (bld.var("i"), bld.var("j"));
+        bld.nest(
+            "k",
+            &[(j, 1, n as i64 - 1), (i, 0, n as i64 - 1)],
+            vec![
+                assign(t.r(), ld(a.at([v(i), v(j)])) * lit(3.0)),
+                assign(b.at([v(i), v(j)]), ld(t.r())),
+            ],
+        );
+        let p = bld.finish();
+        let (q, arr) = expand_scalar(&p, 0, t).unwrap();
+        // Extents: i (inner, stride-1 dim) × (j over 1..n−1).
+        assert_eq!(q.array(arr).dims, vec![n, n - 1]);
+        verify_equivalent(&p, &q, 0.0).unwrap();
+    }
+
+    #[test]
+    fn blockers() {
+        // Printed scalar.
+        let n = 8usize;
+        let mut bld = ProgramBuilder::new("bk");
+        let a = bld.array_in("a", &[n]);
+        let sp = bld.scalar_printed("sp", 0.0);
+        let carried = bld.scalar("c", 1.0);
+        let i = bld.var("i");
+        bld.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(sp.r(), ld(a.at([v(i)]))),
+                // carried: read before (re)definition — an accumulator.
+                assign(carried.r(), ld(carried.r()) + ld(a.at([v(i)]))),
+            ],
+        );
+        let p = bld.finish();
+        assert_eq!(expand_scalar(&p, 0, sp).err(), Some(ExpandError::Printed));
+        assert_eq!(expand_scalar(&p, 0, carried).err(), Some(ExpandError::CarriedValue));
+    }
+
+    #[test]
+    fn cross_nest_use_blocks() {
+        let n = 8usize;
+        let mut bld = ProgramBuilder::new("xn");
+        let a = bld.array_in("a", &[n]);
+        let b = bld.array_out("b", &[n]);
+        let t = bld.scalar("t", 0.0);
+        let (i, j) = (bld.var("i"), bld.var("j"));
+        bld.nest("k0", &[(i, 0, n as i64 - 1)], vec![assign(t.r(), ld(a.at([v(i)])))]);
+        bld.nest("k1", &[(j, 0, n as i64 - 1)], vec![assign(b.at([v(j)]), ld(t.r()))]);
+        let p = bld.finish();
+        assert_eq!(expand_scalar(&p, 0, t).err(), Some(ExpandError::UsedElsewhere));
+    }
+}

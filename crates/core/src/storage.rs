@@ -1,0 +1,790 @@
+//! Storage reduction: array peeling and array shrinking (§3.2, Figure 6).
+//!
+//! After fusion localises an array's live range to one nest, two
+//! transformations shrink its storage:
+//!
+//! * [`peel`] splits a constant-index section (`a[*, 1]` in Figure 6) into
+//!   its own smaller array.  References whose subscript *may* hit the
+//!   section at run time are guarded with the boundary conditionals the
+//!   paper shows in Figure 6(c) (`if (j = 2) … else …`).  Peeled arrays are
+//!   initialised with [`mbb_ir::Init::HashSection`], mirroring the original
+//!   section's live-in contents, so peeling is unconditionally
+//!   semantics-preserving.
+//! * [`contract`] replaces a localised array with a modular buffer sized by
+//!   the live distance computed in `mbb_ir::ranges` — `(distance + 1)`
+//!   slots along the carried loop level, full extent inner to it — or with
+//!   a register-resident scalar when every live range is intra-iteration.
+//!   The buffer is addressed as `(v + c) mod m`; this is within a constant
+//!   factor of the paper's rotating buffer (`a3[N]` + a scalar) and
+//!   asymptotically identical (`O(N²) → O(N)`).
+//!
+//! [`shrink_storage`] is the driver: it tries to contract every localised
+//! array, peeling constant-index sections out of the way when the analysis
+//! asks for it, to a fixed point.
+
+use mbb_ir::expr::{Affine, CmpOp, Cond, Expr, Ref, Sub};
+use mbb_ir::program::{ArrayDecl, ArrayId, Init, Program, ScalarDecl, ScalarId, Stmt, VarId};
+use mbb_ir::ranges::{contraction_plan, ContractBlocker, ContractionPlan};
+
+/// Why peeling was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PeelError {
+    /// The array is observable output.
+    LiveOut,
+    /// `dim`/`index` out of range.
+    BadSection,
+    /// A reference's subscript in the peeled dimension is neither a
+    /// constant nor `var + c`, or is modular.
+    UnsupportedSubscript,
+    /// The array was already produced by a peel (composed sections are not
+    /// supported).
+    AlreadyPeeled,
+}
+
+/// Result of a peel.
+#[derive(Clone, Debug)]
+pub struct PeelOutcome {
+    /// The transformed program.
+    pub program: Program,
+    /// The id of the new, smaller section array.
+    pub peeled: ArrayId,
+}
+
+/// How the peeled dimension's subscript relates to the section index, for
+/// one reference site.
+enum HitKind {
+    /// Constant subscript equal to the section index: always the section.
+    Always,
+    /// Constant subscript different from the section index, or a variable
+    /// subscript whose loop range cannot reach the index: never the section.
+    Never,
+    /// `var + c` that may or may not hit the index: needs a runtime guard
+    /// `var + c == index`.
+    Guarded(Affine),
+}
+
+struct PeelCtx {
+    arr: ArrayId,
+    dim: usize,
+    index: i64,
+    peeled: ArrayId,
+    /// `var → (lo, hi)` for the current nest's constant-bound loops.
+    var_bounds: std::collections::BTreeMap<VarId, (i64, i64)>,
+    /// Fresh temporaries created so far (appended to the program at the
+    /// end).
+    new_scalars: Vec<ScalarDecl>,
+    first_new_scalar: usize,
+}
+
+impl PeelCtx {
+    fn fresh_temp(&mut self) -> ScalarId {
+        let id = ScalarId((self.first_new_scalar + self.new_scalars.len()) as u32);
+        self.new_scalars.push(ScalarDecl {
+            name: format!("__peel_t{}", id.0),
+            init: 0.0,
+            printed: false,
+        });
+        id
+    }
+
+    fn classify(&self, sub: &Sub) -> Result<HitKind, PeelError> {
+        let expr = sub.as_plain().ok_or(PeelError::UnsupportedSubscript)?;
+        if let Some(k) = expr.as_const() {
+            return Ok(if k == self.index { HitKind::Always } else { HitKind::Never });
+        }
+        if let Some((v, c)) = expr.as_var_plus_const() {
+            if let Some(&(lo, hi)) = self.var_bounds.get(&v) {
+                let hit_at = self.index - c;
+                if hit_at < lo || hit_at > hi {
+                    return Ok(HitKind::Never);
+                }
+                if lo == hi {
+                    return Ok(HitKind::Always);
+                }
+            }
+            return Ok(HitKind::Guarded(expr.clone()));
+        }
+        Err(PeelError::UnsupportedSubscript)
+    }
+
+    fn section_ref(&self, subs: &[Sub]) -> Ref {
+        let rest: Vec<Sub> = subs
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != self.dim)
+            .map(|(_, s)| s.clone())
+            .collect();
+        Ref::Element(self.peeled, rest)
+    }
+}
+
+/// Peels the section `arr[…, index, …]` (constant `index` in dimension
+/// `dim`) into its own array, rewriting every reference program-wide.
+pub fn peel(prog: &Program, arr: ArrayId, dim: usize, index: i64) -> Result<PeelOutcome, PeelError> {
+    let decl = prog.array(arr);
+    if dim >= decl.dims.len() || index < 0 || index as usize >= decl.dims[dim] {
+        return Err(PeelError::BadSection);
+    }
+    if decl.live_out {
+        return Err(PeelError::LiveOut);
+    }
+    if matches!(decl.init, Init::HashSection { .. } | Init::HashInterleaved { .. }) {
+        return Err(PeelError::AlreadyPeeled);
+    }
+
+    let mut out = prog.clone();
+    // Declare the section array.
+    let peel_init = match &decl.init {
+        Init::Zero => Init::Zero,
+        Init::Hash => Init::HashSection {
+            source: decl.source,
+            orig_dims: decl.dims.clone(),
+            dim,
+            index: index as usize,
+        },
+        Init::HashSection { .. } | Init::HashInterleaved { .. } => {
+            unreachable!("rejected above")
+        }
+    };
+    let mut peel_name = format!("{}_peel{}", decl.name, index);
+    while out.arrays.iter().any(|a| a.name == peel_name)
+        || out.scalars.iter().any(|s| s.name == peel_name)
+    {
+        peel_name.push('_');
+    }
+    let source = out.fresh_source();
+    let peeled = out.add_array(ArrayDecl {
+        name: peel_name,
+        dims: decl
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != dim)
+            .map(|(_, &e)| e)
+            .collect(),
+        init: peel_init,
+        live_out: false,
+        source,
+    });
+
+    let mut ctx = PeelCtx {
+        arr,
+        dim,
+        index,
+        peeled,
+        var_bounds: Default::default(),
+        new_scalars: Vec::new(),
+        first_new_scalar: prog.scalars.len(),
+    };
+
+    // Dry-run classification so unsupported subscripts fail atomically.
+    for nest in &prog.nests {
+        ctx.var_bounds = nest_bounds(nest);
+        let mut bad = None;
+        nest.for_each_ref(&mut |r, _| {
+            if let Ref::Element(a, subs) = r {
+                if *a == arr {
+                    if let Err(e) = ctx.classify(&subs[dim]) {
+                        bad = Some(e);
+                    }
+                }
+            }
+        });
+        if let Some(e) = bad {
+            return Err(e);
+        }
+    }
+
+    let mut nests = Vec::with_capacity(prog.nests.len());
+    for nest in &prog.nests {
+        ctx.var_bounds = nest_bounds(nest);
+        let mut new_nest = nest.clone();
+        new_nest.body = rewrite_stmts(&nest.body, &mut ctx);
+        nests.push(new_nest);
+    }
+    out.nests = nests;
+    out.scalars.extend(ctx.new_scalars);
+    Ok(PeelOutcome { program: out, peeled })
+}
+
+fn nest_bounds(nest: &mbb_ir::program::LoopNest) -> std::collections::BTreeMap<VarId, (i64, i64)> {
+    nest.loops
+        .iter()
+        .filter_map(|lp| {
+            if lp.step == 1 {
+                Some((lp.var, (lp.lo.as_const()?, lp.hi.as_const()?)))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn rewrite_stmts(stmts: &[Stmt], ctx: &mut PeelCtx) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for st in stmts {
+        match st {
+            Stmt::Assign { lhs, rhs } => {
+                let mut prelude = Vec::new();
+                let new_rhs = rewrite_expr(rhs, ctx, &mut prelude);
+                out.extend(prelude);
+                out.extend(rewrite_store(lhs, new_rhs, ctx));
+            }
+            Stmt::If { cond, then_, else_ } => {
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_: rewrite_stmts(then_, ctx),
+                    else_: rewrite_stmts(else_, ctx),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn rewrite_expr(e: &Expr, ctx: &mut PeelCtx, prelude: &mut Vec<Stmt>) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Input(..) => e.clone(),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(rewrite_expr(x, ctx, prelude))),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(rewrite_expr(l, ctx, prelude)),
+            Box::new(rewrite_expr(r, ctx, prelude)),
+        ),
+        Expr::Load(r) => match r {
+            Ref::Element(a, subs) if *a == ctx.arr => {
+                match ctx.classify(&subs[ctx.dim]).expect("pre-checked") {
+                    HitKind::Always => Expr::Load(ctx.section_ref(subs)),
+                    HitKind::Never => e.clone(),
+                    HitKind::Guarded(expr) => {
+                        let t = ctx.fresh_temp();
+                        prelude.push(Stmt::If {
+                            cond: Cond::new(expr, CmpOp::Eq, Affine::constant(ctx.index)),
+                            then_: vec![Stmt::Assign {
+                                lhs: Ref::Scalar(t),
+                                rhs: Expr::Load(ctx.section_ref(subs)),
+                            }],
+                            else_: vec![Stmt::Assign {
+                                lhs: Ref::Scalar(t),
+                                rhs: Expr::Load(r.clone()),
+                            }],
+                        });
+                        Expr::Load(Ref::Scalar(t))
+                    }
+                }
+            }
+            _ => e.clone(),
+        },
+    }
+}
+
+fn rewrite_store(lhs: &Ref, rhs: Expr, ctx: &mut PeelCtx) -> Vec<Stmt> {
+    match lhs {
+        Ref::Element(a, subs) if *a == ctx.arr => {
+            match ctx.classify(&subs[ctx.dim]).expect("pre-checked") {
+                HitKind::Always => vec![Stmt::Assign { lhs: ctx.section_ref(subs), rhs }],
+                HitKind::Never => vec![Stmt::Assign { lhs: lhs.clone(), rhs }],
+                HitKind::Guarded(expr) => {
+                    let t = ctx.fresh_temp();
+                    vec![
+                        Stmt::Assign { lhs: Ref::Scalar(t), rhs },
+                        Stmt::If {
+                            cond: Cond::new(expr, CmpOp::Eq, Affine::constant(ctx.index)),
+                            then_: vec![Stmt::Assign {
+                                lhs: ctx.section_ref(subs),
+                                rhs: Expr::Load(Ref::Scalar(t)),
+                            }],
+                            else_: vec![Stmt::Assign {
+                                lhs: lhs.clone(),
+                                rhs: Expr::Load(Ref::Scalar(t)),
+                            }],
+                        },
+                    ]
+                }
+            }
+        }
+        _ => vec![Stmt::Assign { lhs: lhs.clone(), rhs }],
+    }
+}
+
+/// Result of a contraction.
+#[derive(Clone, Debug)]
+pub struct ContractOutcome {
+    /// The transformed program.
+    pub program: Program,
+    /// The plan that was applied.
+    pub plan: ContractionPlan,
+    /// When the array collapsed to a register, the replacing scalar.
+    pub scalar_replacement: Option<ScalarId>,
+    /// Storage bytes before and after.
+    pub bytes_before: usize,
+    /// Storage bytes after the contraction.
+    pub bytes_after: usize,
+}
+
+/// Contracts `arr` per [`mbb_ir::ranges::contraction_plan`]: to a scalar
+/// when every live range is intra-iteration, otherwise to a modular buffer.
+pub fn contract(prog: &Program, arr: ArrayId) -> Result<ContractOutcome, ContractBlocker> {
+    let plan = contraction_plan(prog, arr)?;
+    let decl = prog.array(arr);
+    let bytes_before = decl.bytes();
+    let mut out = prog.clone();
+
+    if plan.is_scalar() {
+        let mut name = format!("{}_reg", decl.name);
+        while out.scalars.iter().any(|s| s.name == name)
+            || out.arrays.iter().any(|a| a.name == name)
+        {
+            name.push('_');
+        }
+        let s = out.add_scalar(ScalarDecl { name, init: 0.0, printed: false });
+        for nest in &mut out.nests {
+            nest.body = nest
+                .body
+                .iter()
+                .map(|st| {
+                    st.map_refs(&mut |r| match r {
+                        Ref::Element(a, _) if *a == arr => Ref::Scalar(s),
+                        other => other.clone(),
+                    })
+                })
+                .collect();
+        }
+        let out = remove_array(&out, arr);
+        Ok(ContractOutcome {
+            program: out,
+            plan,
+            scalar_replacement: Some(s),
+            bytes_before,
+            bytes_after: 0,
+        })
+    } else {
+        let dims = decl.dims.clone();
+        let slots = plan.slot_counts.clone();
+        for nest in &mut out.nests {
+            nest.body = nest
+                .body
+                .iter()
+                .map(|st| {
+                    st.map_refs(&mut |r| match r {
+                        Ref::Element(a, subs) if *a == arr => {
+                            let new_subs: Vec<Sub> = subs
+                                .iter()
+                                .enumerate()
+                                .map(|(d, s)| {
+                                    if slots[d] < dims[d] {
+                                        Sub::modular(s.expr.clone(), slots[d] as u64)
+                                    } else {
+                                        s.clone()
+                                    }
+                                })
+                                .collect();
+                            Ref::Element(arr, new_subs)
+                        }
+                        other => other.clone(),
+                    })
+                })
+                .collect();
+        }
+        let bytes_after = slots.iter().product::<usize>() * 8;
+        out.arrays[arr.0 as usize].dims = slots;
+        Ok(ContractOutcome {
+            program: out,
+            plan,
+            scalar_replacement: None,
+            bytes_before,
+            bytes_after,
+        })
+    }
+}
+
+/// Removes an array declaration, remapping every higher [`ArrayId`].
+///
+/// # Panics
+/// Panics if the array is still referenced.
+pub fn remove_array(prog: &Program, arr: ArrayId) -> Program {
+    let mut out = prog.clone();
+    for nest in &prog.nests {
+        nest.for_each_ref(&mut |r, _| {
+            assert!(r.array() != Some(arr), "cannot remove a referenced array");
+        });
+    }
+    out.arrays.remove(arr.0 as usize);
+    for nest in &mut out.nests {
+        nest.body = nest
+            .body
+            .iter()
+            .map(|st| {
+                st.map_refs(&mut |r| match r {
+                    Ref::Element(a, subs) if a.0 > arr.0 => {
+                        Ref::Element(ArrayId(a.0 - 1), subs.clone())
+                    }
+                    other => other.clone(),
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// One action taken by the shrink driver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ShrinkAction {
+    /// An array was contracted.
+    Contracted {
+        /// The array's name.
+        array: String,
+        /// Bytes before.
+        from_bytes: usize,
+        /// Bytes after (0 when replaced by a scalar).
+        to_bytes: usize,
+        /// Whether the array became a register-resident scalar.
+        to_scalar: bool,
+    },
+    /// A constant-index section was peeled to unblock contraction.
+    Peeled {
+        /// The original array's name.
+        array: String,
+        /// The peeled dimension.
+        dim: usize,
+        /// The constant index.
+        index: i64,
+        /// The new section array's name.
+        new_array: String,
+    },
+}
+
+/// The storage-reduction driver: contracts every array it legally can,
+/// peeling constant-index sections out of the way when the live-range
+/// analysis reports them, until a fixed point.
+pub fn shrink_storage(prog: &Program) -> (Program, Vec<ShrinkAction>) {
+    let mut cur = prog.clone();
+    let mut actions = Vec::new();
+    let mut failed_peels: std::collections::BTreeSet<(String, usize, i64)> = Default::default();
+    // Each iteration either performs an action or stops; actions are
+    // bounded (peels bounded by (array, dim, index) triples; contractions
+    // by the array count), so a generous cap guards non-termination bugs.
+    for _round in 0..10_000 {
+        let mut acted = false;
+        for k in 0..cur.arrays.len() {
+            let arr = ArrayId(k as u32);
+            match contraction_plan(&cur, arr) {
+                Ok(plan) if plan.total_slots() * 8 < cur.array(arr).bytes() => {
+                    let name = cur.array(arr).name.clone();
+                    let oc = contract(&cur, arr).expect("plan already computed");
+                    actions.push(ShrinkAction::Contracted {
+                        array: name,
+                        from_bytes: oc.bytes_before,
+                        to_bytes: oc.bytes_after,
+                        to_scalar: oc.scalar_replacement.is_some(),
+                    });
+                    cur = oc.program;
+                    acted = true;
+                    break;
+                }
+                Err(ContractBlocker::ConstSubscript { dim, index }) => {
+                    // Peeling only ever pays off as a stepping stone to
+                    // contraction, which needs the array to be written;
+                    // peeling a read-only array just adds storage.
+                    let live = mbb_ir::liveness::array_liveness(&cur);
+                    if live[arr.0 as usize].written_in.is_empty() {
+                        continue;
+                    }
+                    let name = cur.array(arr).name.clone();
+                    if failed_peels.contains(&(name.clone(), dim, index)) {
+                        continue;
+                    }
+                    match peel(&cur, arr, dim, index) {
+                        Ok(po) => {
+                            let new_name = po.program.array(po.peeled).name.clone();
+                            actions.push(ShrinkAction::Peeled {
+                                array: name,
+                                dim,
+                                index,
+                                new_array: new_name,
+                            });
+                            cur = po.program;
+                            acted = true;
+                            break;
+                        }
+                        Err(_) => {
+                            failed_peels.insert((name, dim, index));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !acted {
+            break;
+        }
+    }
+    // Sweep arrays that no longer have any reference (e.g. fully peeled
+    // or forwarded away) and are not observable output.
+    loop {
+        let mut referenced = vec![false; cur.arrays.len()];
+        for nest in &cur.nests {
+            nest.for_each_ref(&mut |r, _| {
+                if let Some(a) = r.array() {
+                    referenced[a.0 as usize] = true;
+                }
+            });
+        }
+        let dead = (0..cur.arrays.len())
+            .find(|&k| !referenced[k] && !cur.arrays[k].live_out);
+        match dead {
+            Some(k) => {
+                actions.push(ShrinkAction::Contracted {
+                    array: cur.arrays[k].name.clone(),
+                    from_bytes: cur.arrays[k].bytes(),
+                    to_bytes: 0,
+                    to_scalar: false,
+                });
+                cur = remove_array(&cur, ArrayId(k as u32));
+            }
+            None => break,
+        }
+    }
+    (cur, actions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::builder::*;
+    use mbb_ir::{interp, validate};
+
+    fn check_equiv(a: &Program, b: &Program, tol: f64) {
+        validate::validate(b).unwrap();
+        let ra = interp::run(a).unwrap();
+        let rb = interp::run(b).unwrap();
+        if let Some(d) = ra.observation.diff(&rb.observation, tol) {
+            panic!(
+                "not equivalent: {d}\n--- before ---\n{}\n--- after ---\n{}",
+                mbb_ir::pretty::program(a),
+                mbb_ir::pretty::program(b)
+            );
+        }
+    }
+
+    /// tmp[i] carries a value only within one iteration → scalar.
+    #[test]
+    fn contract_to_scalar() {
+        let n = 32usize;
+        let mut b = ProgramBuilder::new("cs");
+        let x = b.array_in("x", &[n]);
+        let tmp = b.array_zero("tmp", &[n]);
+        let y = b.array_out("y", &[n]);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(tmp.at([v(i)]), ld(x.at([v(i)])) * lit(2.0)),
+                assign(y.at([v(i)]), ld(tmp.at([v(i)])) + lit(1.0)),
+            ],
+        );
+        let p = b.finish();
+        let oc = contract(&p, tmp).unwrap();
+        assert!(oc.scalar_replacement.is_some());
+        assert_eq!(oc.bytes_after, 0);
+        assert_eq!(oc.program.arrays.len(), 2, "tmp removed");
+        check_equiv(&p, &oc.program, 0.0);
+        // The contracted program does fewer array accesses.
+        let before = interp::run(&p).unwrap().stats;
+        let after = interp::run(&oc.program).unwrap().stats;
+        assert!(after.loads < before.loads);
+        assert!(after.stores < before.stores);
+    }
+
+    /// A carried distance of 1 → 2-slot modular buffer.
+    #[test]
+    fn contract_to_modular_buffer() {
+        let n = 16usize;
+        let mut b = ProgramBuilder::new("cm");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), lit(1.0) + Expr::Input(mbb_ir::SourceId(7), vec![v(i)])),
+                if_then(
+                    cmp(v(i), mbb_ir::CmpOp::Ge, c(1)),
+                    vec![accumulate(s, ld(t.at([v(i)])) * ld(t.at([v(i) - 1])))],
+                ),
+            ],
+        );
+        let p = b.finish();
+        let oc = contract(&p, t).unwrap();
+        assert!(oc.scalar_replacement.is_none());
+        assert_eq!(oc.program.array(t).dims, vec![2]);
+        assert_eq!(oc.bytes_after, 16);
+        check_equiv(&p, &oc.program, 0.0);
+    }
+
+    use mbb_ir::Expr;
+
+    /// Figure-6-flavoured: a 2-D array with a peeled column and a carried
+    /// j-distance contracts from N² to ~2N.
+    #[test]
+    fn shrink_two_dimensional() {
+        let n = 10usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("2d");
+        let a = b.array_zero("a", &[n, n]);
+        let s = b.scalar_printed("s", 0.0);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest(
+            "k",
+            &[(j, 0, hi), (i, 0, hi)],
+            vec![
+                assign(a.at([v(i), v(j)]), Expr::Input(mbb_ir::SourceId(3), vec![v(i), v(j)])),
+                if_then(
+                    cmp(v(j), mbb_ir::CmpOp::Ge, c(1)),
+                    vec![accumulate(s, ld(a.at([v(i), v(j)])) + ld(a.at([v(i), v(j) - 1])))],
+                ),
+            ],
+        );
+        let p = b.finish();
+        let before_bytes = p.storage_bytes();
+        let (shrunk, actions) = shrink_storage(&p);
+        assert!(!actions.is_empty(), "{actions:?}");
+        assert!(shrunk.storage_bytes() * 2 < before_bytes, "{}", shrunk.storage_bytes());
+        check_equiv(&p, &shrunk, 0.0);
+    }
+
+    /// Peeling a constant column used at the end of the loop (the Figure-6
+    /// `a[i, 1]` pattern), including the boundary-guard path.
+    #[test]
+    fn peel_constant_column() {
+        let n = 8usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("pc");
+        let a = b.array_in("a", &[n, n]);
+        let s = b.scalar_printed("s", 0.0);
+        let (i, j) = (b.var("i"), b.var("j"));
+        // Reads both a[i, j] (may hit column 1 when j == 1) and a[i, 1].
+        b.nest(
+            "k",
+            &[(j, 0, hi), (i, 0, hi)],
+            vec![accumulate(s, ld(a.at([v(i), v(j)])) * ld(a.at([v(i), c(1)])))],
+        );
+        let p = b.finish();
+        let po = peel(&p, a, 1, 1).unwrap();
+        assert_eq!(po.program.arrays.len(), 2);
+        assert_eq!(po.program.array(po.peeled).dims, vec![n]);
+        check_equiv(&p, &po.program, 0.0);
+    }
+
+    #[test]
+    fn peel_writes_reach_section() {
+        // Writes through a variable subscript must land in the section
+        // array when the subscript hits the section.
+        let n = 8usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("pw");
+        let a = b.array_zero("a", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, hi)], vec![assign(a.at([v(i)]), lit(3.0) * lit(2.0))]);
+        let j = b.var("j");
+        b.nest("r", &[(j, 0, 0)], vec![accumulate(s, ld(a.at([c(4)])))]);
+        let p = b.finish();
+        let po = peel(&p, a, 0, 4).unwrap();
+        check_equiv(&p, &po.program, 0.0);
+        // The section is rank-0: a single cell.
+        assert_eq!(po.program.array(po.peeled).dims, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn peel_mirrors_live_in_values() {
+        // The section is never written, only read: the peeled array's
+        // HashSection init must reproduce the original values.
+        let n = 6usize;
+        let mut b = ProgramBuilder::new("pl");
+        let a = b.array_in("a", &[n, n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "r",
+            &[(i, 0, n as i64 - 1)],
+            vec![accumulate(s, ld(a.at([v(i), c(2)])))],
+        );
+        let p = b.finish();
+        let po = peel(&p, a, 1, 2).unwrap();
+        check_equiv(&p, &po.program, 0.0);
+    }
+
+    #[test]
+    fn peel_refuses_live_out() {
+        let mut b = ProgramBuilder::new("plo");
+        let a = b.array_out("a", &[4]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, 3)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        let p = b.finish();
+        assert_eq!(peel(&p, a, 0, 0).err(), Some(PeelError::LiveOut));
+        assert_eq!(peel(&p, a, 0, 99).err(), Some(PeelError::BadSection));
+        assert_eq!(peel(&p, a, 5, 0).err(), Some(PeelError::BadSection));
+    }
+
+    #[test]
+    fn remove_array_remaps_ids() {
+        let mut b = ProgramBuilder::new("rm");
+        let _a = b.array_zero("a", &[4]);
+        let c2 = b.array_out("c", &[4]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, 3)], vec![assign(c2.at([v(i)]), lit(1.0))]);
+        let p = b.finish();
+        let out = remove_array(&p, ArrayId(0));
+        assert_eq!(out.arrays.len(), 1);
+        assert_eq!(out.arrays[0].name, "c");
+        validate::validate(&out).unwrap();
+        let r = interp::run(&out).unwrap();
+        assert!(r.observation.arrays[0].1.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "referenced")]
+    fn remove_referenced_array_panics() {
+        let mut b = ProgramBuilder::new("rm2");
+        let a = b.array_out("a", &[4]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, 3)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        let p = b.finish();
+        let _ = remove_array(&p, a);
+    }
+
+    #[test]
+    fn shrink_driver_reports_actions() {
+        // Two contractible temporaries in one nest.
+        let n = 16usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("drv");
+        let x = b.array_in("x", &[n]);
+        let t1 = b.array_zero("t1", &[n]);
+        let t2 = b.array_zero("t2", &[n]);
+        let y = b.array_out("y", &[n]);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, hi)],
+            vec![
+                assign(t1.at([v(i)]), ld(x.at([v(i)])) + lit(1.0)),
+                assign(t2.at([v(i)]), ld(t1.at([v(i)])) * lit(2.0)),
+                assign(y.at([v(i)]), ld(t2.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        let (shrunk, actions) = shrink_storage(&p);
+        let contracted = actions
+            .iter()
+            .filter(|a| matches!(a, ShrinkAction::Contracted { to_scalar: true, .. }))
+            .count();
+        assert_eq!(contracted, 2, "{actions:?}");
+        check_equiv(&p, &shrunk, 0.0);
+        // Storage: x and y remain.
+        assert_eq!(shrunk.arrays.len(), 2);
+    }
+}

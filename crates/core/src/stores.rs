@@ -1,0 +1,515 @@
+//! Store elimination (§3.3, Figures 7–8).
+//!
+//! After fusion, an array's last use often sits in the same iteration as
+//! its (re)definition.  If the array is not live-out and no later nest
+//! reads it, the writeback is pure bandwidth waste: the transformation
+//! replaces the store with a register-resident temporary and forwards the
+//! value to the same-iteration uses, turning
+//!
+//! ```text
+//! res[i] = res[i] + data[i]        t = res[i] + data[i]
+//! sum    = sum + res[i]      →     sum = sum + t
+//! ```
+//!
+//! — exactly the paper's Figure 7(c).  The array remains readable (its
+//! *original* values are still loaded), but it is never written, so its
+//! dirty-line writebacks — half the memory traffic of an update loop on a
+//! write-back cache — disappear.
+//!
+//! Legality (checked, conservatively, before rewriting):
+//!
+//! * the array is not observable output and is written in exactly one nest;
+//! * no later nest reads it;
+//! * within the nest, no read observes a value written in an *earlier
+//!   iteration* (that would need the store or a contraction buffer):
+//!   comparing `var + c` subscript offsets level-by-level, every
+//!   (write, read) pair must satisfy "write iteration ≥ read iteration",
+//!   with exact-match pairs resolved by textual order and forwarded
+//!   through the temporary;
+//! * every write is a top-level statement of the body (a write under a
+//!   guard executes conditionally, and forwarding across its guard
+//!   boundary would be wrong).
+
+use std::collections::BTreeMap;
+
+use mbb_ir::expr::{Expr, Ref, Sub};
+use mbb_ir::liveness::array_liveness;
+use mbb_ir::program::{ArrayId, Program, ScalarDecl, ScalarId, Stmt, VarId};
+
+/// Why an array's stores cannot be eliminated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreBlocker {
+    /// The array's final contents are observable.
+    LiveOut,
+    /// The array is written in zero or several nests.
+    NotSingleWriterNest,
+    /// A later nest reads the array: the values must reach memory.
+    ReadLater,
+    /// A read in a later iteration observes a written value; the store (or
+    /// a contraction buffer) is needed.
+    CrossIterationUse,
+    /// A subscript shape the analysis does not support.
+    UnsupportedSubscript,
+    /// A write occurs under a conditional; forwarding across the guard is
+    /// not supported.
+    GuardedWrite,
+}
+
+/// One eliminated array, for reporting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreElimination {
+    /// The array whose writebacks were removed.
+    pub array: String,
+    /// The nest the stores were removed from.
+    pub nest: usize,
+    /// Number of store statements rewritten.
+    pub stores_removed: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Shape {
+    Level(usize, i64),
+    Const(i64),
+}
+
+fn shapes_of(
+    subs: &[Sub],
+    levels: &BTreeMap<VarId, usize>,
+) -> Result<Vec<Shape>, StoreBlocker> {
+    subs.iter()
+        .map(|s| {
+            let e = s.as_plain().ok_or(StoreBlocker::UnsupportedSubscript)?;
+            if let Some(k) = e.as_const() {
+                Ok(Shape::Const(k))
+            } else if let Some((v, c)) = e.as_var_plus_const() {
+                levels
+                    .get(&v)
+                    .map(|&l| Shape::Level(l, c))
+                    .ok_or(StoreBlocker::UnsupportedSubscript)
+            } else {
+                Err(StoreBlocker::UnsupportedSubscript)
+            }
+        })
+        .collect()
+}
+
+/// `Some(true)` when the write's iteration is lexicographically *before*
+/// the read's for some element (the illegal case), `Some(false)` when never,
+/// `None` when the shapes are incomparable.
+fn write_before_read(w: &[Shape], r: &[Shape]) -> Option<bool> {
+    if w.len() != r.len() {
+        return None;
+    }
+    // Order dimension pairs by loop level, outermost first; element x is
+    // written at iteration x−cw and read at x−cr per level, so the write
+    // precedes the read iff cw > cr at the outermost differing level.
+    let mut pairs: Vec<(usize, i64, i64)> = Vec::with_capacity(w.len());
+    for (sw, sr) in w.iter().zip(r) {
+        match (sw, sr) {
+            (Shape::Level(lw, cw), Shape::Level(lr, cr)) => {
+                if lw != lr {
+                    return None;
+                }
+                pairs.push((*lw, *cw, *cr));
+            }
+            (Shape::Const(kw), Shape::Const(kr)) => {
+                if kw != kr {
+                    // Disjoint planes: no element in common, never before.
+                    return Some(false);
+                }
+            }
+            _ => return None,
+        }
+    }
+    pairs.sort_by_key(|&(l, _, _)| l);
+    for &(_, cw, cr) in &pairs {
+        if cw > cr {
+            return Some(true);
+        }
+        if cw < cr {
+            return Some(false);
+        }
+    }
+    // Identical iteration: textual order governs; not "before".
+    Some(false)
+}
+
+/// Checks whether `arr`'s stores can be eliminated; returns the writing
+/// nest index.
+pub fn can_eliminate(prog: &Program, arr: ArrayId) -> Result<usize, StoreBlocker> {
+    if prog.array(arr).live_out {
+        return Err(StoreBlocker::LiveOut);
+    }
+    let live = array_liveness(prog);
+    let info = &live[arr.0 as usize];
+    let [nest] = info.written_in.as_slice() else {
+        return Err(StoreBlocker::NotSingleWriterNest);
+    };
+    let nest = *nest;
+    if info.read_in.iter().any(|&r| r > nest) {
+        return Err(StoreBlocker::ReadLater);
+    }
+
+    let n = &prog.nests[nest];
+    let levels: BTreeMap<VarId, usize> =
+        n.loops.iter().enumerate().map(|(l, lp)| (lp.var, l)).collect();
+
+    // Writes must be top-level; collect all shapes.
+    let mut writes: Vec<Vec<Shape>> = Vec::new();
+    for st in &n.body {
+        match st {
+            Stmt::Assign { lhs: Ref::Element(a, subs), .. } if *a == arr => {
+                writes.push(shapes_of(subs, &levels)?);
+            }
+            Stmt::If { .. } => {
+                // Any write to arr inside? Conservative scan.
+                let mut guarded = false;
+                st.for_each_ref(&mut |r, is_store| {
+                    if is_store && r.array() == Some(arr) {
+                        guarded = true;
+                    }
+                });
+                if guarded {
+                    return Err(StoreBlocker::GuardedWrite);
+                }
+            }
+            _ => {}
+        }
+    }
+    if writes.is_empty() {
+        return Err(StoreBlocker::NotSingleWriterNest);
+    }
+
+    let mut reads: Vec<Vec<Shape>> = Vec::new();
+    let mut bad = None;
+    n.for_each_ref(&mut |r, is_store| {
+        if !is_store {
+            if let Ref::Element(a, subs) = r {
+                if *a == arr {
+                    match shapes_of(subs, &levels) {
+                        Ok(s) => reads.push(s),
+                        Err(e) => bad = Some(e),
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = bad {
+        return Err(e);
+    }
+    for w in &writes {
+        for r in &reads {
+            match write_before_read(w, r) {
+                Some(false) => {}
+                Some(true) => return Err(StoreBlocker::CrossIterationUse),
+                None => return Err(StoreBlocker::UnsupportedSubscript),
+            }
+        }
+    }
+    Ok(nest)
+}
+
+/// Eliminates the stores of `arr`: each write becomes a scalar temporary,
+/// and every textually later load with identical subscripts in the same
+/// body is forwarded to the temporary.
+pub fn eliminate_stores_for(prog: &Program, arr: ArrayId) -> Result<(Program, StoreElimination), StoreBlocker> {
+    let nest = can_eliminate(prog, arr)?;
+    let mut out = prog.clone();
+    let mut forwarded: Vec<(Vec<Sub>, ScalarId)> = Vec::new();
+    let mut removed = 0usize;
+    let mut body = Vec::with_capacity(out.nests[nest].body.len());
+
+    // Forward loads through the most recent matching temporary.
+    fn forward_expr(e: &Expr, arr: ArrayId, map: &[(Vec<Sub>, ScalarId)]) -> Expr {
+        e.map_loads(&mut |r| match r {
+            Ref::Element(a, subs) if *a == arr => map
+                .iter()
+                .rev()
+                .find(|(fs, _)| fs == subs)
+                .map(|&(_, t)| Expr::Load(Ref::Scalar(t))),
+            _ => None,
+        })
+    }
+
+    fn forward_stmt(st: &Stmt, arr: ArrayId, map: &[(Vec<Sub>, ScalarId)]) -> Stmt {
+        match st {
+            Stmt::Assign { lhs, rhs } => Stmt::Assign {
+                lhs: lhs.clone(),
+                rhs: forward_expr(rhs, arr, map),
+            },
+            Stmt::If { cond, then_, else_ } => Stmt::If {
+                cond: cond.clone(),
+                then_: then_.iter().map(|s| forward_stmt(s, arr, map)).collect(),
+                else_: else_.iter().map(|s| forward_stmt(s, arr, map)).collect(),
+            },
+        }
+    }
+
+    for st in &prog.nests[nest].body {
+        match st {
+            Stmt::Assign { lhs: Ref::Element(a, subs), rhs } if *a == arr => {
+                let mut name = format!("__se_t{}", out.scalars.len());
+                while out.scalars.iter().any(|s| s.name == name) {
+                    name.push('_');
+                }
+                let t = out.add_scalar(ScalarDecl { name, init: 0.0, printed: false });
+                // The rhs itself may read earlier-forwarded values.
+                let rhs = forward_expr(rhs, arr, &forwarded);
+                body.push(Stmt::Assign { lhs: Ref::Scalar(t), rhs });
+                forwarded.push((subs.clone(), t));
+                removed += 1;
+            }
+            other => body.push(forward_stmt(other, arr, &forwarded)),
+        }
+    }
+    out.nests[nest].body = body;
+    let report = StoreElimination {
+        array: prog.array(arr).name.clone(),
+        nest,
+        stores_removed: removed,
+    };
+    Ok((out, report))
+}
+
+/// Eliminates stores for every array that qualifies; returns the
+/// transformed program and one report per eliminated array.
+pub fn eliminate_all_stores(prog: &Program) -> (Program, Vec<StoreElimination>) {
+    let mut cur = prog.clone();
+    let mut reports = Vec::new();
+    loop {
+        let access_changed = (0..cur.arrays.len()).find_map(|k| {
+            let arr = ArrayId(k as u32);
+            eliminate_stores_for(&cur, arr).ok()
+        });
+        match access_changed {
+            Some((next, rep)) => {
+                reports.push(rep);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    (cur, reports)
+}
+
+
+impl std::fmt::Display for StoreBlocker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreBlocker::LiveOut => write!(f, "array is observable program output"),
+            StoreBlocker::NotSingleWriterNest => {
+                write!(f, "array is written in zero or several nests")
+            }
+            StoreBlocker::ReadLater => {
+                write!(f, "a later nest reads the array: values must reach memory")
+            }
+            StoreBlocker::CrossIterationUse => {
+                write!(f, "a later iteration reads a stored value (contract instead)")
+            }
+            StoreBlocker::UnsupportedSubscript => {
+                write!(f, "a subscript shape the analysis does not support")
+            }
+            StoreBlocker::GuardedWrite => {
+                write!(f, "a write sits under a conditional; forwarding across it is unsupported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreBlocker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::builder::*;
+    use mbb_ir::{interp, validate};
+
+    /// Figure 7(b): the fused update+reduce loop.
+    fn fig7_fused(n: usize) -> (Program, ArrayId) {
+        let mut b = ProgramBuilder::new("fig7b");
+        let res = b.array_in("res", &[n]);
+        let data = b.array_in("data", &[n]);
+        let sum = b.scalar_printed("sum", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "fused",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(res.at([v(i)]), ld(res.at([v(i)])) + ld(data.at([v(i)]))),
+                accumulate(sum, ld(res.at([v(i)]))),
+            ],
+        );
+        (b.finish(), res)
+    }
+
+    #[test]
+    fn figure7_store_elimination() {
+        let (p, res) = fig7_fused(64);
+        let before = interp::run(&p).unwrap();
+        let (q, rep) = eliminate_stores_for(&p, res).unwrap();
+        validate::validate(&q).unwrap();
+        assert_eq!(rep.stores_removed, 1);
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 1e-12));
+        // All array stores gone; loads unchanged (res still read once).
+        assert_eq!(after.stats.stores, 0);
+        assert_eq!(after.stats.loads, before.stats.loads - 64, "forwarded load removed");
+    }
+
+    #[test]
+    fn unfused_fig7_blocks_on_later_read() {
+        // Without fusion, res is read by the *next* nest: not eliminable —
+        // the paper's point that fusion enables store elimination.
+        let n = 16usize;
+        let mut b = ProgramBuilder::new("fig7a");
+        let res = b.array_in("res", &[n]);
+        let data = b.array_in("data", &[n]);
+        let sum = b.scalar_printed("sum", 0.0);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest(
+            "update",
+            &[(i, 0, n as i64 - 1)],
+            vec![assign(res.at([v(i)]), ld(res.at([v(i)])) + ld(data.at([v(i)])))],
+        );
+        b.nest("reduce", &[(j, 0, n as i64 - 1)], vec![accumulate(sum, ld(res.at([v(j)])))]);
+        let p = b.finish();
+        assert_eq!(can_eliminate(&p, res), Err(StoreBlocker::ReadLater));
+    }
+
+    #[test]
+    fn live_out_blocks() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("lo");
+        let a = b.array_out("a", &[n]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, n as i64 - 1)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        let p = b.finish();
+        assert_eq!(can_eliminate(&p, a), Err(StoreBlocker::LiveOut));
+    }
+
+    #[test]
+    fn cross_iteration_use_blocks() {
+        // t[i] written, t[i-1] read next iteration: the value must persist.
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("ci");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 1, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), lit(1.0)),
+                accumulate(s, ld(t.at([v(i) - 1]))),
+            ],
+        );
+        let p = b.finish();
+        assert_eq!(can_eliminate(&p, t), Err(StoreBlocker::CrossIterationUse));
+    }
+
+    #[test]
+    fn guarded_write_blocks() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("gw");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                if_then(
+                    cmp(v(i), mbb_ir::CmpOp::Ge, c(4)),
+                    vec![assign(t.at([v(i)]), lit(1.0))],
+                ),
+                accumulate(s, ld(t.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        assert_eq!(can_eliminate(&p, t), Err(StoreBlocker::GuardedWrite));
+    }
+
+    #[test]
+    fn chained_writes_forward_in_order() {
+        // Two writes to the same element in one iteration: the later read
+        // must see the second value.
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("chain");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), lit(1.0)),
+                assign(t.at([v(i)]), ld(t.at([v(i)])) + lit(1.0)),
+                accumulate(s, ld(t.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        let before = interp::run(&p).unwrap();
+        let (q, rep) = eliminate_stores_for(&p, t).unwrap();
+        assert_eq!(rep.stores_removed, 2);
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+        assert_eq!(after.observation.scalars[0].1, 2.0 * n as f64);
+        assert_eq!(after.stats.stores, 0);
+    }
+
+    #[test]
+    fn forwarding_reaches_into_conditionals() {
+        // Write at top level, read inside an if: forwarding is safe.
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("fc");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), lit(5.0)),
+                if_then(
+                    cmp(v(i), mbb_ir::CmpOp::Ge, c(4)),
+                    vec![accumulate(s, ld(t.at([v(i)])))],
+                ),
+            ],
+        );
+        let p = b.finish();
+        let before = interp::run(&p).unwrap();
+        let (q, _) = eliminate_stores_for(&p, t).unwrap();
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+        assert_eq!(after.stats.stores, 0);
+        assert_eq!(after.observation.scalars[0].1, 20.0);
+    }
+
+    #[test]
+    fn eliminate_all_handles_multiple_arrays() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("all");
+        let t1 = b.array_zero("t1", &[n]);
+        let t2 = b.array_zero("t2", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t1.at([v(i)]), lit(1.0)),
+                assign(t2.at([v(i)]), ld(t1.at([v(i)])) * lit(3.0)),
+                accumulate(s, ld(t2.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        let before = interp::run(&p).unwrap();
+        let (q, reports) = eliminate_all_stores(&p);
+        assert_eq!(reports.len(), 2);
+        let after = interp::run(&q).unwrap();
+        assert!(before.observation.approx_eq(&after.observation, 0.0));
+        assert_eq!(after.stats.stores, 0);
+        assert_eq!(after.stats.loads, 0, "everything forwarded through registers");
+    }
+}

@@ -1,0 +1,220 @@
+//! Heuristics for the k-way (multi-partition) cut.
+//!
+//! §3.1.3 proves bandwidth-minimal fusion with more than two partitions
+//! NP-complete (by reduction from k-way cut), so — exactly as Gao et al.
+//! and Kennedy–McKinley did for their formulation — the multi-partition
+//! case is handled by a heuristic that recursively bisects with the
+//! polynomial two-partition minimal cut of [`crate::mincut`].
+
+use std::collections::BTreeSet;
+
+use crate::graph::Hypergraph;
+use crate::mincut::min_hyperedge_cut_sets;
+
+/// Result of a k-way partitioning heuristic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KwayResult {
+    /// The removed (cut) hyperedge indices.
+    pub cut_edges: Vec<usize>,
+    /// Total cut weight.
+    pub cut_weight: u64,
+    /// One node group per terminal, in terminal order; group `i` contains
+    /// terminal `i`.  Non-terminal nodes unreachable from every terminal
+    /// are appended to the last group.
+    pub groups: Vec<BTreeSet<usize>>,
+}
+
+fn without_edges(hg: &Hypergraph, removed: &BTreeSet<usize>) -> Hypergraph {
+    let mut out = hg.clone();
+    for &e in removed {
+        out.edges[e].pins.clear();
+    }
+    out
+}
+
+/// Recursive bisection: repeatedly separates the first remaining terminal
+/// from all the others with a minimal cut, then recurses on the rest.
+///
+/// Runs `k − 1` max-flows; the result is a valid k-way cut but, as with any
+/// greedy bisection, up to a factor `2(1 − 1/k)` from optimal in theory.
+///
+/// # Panics
+/// Panics if terminals are not distinct or out of range.
+pub fn kway_cut_recursive(hg: &Hypergraph, terminals: &[usize]) -> KwayResult {
+    let distinct: BTreeSet<usize> = terminals.iter().copied().collect();
+    assert_eq!(distinct.len(), terminals.len(), "terminals must be distinct");
+
+    let mut removed: BTreeSet<usize> = BTreeSet::new();
+    for (k, &term) in terminals.iter().enumerate() {
+        let rest: Vec<usize> = terminals[k + 1..].to_vec();
+        if rest.is_empty() {
+            break;
+        }
+        let current = without_edges(hg, &removed);
+        // Already separated from all remaining terminals?
+        if rest.iter().all(|&t| !current.connected(term, t, &BTreeSet::new())) {
+            continue;
+        }
+        let cut = min_hyperedge_cut_sets(&current, &[term], &rest);
+        removed.extend(cut.cut_edges);
+    }
+
+    let final_hg = without_edges(hg, &removed);
+    let mut groups: Vec<BTreeSet<usize>> = Vec::with_capacity(terminals.len());
+    let mut assigned: BTreeSet<usize> = BTreeSet::new();
+    for &t in terminals {
+        let comp: BTreeSet<usize> = final_hg
+            .component(t, &BTreeSet::new())
+            .into_iter()
+            .filter(|n| !assigned.contains(n))
+            .collect();
+        assigned.extend(&comp);
+        groups.push(comp);
+    }
+    if let Some(last) = groups.last_mut() {
+        for n in 0..hg.num_nodes {
+            if !assigned.contains(&n) {
+                last.insert(n);
+            }
+        }
+    }
+
+    let cut_edges: Vec<usize> = removed.iter().copied().collect();
+    let cut_weight = cut_edges.iter().map(|&e| hg.edges[e].weight).sum();
+    KwayResult { cut_edges, cut_weight, groups }
+}
+
+/// Greedy edge-removal baseline: repeatedly removes the lightest hyperedge
+/// lying on a path between some still-connected terminal pair.  Simpler and
+/// usually worse than [`kway_cut_recursive`]; kept as a comparison point
+/// for the ablation bench.
+pub fn kway_cut_greedy(hg: &Hypergraph, terminals: &[usize]) -> KwayResult {
+    let mut removed: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        let current = without_edges(hg, &removed);
+        // Find a connected terminal pair.
+        let mut pair = None;
+        'outer: for (a, &ta) in terminals.iter().enumerate() {
+            for &tb in &terminals[a + 1..] {
+                if current.connected(ta, tb, &BTreeSet::new()) {
+                    pair = Some((ta, tb));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((ta, tb)) = pair else { break };
+        // Remove the lightest edge on a shortest hyperpath between them.
+        // (Cheap heuristic: lightest edge whose removal reduces
+        // connectivity or, failing that, lightest edge touching the
+        // component of ta that leads toward tb.)
+        let mut best: Option<(u64, usize)> = None;
+        for (e, edge) in current.edges.iter().enumerate() {
+            if removed.contains(&e) || edge.pins.is_empty() {
+                continue;
+            }
+            let mut trial = removed.clone();
+            trial.insert(e);
+            let still = without_edges(hg, &trial).connected(ta, tb, &BTreeSet::new());
+            let score = if still { edge.weight + 1_000_000 } else { edge.weight };
+            if best.map(|(w, _)| score < w).unwrap_or(true) {
+                best = Some((score, e));
+            }
+        }
+        let Some((_, e)) = best else { break };
+        removed.insert(e);
+    }
+
+    let final_hg = without_edges(hg, &removed);
+    let mut groups: Vec<BTreeSet<usize>> = Vec::new();
+    let mut assigned: BTreeSet<usize> = BTreeSet::new();
+    for &t in terminals {
+        let comp: BTreeSet<usize> = final_hg
+            .component(t, &BTreeSet::new())
+            .into_iter()
+            .filter(|n| !assigned.contains(n))
+            .collect();
+        assigned.extend(&comp);
+        groups.push(comp);
+    }
+    if let Some(last) = groups.last_mut() {
+        for n in 0..hg.num_nodes {
+            if !assigned.contains(&n) {
+                last.insert(n);
+            }
+        }
+    }
+    let cut_edges: Vec<usize> = removed.iter().copied().collect();
+    let cut_weight = cut_edges.iter().map(|&e| hg.edges[e].weight).sum();
+    KwayResult { cut_edges, cut_weight, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Hypergraph {
+        // 0 -e0- 1 -e1- 2 -e2- 3 -e3- 4, weights 1,5,1,5.
+        let mut hg = Hypergraph::new(5);
+        hg.add_edge(crate::graph::HyperEdge::weighted([0, 1], 1));
+        hg.add_edge(crate::graph::HyperEdge::weighted([1, 2], 5));
+        hg.add_edge(crate::graph::HyperEdge::weighted([2, 3], 1));
+        hg.add_edge(crate::graph::HyperEdge::weighted([3, 4], 5));
+        hg
+    }
+
+    #[test]
+    fn three_terminals_on_a_path() {
+        let hg = path_graph();
+        let r = kway_cut_recursive(&hg, &[0, 2, 4]);
+        // Separating 0|2 costs 1 (e0); separating 2|4 costs 1 (e2).
+        assert_eq!(r.cut_weight, 2);
+        assert_eq!(r.groups.len(), 3);
+        assert!(r.groups[0].contains(&0));
+        assert!(r.groups[1].contains(&2));
+        assert!(r.groups[2].contains(&4));
+        // Every node lands in exactly one group.
+        let total: usize = r.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_cover() {
+        let hg = crate::mincut::tests::figure4();
+        let r = kway_cut_recursive(&hg, &[4, 5]);
+        assert_eq!(r.cut_weight, 1);
+        let total: usize = r.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 6);
+        assert!(r.groups[0].is_disjoint(&r.groups[1]));
+    }
+
+    #[test]
+    fn already_separated_terminals_cost_nothing() {
+        let mut hg = Hypergraph::new(4);
+        hg.add_unit([0, 1]);
+        hg.add_unit([2, 3]);
+        let r = kway_cut_recursive(&hg, &[0, 2]);
+        assert_eq!(r.cut_weight, 0);
+        assert!(r.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn greedy_also_separates() {
+        let hg = path_graph();
+        let r = kway_cut_greedy(&hg, &[0, 2, 4]);
+        // Greedy must produce a valid cut; optimality not guaranteed.
+        let removed: BTreeSet<usize> = r.cut_edges.iter().copied().collect();
+        assert!(!hg.connected(0, 2, &removed));
+        assert!(!hg.connected(2, 4, &removed));
+        assert!(!hg.connected(0, 4, &removed));
+        assert!(r.cut_weight >= 2);
+    }
+
+    #[test]
+    fn single_terminal_is_trivial() {
+        let hg = path_graph();
+        let r = kway_cut_recursive(&hg, &[2]);
+        assert_eq!(r.cut_weight, 0);
+        assert_eq!(r.groups.len(), 1);
+        assert_eq!(r.groups[0].len(), 5);
+    }
+}

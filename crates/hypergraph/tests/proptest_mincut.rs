@@ -1,0 +1,139 @@
+//! Property tests: the polynomial Figure-5 min-cut algorithm agrees with
+//! the exhaustive oracle on random hypergraphs, and its output is always a
+//! valid separating cut.
+
+use std::collections::BTreeSet;
+
+use mbb_hypergraph::graph::{HyperEdge, Hypergraph};
+use mbb_hypergraph::kway::{kway_cut_greedy, kway_cut_recursive};
+use mbb_hypergraph::mincut::min_hyperedge_cut;
+use mbb_hypergraph::oracle::{exact_kway_cut_weight, exact_min_cut_weight};
+use proptest::prelude::*;
+
+/// Strategy: a random hypergraph with `n ∈ [2, 8]` nodes and up to 10
+/// hyperedges of 1–4 pins with weights 1–5.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (2usize..=8).prop_flat_map(|n| {
+        let edge = (
+            proptest::collection::btree_set(0..n, 1..=4usize.min(n)),
+            1u64..=5,
+        );
+        proptest::collection::vec(edge, 0..10).prop_map(move |edges| {
+            let mut hg = Hypergraph::new(n);
+            for (pins, w) in edges {
+                hg.add_edge(HyperEdge::weighted(pins, w));
+            }
+            hg
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The polynomial algorithm's cut weight equals the exhaustive optimum.
+    #[test]
+    fn mincut_is_optimal(hg in arb_hypergraph()) {
+        let s = 0;
+        let t = hg.num_nodes - 1;
+        prop_assume!(s != t);
+        let cut = min_hyperedge_cut(&hg, s, t);
+        let oracle = exact_min_cut_weight(&hg, s, t);
+        prop_assert_eq!(cut.cut_weight, oracle);
+    }
+
+    /// The returned edge set really disconnects s from t, and the weight
+    /// bookkeeping matches the edge list.
+    #[test]
+    fn mincut_is_a_valid_cut(hg in arb_hypergraph()) {
+        let s = 0;
+        let t = hg.num_nodes - 1;
+        prop_assume!(s != t);
+        let cut = min_hyperedge_cut(&hg, s, t);
+        let removed: BTreeSet<usize> = cut.cut_edges.iter().copied().collect();
+        prop_assert!(!hg.connected(s, t, &removed));
+        let w: u64 = cut.cut_edges.iter().map(|&e| hg.edges[e].weight).sum();
+        prop_assert_eq!(w, cut.cut_weight);
+        // Partitions are a disjoint cover with s and t separated.
+        prop_assert!(cut.side_s.contains(&s));
+        prop_assert!(cut.side_t.contains(&t));
+        prop_assert!(cut.side_s.is_disjoint(&cut.side_t));
+        prop_assert_eq!(cut.side_s.len() + cut.side_t.len(), hg.num_nodes);
+    }
+
+    /// Recursive-bisection k-way cuts are valid and no better than the
+    /// exhaustive optimum (and at most 2× worse on these small cases).
+    #[test]
+    fn kway_recursive_valid_and_bounded(hg in arb_hypergraph()) {
+        prop_assume!(hg.num_nodes >= 3);
+        let terminals = [0, 1, hg.num_nodes - 1];
+        prop_assume!(terminals[1] != terminals[2]);
+        let r = kway_cut_recursive(&hg, &terminals);
+        let removed: BTreeSet<usize> = r.cut_edges.iter().copied().collect();
+        for (a, &ta) in terminals.iter().enumerate() {
+            for &tb in &terminals[a + 1..] {
+                prop_assert!(!hg.connected(ta, tb, &removed));
+            }
+        }
+        let oracle = exact_kway_cut_weight(&hg, &terminals);
+        prop_assert!(r.cut_weight >= oracle);
+        prop_assert!(r.cut_weight <= oracle.saturating_mul(2).max(oracle + 2));
+    }
+
+    /// The greedy baseline also always separates (no optimality claim).
+    #[test]
+    fn kway_greedy_valid(hg in arb_hypergraph()) {
+        prop_assume!(hg.num_nodes >= 3);
+        let terminals = [0, hg.num_nodes - 1];
+        let r = kway_cut_greedy(&hg, &terminals);
+        let removed: BTreeSet<usize> = r.cut_edges.iter().copied().collect();
+        prop_assert!(!hg.connected(terminals[0], terminals[1], &removed));
+        let oracle = exact_kway_cut_weight(&hg, &terminals);
+        prop_assert!(r.cut_weight >= oracle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dinic and Edmonds–Karp compute the same max-flow on random directed
+    /// networks.
+    #[test]
+    fn dinic_equals_edmonds_karp(
+        n in 2usize..10,
+        arcs in proptest::collection::vec((0usize..10, 0usize..10, 1u64..20), 1..40),
+    ) {
+        use mbb_hypergraph::maxflow::FlowNetwork;
+        let build = || {
+            let mut net = FlowNetwork::new(n);
+            for &(u, v, c) in &arcs {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    net.add_arc(u, v, c);
+                }
+            }
+            net
+        };
+        let ek = build().max_flow(0, n - 1);
+        let dinic = build().max_flow_dinic(0, n - 1);
+        prop_assert_eq!(ek, dinic);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Dinic-backed hyperedge cut equals the Edmonds–Karp-backed one.
+    #[test]
+    fn dinic_hyperedge_cut_equals_ek(hg in arb_hypergraph()) {
+        let (s, t) = (0, hg.num_nodes - 1);
+        prop_assume!(s != t);
+        let a = min_hyperedge_cut(&hg, s, t);
+        let b = mbb_hypergraph::mincut::min_hyperedge_cut_dinic(&hg, s, t);
+        prop_assert_eq!(a.cut_weight, b.cut_weight);
+        // Both must be valid separating cuts (the edge *sets* may differ
+        // when several minimal cuts exist).
+        let removed: BTreeSet<usize> = b.cut_edges.iter().copied().collect();
+        prop_assert!(!hg.connected(s, t, &removed));
+    }
+}

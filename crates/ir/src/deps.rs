@@ -1,0 +1,557 @@
+//! Loop-level dependence analysis.
+//!
+//! The fusion framework needs two facts about a program:
+//!
+//! 1. **Ordering**: which nests must stay ordered relative to each other
+//!    (directed dependence edges in the paper's fusion graph), and
+//! 2. **Fusibility**: which nest pairs may legally share a fused loop body
+//!    (the complement of the paper's undirected fusion-preventing edges).
+//!
+//! Dependences are computed conservatively at the granularity of whole
+//! arrays/scalars per nest; fusibility additionally examines subscript
+//! *shapes* so that, e.g., a producer writing `a[i]` and a consumer reading
+//! `a[i-1]` fuse legally while a consumer reading `a[i+1]` does not.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::expr::{BinOp, Expr, Ref};
+use crate::program::{ArrayId, LoopNest, Program, ScalarId, Stmt, VarId};
+
+/// Which arrays and scalars a nest reads and writes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NestAccess {
+    /// Arrays loaded from.
+    pub array_reads: BTreeSet<ArrayId>,
+    /// Arrays stored to.
+    pub array_writes: BTreeSet<ArrayId>,
+    /// Scalars loaded from.
+    pub scalar_reads: BTreeSet<ScalarId>,
+    /// Scalars stored to.
+    pub scalar_writes: BTreeSet<ScalarId>,
+}
+
+impl NestAccess {
+    /// All arrays the nest touches — the paper's "distinct arrays in a
+    /// loop", which is what bandwidth-minimal fusion charges per partition.
+    pub fn arrays_touched(&self) -> BTreeSet<ArrayId> {
+        self.array_reads.union(&self.array_writes).copied().collect()
+    }
+}
+
+/// Computes the access summary of one nest (both branches of conditionals
+/// are included — a conservative static over-approximation).
+pub fn nest_access(nest: &LoopNest) -> NestAccess {
+    let mut acc = NestAccess::default();
+    nest.for_each_ref(&mut |r, is_store| match (r, is_store) {
+        (Ref::Element(a, _), false) => {
+            acc.array_reads.insert(*a);
+        }
+        (Ref::Element(a, _), true) => {
+            acc.array_writes.insert(*a);
+        }
+        (Ref::Scalar(s), false) => {
+            acc.scalar_reads.insert(*s);
+        }
+        (Ref::Scalar(s), true) => {
+            acc.scalar_writes.insert(*s);
+        }
+    });
+    acc
+}
+
+/// The kind of a cross-nest dependence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DepKind {
+    /// Read-after-write.
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+}
+
+/// The object a dependence is carried by.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DepObject {
+    /// Carried by an array.
+    Array(ArrayId),
+    /// Carried by a scalar.
+    Scalar(ScalarId),
+}
+
+/// A dependence edge from nest `src` to nest `dst` (`src < dst` in program
+/// order).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dep {
+    /// Earlier nest index.
+    pub src: usize,
+    /// Later nest index.
+    pub dst: usize,
+    /// Every `(kind, object)` pair carrying the dependence.
+    pub carriers: Vec<(DepKind, DepObject)>,
+}
+
+/// All cross-nest dependences of a program.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// Edges, ordered by `(src, dst)`.
+    pub edges: Vec<Dep>,
+    /// Per-nest access summaries (index = nest index).
+    pub access: Vec<NestAccess>,
+}
+
+impl DepGraph {
+    /// Returns the dependence edge between `src` and `dst`, if any.
+    pub fn edge(&self, src: usize, dst: usize) -> Option<&Dep> {
+        self.edges.iter().find(|d| d.src == src && d.dst == dst)
+    }
+
+    /// True if `dst` (transitively) depends on `src`.
+    pub fn depends_transitively(&self, src: usize, dst: usize) -> bool {
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![src];
+        while let Some(n) = stack.pop() {
+            for e in self.edges.iter().filter(|e| e.src == n) {
+                if e.dst == dst {
+                    return true;
+                }
+                if reached.insert(e.dst) {
+                    stack.push(e.dst);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Computes the dependence graph over a program's nest sequence.
+pub fn dependences(prog: &Program) -> DepGraph {
+    let access: Vec<NestAccess> = prog.nests.iter().map(nest_access).collect();
+    let mut edges = Vec::new();
+    for dst in 0..prog.nests.len() {
+        for src in 0..dst {
+            let (a, b) = (&access[src], &access[dst]);
+            let mut carriers = Vec::new();
+            for &arr in a.array_writes.intersection(&b.array_reads) {
+                carriers.push((DepKind::Flow, DepObject::Array(arr)));
+            }
+            for &arr in a.array_reads.intersection(&b.array_writes) {
+                carriers.push((DepKind::Anti, DepObject::Array(arr)));
+            }
+            for &arr in a.array_writes.intersection(&b.array_writes) {
+                carriers.push((DepKind::Output, DepObject::Array(arr)));
+            }
+            for &s in a.scalar_writes.intersection(&b.scalar_reads) {
+                carriers.push((DepKind::Flow, DepObject::Scalar(s)));
+            }
+            for &s in a.scalar_reads.intersection(&b.scalar_writes) {
+                carriers.push((DepKind::Anti, DepObject::Scalar(s)));
+            }
+            for &s in a.scalar_writes.intersection(&b.scalar_writes) {
+                carriers.push((DepKind::Output, DepObject::Scalar(s)));
+            }
+            if !carriers.is_empty() {
+                carriers.sort();
+                carriers.dedup();
+                edges.push(Dep { src, dst, carriers });
+            }
+        }
+    }
+    DepGraph { edges, access }
+}
+
+/// Why two nests may not be fused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FusionBlocker {
+    /// The pair carries an explicit fusion-preventing constraint.
+    Explicit,
+    /// Loop headers do not conform level-by-level.
+    NonConformingHeaders,
+    /// A dependence on this array would be violated by fusion (e.g. a
+    /// consumer reading ahead of the producer).
+    ArrayDependence(ArrayId),
+    /// A scalar dependence that is not a commuting reduction.
+    ScalarDependence(ScalarId),
+}
+
+/// Checks whether nests `a` and `b` (`a < b`) of `prog` may legally share a
+/// fused loop, assuming their bodies would be concatenated in program order.
+///
+/// The check is conservative: it admits exactly the cases whose legality the
+/// paper's examples rely on — conforming headers, array accesses whose
+/// subscripts are `var + c` along corresponding loop levels with safe
+/// dependence directions, and commuting scalar reductions — and rejects
+/// everything it cannot prove.
+pub fn fusion_legal(prog: &Program, a: usize, b: usize) -> Result<(), FusionBlocker> {
+    assert!(a < b, "fusion_legal expects a < b in program order");
+    if prog.fusion_prevented(a, b) {
+        return Err(FusionBlocker::Explicit);
+    }
+    let (na, nb) = (&prog.nests[a], &prog.nests[b]);
+    if !na.conforms_to(nb) {
+        return Err(FusionBlocker::NonConformingHeaders);
+    }
+    // Map each nest's loop variables to their level, so subscripts can be
+    // compared level-by-level after the renaming fusion would perform.
+    let level_of = |n: &LoopNest| -> BTreeMap<VarId, usize> {
+        n.loops.iter().enumerate().map(|(l, lp)| (lp.var, l)).collect()
+    };
+    let (la, lb) = (level_of(na), level_of(nb));
+
+    let (acc_a, acc_b) = (nest_access(na), nest_access(nb));
+
+    // --- Array dependences ------------------------------------------------
+    let mut shared: BTreeSet<ArrayId> = BTreeSet::new();
+    shared.extend(acc_a.array_writes.intersection(&acc_b.array_reads));
+    shared.extend(acc_a.array_reads.intersection(&acc_b.array_writes));
+    shared.extend(acc_a.array_writes.intersection(&acc_b.array_writes));
+    for arr in shared {
+        if !array_fusion_safe(na, nb, arr, &la, &lb) {
+            return Err(FusionBlocker::ArrayDependence(arr));
+        }
+    }
+
+    // --- Scalar dependences -----------------------------------------------
+    let mut scalars: BTreeSet<ScalarId> = BTreeSet::new();
+    scalars.extend(acc_a.scalar_writes.intersection(&acc_b.scalar_reads));
+    scalars.extend(acc_a.scalar_reads.intersection(&acc_b.scalar_writes));
+    scalars.extend(acc_a.scalar_writes.intersection(&acc_b.scalar_writes));
+    for s in scalars {
+        let red_a = scalar_is_pure_reduction(na, s) || !touches_scalar(na, s);
+        let red_b = scalar_is_pure_reduction(nb, s) || !touches_scalar(nb, s);
+        if !(red_a && red_b) {
+            return Err(FusionBlocker::ScalarDependence(s));
+        }
+    }
+    Ok(())
+}
+
+fn touches_scalar(n: &LoopNest, s: ScalarId) -> bool {
+    let mut hit = false;
+    n.for_each_ref(&mut |r, _| {
+        if matches!(r, Ref::Scalar(x) if *x == s) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+/// True if every access to `s` in the nest is part of a statement of the
+/// commuting-reduction form `s = s + e` (with `e` not reading `s`).
+pub fn scalar_is_pure_reduction(n: &LoopNest, s: ScalarId) -> bool {
+    fn expr_reads(e: &Expr, s: ScalarId) -> bool {
+        let mut hit = false;
+        e.for_each_ref(&mut |r| {
+            if matches!(r, Ref::Scalar(x) if *x == s) {
+                hit = true;
+            }
+        });
+        hit
+    }
+    fn stmt_ok(st: &Stmt, s: ScalarId) -> bool {
+        match st {
+            Stmt::Assign { lhs, rhs } => {
+                let lhs_is_s = matches!(lhs, Ref::Scalar(x) if *x == s);
+                if lhs_is_s {
+                    // Must be s = s + e with e independent of s.
+                    match rhs {
+                        Expr::Binary(BinOp::Add, l, r) => {
+                            let l_is_s = matches!(&**l, Expr::Load(Ref::Scalar(x)) if *x == s);
+                            let r_is_s = matches!(&**r, Expr::Load(Ref::Scalar(x)) if *x == s);
+                            (l_is_s && !expr_reads(r, s)) || (r_is_s && !expr_reads(l, s))
+                        }
+                        _ => false,
+                    }
+                } else {
+                    !expr_reads(rhs, s)
+                }
+            }
+            Stmt::If { then_, else_, .. } => {
+                then_.iter().all(|st| stmt_ok(st, s)) && else_.iter().all(|st| stmt_ok(st, s))
+            }
+        }
+    }
+    n.body.iter().all(|st| stmt_ok(st, s))
+}
+
+/// Collects, for an array in a nest, the subscript "shape" of every
+/// reference: per dimension, either `Level(l, c)` (loop level `l` plus
+/// offset `c`) or `Const(k)`.  `None` if any reference has another form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SubShape {
+    Level(usize, i64),
+    Const(i64),
+}
+
+/// `(read shapes, write shapes)` of one array in one nest.
+type RefShapes = (Vec<Vec<SubShape>>, Vec<Vec<SubShape>>);
+
+fn ref_shapes(
+    n: &LoopNest,
+    arr: ArrayId,
+    levels: &BTreeMap<VarId, usize>,
+) -> Option<RefShapes> {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut ok = true;
+    n.for_each_ref(&mut |r, is_store| {
+        if let Ref::Element(a, subs) = r {
+            if *a != arr {
+                return;
+            }
+            let mut shape = Vec::with_capacity(subs.len());
+            for sub in subs {
+                let Some(expr) = sub.as_plain() else {
+                    ok = false;
+                    return;
+                };
+                if let Some(k) = expr.as_const() {
+                    shape.push(SubShape::Const(k));
+                } else if let Some((v, c)) = expr.as_var_plus_const() {
+                    match levels.get(&v) {
+                        Some(&l) => shape.push(SubShape::Level(l, c)),
+                        None => {
+                            ok = false;
+                            return;
+                        }
+                    }
+                } else {
+                    ok = false;
+                    return;
+                }
+            }
+            if is_store {
+                writes.push(shape);
+            } else {
+                reads.push(shape);
+            }
+        }
+    });
+    ok.then_some((reads, writes))
+}
+
+/// Conservative safety test for fusing two nests that share array `arr`.
+///
+/// For every (write-in-`a`, access-in-`b`) and (read-in-`a`, write-in-`b`)
+/// pair, checks per dimension that fusing cannot make a consumer observe a
+/// value before its producer ran (flow), a producer overwrite a value still
+/// to be read (anti), or writes swap order (output).  Componentwise offset
+/// comparison is a sufficient (not necessary) condition for the
+/// lexicographic requirement.
+fn array_fusion_safe(
+    na: &LoopNest,
+    nb: &LoopNest,
+    arr: ArrayId,
+    la: &BTreeMap<VarId, usize>,
+    lb: &BTreeMap<VarId, usize>,
+) -> bool {
+    let Some((reads_a, writes_a)) = ref_shapes(na, arr, la) else {
+        return false;
+    };
+    let Some((reads_b, writes_b)) = ref_shapes(nb, arr, lb) else {
+        return false;
+    };
+
+    // dim-wise safety of one ordered pair: the earlier access must still
+    // happen no later than the later access after fusion.
+    // For earlier shape `e` and later shape `l` on the same element:
+    //   element x touched by e at iteration x - ce, by l at x - cl;
+    //   need (x - ce) <= (x - cl) for all x, i.e. cl <= ce per dimension.
+    let pair_safe = |e: &Vec<SubShape>, l: &Vec<SubShape>| -> bool {
+        if e.len() != l.len() {
+            return false;
+        }
+        e.iter().zip(l).all(|(se, sl)| match (se, sl) {
+            (SubShape::Level(le, ce), SubShape::Level(ll, cl)) => le == ll && cl <= ce,
+            // Two constants: different constants never overlap (safe), and
+            // identical constants touch the same plane at every iteration,
+            // where body order — which fusion preserves — keeps the earlier
+            // nest's access first (safe).
+            (SubShape::Const(_), SubShape::Const(_)) => true,
+            // Constant vs. varying subscript: they overlap at a single
+            // iteration we do not pinpoint here; be conservative.
+            _ => false,
+        })
+    };
+
+    // Flow: writes in a vs. reads in b.
+    for w in &writes_a {
+        for r in &reads_b {
+            if !pair_safe(w, r) {
+                return false;
+            }
+        }
+        // Output: writes in a vs. writes in b.
+        for w2 in &writes_b {
+            if !pair_safe(w, w2) {
+                return false;
+            }
+        }
+    }
+    // Anti: reads in a vs. writes in b.
+    for r in &reads_a {
+        for w in &writes_b {
+            if !pair_safe(r, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn producer_consumer(consumer_offset: i64) -> Program {
+        let n = 16;
+        let mut b = ProgramBuilder::new("pc");
+        let a = b.array_zero("a", &[n as usize + 2]);
+        let out = b.array_out("out", &[n as usize + 2]);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest("prod", &[(i, 1, n)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        b.nest(
+            "cons",
+            &[(j, 1, n)],
+            vec![assign(out.at([v(j)]), ld(a.at([v(j) + consumer_offset])))],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn access_summary() {
+        let p = producer_consumer(0);
+        let acc = nest_access(&p.nests[1]);
+        assert_eq!(acc.array_reads.len(), 1);
+        assert_eq!(acc.array_writes.len(), 1);
+        assert_eq!(acc.arrays_touched().len(), 2);
+    }
+
+    #[test]
+    fn flow_dependence_detected() {
+        let p = producer_consumer(0);
+        let g = dependences(&p);
+        let e = g.edge(0, 1).expect("flow edge");
+        assert!(e
+            .carriers
+            .iter()
+            .any(|&(k, o)| k == DepKind::Flow && matches!(o, DepObject::Array(_))));
+    }
+
+    #[test]
+    fn fusion_legal_same_and_backward_offsets() {
+        // Consumer reads a[j] or a[j-1]: safe; a[j+1]: reads ahead of the
+        // producer, unsafe.
+        assert!(fusion_legal(&producer_consumer(0), 0, 1).is_ok());
+        assert!(fusion_legal(&producer_consumer(-1), 0, 1).is_ok());
+        assert_eq!(
+            fusion_legal(&producer_consumer(1), 0, 1),
+            Err(FusionBlocker::ArrayDependence(ArrayId(0)))
+        );
+    }
+
+    #[test]
+    fn explicit_constraint_blocks() {
+        let mut p = producer_consumer(0);
+        p.fusion_preventing.push((0, 1));
+        assert_eq!(fusion_legal(&p, 0, 1), Err(FusionBlocker::Explicit));
+    }
+
+    #[test]
+    fn nonconforming_headers_block() {
+        let mut b = ProgramBuilder::new("nc");
+        let a = b.array_zero("a", &[32]);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest("one", &[(i, 0, 9)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        b.nest("two", &[(j, 0, 19)], vec![assign(a.at([v(j)]), lit(2.0))]);
+        let p = b.finish();
+        assert_eq!(fusion_legal(&p, 0, 1), Err(FusionBlocker::NonConformingHeaders));
+    }
+
+    #[test]
+    fn scalar_reductions_commute() {
+        let mut b = ProgramBuilder::new("red");
+        let x = b.array_in("x", &[16]);
+        let y = b.array_in("y", &[16]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest("r1", &[(i, 0, 15)], vec![accumulate(s, ld(x.at([v(i)])))]);
+        b.nest("r2", &[(j, 0, 15)], vec![accumulate(s, ld(y.at([v(j)])))]);
+        let p = b.finish();
+        assert!(fusion_legal(&p, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn scalar_use_after_reduction_blocks() {
+        // Paper Figure 4: loop 6 consumes `sum` that loop 5 produced — a
+        // scalar flow dependence that is not a joint reduction.
+        let mut b = ProgramBuilder::new("use");
+        let x = b.array_in("x", &[16]);
+        let out = b.array_out("o", &[16]);
+        let s = b.scalar("s", 0.0);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest("r1", &[(i, 0, 15)], vec![accumulate(s, ld(x.at([v(i)])))]);
+        b.nest("use", &[(j, 0, 15)], vec![assign(out.at([v(j)]), ld(s.r()))]);
+        let p = b.finish();
+        assert_eq!(fusion_legal(&p, 0, 1), Err(FusionBlocker::ScalarDependence(ScalarId(0))));
+    }
+
+    #[test]
+    fn transitive_dependence() {
+        let mut b = ProgramBuilder::new("chain");
+        let a = b.array_zero("a", &[8]);
+        let c = b.array_zero("c", &[8]);
+        let d = b.array_out("d", &[8]);
+        let i = b.var("i");
+        b.nest("n0", &[(i, 0, 7)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        b.nest("n1", &[(i, 0, 7)], vec![assign(c.at([v(i)]), ld(a.at([v(i)])))]);
+        b.nest("n2", &[(i, 0, 7)], vec![assign(d.at([v(i)]), ld(c.at([v(i)])))]);
+        let p = b.finish();
+        let g = dependences(&p);
+        assert!(g.depends_transitively(0, 2));
+        assert!(!g.depends_transitively(2, 0));
+    }
+
+    #[test]
+    fn constant_plane_accesses() {
+        // Write a[i, 1] then read a[i, 1]: same constant plane, safe.
+        // Write a[i, 1] then read a[i, j]: constant vs varying, conservative.
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("planes");
+        let a = b.array_zero("a", &[n, n]);
+        let o = b.array_out("o", &[n, n]);
+        let i = b.var("i");
+        let i2 = b.var("i2");
+        b.nest("w", &[(i, 0, n as i64 - 1)], vec![assign(a.at([v(i), c(1)]), lit(3.0))]);
+        b.nest(
+            "r",
+            &[(i2, 0, n as i64 - 1)],
+            vec![assign(o.at([v(i2), c(1)]), ld(a.at([v(i2), c(1)])))],
+        );
+        let p = b.finish();
+        assert!(fusion_legal(&p, 0, 1).is_ok());
+
+        let mut b2 = ProgramBuilder::new("planes2");
+        let a = b2.array_zero("a", &[n, n]);
+        let o = b2.array_out("o", &[n, n]);
+        let (i, j) = (b2.var("i"), b2.var("j"));
+        let (i2, j2) = (b2.var("i2"), b2.var("j2"));
+        b2.nest(
+            "w",
+            &[(j, 0, n as i64 - 1), (i, 0, n as i64 - 1)],
+            vec![assign(a.at([v(i), c(1)]), lit(3.0))],
+        );
+        b2.nest(
+            "r",
+            &[(j2, 0, n as i64 - 1), (i2, 0, n as i64 - 1)],
+            vec![assign(o.at([v(i2), v(j2)]), ld(a.at([v(i2), v(j2)])))],
+        );
+        let p2 = b2.finish();
+        assert!(fusion_legal(&p2, 0, 1).is_err());
+    }
+}

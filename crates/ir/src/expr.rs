@@ -1,0 +1,695 @@
+//! Expressions: affine index arithmetic, conditions, and value expressions.
+//!
+//! The IR distinguishes two expression languages:
+//!
+//! * [`Affine`] — integer expressions over loop variables, used for array
+//!   subscripts, loop bounds and `if` conditions.  Keeping subscripts affine
+//!   is what makes the dependence, liveness and live-range analyses in this
+//!   crate exact.
+//! * [`Expr`] — floating-point value expressions, used on the right-hand
+//!   side of assignments.  These are what the interpreter evaluates and what
+//!   the flop counter charges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::program::{ArrayId, ScalarId, SourceId, VarId};
+
+/// An affine integer expression `c + Σ aᵢ·vᵢ` over loop variables.
+///
+/// Terms are kept sorted by variable id with no zero coefficients, so two
+/// `Affine`s are structurally equal iff they are the same function.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Affine {
+    /// The constant term `c`.
+    pub constant: i64,
+    /// The linear terms `(vᵢ, aᵢ)`, sorted by `vᵢ`, with every `aᵢ ≠ 0`.
+    pub terms: Vec<(VarId, i64)>,
+}
+
+impl Affine {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        Affine { constant: c, terms: Vec::new() }
+    }
+
+    /// The single-variable expression `v`.
+    pub fn var(v: VarId) -> Self {
+        Affine { constant: 0, terms: vec![(v, 1)] }
+    }
+
+    /// Builds an affine expression from a constant and arbitrary terms,
+    /// normalising (sorting, merging, dropping zeros) as needed.
+    pub fn new(constant: i64, terms: impl IntoIterator<Item = (VarId, i64)>) -> Self {
+        let mut map: BTreeMap<VarId, i64> = BTreeMap::new();
+        for (v, a) in terms {
+            *map.entry(v).or_insert(0) += a;
+        }
+        Affine { constant, terms: map.into_iter().filter(|&(_, a)| a != 0).collect() }
+    }
+
+    /// Returns `Some(c)` if the expression is the constant `c`.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `Some((v, c))` if the expression is exactly `v + c`.
+    ///
+    /// This is the subscript form the storage transformations support
+    /// (see `ranges`); anything else makes them bail out conservatively.
+    pub fn as_var_plus_const(&self) -> Option<(VarId, i64)> {
+        match self.terms.as_slice() {
+            [(v, 1)] => Some((*v, self.constant)),
+            _ => None,
+        }
+    }
+
+    /// The coefficient of variable `v` (zero if absent).
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.terms
+            .iter()
+            .find(|&&(tv, _)| tv == v)
+            .map(|&(_, a)| a)
+            .unwrap_or(0)
+    }
+
+    /// All variables appearing with a non-zero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// True if no loop variable appears.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates under an assignment of loop variables to values.
+    ///
+    /// # Panics
+    /// Panics if a variable in the expression has no binding; the validator
+    /// guarantees this cannot happen for well-formed programs.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> i64) -> i64 {
+        self.constant + self.terms.iter().map(|&(v, a)| a * env(v)).sum::<i64>()
+    }
+
+    /// Substitutes `v := replacement` and renormalises.
+    pub fn subst(&self, v: VarId, replacement: &Affine) -> Affine {
+        let coeff = self.coeff(v);
+        if coeff == 0 {
+            return self.clone();
+        }
+        let mut terms: Vec<(VarId, i64)> =
+            self.terms.iter().copied().filter(|&(tv, _)| tv != v).collect();
+        terms.extend(replacement.terms.iter().map(|&(rv, ra)| (rv, ra * coeff)));
+        Affine::new(self.constant + coeff * replacement.constant, terms)
+    }
+
+    /// Renames every occurrence of variable `from` to variable `to`.
+    pub fn rename(&self, from: VarId, to: VarId) -> Affine {
+        self.subst(from, &Affine::var(to))
+    }
+
+    /// The scaled expression `k · self`.
+    pub fn scaled(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            constant: self.constant * k,
+            terms: self.terms.iter().map(|&(v, a)| (v, a * k)).collect(),
+        }
+    }
+}
+
+impl std::ops::Add for Affine {
+    type Output = Affine;
+    fn add(self, rhs: Affine) -> Affine {
+        let mut terms = self.terms;
+        terms.extend(rhs.terms);
+        Affine::new(self.constant + rhs.constant, terms)
+    }
+}
+
+impl std::ops::Sub for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: Affine) -> Affine {
+        self + rhs.scaled(-1)
+    }
+}
+
+impl std::ops::Add<i64> for Affine {
+    type Output = Affine;
+    fn add(mut self, rhs: i64) -> Affine {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl std::ops::Sub<i64> for Affine {
+    type Output = Affine;
+    fn sub(mut self, rhs: i64) -> Affine {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(c: i64) -> Self {
+        Affine::constant(c)
+    }
+}
+
+impl From<VarId> for Affine {
+    fn from(v: VarId) -> Self {
+        Affine::var(v)
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, a) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if a == 1 {
+                write!(f, "v{}", v.0)?;
+            } else {
+                write!(f, "{}*v{}", a, v.0)?;
+            }
+        }
+        if self.constant != 0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators for affine `if` conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two integers.
+    pub fn apply(self, l: i64, r: i64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// An affine condition `lhs op rhs`, the only branch condition the IR allows.
+///
+/// Restricting conditions to affine comparisons keeps iteration-space
+/// reasoning decidable, which the storage transformations rely on when they
+/// insert boundary guards (see Figure 6(c) of the paper).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: Affine,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Affine,
+}
+
+impl Cond {
+    /// Builds a condition.
+    pub fn new(lhs: impl Into<Affine>, op: CmpOp, rhs: impl Into<Affine>) -> Self {
+        Cond { lhs: lhs.into(), op, rhs: rhs.into() }
+    }
+
+    /// Evaluates the condition under a loop-variable assignment.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> i64) -> bool {
+        self.op.apply(self.lhs.eval(env), self.rhs.eval(env))
+    }
+
+    /// All loop variables appearing in the condition.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.lhs.vars().chain(self.rhs.vars())
+    }
+
+    /// Renames variable `from` to `to` on both sides.
+    pub fn rename(&self, from: VarId, to: VarId) -> Cond {
+        Cond { lhs: self.lhs.rename(from, to), op: self.op, rhs: self.rhs.rename(from, to) }
+    }
+}
+
+/// One array subscript: an affine expression, optionally reduced modulo a
+/// constant.
+///
+/// Plain programs use purely affine subscripts (`modulo == None`); the
+/// modular form is what array shrinking *produces* — a contracted dimension
+/// of `m` slots is addressed as `(v + c) mod m`.  The static analyses treat
+/// modular subscripts as opaque (they only ever appear post-transformation).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Sub {
+    /// The affine index expression.
+    pub expr: Affine,
+    /// If set, the index is `expr.eval(..).rem_euclid(modulo)`.
+    pub modulo: Option<u64>,
+}
+
+impl Sub {
+    /// A plain affine subscript.
+    pub fn plain(expr: impl Into<Affine>) -> Self {
+        Sub { expr: expr.into(), modulo: None }
+    }
+
+    /// A modular subscript `expr mod m`.
+    pub fn modular(expr: impl Into<Affine>, m: u64) -> Self {
+        assert!(m > 0, "modulus must be positive");
+        Sub { expr: expr.into(), modulo: Some(m) }
+    }
+
+    /// The affine expression when the subscript is non-modular.
+    pub fn as_plain(&self) -> Option<&Affine> {
+        if self.modulo.is_none() {
+            Some(&self.expr)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the subscript under a loop-variable assignment.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> i64) -> i64 {
+        let v = self.expr.eval(env);
+        match self.modulo {
+            None => v,
+            Some(m) => v.rem_euclid(m as i64),
+        }
+    }
+
+    /// Renames a loop variable.
+    pub fn rename(&self, from: VarId, to: VarId) -> Sub {
+        Sub { expr: self.expr.rename(from, to), modulo: self.modulo }
+    }
+}
+
+impl From<Affine> for Sub {
+    fn from(a: Affine) -> Sub {
+        Sub::plain(a)
+    }
+}
+
+impl From<VarId> for Sub {
+    fn from(v: VarId) -> Sub {
+        Sub::plain(Affine::var(v))
+    }
+}
+
+impl From<i64> for Sub {
+    fn from(c: i64) -> Sub {
+        Sub::plain(Affine::constant(c))
+    }
+}
+
+/// A memory reference: either a scalar or an array element.
+///
+/// Scalars model register-resident values (the paper's `sum`); reading or
+/// writing them generates *no* memory traffic.  Array elements are 8-byte
+/// `f64` cells addressed by (possibly modular) affine subscripts and are
+/// what the trace records.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ref {
+    /// A scalar (register) reference.
+    Scalar(ScalarId),
+    /// An array element `A[s₀, s₁, …]`; one subscript per declared dimension.
+    Element(ArrayId, Vec<Sub>),
+}
+
+impl Ref {
+    /// Builds an element reference from anything subscript-like.
+    pub fn element<S: Into<Sub>>(a: ArrayId, subs: impl IntoIterator<Item = S>) -> Ref {
+        Ref::Element(a, subs.into_iter().map(Into::into).collect())
+    }
+
+    /// The array this reference touches, if it is an element reference.
+    pub fn array(&self) -> Option<ArrayId> {
+        match self {
+            Ref::Element(a, _) => Some(*a),
+            Ref::Scalar(_) => None,
+        }
+    }
+
+    /// Renames a loop variable in all subscripts.
+    pub fn rename(&self, from: VarId, to: VarId) -> Ref {
+        match self {
+            Ref::Scalar(s) => Ref::Scalar(*s),
+            Ref::Element(a, subs) => {
+                Ref::Element(*a, subs.iter().map(|s| s.rename(from, to)).collect())
+            }
+        }
+    }
+}
+
+/// Unary floating-point operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation (charged as one flop).
+    Neg,
+    /// Square root (charged as one flop).
+    Sqrt,
+    /// Absolute value (charged as one flop).
+    Abs,
+    /// An opaque single-argument function (the paper's `f(x)`); one flop.
+    F1,
+}
+
+impl UnOp {
+    /// Applies the operator.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnOp::Neg => -x,
+            UnOp::Sqrt => x.abs().sqrt(),
+            UnOp::Abs => x.abs(),
+            // A fixed, cheap, nonlinear mixing function: deterministic and
+            // order-independent so transformed programs stay comparable.
+            UnOp::F1 => 0.5 * x + 0.25,
+        }
+    }
+
+    /// Flops charged for this operator.
+    pub fn flops(self) -> u64 {
+        1
+    }
+}
+
+/// Binary floating-point operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// The paper's opaque two-argument `f(x, y)` (Figure 6); one flop.
+    F,
+    /// The paper's opaque two-argument `g(x, y)` (Figure 6); one flop.
+    G,
+}
+
+impl BinOp {
+    /// Applies the operator.
+    pub fn apply(self, l: f64, r: f64) -> f64 {
+        match self {
+            BinOp::Add => l + r,
+            BinOp::Sub => l - r,
+            BinOp::Mul => l * r,
+            BinOp::Div => l / r,
+            BinOp::Max => l.max(r),
+            BinOp::Min => l.min(r),
+            BinOp::F => 0.6 * l + 0.4 * r + 0.125,
+            BinOp::G => 0.7 * l - 0.3 * r + 0.0625,
+        }
+    }
+
+    /// Flops charged for this operator.
+    pub fn flops(self) -> u64 {
+        1
+    }
+}
+
+/// A floating-point value expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A literal constant.
+    Const(f64),
+    /// A load from a scalar or array element.
+    Load(Ref),
+    /// An external input value, a pure function of the source id and the
+    /// subscript values.  This models the paper's `read(a[i,j])` without
+    /// imposing an input *order*, so transformations that reorder reads
+    /// (loop fusion, peeling) remain observably equivalent.
+    Input(SourceId, Vec<Affine>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A load expression from a reference.
+    pub fn load(r: Ref) -> Expr {
+        Expr::Load(r)
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, x: Expr) -> Expr {
+        Expr::Unary(op, Box::new(x))
+    }
+
+    /// Visits every reference in the expression, in evaluation order.
+    pub fn for_each_ref(&self, f: &mut dyn FnMut(&Ref)) {
+        match self {
+            Expr::Const(_) | Expr::Input(..) => {}
+            Expr::Load(r) => f(r),
+            Expr::Unary(_, x) => x.for_each_ref(f),
+            Expr::Binary(_, l, r) => {
+                l.for_each_ref(f);
+                r.for_each_ref(f);
+            }
+        }
+    }
+
+    /// Rebuilds the expression with every reference rewritten by `f`.
+    pub fn map_refs(&self, f: &mut dyn FnMut(&Ref) -> Ref) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Input(s, subs) => Expr::Input(*s, subs.clone()),
+            Expr::Load(r) => Expr::Load(f(r)),
+            Expr::Unary(op, x) => Expr::Unary(*op, Box::new(x.map_refs(f))),
+            Expr::Binary(op, l, r) => {
+                Expr::Binary(*op, Box::new(l.map_refs(f)), Box::new(r.map_refs(f)))
+            }
+        }
+    }
+
+    /// Rebuilds the expression with every *load* rewritten by `f`, which may
+    /// return an arbitrary replacement expression (used by store elimination
+    /// to forward stored values through scalars).
+    pub fn map_loads(&self, f: &mut dyn FnMut(&Ref) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Input(s, subs) => Expr::Input(*s, subs.clone()),
+            Expr::Load(r) => f(r).unwrap_or_else(|| Expr::Load(r.clone())),
+            Expr::Unary(op, x) => Expr::Unary(*op, Box::new(x.map_loads(f))),
+            Expr::Binary(op, l, r) => {
+                Expr::Binary(*op, Box::new(l.map_loads(f)), Box::new(r.map_loads(f)))
+            }
+        }
+    }
+
+    /// Renames a loop variable throughout the expression.
+    pub fn rename(&self, from: VarId, to: VarId) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Input(s, subs) => {
+                Expr::Input(*s, subs.iter().map(|a| a.rename(from, to)).collect())
+            }
+            Expr::Load(r) => Expr::Load(r.rename(from, to)),
+            Expr::Unary(op, x) => Expr::Unary(*op, Box::new(x.rename(from, to))),
+            Expr::Binary(op, l, r) => {
+                Expr::Binary(*op, Box::new(l.rename(from, to)), Box::new(r.rename(from, to)))
+            }
+        }
+    }
+
+    /// Total flops charged for one evaluation of this expression.
+    pub fn flop_cost(&self) -> u64 {
+        match self {
+            Expr::Const(_) | Expr::Load(_) | Expr::Input(..) => 0,
+            Expr::Unary(op, x) => op.flops() + x.flop_cost(),
+            Expr::Binary(op, l, r) => op.flops() + l.flop_cost() + r.flop_cost(),
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(c: f64) -> Expr {
+        Expr::Const(c)
+    }
+}
+
+impl From<Ref> for Expr {
+    fn from(r: Ref) -> Expr {
+        Expr::Load(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    #[test]
+    fn affine_normalises_terms() {
+        let a = Affine::new(3, vec![(v(1), 2), (v(0), 1), (v(1), -2)]);
+        assert_eq!(a.terms, vec![(v(0), 1)]);
+        assert_eq!(a.constant, 3);
+    }
+
+    #[test]
+    fn affine_add_sub() {
+        let a = Affine::var(v(0)) + 4;
+        let b = Affine::var(v(0)) + Affine::var(v(1)) - 1;
+        let s = a.clone() + b.clone();
+        assert_eq!(s.coeff(v(0)), 2);
+        assert_eq!(s.coeff(v(1)), 1);
+        assert_eq!(s.constant, 3);
+        let d = a - b;
+        assert_eq!(d.coeff(v(0)), 0);
+        assert_eq!(d.coeff(v(1)), -1);
+        assert_eq!(d.constant, 5);
+    }
+
+    #[test]
+    fn affine_eval_and_subst() {
+        let a = Affine::new(1, vec![(v(0), 2), (v(1), -1)]);
+        let env = |x: VarId| if x == v(0) { 5 } else { 3 };
+        assert_eq!(a.eval(&env), 1 + 10 - 3);
+        // substitute v0 := v1 + 2  →  1 + 2(v1+2) - v1 = 5 + v1
+        let b = a.subst(v(0), &(Affine::var(v(1)) + 2));
+        assert_eq!(b.constant, 5);
+        assert_eq!(b.terms, vec![(v(1), 1)]);
+    }
+
+    #[test]
+    fn var_plus_const_detection() {
+        assert_eq!((Affine::var(v(2)) - 1).as_var_plus_const(), Some((v(2), -1)));
+        assert_eq!(Affine::constant(7).as_var_plus_const(), None);
+        let two_v = Affine::new(0, vec![(v(0), 2)]);
+        assert_eq!(two_v.as_var_plus_const(), None);
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Le.apply(3, 3));
+        assert!(!CmpOp::Lt.apply(3, 3));
+        assert!(CmpOp::Ne.apply(1, 2));
+        assert!(CmpOp::Ge.apply(4, 2));
+        assert!(CmpOp::Eq.apply(2, 2));
+        assert!(CmpOp::Gt.apply(4, 2));
+    }
+
+    #[test]
+    fn cond_eval_and_rename() {
+        let c = Cond::new(Affine::var(v(0)), CmpOp::Le, Affine::constant(9));
+        assert!(c.eval(&|_| 9));
+        assert!(!c.eval(&|_| 10));
+        let r = c.rename(v(0), v(5));
+        assert_eq!(r.lhs, Affine::var(v(5)));
+    }
+
+    #[test]
+    fn expr_flop_cost() {
+        // (a + b) * c  → 2 flops; loads are free at the expression level.
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::Const(1.0), Expr::Const(2.0)),
+            Expr::Const(3.0),
+        );
+        assert_eq!(e.flop_cost(), 2);
+        assert_eq!(Expr::Const(0.0).flop_cost(), 0);
+        assert_eq!(Expr::un(UnOp::Sqrt, Expr::Const(4.0)).flop_cost(), 1);
+    }
+
+    #[test]
+    fn expr_ops_sugar() {
+        let e = Expr::Const(1.0) + Expr::Const(2.0) * Expr::Const(3.0);
+        assert_eq!(e.flop_cost(), 2);
+    }
+
+    #[test]
+    fn map_and_visit_refs() {
+        let a = ArrayId(0);
+        let r1 = Ref::element(a, [Affine::var(v(0))]);
+        let e = Expr::load(r1.clone()) + Expr::load(Ref::Scalar(ScalarId(0)));
+        let mut seen = 0;
+        e.for_each_ref(&mut |_| seen += 1);
+        assert_eq!(seen, 2);
+        let e2 = e.map_refs(&mut |r| r.rename(v(0), v(9)));
+        let mut renamed = false;
+        e2.for_each_ref(&mut |r| {
+            if let Ref::Element(_, subs) = r {
+                renamed = subs[0] == Sub::plain(Affine::var(v(9)));
+            }
+        });
+        assert!(renamed);
+    }
+
+    #[test]
+    fn opaque_ops_are_deterministic() {
+        assert_eq!(BinOp::F.apply(1.0, 2.0), BinOp::F.apply(1.0, 2.0));
+        assert_ne!(BinOp::F.apply(1.0, 2.0), BinOp::G.apply(1.0, 2.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Whole-program array and scalar liveness across the nest sequence.
+//!
+//! Loop fusion "localizes the live range of arrays" (paper §3.1): after
+//! fusion, an array may be touched by a single nest only, which is the
+//! enabling condition for storage reduction, and its written values may
+//! never be needed again, which is the enabling condition for store
+//! elimination.  This module computes those facts.
+
+use std::collections::BTreeSet;
+
+use crate::deps::{nest_access, NestAccess};
+use crate::program::{ArrayId, Program, ScalarId};
+
+/// Where one array is read and written across the program.
+#[derive(Clone, Debug, Default)]
+pub struct ArrayLiveness {
+    /// Nest indices that read the array, ascending.
+    pub read_in: Vec<usize>,
+    /// Nest indices that write the array, ascending.
+    pub written_in: Vec<usize>,
+    /// Whether the array's final contents are observable output.
+    pub live_out: bool,
+}
+
+impl ArrayLiveness {
+    /// All nests touching the array.
+    pub fn touched_in(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> =
+            self.read_in.iter().chain(&self.written_in).copied().collect();
+        set.into_iter().collect()
+    }
+
+    /// The single nest touching the array, if exactly one does.
+    /// A "localized" array in the paper's sense.
+    pub fn local_nest(&self) -> Option<usize> {
+        let t = self.touched_in();
+        match t.as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// True if no nest after `nest` reads the array and it is not live-out:
+    /// values stored by nest `nest` are never needed again, so its
+    /// writebacks are candidates for store elimination.
+    pub fn dead_after(&self, nest: usize) -> bool {
+        !self.live_out && self.read_in.iter().all(|&r| r <= nest)
+    }
+
+    /// The last nest reading the array — where the paper's store
+    /// elimination "locates the loop containing the last segment of the
+    /// live range".
+    pub fn last_read(&self) -> Option<usize> {
+        self.read_in.last().copied()
+    }
+}
+
+/// Per-array liveness for the whole program (indexed by [`ArrayId`]).
+pub fn array_liveness(prog: &Program) -> Vec<ArrayLiveness> {
+    let access: Vec<NestAccess> = prog.nests.iter().map(nest_access).collect();
+    prog.arrays
+        .iter()
+        .enumerate()
+        .map(|(k, decl)| {
+            let id = ArrayId(k as u32);
+            ArrayLiveness {
+                read_in: access
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.array_reads.contains(&id))
+                    .map(|(n, _)| n)
+                    .collect(),
+                written_in: access
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.array_writes.contains(&id))
+                    .map(|(n, _)| n)
+                    .collect(),
+                live_out: decl.live_out,
+            }
+        })
+        .collect()
+}
+
+/// Where one scalar is read and written across the program.
+#[derive(Clone, Debug, Default)]
+pub struct ScalarLiveness {
+    /// Nest indices that read the scalar, ascending.
+    pub read_in: Vec<usize>,
+    /// Nest indices that write the scalar, ascending.
+    pub written_in: Vec<usize>,
+    /// Whether the scalar is printed output.
+    pub printed: bool,
+}
+
+/// Per-scalar liveness for the whole program (indexed by [`ScalarId`]).
+pub fn scalar_liveness(prog: &Program) -> Vec<ScalarLiveness> {
+    let access: Vec<NestAccess> = prog.nests.iter().map(nest_access).collect();
+    prog.scalars
+        .iter()
+        .enumerate()
+        .map(|(k, decl)| {
+            let id = ScalarId(k as u32);
+            ScalarLiveness {
+                read_in: access
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.scalar_reads.contains(&id))
+                    .map(|(n, _)| n)
+                    .collect(),
+                written_in: access
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.scalar_writes.contains(&id))
+                    .map(|(n, _)| n)
+                    .collect(),
+                printed: decl.printed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    /// Figure 7(a): `res[i] = res[i] + data[i]` then `sum += res[i]`.
+    fn fig7_like() -> Program {
+        let n = 32usize;
+        let mut b = ProgramBuilder::new("fig7");
+        let res = b.array_in("res", &[n]);
+        let data = b.array_in("data", &[n]);
+        let sum = b.scalar_printed("sum", 0.0);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest(
+            "update",
+            &[(i, 0, n as i64 - 1)],
+            vec![assign(res.at([v(i)]), ld(res.at([v(i)])) + ld(data.at([v(i)])))],
+        );
+        b.nest("reduce", &[(j, 0, n as i64 - 1)], vec![accumulate(sum, ld(res.at([v(j)])))]);
+        b.finish()
+    }
+
+    #[test]
+    fn array_liveness_fig7() {
+        let p = fig7_like();
+        let live = array_liveness(&p);
+        let res = &live[0];
+        assert_eq!(res.read_in, vec![0, 1]);
+        assert_eq!(res.written_in, vec![0]);
+        assert!(!res.live_out);
+        // res is read in nest 1, so its stores in nest 0 are NOT dead yet —
+        // store elimination needs fusion first.
+        assert!(!res.dead_after(0));
+        assert!(res.dead_after(1));
+        assert_eq!(res.last_read(), Some(1));
+        assert_eq!(res.local_nest(), None);
+
+        let data = &live[1];
+        assert_eq!(data.read_in, vec![0]);
+        assert!(data.written_in.is_empty());
+        assert_eq!(data.local_nest(), Some(0));
+    }
+
+    #[test]
+    fn scalar_liveness_fig7() {
+        let p = fig7_like();
+        let live = scalar_liveness(&p);
+        let sum = &live[0];
+        assert_eq!(sum.read_in, vec![1]);
+        assert_eq!(sum.written_in, vec![1]);
+        assert!(sum.printed);
+    }
+
+    #[test]
+    fn live_out_blocks_deadness() {
+        let mut b = ProgramBuilder::new("lo");
+        let a = b.array_out("a", &[8]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, 7)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        let live = array_liveness(&b.finish());
+        assert!(!live[0].dead_after(0));
+        assert_eq!(live[0].local_nest(), Some(0));
+    }
+}

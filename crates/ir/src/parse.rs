@@ -1,0 +1,1014 @@
+//! A text frontend for loop programs, in the paper's pseudo-code style.
+//!
+//! The grammar is exactly what [`crate::pretty`] prints, so
+//! `parse(pretty(p))` reconstructs `p` (structurally) — a property the
+//! test-suite checks — plus a few conveniences for hand-written files:
+//!
+//! ```text
+//! program fig7
+//!   array res[2000000]            // live-out marks observable arrays
+//!   array data[2000000]
+//!   scalar sum = 0  // printed
+//!   for i = 0, 1999999
+//!     res[i] = (res[i] + data[i])
+//!   end for
+//!   for i = 0, 1999999
+//!     sum = (sum + res[i])
+//!   end for
+//! ```
+//!
+//! * Declarations: `array NAME[d0, d1, …]` with optional `// live-out`
+//!   and/or `// zero` attribute comments; `scalar NAME = INIT` with
+//!   optional `// printed`.
+//! * Loops: `for VAR = LO, HI` or `for VAR = LO, HI, STEP`, closed by
+//!   `end for`.  A `for` directly inside another (before any statement)
+//!   deepens the same nest; a top-level `for` begins a new nest.
+//! * Statements: `REF = EXPR`, `if (COND) … else … end if`,
+//!   `read(A[subs])` (sugar for an [`Expr::Input`] assignment).
+//! * Expressions: `+ - * /`, `f(x,y)`, `g(x,y)`, `min/max(x,y)`,
+//!   `sqrt/abs/f1(x)`, unary `-`, parentheses, numbers, scalars, and
+//!   array elements with affine subscripts (optionally `(e) mod k`).
+//! * Other `// comments` are ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::expr::{Affine, BinOp, CmpOp, Cond, Expr, Ref, Sub, UnOp};
+use crate::program::{
+    ArrayDecl, ArrayId, Init, Loop, LoopNest, Program, ScalarDecl, ScalarId, Stmt, VarId,
+};
+
+/// A parse error with 1-based line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Cmp(CmpOp),
+    /// An attribute comment: `// live-out`, `// printed`, `// zero`,
+    /// `// nest k: name`.
+    Attr(String),
+    Newline,
+}
+
+fn lex(src: &str) -> PResult<Vec<(usize, Tok)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let mut rest = line;
+        // Split off a comment; keep recognised attributes.
+        if let Some(pos) = rest.find("//") {
+            let comment = rest[pos + 2..].trim().to_string();
+            rest = &rest[..pos];
+            if !comment.is_empty() {
+                // Tokenise code part first, then push the attribute.
+                lex_code(rest, line_no, &mut out)?;
+                out.push((line_no, Tok::Attr(comment)));
+                out.push((line_no, Tok::Newline));
+                continue;
+            }
+        }
+        lex_code(rest, line_no, &mut out)?;
+        out.push((line_no, Tok::Newline));
+    }
+    Ok(out)
+}
+
+fn lex_code(mut s: &str, line: usize, out: &mut Vec<(usize, Tok)>) -> PResult<()> {
+    loop {
+        s = s.trim_start();
+        if s.is_empty() {
+            return Ok(());
+        }
+        let bytes = s.as_bytes();
+        let (tok, used) = match bytes[0] {
+            b'(' => (Tok::LParen, 1),
+            b')' => (Tok::RParen, 1),
+            b'[' => (Tok::LBracket, 1),
+            b']' => (Tok::RBracket, 1),
+            b',' => (Tok::Comma, 1),
+            b'+' => (Tok::Plus, 1),
+            b'-' => (Tok::Minus, 1),
+            b'*' => (Tok::Star, 1),
+            b'/' => (Tok::Slash, 1),
+            b'=' if s.starts_with("==") => (Tok::Cmp(CmpOp::Eq), 2),
+            b'=' => (Tok::Assign, 1),
+            b'!' if s.starts_with("!=") => (Tok::Cmp(CmpOp::Ne), 2),
+            b'<' if s.starts_with("<=") => (Tok::Cmp(CmpOp::Le), 2),
+            b'<' => (Tok::Cmp(CmpOp::Lt), 1),
+            b'>' if s.starts_with(">=") => (Tok::Cmp(CmpOp::Ge), 2),
+            b'>' => (Tok::Cmp(CmpOp::Gt), 1),
+            b'0'..=b'9' | b'.' => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E'))
+                    .map(|e| {
+                        // Allow an exponent sign right after e/E.
+                        if (s.as_bytes().get(e) == Some(&b'-')
+                            || s.as_bytes().get(e) == Some(&b'+'))
+                            && e > 0
+                            && (s.as_bytes()[e - 1] == b'e' || s.as_bytes()[e - 1] == b'E')
+                        {
+                            s[e + 1..]
+                                .find(|c: char| !c.is_ascii_digit())
+                                .map(|e2| e + 1 + e2)
+                                .unwrap_or(s.len())
+                        } else {
+                            e
+                        }
+                    })
+                    .unwrap_or(s.len());
+                let text = &s[..end];
+                let tok = if text.contains(['.', 'e', 'E']) {
+                    Tok::Num(text.parse::<f64>().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad number `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse::<i64>().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad integer `{text}`"),
+                    })?)
+                };
+                (tok, end)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '#'))
+                    .unwrap_or(s.len());
+                (Tok::Ident(s[..end].to_string()), end)
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        out.push((line, tok));
+        s = &s[used..];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    prog: Program,
+    arrays: BTreeMap<String, ArrayId>,
+    scalars: BTreeMap<String, ScalarId>,
+    vars: BTreeMap<String, VarId>,
+    /// Name for the next nest, captured from a `// nest k: name` attribute.
+    pending_nest_name: Option<String>,
+    /// Counter for `read(...)` input streams.
+    next_read_source: u32,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map(|&(l, _)| l).unwrap_or_else(|| {
+            self.toks.last().map(|&(l, _)| l).unwrap_or(0)
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Some(Tok::Newline)) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> PResult<()> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected {want:?}, found {other:?}"))
+            }
+        }
+    }
+
+    fn eat_ident(&mut self, want: &str) -> PResult<()> {
+        match self.next() {
+            Some(Tok::Ident(ref s)) if s == want => Ok(()),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected `{want}`, found {other:?}"))
+            }
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn integer(&mut self) -> PResult<i64> {
+        match self.next() {
+            Some(Tok::Int(k)) => Ok(k),
+            Some(Tok::Minus) => Ok(-self.integer()?),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected integer, found {other:?}"))
+            }
+        }
+    }
+
+    // --- declarations ------------------------------------------------------
+
+    fn attrs_on_line(&mut self) -> Vec<String> {
+        let mut attrs = Vec::new();
+        while let Some(Tok::Attr(a)) = self.peek() {
+            attrs.push(a.clone());
+            self.pos += 1;
+        }
+        attrs
+    }
+
+    fn parse_array_decl(&mut self) -> PResult<()> {
+        let name = self.ident()?;
+        self.eat(&Tok::LBracket)?;
+        let mut dims = Vec::new();
+        loop {
+            let d = self.integer()?;
+            if d < 0 {
+                return self.err("array extent must be non-negative");
+            }
+            dims.push(d as usize);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBracket) => break,
+                other => return self.err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+        let attrs = self.attrs_on_line();
+        let live_out = attrs.iter().any(|a| a == "live-out" || a == "live_out");
+        let init = if attrs.iter().any(|a| a == "zero") { Init::Zero } else { Init::Hash };
+        if self.arrays.contains_key(&name) || self.scalars.contains_key(&name) {
+            return self.err(format!("duplicate declaration `{name}`"));
+        }
+        let source = self.prog.fresh_source();
+        let id = self.prog.add_array(ArrayDecl { name: name.clone(), dims, init, live_out, source });
+        self.arrays.insert(name, id);
+        Ok(())
+    }
+
+    fn parse_scalar_decl(&mut self) -> PResult<()> {
+        let name = self.ident()?;
+        let init = if matches!(self.peek(), Some(Tok::Assign)) {
+            self.pos += 1;
+            match self.next() {
+                Some(Tok::Num(x)) => x,
+                Some(Tok::Int(k)) => k as f64,
+                Some(Tok::Minus) => match self.next() {
+                    Some(Tok::Num(x)) => -x,
+                    Some(Tok::Int(k)) => -(k as f64),
+                    other => return self.err(format!("expected number, found {other:?}")),
+                },
+                other => return self.err(format!("expected number, found {other:?}")),
+            }
+        } else {
+            0.0
+        };
+        let attrs = self.attrs_on_line();
+        let printed = attrs.iter().any(|a| a == "printed");
+        if self.arrays.contains_key(&name) || self.scalars.contains_key(&name) {
+            return self.err(format!("duplicate declaration `{name}`"));
+        }
+        let id = self.prog.add_scalar(ScalarDecl { name: name.clone(), init, printed });
+        self.scalars.insert(name, id);
+        Ok(())
+    }
+
+    // --- loops and statements ----------------------------------------------
+
+    fn var_id(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = self.prog.add_var(name);
+        self.vars.insert(name.to_string(), v);
+        v
+    }
+
+    fn parse_loop_header(&mut self) -> PResult<Loop> {
+        // `for` already consumed.
+        let var = self.ident()?;
+        let var = self.var_id(&var);
+        self.eat(&Tok::Assign)?;
+        let lo = self.parse_affine()?;
+        self.eat(&Tok::Comma)?;
+        let hi = self.parse_affine()?;
+        let step = if matches!(self.peek(), Some(Tok::Comma)) {
+            self.pos += 1;
+            self.integer()?
+        } else {
+            1
+        };
+        Ok(Loop { var, lo, hi, step })
+    }
+
+    /// Parses a whole nest: consecutive `for` headers, a body, matching
+    /// `end for`s.
+    fn parse_nest(&mut self) -> PResult<LoopNest> {
+        let mut loops = vec![self.parse_loop_header()?];
+        self.skip_newlines();
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "for") {
+            self.pos += 1;
+            loops.push(self.parse_loop_header()?);
+            self.skip_newlines();
+        }
+        let body = self.parse_stmts(&["end"])?;
+        for _ in 0..loops.len() {
+            self.skip_newlines();
+            self.eat_ident("end")?;
+            self.eat_ident("for")?;
+            self.skip_newlines();
+        }
+        let name = self
+            .pending_nest_name
+            .take()
+            .unwrap_or_else(|| format!("nest{}", self.prog.nests.len()));
+        Ok(LoopNest { name, loops, body })
+    }
+
+    /// Parses statements until one of `terminators` appears (not consumed).
+    fn parse_stmts(&mut self, terminators: &[&str]) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                None => return self.err("unexpected end of input in statement list"),
+                Some(Tok::Attr(_)) => {
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(s)) if terminators.contains(&s.as_str()) => return Ok(out),
+                Some(Tok::Ident(s)) if s == "if" => {
+                    self.pos += 1;
+                    out.push(self.parse_if()?);
+                }
+                Some(Tok::Ident(s)) if s == "for" => {
+                    return self.err("nested `for` with sibling statements is not supported \
+                                     (the IR requires perfect nests)");
+                }
+                Some(Tok::Ident(s)) if s == "read" => {
+                    self.pos += 1;
+                    out.push(self.parse_read()?);
+                }
+                Some(Tok::Ident(_)) => out.push(self.parse_assign()?),
+                other => return self.err(format!("expected statement, found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_if(&mut self) -> PResult<Stmt> {
+        self.eat(&Tok::LParen)?;
+        let lhs = self.parse_affine()?;
+        let op = match self.next() {
+            Some(Tok::Cmp(op)) => op,
+            // `pretty` prints equality as a single `=` (the paper's style).
+            Some(Tok::Assign) => CmpOp::Eq,
+            other => return self.err(format!("expected comparison, found {other:?}")),
+        };
+        let rhs = self.parse_affine()?;
+        self.eat(&Tok::RParen)?;
+        let then_ = self.parse_stmts(&["else", "end"])?;
+        self.skip_newlines();
+        let else_ = if matches!(self.peek(), Some(Tok::Ident(s)) if s == "else") {
+            self.pos += 1;
+            self.parse_stmts(&["end"])?
+        } else {
+            Vec::new()
+        };
+        self.skip_newlines();
+        self.eat_ident("end")?;
+        self.eat_ident("if")?;
+        Ok(Stmt::If { cond: Cond { lhs, op, rhs }, then_, else_ })
+    }
+
+    fn parse_read(&mut self) -> PResult<Stmt> {
+        // `read` consumed; expect `( ref )`.
+        self.eat(&Tok::LParen)?;
+        let target = self.parse_ref()?;
+        self.eat(&Tok::RParen)?;
+        let Ref::Element(_, subs) = &target else {
+            return self.err("read(...) target must be an array element");
+        };
+        let exprs: Vec<Affine> = subs
+            .iter()
+            .map(|s| {
+                s.as_plain().cloned().ok_or(ParseError {
+                    line: self.line(),
+                    message: "read(...) subscripts must be plain affine".into(),
+                })
+            })
+            .collect::<PResult<_>>()?;
+        let src = crate::program::SourceId(0x5EAD_0000 + self.next_read_source);
+        self.next_read_source += 1;
+        Ok(Stmt::Assign { lhs: target, rhs: Expr::Input(src, exprs) })
+    }
+
+    fn parse_assign(&mut self) -> PResult<Stmt> {
+        let lhs = self.parse_ref()?;
+        self.eat(&Tok::Assign)?;
+        let rhs = self.parse_expr()?;
+        Ok(Stmt::Assign { lhs, rhs })
+    }
+
+    fn parse_ref(&mut self) -> PResult<Ref> {
+        let name = self.ident()?;
+        if matches!(self.peek(), Some(Tok::LBracket)) {
+            let Some(&arr) = self.arrays.get(&name) else {
+                return self.err(format!("unknown array `{name}`"));
+            };
+            self.pos += 1;
+            let mut subs = Vec::new();
+            loop {
+                subs.push(self.parse_sub()?);
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RBracket) => break,
+                    other => return self.err(format!("expected `,` or `]`, found {other:?}")),
+                }
+            }
+            Ok(Ref::Element(arr, subs))
+        } else if let Some(&s) = self.scalars.get(&name) {
+            Ok(Ref::Scalar(s))
+        } else {
+            self.err(format!("unknown scalar `{name}` (declare it first)"))
+        }
+    }
+
+    /// One subscript: an affine expression, optionally `( e ) mod k`.
+    fn parse_sub(&mut self) -> PResult<Sub> {
+        // Look for the `( affine ) mod k` form.
+        let save = self.pos;
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            if let Ok(e) = self.parse_affine() {
+                if matches!(self.peek(), Some(Tok::RParen)) {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(Tok::Ident(s)) if s == "mod") {
+                        self.pos += 1;
+                        let m = self.integer()?;
+                        if m <= 0 {
+                            return self.err("modulus must be positive");
+                        }
+                        return Ok(Sub::modular(e, m as u64));
+                    }
+                    return Ok(Sub::plain(e));
+                }
+            }
+            self.pos = save;
+        }
+        Ok(Sub::plain(self.parse_affine()?))
+    }
+
+    // --- affine expressions --------------------------------------------------
+
+    /// Parses `term (('+'|'-') term)*` of integers and loop variables.
+    fn parse_affine(&mut self) -> PResult<Affine> {
+        let mut acc = self.parse_affine_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    acc = acc + self.parse_affine_term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    acc = acc - self.parse_affine_term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_affine_term(&mut self) -> PResult<Affine> {
+        // INT ['*' VAR] | VAR | '-' term
+        match self.next() {
+            Some(Tok::Int(k)) => {
+                if matches!(self.peek(), Some(Tok::Star)) {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    let v = self.var_id(&name);
+                    Ok(Affine::new(0, vec![(v, k)]))
+                } else {
+                    Ok(Affine::constant(k))
+                }
+            }
+            Some(Tok::Minus) => Ok(self.parse_affine_term()?.scaled(-1)),
+            Some(Tok::Ident(name)) => {
+                let v = self.var_id(&name);
+                Ok(Affine::var(v))
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected affine term, found {other:?}"))
+            }
+        }
+    }
+
+    // --- value expressions ----------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        let mut acc = self.parse_mul()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    acc = Expr::bin(BinOp::Add, acc, self.parse_mul()?);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    acc = Expr::bin(BinOp::Sub, acc, self.parse_mul()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> PResult<Expr> {
+        let mut acc = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    acc = Expr::bin(BinOp::Mul, acc, self.parse_atom()?);
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    acc = Expr::bin(BinOp::Div, acc, self.parse_atom()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> PResult<Expr> {
+        match self.next() {
+            Some(Tok::Num(x)) => Ok(Expr::Const(x)),
+            Some(Tok::Int(k)) => Ok(Expr::Const(k as f64)),
+            // A literal negative number is a constant, not a negation flop
+            // (keeps pretty → parse flop-count exact).
+            Some(Tok::Minus) if matches!(self.peek(), Some(Tok::Num(_) | Tok::Int(_))) => {
+                match self.next() {
+                    Some(Tok::Num(x)) => Ok(Expr::Const(-x)),
+                    Some(Tok::Int(k)) => Ok(Expr::Const(-(k as f64))),
+                    _ => unreachable!("peeked"),
+                }
+            }
+            Some(Tok::Minus) => Ok(Expr::un(UnOp::Neg, self.parse_atom()?)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => self.parse_call_or_ref(name),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+
+    fn parse_call_or_ref(&mut self, name: String) -> PResult<Expr> {
+        // Function call?
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            let two_arg = |op: BinOp, p: &mut Self| -> PResult<Expr> {
+                p.eat(&Tok::LParen)?;
+                let a = p.parse_expr()?;
+                p.eat(&Tok::Comma)?;
+                let b = p.parse_expr()?;
+                p.eat(&Tok::RParen)?;
+                Ok(Expr::bin(op, a, b))
+            };
+            let one_arg = |op: UnOp, p: &mut Self| -> PResult<Expr> {
+                p.eat(&Tok::LParen)?;
+                let a = p.parse_expr()?;
+                p.eat(&Tok::RParen)?;
+                Ok(Expr::un(op, a))
+            };
+            match name.as_str() {
+                "f" => {
+                    // `f(x)` is UnOp::F1; `f(x, y)` is BinOp::F.
+                    let save = self.pos;
+                    self.eat(&Tok::LParen)?;
+                    let a = self.parse_expr()?;
+                    match self.next() {
+                        Some(Tok::Comma) => {
+                            let b = self.parse_expr()?;
+                            self.eat(&Tok::RParen)?;
+                            return Ok(Expr::bin(BinOp::F, a, b));
+                        }
+                        Some(Tok::RParen) => return Ok(Expr::un(UnOp::F1, a)),
+                        _ => {
+                            self.pos = save;
+                            return self.err("malformed f(...)");
+                        }
+                    }
+                }
+                "g" => return two_arg(BinOp::G, self),
+                "max" => return two_arg(BinOp::Max, self),
+                "min" => return two_arg(BinOp::Min, self),
+                "sqrt" => return one_arg(UnOp::Sqrt, self),
+                "abs" => return one_arg(UnOp::Abs, self),
+                _ => {}
+            }
+            // `input#N(subs)` printed by pretty.
+            if let Some(id) = name.strip_prefix("input#") {
+                let src: u32 = id.parse().map_err(|_| ParseError {
+                    line: self.line(),
+                    message: format!("bad input stream id `{name}`"),
+                })?;
+                self.eat(&Tok::LParen)?;
+                let mut subs = Vec::new();
+                if !matches!(self.peek(), Some(Tok::RParen)) {
+                    loop {
+                        subs.push(self.parse_affine()?);
+                        match self.next() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            other => {
+                                return self
+                                    .err(format!("expected `,` or `)`, found {other:?}"))
+                            }
+                        }
+                    }
+                } else {
+                    self.pos += 1;
+                }
+                return Ok(Expr::Input(crate::program::SourceId(src), subs));
+            }
+            return self.err(format!("unknown function `{name}`"));
+        }
+        // Array element or scalar load.
+        if matches!(self.peek(), Some(Tok::LBracket)) {
+            let Some(&arr) = self.arrays.get(&name) else {
+                return self.err(format!("unknown array `{name}`"));
+            };
+            self.pos += 1;
+            let mut subs = Vec::new();
+            loop {
+                subs.push(self.parse_sub()?);
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RBracket) => break,
+                    other => return self.err(format!("expected `,` or `]`, found {other:?}")),
+                }
+            }
+            return Ok(Expr::Load(Ref::Element(arr, subs)));
+        }
+        if let Some(&s) = self.scalars.get(&name) {
+            return Ok(Expr::Load(Ref::Scalar(s)));
+        }
+        self.err(format!("unknown name `{name}`"))
+    }
+}
+
+/// Parses a whole program from source text.
+///
+/// ```
+/// let program = mbb_ir::parse::parse(r#"
+///     array a[100]
+///     scalar sum = 0  // printed
+///     for i = 0, 99
+///       sum = (sum + a[i])
+///     end for
+/// "#).unwrap();
+/// let result = mbb_ir::interp::run(&program).unwrap();
+/// assert_eq!(result.stats.loads, 100);
+/// ```
+pub fn parse(src: &str) -> PResult<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        prog: Program::new("anonymous"),
+        arrays: BTreeMap::new(),
+        scalars: BTreeMap::new(),
+        vars: BTreeMap::new(),
+        pending_nest_name: None,
+        next_read_source: 0,
+    };
+    // Optional `program NAME` header (leading comments allowed).
+    loop {
+        p.skip_newlines();
+        match p.peek() {
+            Some(Tok::Attr(_)) => {
+                p.pos += 1;
+            }
+            Some(Tok::Ident(s)) if s == "program" => {
+                p.pos += 1;
+                let name = p.ident()?;
+                p.prog.name = name;
+                break;
+            }
+            _ => break,
+        }
+    }
+    loop {
+        p.skip_newlines();
+        match p.peek().cloned() {
+            None => break,
+            Some(Tok::Attr(a)) => {
+                // `// nest k: name` attributes name the following nest.
+                if let Some(rest) = a.strip_prefix("nest ") {
+                    if let Some((_, name)) = rest.split_once(':') {
+                        p.pending_nest_name = Some(name.trim().to_string());
+                    }
+                }
+                p.pos += 1;
+            }
+            Some(Tok::Ident(s)) if s == "array" => {
+                p.pos += 1;
+                p.parse_array_decl()?;
+            }
+            Some(Tok::Ident(s)) if s == "scalar" => {
+                p.pos += 1;
+                p.parse_scalar_decl()?;
+            }
+            Some(Tok::Ident(s)) if s == "prevent_fusion" => {
+                p.pos += 1;
+                let a = p.integer()? as usize;
+                let b = p.integer()? as usize;
+                p.prog.fusion_preventing.push((a, b));
+            }
+            Some(Tok::Ident(s)) if s == "for" => {
+                p.pos += 1;
+                let nest = p.parse_nest()?;
+                p.prog.nests.push(nest);
+            }
+            Some(t) => return p.err(format!("expected declaration or `for`, found {t:?}")),
+        }
+    }
+    crate::validate::validate(&p.prog).map_err(|e| ParseError {
+        line: 0,
+        message: format!("validation failed: {e:?}"),
+    })?;
+    Ok(p.prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{interp, pretty};
+
+    const FIG7: &str = r#"
+program fig7
+  array res[64]
+  array data[64]
+  scalar sum = 0  // printed
+  for i = 0, 63
+    res[i] = (res[i] + data[i])
+  end for
+  for j = 0, 63
+    sum = (sum + res[j])
+  end for
+"#;
+
+    #[test]
+    fn parses_figure7() {
+        let p = parse(FIG7).unwrap();
+        assert_eq!(p.name, "fig7");
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.nests.len(), 2);
+        assert!(p.scalars[0].printed);
+        let r = interp::run(&p).unwrap();
+        assert_eq!(r.stats.loads, 3 * 64);
+    }
+
+    #[test]
+    fn parse_pretty_round_trip() {
+        let p = parse(FIG7).unwrap();
+        let text = pretty::program(&p);
+        let q = parse(&text).unwrap();
+        // Structural equivalence: same declarations, same behaviour.
+        assert_eq!(p.arrays.len(), q.arrays.len());
+        assert_eq!(p.nests.len(), q.nests.len());
+        let (rp, rq) = (interp::run(&p).unwrap(), interp::run(&q).unwrap());
+        assert!(rp.observation.approx_eq(&rq.observation, 0.0));
+        assert_eq!(rp.stats, rq.stats);
+    }
+
+    #[test]
+    fn round_trips_conditionals_and_guards() {
+        let src = r#"
+array t[16, 16]  // live-out
+for j = 0, 15
+for i = 0, 15
+  if (j >= 1)
+    t[i,j] = ((t[i,j-1] + 1) * 0.5)
+  else
+    t[i,j] = 2
+  end if
+end for
+end for
+"#;
+        let p = parse(src).unwrap();
+        let q = parse(&pretty::program(&p)).unwrap();
+        let (rp, rq) = (interp::run(&p).unwrap(), interp::run(&q).unwrap());
+        assert!(rp.observation.approx_eq(&rq.observation, 0.0));
+        assert!(p.arrays[0].live_out);
+    }
+
+    #[test]
+    fn round_trips_modular_subscripts_and_input() {
+        let src = r#"
+array buf[16, 2]
+scalar s = 0  // printed
+for j = 1, 15
+for i = 0, 15
+  buf[i, (j) mod 2] = input#7(i, j)
+  s = (s + buf[i, (j) mod 2])
+end for
+end for
+"#;
+        let p = parse(src).unwrap();
+        let q = parse(&pretty::program(&p)).unwrap();
+        let (rp, rq) = (interp::run(&p).unwrap(), interp::run(&q).unwrap());
+        assert!(rp.observation.approx_eq(&rq.observation, 0.0));
+    }
+
+    #[test]
+    fn read_sugar_creates_input() {
+        let src = r#"
+array a[8, 8]
+scalar s  // printed
+for j = 0, 7
+for i = 0, 7
+  read(a[i, j])
+  s = (s + a[i, j])
+end for
+end for
+"#;
+        let p = parse(src).unwrap();
+        let r1 = interp::run(&p).unwrap();
+        let r2 = interp::run(&p).unwrap();
+        assert_eq!(r1.observation.scalars, r2.observation.scalars);
+        assert!(r1.observation.scalars[0].1 != 0.0);
+    }
+
+    #[test]
+    fn paper_style_single_equals_in_if() {
+        let src = r#"
+array a[8]
+scalar s  // printed
+for i = 0, 7
+  if (i = 3)
+    s = (s + a[i])
+  end if
+end for
+"#;
+        let p = parse(src).unwrap();
+        let r = interp::run(&p).unwrap();
+        assert_eq!(r.stats.loads, 1);
+    }
+
+    #[test]
+    fn negative_steps_and_affine_bounds() {
+        let src = r#"
+scalar s  // printed
+for i = 7, 0, -1
+for j = 0, i
+  s = (s + 1)
+end for
+end for
+"#;
+        let p = parse(src).unwrap();
+        let r = interp::run(&p).unwrap();
+        // Σ (i+1) for i = 0..7 = 36.
+        assert_eq!(r.observation.scalars[0].1, 36.0);
+    }
+
+    #[test]
+    fn functions_parse() {
+        let src = r#"
+array a[4]
+scalar s  // printed
+for i = 0, 3
+  s = (s + f(a[i], 2) + g(1, a[i]) + max(a[i], 0.5) + min(a[i], 0.5) + sqrt(a[i]) + abs(-a[i]) + f(a[i]))
+end for
+"#;
+        let p = parse(src).unwrap();
+        interp::run(&p).unwrap();
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("for i = 0, 7\n  oops[i] = 1\nend for\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("oops"));
+
+        let e = parse("array a[4]\nfor i = 0, 3\n  a[i] = $\nend for\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn imperfect_nesting_rejected() {
+        let src = r#"
+scalar s
+for i = 0, 3
+  s = 1
+  for j = 0, 3
+    s = 2
+  end for
+end for
+"#;
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("perfect"), "{e}");
+    }
+
+    #[test]
+    fn prevent_fusion_directive() {
+        let src = r#"
+scalar s
+prevent_fusion 0 1
+for i = 0, 3
+  s = 1
+end for
+for j = 0, 3
+  s = 2
+end for
+"#;
+        let p = parse(src).unwrap();
+        assert!(p.fusion_prevented(0, 1));
+    }
+
+    /// Round-trip every paper example through pretty → parse → run.
+    #[test]
+    fn round_trips_pretty_output_of_generated_programs() {
+        use crate::builder::*;
+        let mut b = ProgramBuilder::new("gen");
+        let a = b.array_out("a", &[12]);
+        let s = b.scalar_printed("s", 1.5);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 1, 11)],
+            vec![
+                assign(a.at([v(i)]), ld(a.at([v(i) - 1])) * lit(0.5) + ld(s.r())),
+                accumulate(s, ld(a.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        let q = parse(&pretty::program(&p)).unwrap();
+        let (rp, rq) = (interp::run(&p).unwrap(), interp::run(&q).unwrap());
+        assert!(rp.observation.approx_eq(&rq.observation, 0.0), "{:?} vs {:?}",
+            rp.observation, rq.observation);
+    }
+}

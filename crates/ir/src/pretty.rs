@@ -1,0 +1,247 @@
+//! A pretty-printer producing the paper's pseudo-code style.
+//!
+//! Useful for debugging transformations and for the examples, which show
+//! programs before and after optimisation in a form directly comparable to
+//! the paper's Figures 6 and 7.
+
+use std::fmt::Write as _;
+
+use crate::expr::{Affine, BinOp, CmpOp, Cond, Expr, Ref, UnOp};
+use crate::program::{LoopNest, Program, Stmt};
+
+/// Renders a whole program.
+pub fn program(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", prog.name);
+    for a in &prog.arrays {
+        let dims: Vec<String> = a.dims.iter().map(|d| d.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  array {}[{}]{}",
+            a.name,
+            dims.join(", "),
+            if a.live_out { "  // live-out" } else { "" }
+        );
+    }
+    for s in &prog.scalars {
+        let _ = writeln!(
+            out,
+            "  scalar {} = {}{}",
+            s.name,
+            s.init,
+            if s.printed { "  // printed" } else { "" }
+        );
+    }
+    for (k, n) in prog.nests.iter().enumerate() {
+        let _ = writeln!(out, "  // nest {k}: {}", n.name);
+        nest_into(prog, n, 1, &mut out);
+    }
+    out
+}
+
+/// Renders one nest.
+pub fn nest(prog: &Program, n: &LoopNest) -> String {
+    let mut out = String::new();
+    nest_into(prog, n, 0, &mut out);
+    out
+}
+
+fn nest_into(prog: &Program, n: &LoopNest, indent: usize, out: &mut String) {
+    for (d, lp) in n.loops.iter().enumerate() {
+        let pad = "  ".repeat(indent + d);
+        let step = if lp.step == 1 { String::new() } else { format!(", {}", lp.step) };
+        let _ = writeln!(
+            out,
+            "{pad}for {} = {}, {}{step}",
+            prog.var_name(lp.var),
+            affine(prog, &lp.lo),
+            affine(prog, &lp.hi),
+        );
+    }
+    for st in &n.body {
+        stmt_into(prog, st, indent + n.loops.len(), out);
+    }
+    for d in (0..n.loops.len()).rev() {
+        let pad = "  ".repeat(indent + d);
+        let _ = writeln!(out, "{pad}end for");
+    }
+}
+
+fn stmt_into(prog: &Program, st: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match st {
+        Stmt::Assign { lhs, rhs } => {
+            let _ = writeln!(out, "{pad}{} = {}", reference(prog, lhs), expr(prog, rhs));
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "{pad}if ({})", cond_str(prog, cond));
+            for s in then_ {
+                stmt_into(prog, s, indent + 1, out);
+            }
+            if !else_.is_empty() {
+                let _ = writeln!(out, "{pad}else");
+                for s in else_ {
+                    stmt_into(prog, s, indent + 1, out);
+                }
+            }
+            let _ = writeln!(out, "{pad}end if");
+        }
+    }
+}
+
+/// Renders an affine expression with variable names.
+pub fn affine(prog: &Program, a: &Affine) -> String {
+    let mut s = String::new();
+    let mut first = true;
+    for &(var, coef) in &a.terms {
+        let name = prog.var_name(var);
+        if first {
+            match coef {
+                1 => {
+                    let _ = write!(s, "{name}");
+                }
+                -1 => {
+                    let _ = write!(s, "-{name}");
+                }
+                _ => {
+                    let _ = write!(s, "{coef}*{name}");
+                }
+            }
+            first = false;
+        } else if coef >= 0 {
+            if coef == 1 {
+                let _ = write!(s, "+{name}");
+            } else {
+                let _ = write!(s, "+{coef}*{name}");
+            }
+        } else if coef == -1 {
+            let _ = write!(s, "-{name}");
+        } else {
+            let _ = write!(s, "{coef}*{name}");
+        }
+    }
+    if first {
+        let _ = write!(s, "{}", a.constant);
+    } else if a.constant > 0 {
+        let _ = write!(s, "+{}", a.constant);
+    } else if a.constant < 0 {
+        let _ = write!(s, "{}", a.constant);
+    }
+    s
+}
+
+/// Renders a reference.
+pub fn reference(prog: &Program, r: &Ref) -> String {
+    match r {
+        Ref::Scalar(s) => prog.scalar(*s).name.clone(),
+        Ref::Element(a, subs) => {
+            let subs: Vec<String> = subs
+                .iter()
+                .map(|s| match s.modulo {
+                    None => affine(prog, &s.expr),
+                    Some(m) => format!("({}) mod {m}", affine(prog, &s.expr)),
+                })
+                .collect();
+            format!("{}[{}]", prog.array(*a).name, subs.join(","))
+        }
+    }
+}
+
+fn cond_str(prog: &Program, c: &Cond) -> String {
+    let op = match c.op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    };
+    format!("{} {op} {}", affine(prog, &c.lhs), affine(prog, &c.rhs))
+}
+
+/// Renders a value expression.
+pub fn expr(prog: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::Load(r) => reference(prog, r),
+        Expr::Input(src, subs) => {
+            let subs: Vec<String> = subs.iter().map(|s| affine(prog, s)).collect();
+            format!("input#{}({})", src.0, subs.join(","))
+        }
+        Expr::Unary(op, x) => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Sqrt => "sqrt",
+                UnOp::Abs => "abs",
+                UnOp::F1 => "f",
+            };
+            format!("{o}({})", expr(prog, x))
+        }
+        Expr::Binary(op, l, r) => {
+            let (ls, rs) = (expr(prog, l), expr(prog, r));
+            match op {
+                BinOp::Add => format!("({ls} + {rs})"),
+                BinOp::Sub => format!("({ls} - {rs})"),
+                BinOp::Mul => format!("({ls} * {rs})"),
+                BinOp::Div => format!("({ls} / {rs})"),
+                BinOp::Max => format!("max({ls}, {rs})"),
+                BinOp::Min => format!("min({ls}, {rs})"),
+                BinOp::F => format!("f({ls}, {rs})"),
+                BinOp::G => format!("g({ls}, {rs})"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn renders_paper_style() {
+        let mut b = ProgramBuilder::new("demo");
+        let a = b.array("a", &[10]);
+        let s = b.scalar_printed("sum", 0.0);
+        let i = b.var("i");
+        b.nest("k", &[(i, 1, 9)], vec![accumulate(s, ld(a.at([v(i) - 1])))]);
+        let text = program(&b.finish());
+        assert!(text.contains("for i = 1, 9"), "{text}");
+        assert!(text.contains("sum = (sum + a[i-1])"), "{text}");
+        assert!(text.contains("end for"), "{text}");
+        assert!(text.contains("array a[10]"), "{text}");
+    }
+
+    #[test]
+    fn renders_conditionals() {
+        use crate::expr::CmpOp;
+        let mut b = ProgramBuilder::new("demo");
+        let s = b.scalar("t", 0.0);
+        let i = b.var("j");
+        b.nest(
+            "k",
+            &[(i, 2, 9)],
+            vec![if_else(
+                cmp(v(i), CmpOp::Le, c(8)),
+                vec![assign(s.r(), lit(1.0))],
+                vec![assign(s.r(), lit(2.0))],
+            )],
+        );
+        let text = program(&b.finish());
+        assert!(text.contains("if (j <= 8)"), "{text}");
+        assert!(text.contains("else"), "{text}");
+        assert!(text.contains("end if"), "{text}");
+    }
+
+    #[test]
+    fn affine_rendering_signs() {
+        let mut p = crate::program::Program::new("t");
+        let i = p.add_var("i");
+        let j = p.add_var("j");
+        assert_eq!(affine(&p, &(v(i) - 1)), "i-1");
+        assert_eq!(affine(&p, &(v(i) + 1)), "i+1");
+        assert_eq!(affine(&p, &Affine::new(0, vec![(i, 1), (j, -1)])), "i-j");
+        assert_eq!(affine(&p, &Affine::constant(5)), "5");
+        assert_eq!(affine(&p, &Affine::new(2, vec![(i, 3)])), "3*i+2");
+    }
+}

@@ -1,0 +1,457 @@
+//! Program structure: declarations, loop nests, statements.
+
+use crate::expr::{Affine, Cond, Expr, Ref};
+
+/// Identifies a declared array within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArrayId(pub u32);
+
+/// Identifies a declared scalar within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ScalarId(pub u32);
+
+/// Identifies a loop variable within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// A stable identity for an external input stream.
+///
+/// `Expr::Input(src, subs)` evaluates to a pure function of `(src, subs)`.
+/// The source id survives transformations that rename or replace the array
+/// an input is stored into, so original and optimised programs read the
+/// same input data.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SourceId(pub u32);
+
+/// How an array's cells are initialised before execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Init {
+    /// All cells zero.
+    Zero,
+    /// Cell `k` holds a deterministic pseudo-random value derived from the
+    /// array's *source id* and `k`.  This is the default: it models live-in
+    /// data and makes illegal transformations (ones that read cells the
+    /// original program never defined) observable in equivalence checks.
+    Hash,
+    /// Mirrors the constant-index section `dim = index` of a
+    /// [`Init::Hash`]-initialised array with shape `orig_dims` and the
+    /// given source.  Array peeling uses this so that a peeled section
+    /// starts with exactly the live-in values the original section had,
+    /// making peeling unconditionally semantics-preserving.
+    HashSection {
+        /// Source id of the array the section was peeled from.
+        source: SourceId,
+        /// Shape of the original array.
+        orig_dims: Vec<usize>,
+        /// The dimension that was peeled away.
+        dim: usize,
+        /// The constant index of the peeled section.
+        index: usize,
+    },
+    /// Interleaves the [`Init::Hash`] contents of several same-shaped
+    /// arrays: cell `k` holds member `k mod n`'s value at position
+    /// `k / n`.  Inter-array data regrouping uses this so a regrouped
+    /// array starts with exactly the live-in values its members had.
+    HashInterleaved {
+        /// The member arrays' sources, in member order.
+        sources: Vec<SourceId>,
+    },
+}
+
+/// A dense rectangular array of `f64` cells.
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    /// Human-readable name (unique within the program).
+    pub name: String,
+    /// Extent of each dimension.  Subscript `d` of an element reference must
+    /// evaluate into `0..dims[d]` (the builder offers 1-based sugar but the
+    /// stored IR is 0-based).
+    pub dims: Vec<usize>,
+    /// Initial contents.
+    pub init: Init,
+    /// Whether the array's final contents are observable program output.
+    /// Live-out arrays can never be shrunk and their stores can never be
+    /// eliminated.
+    pub live_out: bool,
+    /// The input-stream identity used by [`Init::Hash`] and preserved across
+    /// transformations that replace this array with another.
+    pub source: SourceId,
+}
+
+impl ArrayDecl {
+    /// Total number of `f64` cells.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the array has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes (8 bytes per cell).
+    pub fn bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+/// A named scalar. Scalars model register-resident values and generate no
+/// memory traffic.
+#[derive(Clone, Debug)]
+pub struct ScalarDecl {
+    /// Human-readable name (unique within the program).
+    pub name: String,
+    /// Initial value.
+    pub init: f64,
+    /// Whether the scalar's final value is observable program output (the
+    /// paper's `print sum`).
+    pub printed: bool,
+}
+
+/// One level of a loop nest: `for var = lo..=hi step step`.
+///
+/// Bounds may reference outer loop variables of the same nest (triangular
+/// nests), though the storage transformations require rectangular nests.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop variable, unique among this nest's levels.
+    pub var: VarId,
+    /// Inclusive lower bound.
+    pub lo: Affine,
+    /// Inclusive upper bound.
+    pub hi: Affine,
+    /// Step (must be non-zero; negative steps iterate downward).
+    pub step: i64,
+}
+
+impl Loop {
+    /// Constructs a unit-step loop `for var = lo..=hi`.
+    pub fn new(var: VarId, lo: impl Into<Affine>, hi: impl Into<Affine>) -> Self {
+        Loop { var, lo: lo.into(), hi: hi.into(), step: 1 }
+    }
+
+    /// Number of iterations when both bounds are constant.
+    pub fn const_trip_count(&self) -> Option<u64> {
+        let (lo, hi) = (self.lo.as_const()?, self.hi.as_const()?);
+        if self.step > 0 {
+            if hi < lo {
+                Some(0)
+            } else {
+                Some(((hi - lo) / self.step + 1) as u64)
+            }
+        } else if self.step < 0 {
+            if hi > lo {
+                Some(0)
+            } else {
+                Some(((lo - hi) / (-self.step) + 1) as u64)
+            }
+        } else {
+            None
+        }
+    }
+
+    /// True if two loop headers have identical bounds and step (the
+    /// conformability requirement for fusing their nests level-by-level).
+    pub fn conforms_to(&self, other: &Loop) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.step == other.step
+    }
+}
+
+/// A statement inside a loop nest body.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `lhs = rhs`.
+    Assign {
+        /// The stored-to reference.
+        lhs: Ref,
+        /// The value expression.
+        rhs: Expr,
+    },
+    /// `if cond then … else …` with an affine condition.
+    If {
+        /// The branch condition.
+        cond: Cond,
+        /// Statements executed when the condition holds.
+        then_: Vec<Stmt>,
+        /// Statements executed otherwise (may be empty).
+        else_: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Visits every reference in the statement: loads in evaluation order,
+    /// then the store.  Conditional branches are both visited (this is a
+    /// *static* walk used by the analyses, which treat branches
+    /// conservatively).
+    pub fn for_each_ref(&self, f: &mut dyn FnMut(&Ref, bool /* is_store */)) {
+        match self {
+            Stmt::Assign { lhs, rhs } => {
+                rhs.for_each_ref(&mut |r| f(r, false));
+                f(lhs, true);
+            }
+            Stmt::If { then_, else_, .. } => {
+                for s in then_.iter().chain(else_) {
+                    s.for_each_ref(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the statement with every reference (loads and stores)
+    /// rewritten by `f`.
+    pub fn map_refs(&self, f: &mut dyn FnMut(&Ref) -> Ref) -> Stmt {
+        match self {
+            Stmt::Assign { lhs, rhs } => Stmt::Assign { lhs: f(lhs), rhs: rhs.map_refs(f) },
+            Stmt::If { cond, then_, else_ } => Stmt::If {
+                cond: cond.clone(),
+                then_: then_.iter().map(|s| s.map_refs(f)).collect(),
+                else_: else_.iter().map(|s| s.map_refs(f)).collect(),
+            },
+        }
+    }
+
+    /// Renames a loop variable throughout the statement, including branch
+    /// conditions and subscripts.
+    pub fn rename(&self, from: VarId, to: VarId) -> Stmt {
+        match self {
+            Stmt::Assign { lhs, rhs } => {
+                Stmt::Assign { lhs: lhs.rename(from, to), rhs: rhs.rename(from, to) }
+            }
+            Stmt::If { cond, then_, else_ } => Stmt::If {
+                cond: cond.rename(from, to),
+                then_: then_.iter().map(|s| s.rename(from, to)).collect(),
+                else_: else_.iter().map(|s| s.rename(from, to)).collect(),
+            },
+        }
+    }
+}
+
+/// A (possibly multi-level) rectangular loop nest with a straight-line body.
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    /// Diagnostic name (e.g. `"init"`, `"compute"`).
+    pub name: String,
+    /// Loop levels from outermost to innermost.
+    pub loops: Vec<Loop>,
+    /// Body statements, executed in order once per innermost iteration.
+    pub body: Vec<Stmt>,
+}
+
+impl LoopNest {
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Visits every reference in the body.
+    pub fn for_each_ref(&self, f: &mut dyn FnMut(&Ref, bool)) {
+        for s in &self.body {
+            s.for_each_ref(f);
+        }
+    }
+
+    /// True if the two nests' headers conform level-by-level (same depth,
+    /// bounds and steps), the precondition for direct fusion.
+    pub fn conforms_to(&self, other: &LoopNest) -> bool {
+        self.loops.len() == other.loops.len()
+            && self.loops.iter().zip(&other.loops).all(|(a, b)| a.conforms_to(b))
+    }
+
+    /// Total constant trip count of the nest, if all bounds are constant.
+    pub fn const_trip_count(&self) -> Option<u64> {
+        self.loops.iter().map(|l| l.const_trip_count()).try_fold(1u64, |acc, c| Some(acc * c?))
+    }
+}
+
+/// A whole program: declarations plus an ordered sequence of loop nests.
+///
+/// The sequence order is program order; the dependence analysis derives
+/// ordering constraints from it, and every transformation must preserve the
+/// observable behaviour: final values of `printed` scalars and `live_out`
+/// arrays.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Diagnostic name.
+    pub name: String,
+    /// Array declarations, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayDecl>,
+    /// Scalar declarations, indexed by [`ScalarId`].
+    pub scalars: Vec<ScalarDecl>,
+    /// Loop-variable names, indexed by [`VarId`].
+    pub vars: Vec<String>,
+    /// The loop nests in program order.
+    pub nests: Vec<LoopNest>,
+    /// Explicit fusion-preventing constraints between nest indices, beyond
+    /// what the dependence analysis derives (the paper's undirected edges).
+    pub fusion_preventing: Vec<(usize, usize)>,
+    /// Monotone counter backing [`SourceId`] allocation.
+    pub next_source: u32,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            vars: Vec::new(),
+            nests: Vec::new(),
+            fusion_preventing: Vec::new(),
+            next_source: 0,
+        }
+    }
+
+    /// Looks up an array declaration.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Looks up a scalar declaration.
+    pub fn scalar(&self, id: ScalarId) -> &ScalarDecl {
+        &self.scalars[id.0 as usize]
+    }
+
+    /// Looks up a loop-variable name.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Finds an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(|i| ArrayId(i as u32))
+    }
+
+    /// Finds a scalar by name.
+    pub fn scalar_by_name(&self, name: &str) -> Option<ScalarId> {
+        self.scalars.iter().position(|s| s.name == name).map(|i| ScalarId(i as u32))
+    }
+
+    /// Allocates a fresh input-stream identity.
+    pub fn fresh_source(&mut self) -> SourceId {
+        let s = SourceId(self.next_source);
+        self.next_source += 1;
+        s
+    }
+
+    /// Declares a new array and returns its id.
+    pub fn add_array(&mut self, decl: ArrayDecl) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(decl);
+        id
+    }
+
+    /// Declares a new scalar and returns its id.
+    pub fn add_scalar(&mut self, decl: ScalarDecl) -> ScalarId {
+        let id = ScalarId(self.scalars.len() as u32);
+        self.scalars.push(decl);
+        id
+    }
+
+    /// Declares a new loop variable and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(name.into());
+        id
+    }
+
+    /// Total bytes of declared array storage — the program's data footprint,
+    /// which array shrinking and peeling reduce.
+    pub fn storage_bytes(&self) -> usize {
+        self.arrays.iter().map(|a| a.bytes()).sum()
+    }
+
+    /// True if the nest pair carries an explicit fusion-preventing
+    /// constraint (in either order).
+    pub fn fusion_prevented(&self, a: usize, b: usize) -> bool {
+        self.fusion_preventing.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, BinOp, Expr, Ref};
+
+    #[test]
+    fn trip_counts() {
+        let v = VarId(0);
+        assert_eq!(Loop::new(v, 1, 10).const_trip_count(), Some(10));
+        assert_eq!(Loop::new(v, 0, -1).const_trip_count(), Some(0));
+        let down = Loop { var: v, lo: Affine::constant(10), hi: Affine::constant(1), step: -2 };
+        assert_eq!(down.const_trip_count(), Some(5));
+        let tri = Loop { var: v, lo: Affine::constant(0), hi: Affine::var(VarId(1)), step: 1 };
+        assert_eq!(tri.const_trip_count(), None);
+    }
+
+    #[test]
+    fn conformability() {
+        let a = Loop::new(VarId(0), 1, 100);
+        let b = Loop::new(VarId(1), 1, 100);
+        let c = Loop::new(VarId(2), 2, 100);
+        assert!(a.conforms_to(&b));
+        assert!(!a.conforms_to(&c));
+    }
+
+    #[test]
+    fn program_declarations() {
+        let mut p = Program::new("t");
+        let src = p.fresh_source();
+        let a = p.add_array(ArrayDecl {
+            name: "a".into(),
+            dims: vec![4, 5],
+            init: Init::Zero,
+            live_out: false,
+            source: src,
+        });
+        let s = p.add_scalar(ScalarDecl { name: "sum".into(), init: 0.0, printed: true });
+        let v = p.add_var("i");
+        assert_eq!(p.array(a).len(), 20);
+        assert_eq!(p.array(a).bytes(), 160);
+        assert_eq!(p.scalar(s).name, "sum");
+        assert_eq!(p.var_name(v), "i");
+        assert_eq!(p.array_by_name("a"), Some(a));
+        assert_eq!(p.array_by_name("zzz"), None);
+        assert_eq!(p.scalar_by_name("sum"), Some(s));
+        assert_eq!(p.storage_bytes(), 160);
+    }
+
+    #[test]
+    fn fusion_preventing_is_symmetric() {
+        let mut p = Program::new("t");
+        p.fusion_preventing.push((0, 2));
+        assert!(p.fusion_prevented(0, 2));
+        assert!(p.fusion_prevented(2, 0));
+        assert!(!p.fusion_prevented(1, 2));
+    }
+
+    #[test]
+    fn stmt_ref_walk_order() {
+        // a[i] = a[i] + s  → loads first (array then scalar), then the store.
+        let a = ArrayId(0);
+        let i = VarId(0);
+        let st = Stmt::Assign {
+            lhs: Ref::element(a, [Affine::var(i)]),
+            rhs: Expr::bin(
+                BinOp::Add,
+                Expr::load(Ref::element(a, [Affine::var(i)])),
+                Expr::load(Ref::Scalar(ScalarId(0))),
+            ),
+        };
+        let mut order = Vec::new();
+        st.for_each_ref(&mut |r, is_store| order.push((r.array().is_some(), is_store)));
+        assert_eq!(order, vec![(true, false), (false, false), (true, true)]);
+    }
+
+    #[test]
+    fn nest_conformability_checks_depth() {
+        let n1 = LoopNest { name: "a".into(), loops: vec![Loop::new(VarId(0), 1, 9)], body: vec![] };
+        let n2 = LoopNest {
+            name: "b".into(),
+            loops: vec![Loop::new(VarId(1), 1, 9), Loop::new(VarId(2), 1, 9)],
+            body: vec![],
+        };
+        assert!(!n1.conforms_to(&n2));
+        assert_eq!(n2.const_trip_count(), Some(81));
+    }
+}

@@ -1,0 +1,810 @@
+//! Per-element live-range analysis inside one loop nest.
+//!
+//! Array shrinking (paper §3.2) replaces an `N²` array by a small buffer or
+//! a scalar when every element's live range is short.  This module provides
+//! the analysis that justifies the transformation:
+//!
+//! * [`collect_array_refs`] extracts, for one array in one nest, the shape
+//!   of every reference — per dimension, either `loop-var + offset` or a
+//!   constant — together with the *guard-refined* iteration interval of the
+//!   governing loop variable at the reference site (conditional branches
+//!   with affine conditions narrow the interval, which is what makes the
+//!   boundary `if`s of Figure 6(c) analysable);
+//! * [`contraction_plan`] decides whether the array can be replaced by a
+//!   modular buffer, and of what shape, by
+//!   1. proving **no live-in reads**: every read is covered by a write of
+//!      the same nest that happens no later (componentwise offset
+//!      comparison, with textual order breaking ties),
+//!   2. computing the **carried distance** per loop level
+//!      (`max write offset − min read offset`), and
+//!   3. requiring at most one level with positive distance `d`: the dim at
+//!      that level shrinks to `d + 1` slots, dims at inner levels keep
+//!      their full extent, dims at outer levels shrink to 1.
+//!
+//! Anything the analysis cannot prove is reported as a [`ContractBlocker`]
+//! and the transformation conservatively does nothing.
+
+use std::collections::BTreeMap;
+
+use crate::expr::{Affine, CmpOp, Cond, Expr, Ref};
+use crate::liveness::array_liveness;
+use crate::program::{ArrayId, Program, Stmt, VarId};
+
+/// The shape of one subscript of one reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubShape {
+    /// `var + offset` where `var` is the nest's loop at `level`.
+    Level {
+        /// Loop level (0 = outermost) of the governing variable.
+        level: usize,
+        /// Constant offset added to the variable.
+        offset: i64,
+    },
+    /// A constant subscript (the peeling trigger).
+    Const(i64),
+}
+
+/// One reference to the analysed array.
+#[derive(Clone, Debug)]
+pub struct RefInfo {
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// Position in one body execution (loads in evaluation order, the store
+    /// of a statement after its loads); used to order same-iteration
+    /// accesses.
+    pub seq: usize,
+    /// Per-dimension subscript shapes.
+    pub shapes: Vec<SubShape>,
+    /// Guard-refined `[lo, hi]` interval per *loop level* at this site.
+    pub level_intervals: Vec<(i64, i64)>,
+}
+
+/// Why an array's references could not be collected or contracted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ContractBlocker {
+    /// The array is touched by more than one nest (fuse first) or none.
+    NotLocal,
+    /// The array is observable output.
+    LiveOut,
+    /// The nest is not rectangular with constant unit-step bounds.
+    NonRectangular,
+    /// A subscript is neither `var + c` (for a nest loop var) nor constant.
+    UnsupportedSubscript,
+    /// A subscript is a constant: peel that section first.
+    ConstSubscript {
+        /// Dimension carrying the constant.
+        dim: usize,
+        /// The constant index.
+        index: i64,
+    },
+    /// Two references disagree on which loop level governs a dimension.
+    InconsistentDim {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// Two dimensions are governed by the same loop level.
+    DuplicateLevel {
+        /// The shared level.
+        level: usize,
+    },
+    /// A read may observe data not written by this nest (live-in).
+    LiveInRead,
+    /// More than one loop level carries a positive live distance.
+    MultiCarried,
+}
+
+/// Normalises an affine condition to `var OP k` when it mentions exactly one
+/// variable with coefficient ±1.  Returns `None` otherwise.
+pub fn normalize_cond(c: &Cond) -> Option<(VarId, CmpOp, i64)> {
+    let diff = c.lhs.clone() - c.rhs.clone(); // diff OP 0
+    match diff.terms.as_slice() {
+        [(v, 1)] => {
+            // v + k OP 0  →  v OP -k
+            Some((*v, c.op, -diff.constant))
+        }
+        [(v, -1)] => {
+            // -v + k OP 0  →  v OP' k  with the comparison flipped.
+            let flipped = match c.op {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                other => other,
+            };
+            Some((*v, flipped, diff.constant))
+        }
+        _ => None,
+    }
+}
+
+/// Refines `[lo, hi]` by `var OP k`; `negate` refines by the complement
+/// (the `else` branch).  An unrepresentable refinement (e.g. `≠` in the
+/// middle of the interval) returns the interval unchanged — a sound
+/// over-approximation.
+fn refine(interval: (i64, i64), op: CmpOp, k: i64, negate: bool) -> (i64, i64) {
+    let op = if negate {
+        match op {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    } else {
+        op
+    };
+    let (lo, hi) = interval;
+    match op {
+        CmpOp::Eq => (lo.max(k), hi.min(k)),
+        CmpOp::Le => (lo, hi.min(k)),
+        CmpOp::Lt => (lo, hi.min(k - 1)),
+        CmpOp::Ge => (lo.max(k), hi),
+        CmpOp::Gt => (lo.max(k + 1), hi),
+        CmpOp::Ne => {
+            if k == lo {
+                (lo + 1, hi)
+            } else if k == hi {
+                (lo, hi - 1)
+            } else {
+                (lo, hi)
+            }
+        }
+    }
+}
+
+/// Collects every reference to `arr` in nest `nest_idx`, with shapes and
+/// guard-refined intervals.
+pub fn collect_array_refs(
+    prog: &Program,
+    nest_idx: usize,
+    arr: ArrayId,
+) -> Result<Vec<RefInfo>, ContractBlocker> {
+    let nest = &prog.nests[nest_idx];
+    // Rectangular, constant, unit-step bounds are required for interval
+    // arithmetic to be exact.
+    let mut base_intervals = Vec::with_capacity(nest.loops.len());
+    let mut level_of: BTreeMap<VarId, usize> = BTreeMap::new();
+    for (l, lp) in nest.loops.iter().enumerate() {
+        let (Some(lo), Some(hi)) = (lp.lo.as_const(), lp.hi.as_const()) else {
+            return Err(ContractBlocker::NonRectangular);
+        };
+        if lp.step != 1 {
+            return Err(ContractBlocker::NonRectangular);
+        }
+        base_intervals.push((lo, hi));
+        level_of.insert(lp.var, l);
+    }
+
+    let mut refs = Vec::new();
+    let mut seq = 0usize;
+    collect_stmts(
+        &nest.body,
+        &level_of,
+        &base_intervals,
+        arr,
+        &mut seq,
+        &mut refs,
+    )?;
+    Ok(refs)
+}
+
+fn shape_of(
+    sub: &Affine,
+    level_of: &BTreeMap<VarId, usize>,
+) -> Result<SubShape, ContractBlocker> {
+    if let Some(k) = sub.as_const() {
+        return Ok(SubShape::Const(k));
+    }
+    if let Some((v, c)) = sub.as_var_plus_const() {
+        if let Some(&l) = level_of.get(&v) {
+            return Ok(SubShape::Level { level: l, offset: c });
+        }
+    }
+    Err(ContractBlocker::UnsupportedSubscript)
+}
+
+fn record_ref(
+    r: &Ref,
+    is_store: bool,
+    arr: ArrayId,
+    level_of: &BTreeMap<VarId, usize>,
+    intervals: &[(i64, i64)],
+    seq: &mut usize,
+    out: &mut Vec<RefInfo>,
+) -> Result<(), ContractBlocker> {
+    if let Ref::Element(a, subs) = r {
+        if *a == arr {
+            let shapes = subs
+                .iter()
+                .map(|s| {
+                    s.as_plain()
+                        .ok_or(ContractBlocker::UnsupportedSubscript)
+                        .and_then(|e| shape_of(e, level_of))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            out.push(RefInfo {
+                is_store,
+                seq: *seq,
+                shapes,
+                level_intervals: intervals.to_vec(),
+            });
+        }
+    }
+    *seq += 1;
+    Ok(())
+}
+
+fn collect_expr(
+    e: &Expr,
+    arr: ArrayId,
+    level_of: &BTreeMap<VarId, usize>,
+    intervals: &[(i64, i64)],
+    seq: &mut usize,
+    out: &mut Vec<RefInfo>,
+) -> Result<(), ContractBlocker> {
+    match e {
+        Expr::Const(_) | Expr::Input(..) => Ok(()),
+        Expr::Load(r) => record_ref(r, false, arr, level_of, intervals, seq, out),
+        Expr::Unary(_, x) => collect_expr(x, arr, level_of, intervals, seq, out),
+        Expr::Binary(_, l, r) => {
+            collect_expr(l, arr, level_of, intervals, seq, out)?;
+            collect_expr(r, arr, level_of, intervals, seq, out)
+        }
+    }
+}
+
+fn collect_stmts(
+    stmts: &[Stmt],
+    level_of: &BTreeMap<VarId, usize>,
+    intervals: &[(i64, i64)],
+    arr: ArrayId,
+    seq: &mut usize,
+    out: &mut Vec<RefInfo>,
+) -> Result<(), ContractBlocker> {
+    for st in stmts {
+        match st {
+            Stmt::Assign { lhs, rhs } => {
+                collect_expr(rhs, arr, level_of, intervals, seq, out)?;
+                record_ref(lhs, true, arr, level_of, intervals, seq, out)?;
+            }
+            Stmt::If { cond, then_, else_ } => {
+                // Refine intervals along each branch when the condition is a
+                // recognised single-variable bound; otherwise keep them as a
+                // sound over-approximation.
+                let refined = normalize_cond(cond).and_then(|(v, op, k)| {
+                    level_of.get(&v).map(|&l| (l, op, k))
+                });
+                let branch =
+                    |body: &[Stmt], neg: bool, seq: &mut usize, out: &mut Vec<RefInfo>| {
+                        let mut iv = intervals.to_vec();
+                        if let Some((l, op, k)) = refined {
+                            iv[l] = refine(iv[l], op, k, neg);
+                        }
+                        if iv.iter().any(|&(lo, hi)| lo > hi) {
+                            // Branch provably never executes.
+                            return Ok(());
+                        }
+                        collect_stmts(body, level_of, &iv, arr, seq, out)
+                    };
+                branch(then_, false, seq, out)?;
+                branch(else_, true, seq, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How an array shrinks: per dimension, the governing loop level and the
+/// number of buffer slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContractionPlan {
+    /// The nest the array is local to.
+    pub nest: usize,
+    /// Loop level governing each dimension.
+    pub dim_levels: Vec<usize>,
+    /// Buffer slots per dimension (`1` ≤ slots ≤ full extent).
+    pub slot_counts: Vec<usize>,
+}
+
+impl ContractionPlan {
+    /// Total buffer cells after contraction.
+    pub fn total_slots(&self) -> usize {
+        self.slot_counts.iter().product()
+    }
+
+    /// True when the whole array collapses to a single cell, i.e. can be
+    /// replaced by a scalar (register) — eliminating cache-register traffic
+    /// entirely, per §3.2 of the paper.
+    pub fn is_scalar(&self) -> bool {
+        self.total_slots() == 1
+    }
+}
+
+/// Decides whether `arr` can be contracted, and how.
+///
+/// See the module documentation for the exact conditions.  The result is a
+/// plan for a *modular* buffer: subscript `v + c` in a contracted dimension
+/// becomes `(v + c) mod slots`.  For the carried dimension this buffer has
+/// `distance + 1` slots — within a constant factor of the paper's
+/// rotating-buffer formulation (`a3[N]` plus a scalar in Figure 6(c)) and
+/// asymptotically identical.
+pub fn contraction_plan(prog: &Program, arr: ArrayId) -> Result<ContractionPlan, ContractBlocker> {
+    let decl = prog.array(arr);
+    if decl.live_out {
+        return Err(ContractBlocker::LiveOut);
+    }
+    let live = array_liveness(prog);
+    let Some(nest_idx) = live[arr.0 as usize].local_nest() else {
+        return Err(ContractBlocker::NotLocal);
+    };
+    let refs = collect_array_refs(prog, nest_idx, arr)?;
+    if refs.is_empty() {
+        return Err(ContractBlocker::NotLocal);
+    }
+    let rank = decl.dims.len();
+
+    // Every dimension must be governed by one consistent loop level.
+    let mut dim_levels: Vec<Option<usize>> = vec![None; rank];
+    for r in &refs {
+        for (d, s) in r.shapes.iter().enumerate() {
+            match *s {
+                SubShape::Const(k) => {
+                    return Err(ContractBlocker::ConstSubscript { dim: d, index: k })
+                }
+                SubShape::Level { level, .. } => match dim_levels[d] {
+                    None => dim_levels[d] = Some(level),
+                    Some(l) if l == level => {}
+                    Some(_) => return Err(ContractBlocker::InconsistentDim { dim: d }),
+                },
+            }
+        }
+    }
+    let dim_levels: Vec<usize> = dim_levels.into_iter().map(|l| l.unwrap()).collect();
+    for (d, &l) in dim_levels.iter().enumerate() {
+        if dim_levels[..d].contains(&l) {
+            return Err(ContractBlocker::DuplicateLevel { level: l });
+        }
+    }
+
+    let offsets = |r: &RefInfo| -> Vec<i64> {
+        r.shapes
+            .iter()
+            .map(|s| match *s {
+                SubShape::Level { offset, .. } => offset,
+                SubShape::Const(_) => unreachable!("consts rejected above"),
+            })
+            .collect()
+    };
+
+    // --- No live-in reads: every read needs covering writes. --------------
+    let writes: Vec<(&RefInfo, Vec<i64>)> =
+        refs.iter().filter(|r| r.is_store).map(|r| (r, offsets(r))).collect();
+    // Loop levels that govern no dimension: the same element is touched at
+    // every iteration of these levels, so a covering write must execute at
+    // every unmapped-level iteration where the read does — otherwise the
+    // read at other iterations observes stale (effectively live-in) data.
+    let unmapped: Vec<usize> = (0..prog.nests[nest_idx].loops.len())
+        .filter(|l| !dim_levels.contains(l))
+        .collect();
+    for read in refs.iter().filter(|r| !r.is_store) {
+        let cr = offsets(read);
+        // Writes admissible as producers for this read: offsets no earlier
+        // (componentwise), same-iteration ties broken by textual order,
+        // and full coverage of the read's interval on every unmapped level.
+        let candidates: Vec<&(&RefInfo, Vec<i64>)> = writes
+            .iter()
+            .filter(|(w, cw)| {
+                let offsets_ok =
+                    cw.iter().zip(&cr).all(|(a, b)| a >= b) && (*cw != cr || w.seq < read.seq);
+                let unmapped_ok = unmapped.iter().all(|&l| {
+                    let (wlo, whi) = w.level_intervals[l];
+                    let (rlo, rhi) = read.level_intervals[l];
+                    wlo <= rlo && whi >= rhi
+                });
+                offsets_ok && unmapped_ok
+            })
+            .collect();
+        // Index-range coverage per dimension, using the guard-refined
+        // interval of each dimension's governing level.
+        let covers_dim = |w: &RefInfo, cw: &[i64], d: usize| {
+            let l = dim_levels[d];
+            let (wlo, whi) = w.level_intervals[l];
+            let (rlo, rhi) = read.level_intervals[l];
+            wlo + cw[d] <= rlo + cr[d] && whi + cw[d] >= rhi + cr[d]
+        };
+        let single = candidates
+            .iter()
+            .any(|(w, cw)| (0..rank).all(|d| covers_dim(w, cw, d)));
+        // Union coverage: guarded writes that partition exactly one
+        // dimension (the `if j == 0 { … } else { … }` boundary pattern)
+        // may jointly cover a read even though none does alone.  Sound
+        // when every contributing write covers all dimensions but one
+        // shared "free" dimension and the writes' index intervals on that
+        // dimension tile the read's interval without gaps.
+        let union = !single
+            && rank > 0
+            && (0..rank).any(|free| {
+                let mut strips: Vec<(i64, i64)> = candidates
+                    .iter()
+                    .filter(|(w, cw)| {
+                        (0..rank).all(|d| d == free || covers_dim(w, cw, d))
+                    })
+                    .map(|(w, cw)| {
+                        let l = dim_levels[free];
+                        let (wlo, whi) = w.level_intervals[l];
+                        (wlo + cw[free], whi + cw[free])
+                    })
+                    .collect();
+                let l = dim_levels[free];
+                let (rlo, rhi) = read.level_intervals[l];
+                let (rlo, rhi) = (rlo + cr[free], rhi + cr[free]);
+                strips.sort_unstable();
+                let mut need = rlo;
+                for (slo, shi) in strips {
+                    if slo <= need && shi >= need {
+                        need = shi + 1;
+                    }
+                    if need > rhi {
+                        break;
+                    }
+                }
+                need > rhi
+            });
+        if !single && !union {
+            return Err(ContractBlocker::LiveInRead);
+        }
+    }
+
+    // --- Carried distances per level. --------------------------------------
+    let mut distance: Vec<i64> = vec![0; prog.nests[nest_idx].loops.len()];
+    for (d, &l) in dim_levels.iter().enumerate() {
+        let max_cw = refs
+            .iter()
+            .filter(|r| r.is_store)
+            .map(|r| offsets(r)[d])
+            .max()
+            .unwrap_or(0);
+        let min_cr = refs
+            .iter()
+            .filter(|r| !r.is_store)
+            .map(|r| offsets(r)[d])
+            .min()
+            .unwrap_or(max_cw);
+        distance[l] = distance[l].max(max_cw - min_cr);
+    }
+    let carried: Vec<usize> =
+        (0..distance.len()).filter(|&l| distance[l] > 0).collect();
+    if carried.len() > 1 {
+        return Err(ContractBlocker::MultiCarried);
+    }
+
+    let slot_counts: Vec<usize> = dim_levels
+        .iter()
+        .enumerate()
+        .map(|(d, &l)| match carried.first() {
+            None => 1,
+            Some(&lstar) => {
+                if l == lstar {
+                    (distance[lstar] + 1) as usize
+                } else if l > lstar {
+                    // Inner to the carried level: keep the full extent.
+                    decl.dims[d]
+                } else {
+                    1
+                }
+            }
+        })
+        .collect();
+
+    Ok(ContractionPlan { nest: nest_idx, dim_levels, slot_counts })
+}
+
+
+impl std::fmt::Display for ContractBlocker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractBlocker::NotLocal => {
+                write!(f, "array is touched by several nests (fuse first) or none")
+            }
+            ContractBlocker::LiveOut => write!(f, "array is observable program output"),
+            ContractBlocker::NonRectangular => {
+                write!(f, "nest is not rectangular with constant unit-step bounds")
+            }
+            ContractBlocker::UnsupportedSubscript => {
+                write!(f, "a subscript is not `var + c` or a constant")
+            }
+            ContractBlocker::ConstSubscript { dim, index } => {
+                write!(f, "constant subscript {index} in dimension {dim}: peel that section first")
+            }
+            ContractBlocker::InconsistentDim { dim } => {
+                write!(f, "references disagree on the loop governing dimension {dim}")
+            }
+            ContractBlocker::DuplicateLevel { level } => {
+                write!(f, "two dimensions are governed by loop level {level}")
+            }
+            ContractBlocker::LiveInRead => {
+                write!(f, "a read may observe data the nest never wrote (live-in)")
+            }
+            ContractBlocker::MultiCarried => {
+                write!(f, "live ranges are carried by more than one loop level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractBlocker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn normalize_cond_forms() {
+        let i = VarId(0);
+        // i <= 5
+        let c1 = cmp(v(i), CmpOp::Le, c(5));
+        assert_eq!(normalize_cond(&c1), Some((i, CmpOp::Le, 5)));
+        // i + 2 == 7  →  i == 5
+        let c2 = cmp(v(i) + 2, CmpOp::Eq, c(7));
+        assert_eq!(normalize_cond(&c2), Some((i, CmpOp::Eq, 5)));
+        // 5 >= i   (i on the right: coefficient −1)  →  i <= 5
+        let c3 = cmp(c(5), CmpOp::Ge, v(i));
+        assert_eq!(normalize_cond(&c3), Some((i, CmpOp::Le, 5)));
+        // Two-variable condition is unrecognised.
+        let c4 = cmp(v(i), CmpOp::Le, v(VarId(1)));
+        assert_eq!(normalize_cond(&c4), None);
+    }
+
+    #[test]
+    fn refine_intervals() {
+        assert_eq!(refine((0, 9), CmpOp::Le, 5, false), (0, 5));
+        assert_eq!(refine((0, 9), CmpOp::Le, 5, true), (6, 9)); // else of ≤
+        assert_eq!(refine((0, 9), CmpOp::Eq, 3, false), (3, 3));
+        assert_eq!(refine((0, 9), CmpOp::Eq, 0, true), (1, 9)); // ≠ at edge
+        assert_eq!(refine((0, 9), CmpOp::Eq, 4, true), (0, 9)); // ≠ inside: over-approx
+        assert_eq!(refine((0, 9), CmpOp::Gt, 3, false), (4, 9));
+        assert_eq!(refine((2, 9), CmpOp::Lt, 2, false), (2, 1)); // empty
+    }
+
+    /// `tmp[i] = x[i]; y[i] = tmp[i]` in one nest: tmp contracts to a scalar.
+    #[test]
+    fn scalar_contraction() {
+        let n = 16usize;
+        let mut b = ProgramBuilder::new("s");
+        let x = b.array_in("x", &[n]);
+        let tmp = b.array_zero("tmp", &[n]);
+        let y = b.array_out("y", &[n]);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(tmp.at([v(i)]), ld(x.at([v(i)])) * lit(2.0)),
+                assign(y.at([v(i)]), ld(tmp.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        let plan = contraction_plan(&p, tmp).unwrap();
+        assert!(plan.is_scalar());
+        assert_eq!(plan.slot_counts, vec![1]);
+    }
+
+    /// Figure-6-like: `a[i,j]` defined per iteration, read at `[i,j]` and
+    /// `[i,j-1]` — carried distance 1 at the outer level, inner dim full.
+    #[test]
+    fn carried_buffer_contraction() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("c");
+        let a = b.array_zero("a", &[n, n]);
+        let out = b.array_out("out", &[n, n]);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest(
+            "k",
+            &[(j, 1, n as i64 - 1), (i, 0, n as i64 - 1)],
+            vec![
+                assign(a.at([v(i), v(j)]), Expr::Input(SourceId(99), vec![v(i), v(j)])),
+                if_then(
+                    cmp(v(j), CmpOp::Ge, c(2)),
+                    vec![assign(
+                        out.at([v(i), v(j)]),
+                        ld(a.at([v(i), v(j)])) + ld(a.at([v(i), v(j) - 1])),
+                    )],
+                ),
+            ],
+        );
+        let p = b.finish();
+        let plan = contraction_plan(&p, a).unwrap();
+        // dim 0 (i, inner level 1): full extent; dim 1 (j, carried): 2 slots.
+        assert_eq!(plan.slot_counts, vec![n, 2]);
+        assert_eq!(plan.total_slots(), 2 * n);
+        assert!(!plan.is_scalar());
+    }
+
+    use crate::expr::Expr;
+    use crate::program::SourceId;
+
+    /// Read-before-write of the same element (`res[i] = res[i] + d[i]`)
+    /// means live-in data: contraction must refuse.
+    #[test]
+    fn live_in_read_blocks() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("li");
+        let res = b.array_in("res", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(res.at([v(i)]), ld(res.at([v(i)])) + lit(1.0)),
+                accumulate(s, ld(res.at([v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        assert_eq!(contraction_plan(&p, res), Err(ContractBlocker::LiveInRead));
+    }
+
+    #[test]
+    fn guard_excluded_boundary_read_is_not_live_in() {
+        // Write t[i]; read t[i-1] only when i ≥ 1: the guarded read never
+        // touches the unwritten t[-1] and contraction succeeds.
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("g");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 0, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), lit(1.0)),
+                if_then(cmp(v(i), CmpOp::Ge, c(1)), vec![accumulate(s, ld(t.at([v(i) - 1])))]),
+            ],
+        );
+        let p = b.finish();
+        let plan = contraction_plan(&p, t).unwrap();
+        assert_eq!(plan.slot_counts, vec![2]);
+    }
+
+    #[test]
+    fn unguarded_boundary_read_is_live_in() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("g2");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest(
+            "k",
+            &[(i, 1, n as i64 - 1)],
+            vec![
+                assign(t.at([v(i)]), lit(1.0)),
+                // t[i-1] at i=1 reads t[0], which this nest never writes.
+                accumulate(s, ld(t.at([v(i) - 1]))),
+            ],
+        );
+        let p = b.finish();
+        assert_eq!(contraction_plan(&p, t), Err(ContractBlocker::LiveInRead));
+    }
+
+    #[test]
+    fn const_subscript_requests_peeling() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("cs");
+        let a = b.array_zero("a", &[n, n]);
+        let s = b.scalar_printed("s", 0.0);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest(
+            "k",
+            &[(j, 0, n as i64 - 1), (i, 0, n as i64 - 1)],
+            vec![
+                assign(a.at([v(i), v(j)]), lit(1.0)),
+                accumulate(s, ld(a.at([v(i), c(0)]))),
+            ],
+        );
+        let p = b.finish();
+        assert_eq!(
+            contraction_plan(&p, a),
+            Err(ContractBlocker::ConstSubscript { dim: 1, index: 0 })
+        );
+    }
+
+    #[test]
+    fn multi_nest_array_blocks() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("mn");
+        let a = b.array_zero("a", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.nest("w", &[(i, 0, n as i64 - 1)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        b.nest("r", &[(j, 0, n as i64 - 1)], vec![accumulate(s, ld(a.at([v(j)])))]);
+        let p = b.finish();
+        assert_eq!(contraction_plan(&p, a), Err(ContractBlocker::NotLocal));
+    }
+
+    #[test]
+    fn live_out_blocks() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("lo");
+        let a = b.array_out("a", &[n]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, n as i64 - 1)], vec![assign(a.at([v(i)]), lit(1.0))]);
+        let p = b.finish();
+        assert_eq!(contraction_plan(&p, a), Err(ContractBlocker::LiveOut));
+    }
+
+    #[test]
+    fn guard_partitioned_writes_union_cover() {
+        // `if j >= 1 { t[i,j] = … } else { t[i,j] = … }` jointly defines
+        // every element; reads at [i,j] then contract t to a scalar.
+        let n = 8usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("uc");
+        let t = b.array_zero("t", &[n, n]);
+        let s = b.scalar_printed("s", 0.0);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest(
+            "k",
+            &[(j, 0, hi), (i, 0, hi)],
+            vec![
+                if_else(
+                    cmp(v(j), CmpOp::Ge, c(1)),
+                    vec![assign(t.at([v(i), v(j)]), lit(2.0))],
+                    vec![assign(t.at([v(i), v(j)]), lit(1.0))],
+                ),
+                accumulate(s, ld(t.at([v(i), v(j)]))),
+            ],
+        );
+        let p = b.finish();
+        let plan = contraction_plan(&p, t).unwrap();
+        assert!(plan.is_scalar());
+    }
+
+    #[test]
+    fn union_coverage_requires_gap_free_tiling() {
+        // Writes cover j ∈ {0} and j ∈ [2, hi] only: reads at j = 1 are
+        // live-in, so contraction must still refuse.
+        let n = 8usize;
+        let hi = n as i64 - 1;
+        let mut b = ProgramBuilder::new("gap");
+        let t = b.array_zero("t", &[n]);
+        let s = b.scalar_printed("s", 0.0);
+        let j = b.var("j");
+        b.nest(
+            "k",
+            &[(j, 0, hi)],
+            vec![
+                if_then(cmp(v(j), CmpOp::Eq, c(0)), vec![assign(t.at([v(j)]), lit(1.0))]),
+                if_then(cmp(v(j), CmpOp::Ge, c(2)), vec![assign(t.at([v(j)]), lit(2.0))]),
+                accumulate(s, ld(t.at([v(j)]))),
+            ],
+        );
+        let p = b.finish();
+        assert_eq!(contraction_plan(&p, t), Err(ContractBlocker::LiveInRead));
+    }
+
+    #[test]
+    fn transposed_access_is_inconsistent() {
+        let n = 8usize;
+        let mut b = ProgramBuilder::new("tr");
+        let a = b.array_zero("a", &[n, n]);
+        let s = b.scalar_printed("s", 0.0);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest(
+            "k",
+            &[(j, 0, n as i64 - 1), (i, 0, n as i64 - 1)],
+            vec![
+                assign(a.at([v(i), v(j)]), lit(1.0)),
+                accumulate(s, ld(a.at([v(j), v(i)]))),
+            ],
+        );
+        let p = b.finish();
+        assert!(matches!(
+            contraction_plan(&p, a),
+            Err(ContractBlocker::InconsistentDim { .. })
+        ));
+    }
+}

@@ -1,0 +1,374 @@
+//! Structural validation of programs.
+//!
+//! Transformations in this workspace construct programs mechanically;
+//! [`validate`] is the safety net run by tests (and cheap enough to run
+//! always) that catches malformed IR early, with diagnostics that name the
+//! offending construct.
+
+use std::collections::BTreeSet;
+
+use crate::expr::{Expr, Ref};
+use crate::program::{LoopNest, Program, Stmt, VarId};
+
+/// A structural defect found in a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidateError {
+    /// An element reference has the wrong number of subscripts.
+    RankMismatch {
+        /// The nest containing the reference.
+        nest: String,
+        /// The array's name.
+        array: String,
+        /// Subscripts supplied.
+        got: usize,
+        /// Dimensions declared.
+        want: usize,
+    },
+    /// An `ArrayId`, `ScalarId` or `VarId` is out of range.
+    DanglingId {
+        /// The nest containing the reference.
+        nest: String,
+        /// Description of the dangling id.
+        what: String,
+    },
+    /// A subscript, bound or condition uses a loop variable not bound by an
+    /// enclosing loop of the nest.
+    UnboundVar {
+        /// The nest containing the use.
+        nest: String,
+        /// The variable's name (or id when unnamed).
+        var: String,
+    },
+    /// Two loops of one nest bind the same variable.
+    DuplicateLoopVar {
+        /// The nest.
+        nest: String,
+        /// The variable's name.
+        var: String,
+    },
+    /// A loop has step 0.
+    ZeroStep {
+        /// The nest.
+        nest: String,
+    },
+    /// Two declarations share a name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A fusion-preventing edge names a nonexistent nest.
+    BadFusionEdge {
+        /// The offending pair.
+        pair: (usize, usize),
+    },
+}
+
+/// Checks a whole program, returning the first defect found.
+pub fn validate(prog: &Program) -> Result<(), ValidateError> {
+    // Unique declaration names.
+    let mut names = BTreeSet::new();
+    for n in prog
+        .arrays
+        .iter()
+        .map(|a| &a.name)
+        .chain(prog.scalars.iter().map(|s| &s.name))
+    {
+        if !names.insert(n.clone()) {
+            return Err(ValidateError::DuplicateName { name: n.clone() });
+        }
+    }
+    for &(a, b) in &prog.fusion_preventing {
+        if a >= prog.nests.len() || b >= prog.nests.len() {
+            return Err(ValidateError::BadFusionEdge { pair: (a, b) });
+        }
+    }
+    for nest in &prog.nests {
+        validate_nest(prog, nest)?;
+    }
+    Ok(())
+}
+
+fn validate_nest(prog: &Program, nest: &LoopNest) -> Result<(), ValidateError> {
+    let mut bound: BTreeSet<VarId> = BTreeSet::new();
+    for lp in &nest.loops {
+        if lp.step == 0 {
+            return Err(ValidateError::ZeroStep { nest: nest.name.clone() });
+        }
+        if (lp.var.0 as usize) >= prog.vars.len() {
+            return Err(ValidateError::DanglingId {
+                nest: nest.name.clone(),
+                what: format!("loop var id {}", lp.var.0),
+            });
+        }
+        // Bounds may reference outer vars only.
+        for v in lp.lo.vars().chain(lp.hi.vars()) {
+            if !bound.contains(&v) {
+                return Err(ValidateError::UnboundVar {
+                    nest: nest.name.clone(),
+                    var: var_name(prog, v),
+                });
+            }
+        }
+        if !bound.insert(lp.var) {
+            return Err(ValidateError::DuplicateLoopVar {
+                nest: nest.name.clone(),
+                var: var_name(prog, lp.var),
+            });
+        }
+    }
+    for st in &nest.body {
+        validate_stmt(prog, nest, st, &bound)?;
+    }
+    Ok(())
+}
+
+fn var_name(prog: &Program, v: VarId) -> String {
+    prog.vars
+        .get(v.0 as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("v{}", v.0))
+}
+
+fn validate_stmt(
+    prog: &Program,
+    nest: &LoopNest,
+    st: &Stmt,
+    bound: &BTreeSet<VarId>,
+) -> Result<(), ValidateError> {
+    match st {
+        Stmt::Assign { lhs, rhs } => {
+            validate_ref(prog, nest, lhs, bound)?;
+            validate_expr(prog, nest, rhs, bound)
+        }
+        Stmt::If { cond, then_, else_ } => {
+            for v in cond.vars() {
+                if !bound.contains(&v) {
+                    return Err(ValidateError::UnboundVar {
+                        nest: nest.name.clone(),
+                        var: var_name(prog, v),
+                    });
+                }
+            }
+            for s in then_.iter().chain(else_) {
+                validate_stmt(prog, nest, s, bound)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn validate_expr(
+    prog: &Program,
+    nest: &LoopNest,
+    e: &Expr,
+    bound: &BTreeSet<VarId>,
+) -> Result<(), ValidateError> {
+    match e {
+        Expr::Const(_) => Ok(()),
+        Expr::Input(_, subs) => {
+            for s in subs {
+                for v in s.vars() {
+                    if !bound.contains(&v) {
+                        return Err(ValidateError::UnboundVar {
+                            nest: nest.name.clone(),
+                            var: var_name(prog, v),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+        Expr::Load(r) => validate_ref(prog, nest, r, bound),
+        Expr::Unary(_, x) => validate_expr(prog, nest, x, bound),
+        Expr::Binary(_, l, r) => {
+            validate_expr(prog, nest, l, bound)?;
+            validate_expr(prog, nest, r, bound)
+        }
+    }
+}
+
+fn validate_ref(
+    prog: &Program,
+    nest: &LoopNest,
+    r: &Ref,
+    bound: &BTreeSet<VarId>,
+) -> Result<(), ValidateError> {
+    match r {
+        Ref::Scalar(s) => {
+            if (s.0 as usize) >= prog.scalars.len() {
+                return Err(ValidateError::DanglingId {
+                    nest: nest.name.clone(),
+                    what: format!("scalar id {}", s.0),
+                });
+            }
+            Ok(())
+        }
+        Ref::Element(a, subs) => {
+            let Some(decl) = prog.arrays.get(a.0 as usize) else {
+                return Err(ValidateError::DanglingId {
+                    nest: nest.name.clone(),
+                    what: format!("array id {}", a.0),
+                });
+            };
+            if subs.len() != decl.dims.len() {
+                return Err(ValidateError::RankMismatch {
+                    nest: nest.name.clone(),
+                    array: decl.name.clone(),
+                    got: subs.len(),
+                    want: decl.dims.len(),
+                });
+            }
+            for s in subs {
+                for v in s.expr.vars() {
+                    if !bound.contains(&v) {
+                        return Err(ValidateError::UnboundVar {
+                            nest: nest.name.clone(),
+                            var: var_name(prog, v),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = ProgramBuilder::new("ok");
+        let a = b.array("a", &[8]);
+        let s = b.scalar_printed("s", 0.0);
+        let i = b.var("i");
+        b.nest("k", &[(i, 0, 7)], vec![accumulate(s, ld(a.at([v(i)])))]);
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let mut b = ProgramBuilder::new("rk");
+        let a = b.array("a", &[8, 8]);
+        let s = b.scalar("s", 0.0);
+        let i = b.var("i");
+        b.nest("k", &[(i, 0, 7)], vec![accumulate(s, ld(a.at([v(i)])))]);
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound_var() {
+        let mut b = ProgramBuilder::new("ub");
+        let a = b.array("a", &[8]);
+        let s = b.scalar("s", 0.0);
+        let i = b.var("i");
+        let ghost = b.var("ghost");
+        b.nest("k", &[(i, 0, 7)], vec![accumulate(s, ld(a.at([v(ghost)])))]);
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::UnboundVar { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_loop_var() {
+        let mut b = ProgramBuilder::new("dl");
+        let s = b.scalar("s", 0.0);
+        let i = b.var("i");
+        b.nest("k", &[(i, 0, 7), (i, 0, 7)], vec![accumulate(s, lit(1.0))]);
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::DuplicateLoopVar { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = ProgramBuilder::new("dn");
+        b.array("x", &[4]);
+        b.scalar("x", 0.0);
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_fusion_edge() {
+        let mut b = ProgramBuilder::new("fe");
+        b.prevent_fusion(0, 3);
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::BadFusionEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn triangular_bounds_accepted() {
+        let mut b = ProgramBuilder::new("tri");
+        let s = b.scalar("s", 0.0);
+        let (i, j) = (b.var("i"), b.var("j"));
+        b.nest_general(
+            "k",
+            vec![
+                crate::program::Loop::new(i, 0, 7),
+                crate::program::Loop::new(j, 0, v(i)),
+            ],
+            vec![accumulate(s, lit(1.0))],
+        );
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::RankMismatch { nest, array, got, want } => write!(
+                f,
+                "nest `{nest}`: array `{array}` referenced with {got} subscripts, declared with {want} dimensions"
+            ),
+            ValidateError::DanglingId { nest, what } => {
+                write!(f, "nest `{nest}`: dangling {what}")
+            }
+            ValidateError::UnboundVar { nest, var } => {
+                write!(f, "nest `{nest}`: loop variable `{var}` is not bound by an enclosing loop")
+            }
+            ValidateError::DuplicateLoopVar { nest, var } => {
+                write!(f, "nest `{nest}`: loop variable `{var}` bound twice")
+            }
+            ValidateError::ZeroStep { nest } => write!(f, "nest `{nest}`: loop step is zero"),
+            ValidateError::DuplicateName { name } => {
+                write!(f, "duplicate declaration name `{name}`")
+            }
+            ValidateError::BadFusionEdge { pair } => {
+                write!(f, "fusion-preventing edge {pair:?} names a nonexistent nest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_construct() {
+        let e = ValidateError::RankMismatch {
+            nest: "k".into(),
+            array: "a".into(),
+            got: 1,
+            want: 2,
+        };
+        assert!(e.to_string().contains("`a`"));
+        assert!(e.to_string().contains("1 subscripts"));
+        let e = ValidateError::UnboundVar { nest: "k".into(), var: "j".into() };
+        assert!(e.to_string().contains("`j`"));
+    }
+}

@@ -1,0 +1,463 @@
+//! A single set-associative cache level with LRU replacement.
+//!
+//! The simulator is *trace-exact*: every hit, miss and writeback is the one
+//! a real cache with the same geometry would take on the same address
+//! stream.  Event counts — not timing — are produced here; the timing model
+//! lives in [`crate::timing`].
+
+/// Write-handling policy of a cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate: stores dirty the line; dirty evictions
+    /// cost a writeback to the next level.  Both the R10K's caches and the
+    /// PA-8000's data cache are write-back, which is why the paper's store
+    /// elimination pays off: a removed store removes a whole-line writeback.
+    WriteBack,
+    /// Write-through, no-allocate: every store is forwarded to the next
+    /// level immediately; store misses do not allocate.
+    WriteThrough,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Diagnostic name ("L1", "L2", …).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Associativity (1 = direct-mapped).
+    pub assoc: u32,
+    /// Write policy.
+    pub policy: WritePolicy,
+    /// Next-line prefetch depth: on a demand miss, the hierarchy also
+    /// fetches this many sequential lines (0 = no prefetching).  Models
+    /// the latency-tolerance techniques of §1 — which, as the paper says,
+    /// trade *bandwidth* for latency: useless prefetches consume the
+    /// memory channel.
+    pub prefetch_next: u32,
+    /// Physical-indexing emulation: when set, the set index is computed
+    /// from a deterministic per-page shuffle of the address at this page
+    /// granularity.  This models an OS that places pages randomly in
+    /// physical memory (IRIX on the Origin2000), which breaks the
+    /// pathological set conflicts that contiguous same-size arrays would
+    /// otherwise produce.  `None` models strict page colouring (HP-UX on
+    /// the Exemplar), where virtual-address conflicts hit the cache
+    /// directly — the source of the paper's `3w6r` outlier in Figure 3.
+    pub page_shuffle: Option<u64>,
+}
+
+impl CacheConfig {
+    /// A write-back, write-allocate cache with virtual (unshuffled)
+    /// indexing.
+    pub fn write_back(name: &str, size: u64, line: u64, assoc: u32) -> Self {
+        CacheConfig {
+            name: name.into(),
+            size,
+            line,
+            assoc,
+            policy: WritePolicy::WriteBack,
+            prefetch_next: 0,
+            page_shuffle: None,
+        }
+    }
+
+    /// The same cache with next-line prefetching of the given depth.
+    pub fn with_prefetch(mut self, depth: u32) -> Self {
+        self.prefetch_next = depth;
+        self
+    }
+
+    /// The same cache with per-page index shuffling at `page` bytes.
+    pub fn with_page_shuffle(mut self, page: u64) -> Self {
+        assert!(page.is_power_of_two() && page >= self.line);
+        self.page_shuffle = Some(page);
+        self
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        (self.size / self.line / u64::from(self.assoc)).max(1)
+    }
+}
+
+/// Event counters for one cache level.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct LevelStats {
+    /// Load hits.
+    pub read_hits: u64,
+    /// Load misses.
+    pub read_misses: u64,
+    /// Store hits.
+    pub write_hits: u64,
+    /// Store misses.
+    pub write_misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+    /// Lines fetched from the next level.
+    pub fetches: u64,
+    /// Lines installed by the prefetcher (also counted in `fetches`).
+    pub prefetches: u64,
+}
+
+impl LevelStats {
+    /// All misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// All accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Miss ratio (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    valid: bool,
+}
+
+/// What a single-line access did, as seen by the next level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LineOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was fetched; optionally a dirty victim was evicted.
+    Miss {
+        /// Byte address of the written-back victim line, if any.
+        writeback_of: Option<u64>,
+        /// Whether a fetch from the next level was needed (full-line writes
+        /// in a write-back cache allocate without fetching).
+        fetched: bool,
+    },
+    /// Write-through store forwarded below (never allocates on miss).
+    WroteThrough {
+        /// Whether the store hit in this level.
+        hit: bool,
+    },
+}
+
+/// One cache level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    /// Per-set LRU order: `lru[s][0]` is the MRU way index.
+    lru: Vec<Vec<u8>>,
+    /// Event counters.
+    pub stats: LevelStats,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.assoc >= 1, "associativity must be at least 1");
+        let sets = cfg.sets() as usize;
+        let ways = cfg.assoc as usize;
+        Cache {
+            sets: vec![vec![Line { tag: 0, dirty: false, valid: false }; ways]; sets],
+            lru: vec![(0..ways as u8).collect(); sets],
+            stats: LevelStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Resets contents and counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+        for order in &mut self.lru {
+            for (k, w) in order.iter_mut().enumerate() {
+                *w = k as u8;
+            }
+        }
+        self.stats = LevelStats::default();
+    }
+
+    fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
+        let sets = self.cfg.sets();
+        let index_addr = match self.cfg.page_shuffle {
+            None => line_addr,
+            Some(page) => {
+                // Deterministic SplitMix64 of the page number stands in for
+                // the OS's random physical page placement.
+                let lines_per_page = page / self.cfg.line;
+                let page_num = line_addr / lines_per_page;
+                let offset = line_addr % lines_per_page;
+                let mut z = page_num.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)).wrapping_mul(lines_per_page).wrapping_add(offset)
+            }
+        };
+        // The tag is the full (virtual) line address, so identity is exact
+        // regardless of the index mapping.
+        ((index_addr % sets) as usize, line_addr)
+    }
+
+    fn touch_mru(lru: &mut [u8], way: u8) {
+        let pos = lru.iter().position(|&w| w == way).expect("way in LRU order");
+        lru[..=pos].rotate_right(1);
+    }
+
+    /// Accesses one whole line containing `addr`.
+    ///
+    /// `is_write` marks stores; `full_line_write` marks stores known to
+    /// overwrite the entire line (arriving writebacks from an upper level),
+    /// which allocate without fetching.
+    pub fn access_line(&mut self, addr: u64, is_write: bool, full_line_write: bool) -> LineOutcome {
+        let line_addr = addr / self.cfg.line;
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        let set = &mut self.sets[set_idx];
+        let order = &mut self.lru[set_idx];
+
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            if is_write {
+                match self.cfg.policy {
+                    WritePolicy::WriteBack => {
+                        set[way].dirty = true;
+                        self.stats.write_hits += 1;
+                    }
+                    WritePolicy::WriteThrough => {
+                        self.stats.write_hits += 1;
+                        Self::touch_mru(order, way as u8);
+                        return LineOutcome::WroteThrough { hit: true };
+                    }
+                }
+            } else {
+                self.stats.read_hits += 1;
+            }
+            Self::touch_mru(order, way as u8);
+            return LineOutcome::Hit;
+        }
+
+        // Miss.
+        if is_write {
+            self.stats.write_misses += 1;
+            if self.cfg.policy == WritePolicy::WriteThrough {
+                return LineOutcome::WroteThrough { hit: false };
+            }
+        } else {
+            self.stats.read_misses += 1;
+        }
+
+        // Evict the LRU way.
+        let victim_way = *order.last().expect("non-empty set") as usize;
+        let victim = set[victim_way];
+        let writeback_of = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some(victim.tag * self.cfg.line)
+        } else {
+            None
+        };
+        let fetched = !(is_write && full_line_write);
+        if fetched {
+            self.stats.fetches += 1;
+        }
+        set[victim_way] = Line { tag, dirty: is_write, valid: true };
+        Self::touch_mru(order, victim_way as u8);
+        LineOutcome::Miss { writeback_of, fetched }
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.cfg.line
+    }
+
+    /// Installs the line containing `addr` if absent (a prefetch): returns
+    /// `None` when already present, otherwise the optional dirty victim's
+    /// address.  Counted as a fetch + prefetch, never as a demand miss.
+    pub fn prefetch_line(&mut self, addr: u64) -> Option<Option<u64>> {
+        let line_addr = addr / self.cfg.line;
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            let order = &mut self.lru[set_idx];
+            Self::touch_mru(order, way as u8);
+            return None;
+        }
+        let order = &mut self.lru[set_idx];
+        let victim_way = *order.last().expect("non-empty set") as usize;
+        let victim = set[victim_way];
+        let writeback_of = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some(victim.tag * self.cfg.line)
+        } else {
+            None
+        };
+        self.stats.fetches += 1;
+        self.stats.prefetches += 1;
+        set[victim_way] = Line { tag, dirty: false, valid: true };
+        Self::touch_mru(order, victim_way as u8);
+        Some(writeback_of)
+    }
+
+    /// Marks every dirty line clean and returns their byte addresses —
+    /// the writebacks a full flush would issue.  Counted in
+    /// [`LevelStats::writebacks`].
+    pub fn drain_dirty(&mut self) -> Vec<u64> {
+        let sets = self.cfg.sets();
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for l in set.iter_mut() {
+                if l.valid && l.dirty {
+                    l.dirty = false;
+                    self.stats.writebacks += 1;
+                    out.push((l.tag * sets + set_idx as u64) * self.cfg.line);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 lines of 32 B, 2-way: 2 sets.
+        Cache::new(CacheConfig::write_back("t", 128, 32, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 2);
+        assert_eq!(c.line_size(), 32);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }));
+        assert_eq!(c.access_line(8, false, false), LineOutcome::Hit);
+        assert_eq!(c.stats.read_misses, 1);
+        assert_eq!(c.stats.read_hits, 1);
+        assert_eq!(c.stats.fetches, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with even line index (2 sets): lines 0, 2, 4 map
+        // to set 0.  Fill both ways, then touch line 0 so line 2 is LRU.
+        c.access_line(0, false, false); // line 0
+        c.access_line(64, false, false); // line 2
+        c.access_line(0, false, false); // line 0 → MRU
+        // Line 4 evicts line 2 (LRU), not line 0.
+        c.access_line(128, false, false);
+        assert_eq!(c.access_line(0, false, false), LineOutcome::Hit);
+        assert!(matches!(c.access_line(64, false, false), LineOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_victim_address() {
+        let mut c = tiny();
+        c.access_line(0, true, false); // line 0, dirty
+        c.access_line(64, false, false); // line 2, same set
+        // Line 4 evicts line 0 (LRU, dirty).
+        match c.access_line(128, false, false) {
+            LineOutcome::Miss { writeback_of: Some(a), fetched: true } => assert_eq!(a, 0),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access_line(0, false, false);
+        c.access_line(64, false, false);
+        match c.access_line(128, false, false) {
+            LineOutcome::Miss { writeback_of: None, .. } => {}
+            other => panic!("expected clean eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats.writebacks, 0);
+    }
+
+    #[test]
+    fn full_line_write_allocates_without_fetch() {
+        let mut c = tiny();
+        match c.access_line(0, true, true) {
+            LineOutcome::Miss { fetched: false, .. } => {}
+            other => panic!("expected no-fetch allocate, got {other:?}"),
+        }
+        assert_eq!(c.stats.fetches, 0);
+        // And the line is now present and dirty.
+        assert_eq!(c.access_line(0, false, false), LineOutcome::Hit);
+    }
+
+    #[test]
+    fn write_through_never_allocates() {
+        let mut c = Cache::new(CacheConfig {
+            name: "wt".into(),
+            size: 128,
+            line: 32,
+            assoc: 2,
+            policy: WritePolicy::WriteThrough,
+            prefetch_next: 0,
+            page_shuffle: None,
+        });
+        assert_eq!(c.access_line(0, true, false), LineOutcome::WroteThrough { hit: false });
+        // Still not present.
+        assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }));
+        // Write hit after the read allocated it.
+        assert_eq!(c.access_line(0, true, false), LineOutcome::WroteThrough { hit: true });
+        assert_eq!(c.stats.write_hits, 1);
+        assert_eq!(c.stats.write_misses, 1);
+        assert_eq!(c.stats.writebacks, 0);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        // Direct-mapped, 4 sets of 32 B.  Lines 0 and 4 conflict.
+        let mut c = Cache::new(CacheConfig::write_back("dm", 128, 32, 1));
+        c.access_line(0, false, false);
+        c.access_line(128, false, false); // line 4 → evicts line 0
+        assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }));
+        assert_eq!(c.stats.read_misses, 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access_line(0, true, false);
+        c.reset();
+        assert_eq!(c.stats, LevelStats::default());
+        assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let mut s = LevelStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.read_hits = 3;
+        s.read_misses = 1;
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.miss_ratio(), 0.25);
+    }
+}

@@ -1,0 +1,178 @@
+//! The bottleneck (roofline-style) timing model.
+//!
+//! The paper's central claim is that on bandwidth-saturated programs the
+//! execution time is set by the most-saturated data channel, not by the
+//! nominal miss latency: "actual latency is the inverse of the consumed
+//! bandwidth".  The timing model states this claim directly:
+//!
+//! ```text
+//! time = max( flops / peak_flops,  bytes_c / bandwidth_c  for every channel c )
+//!        + Σ_level  misses_level × exposed_latency_level
+//! ```
+//!
+//! With zero exposed latency (perfect latency tolerance — the best any
+//! prefetching scheme can do) this is a pure bandwidth bound; the optional
+//! latency term models machines without prefetch, like the PA-8000.  The
+//! `ablation_timing` bench shows the paper's Figure-3 shapes survive either
+//! choice.
+
+use crate::hierarchy::TrafficReport;
+use crate::machine::MachineModel;
+
+/// What limited a predicted execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bottleneck {
+    /// Peak flop rate.
+    Compute,
+    /// The data channel at this index (0 = registers↔L1, last = memory).
+    Channel(usize),
+}
+
+/// A predicted execution time with its breakdown.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Total predicted time in seconds.
+    pub time_s: f64,
+    /// Time the compute pipe alone would need.
+    pub compute_s: f64,
+    /// Time each channel alone would need (same indexing as
+    /// [`MachineModel::bandwidth_mbs`]).
+    pub channel_s: Vec<f64>,
+    /// The exposed-latency term.
+    pub latency_s: f64,
+    /// Which resource set the max term.
+    pub bottleneck: Bottleneck,
+}
+
+impl Prediction {
+    /// Utilisation of the compute pipe: `compute_s / time_s`.  The paper's
+    /// "average CPU utilization of no more than 1/ratio".
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            self.compute_s / self.time_s
+        }
+    }
+}
+
+/// Predicts the execution time of a run summarised by `report` with `flops`
+/// floating-point operations on `machine`.
+///
+/// # Panics
+/// Panics if the report's channel count does not match the machine's.
+pub fn predict(machine: &MachineModel, report: &TrafficReport, flops: u64) -> Prediction {
+    assert_eq!(
+        report.channel_bytes.len(),
+        machine.bandwidth_mbs.len(),
+        "report channels must match machine channels (same cache depth)"
+    );
+    let compute_s = flops as f64 / (machine.peak_mflops * 1e6);
+    let channel_s: Vec<f64> = report
+        .channel_bytes
+        .iter()
+        .zip(&machine.bandwidth_mbs)
+        .map(|(&b, &bw)| b as f64 / (bw * 1e6))
+        .collect();
+    let mut time_s = compute_s;
+    let mut bottleneck = Bottleneck::Compute;
+    for (k, &t) in channel_s.iter().enumerate() {
+        if t > time_s {
+            time_s = t;
+            bottleneck = Bottleneck::Channel(k);
+        }
+    }
+    let mut latency_s: f64 = report
+        .level_stats
+        .iter()
+        .zip(&machine.exposed_latency_s)
+        .map(|(s, &lat)| s.misses() as f64 * lat)
+        .sum();
+    if let Some(tlb) = machine.tlb {
+        latency_s += report.tlb_misses as f64 * tlb.miss_latency_s;
+    }
+    Prediction { time_s: time_s + latency_s, compute_s, channel_s, latency_s, bottleneck }
+}
+
+/// Effective bandwidth in MB/s given bytes moved and elapsed time — the
+/// metric of the paper's Figure 3.  On the Exemplar the paper could not
+/// count conflict traffic, so it divided the *program-required* bytes by
+/// the time; pass those bytes to reproduce that methodology, or the
+/// simulated memory-channel bytes to reproduce the counter-based one.
+pub fn effective_bandwidth_mbs(bytes: u64, time_s: f64) -> f64 {
+    if time_s == 0.0 {
+        0.0
+    } else {
+        bytes as f64 / time_s / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::LevelStats;
+    use crate::machine::MachineModel;
+
+    fn report(reg: u64, l1l2: u64, mem: u64) -> TrafficReport {
+        TrafficReport {
+            channel_bytes: vec![reg, l1l2, mem],
+            level_stats: vec![LevelStats::default(), LevelStats::default()],
+            mem_read_bytes: mem,
+            mem_write_bytes: 0,
+            tlb_misses: 0,
+        }
+    }
+
+    #[test]
+    fn memory_bound_case() {
+        let m = MachineModel::origin2000();
+        // 16 MB of memory traffic at 312 MB/s ≈ 51.3 ms regardless of a
+        // tiny flop count.
+        let p = predict(&m, &report(16_000_000, 16_000_000, 16_000_000), 2_000_000);
+        assert!((p.time_s - 16.0 / 312.0).abs() < 1e-6);
+        assert_eq!(p.bottleneck, Bottleneck::Channel(2));
+        assert!(p.cpu_utilization() < 0.11);
+    }
+
+    #[test]
+    fn compute_bound_case() {
+        let m = MachineModel::origin2000();
+        // Lots of flops, almost no traffic.
+        let p = predict(&m, &report(8, 0, 0), 390_000_000);
+        assert_eq!(p.bottleneck, Bottleneck::Compute);
+        assert!((p.time_s - 1.0).abs() < 1e-9);
+        assert!((p.cpu_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_channel_can_bottleneck() {
+        let m = MachineModel::origin2000();
+        let p = predict(&m, &report(1_560_000_000, 0, 0), 1000);
+        assert_eq!(p.bottleneck, Bottleneck::Channel(0));
+        assert!((p.time_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposed_latency_adds() {
+        let mut m = MachineModel::origin2000();
+        m.exposed_latency_s = vec![0.0, 100e-9];
+        let mut r = report(0, 0, 0);
+        r.level_stats[1].read_misses = 1_000_000;
+        let p = predict(&m, &r, 0);
+        assert!((p.latency_s - 0.1).abs() < 1e-9);
+        assert!((p.time_s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_bandwidth() {
+        assert_eq!(effective_bandwidth_mbs(312_000_000, 1.0), 312.0);
+        assert_eq!(effective_bandwidth_mbs(0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must match")]
+    fn mismatched_channels_panic() {
+        let m = MachineModel::exemplar();
+        let _ = predict(&m, &report(0, 0, 0), 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! A scaled-down proxy of the NAS SP (scalar-pentadiagonal) benchmark.
+//!
+//! SP is an ADI solver: each time step computes a right-hand side from the
+//! conserved variables, preconditions it, performs line solves along the
+//! three grid dimensions, undoes the preconditioning and adds the update.
+//! The paper measures the balance of the whole 3000-line code (Figure 1)
+//! and reports that five of its seven major subroutines run at ≥ 84 % of
+//! the Origin2000's memory bandwidth (§2.3).
+//!
+//! The proxy keeps what balance depends on — the per-grid-point array
+//! traffic and flop mix of each subroutine, 5-component fields indexed
+//! `u[c, i, j, k]` with the component stride-1 as in the Fortran original,
+//! forward/backward line sweeps — and drops what it does not (boundary
+//! conditions, exact coefficients).  Balance is a traffic/flop *ratio*, so
+//! it is insensitive to grid size once the working set exceeds the cache;
+//! the harness runs the proxy on a cache-scaled machine model
+//! (see DESIGN.md).
+//!
+//! The seven subroutines, each also available as a standalone program for
+//! the per-subroutine bandwidth-utilisation study:
+//! `compute_rhs`, `txinvr`, `x_solve`, `y_solve`, `z_solve`, `pinvr`,
+//! `add`.
+
+use mbb_ir::builder::*;
+use mbb_ir::expr::Expr;
+use mbb_ir::program::{ArrayId, Loop, Program, VarId};
+
+/// Grid extents of the proxy.
+#[derive(Clone, Copy, Debug)]
+pub struct SpGrid {
+    /// Points along each of the three dimensions.
+    pub n: usize,
+}
+
+impl SpGrid {
+    /// A cubic grid.
+    pub fn cubed(n: usize) -> Self {
+        assert!(n >= 4, "the stencils need at least 4 points per dimension");
+        SpGrid { n }
+    }
+
+    fn dims5(&self) -> [usize; 4] {
+        [5, self.n, self.n, self.n]
+    }
+
+    fn dims1(&self) -> [usize; 3] {
+        [self.n, self.n, self.n]
+    }
+}
+
+/// The names of SP's major subroutines, in time-step order.
+pub const SUBROUTINES: [&str; 7] =
+    ["compute_rhs", "txinvr", "x_solve", "y_solve", "z_solve", "pinvr", "add"];
+
+struct Fields {
+    u: ArrayId,
+    rhs: ArrayId,
+    rho_i: ArrayId,
+    qs: ArrayId,
+    speed: ArrayId,
+}
+
+fn declare_fields(b: &mut ProgramBuilder, g: SpGrid, u_live_out: bool) -> Fields {
+    let u = b.array_with("u", &g.dims5(), mbb_ir::Init::Hash, u_live_out);
+    let rhs = b.array_in("rhs", &g.dims5());
+    let rho_i = b.array_in("rho_i", &g.dims1());
+    let qs = b.array_in("qs", &g.dims1());
+    let speed = b.array_in("speed", &g.dims1());
+    Fields { u, rhs, rho_i, qs, speed }
+}
+
+struct Ctx {
+    i: VarId,
+    j: VarId,
+    k: VarId,
+}
+
+fn u5(f: ArrayId, comp: i64, ctx: &Ctx, di: i64) -> mbb_ir::Ref {
+    f.at([c(comp), v(ctx.i) + di, v(ctx.j), v(ctx.k)])
+}
+
+fn u5_j(f: ArrayId, comp: i64, ctx: &Ctx, dj: i64) -> mbb_ir::Ref {
+    f.at([c(comp), v(ctx.i), v(ctx.j) + dj, v(ctx.k)])
+}
+
+fn u5_k(f: ArrayId, comp: i64, ctx: &Ctx, dk: i64) -> mbb_ir::Ref {
+    f.at([c(comp), v(ctx.i), v(ctx.j), v(ctx.k) + dk])
+}
+
+fn p3(f: ArrayId, ctx: &Ctx) -> mbb_ir::Ref {
+    f.at([v(ctx.i), v(ctx.j), v(ctx.k)])
+}
+
+/// `compute_rhs`: a pointwise pass producing the auxiliary fields, then a
+/// three-direction second-difference stencil into `rhs`.
+pub fn compute_rhs(g: SpGrid) -> Program {
+    let mut b = ProgramBuilder::new("compute_rhs");
+    let f = declare_fields(&mut b, g, false);
+    append_compute_rhs(&mut b, g, &f);
+    b.finish()
+}
+
+fn append_compute_rhs(b: &mut ProgramBuilder, g: SpGrid, f: &Fields) {
+    let b = &mut *b;
+    let hi = g.n as i64 - 1;
+    let (k, j, i) = (b.var("k"), b.var("j"), b.var("i"));
+    let ctx = Ctx { i, j, k };
+
+    // Pointwise auxiliaries.
+    b.nest(
+        "rhs_aux",
+        &[(k, 0, hi), (j, 0, hi), (i, 0, hi)],
+        vec![
+            assign(p3(f.rho_i, &ctx), lit(1.0) / ld(u5(f.u, 0, &ctx, 0))),
+            assign(
+                p3(f.qs, &ctx),
+                (ld(u5(f.u, 1, &ctx, 0)) * ld(u5(f.u, 1, &ctx, 0))
+                    + ld(u5(f.u, 2, &ctx, 0)) * ld(u5(f.u, 2, &ctx, 0))
+                    + ld(u5(f.u, 3, &ctx, 0)) * ld(u5(f.u, 3, &ctx, 0)))
+                    * ld(p3(f.rho_i, &ctx))
+                    * lit(0.5),
+            ),
+            assign(
+                p3(f.speed, &ctx),
+                Expr::un(
+                    mbb_ir::UnOp::Sqrt,
+                    lit(1.4) * ld(p3(f.qs, &ctx)) * ld(p3(f.rho_i, &ctx)),
+                ),
+            ),
+        ],
+    );
+
+    // Second differences along all three directions, per component.
+    let (k2, j2, i2) = (b.var("k2"), b.var("j2"), b.var("i2"));
+    let ctx2 = Ctx { i: i2, j: j2, k: k2 };
+    let mut body = Vec::new();
+    for comp in 0..5 {
+        let centre = ld(u5(f.u, comp, &ctx2, 0)) * lit(-6.0);
+        let sum = centre
+            + ld(u5(f.u, comp, &ctx2, -1))
+            + ld(u5(f.u, comp, &ctx2, 1))
+            + ld(u5_j(f.u, comp, &ctx2, -1))
+            + ld(u5_j(f.u, comp, &ctx2, 1))
+            + ld(u5_k(f.u, comp, &ctx2, -1))
+            + ld(u5_k(f.u, comp, &ctx2, 1));
+        body.push(assign(
+            u5(f.rhs, comp, &ctx2, 0),
+            sum * lit(0.1) + ld(p3(f.qs, &ctx2)),
+        ));
+    }
+    b.nest("rhs_stencil", &[(k2, 1, hi - 1), (j2, 1, hi - 1), (i2, 1, hi - 1)], body);
+}
+
+/// `txinvr`: pointwise preconditioning of `rhs` by the auxiliary fields.
+pub fn txinvr(g: SpGrid) -> Program {
+    let mut b = ProgramBuilder::new("txinvr");
+    let f = declare_fields(&mut b, g, false);
+    append_txinvr(&mut b, g, &f, "txinvr");
+    b.finish()
+}
+
+fn append_txinvr(b: &mut ProgramBuilder, g: SpGrid, f: &Fields, name: &str) {
+    let hi = g.n as i64 - 1;
+    let (k, j, i) = (
+        b.var(format!("k_{name}")),
+        b.var(format!("j_{name}")),
+        b.var(format!("i_{name}")),
+    );
+    let ctx = Ctx { i, j, k };
+    let t0 = b.scalar(format!("t0_{name}"), 0.0);
+    let mut body = vec![assign(
+        t0.r(),
+        ld(p3(f.rho_i, &ctx)) * (ld(u5(f.rhs, 0, &ctx, 0)) - ld(p3(f.qs, &ctx))),
+    )];
+    for comp in 1..5 {
+        body.push(assign(
+            u5(f.rhs, comp, &ctx, 0),
+            ld(u5(f.rhs, comp, &ctx, 0)) * ld(p3(f.speed, &ctx)) - ld(t0.r()),
+        ));
+    }
+    b.nest(name, &[(k, 0, hi), (j, 0, hi), (i, 0, hi)], body);
+}
+
+/// `pinvr`: the inverse pointwise pass (same traffic shape as `txinvr`).
+pub fn pinvr(g: SpGrid) -> Program {
+    let mut b = ProgramBuilder::new("pinvr");
+    let f = declare_fields(&mut b, g, false);
+    append_txinvr(&mut b, g, &f, "pinvr");
+    b.finish()
+}
+
+enum Axis {
+    I,
+    J,
+    K,
+}
+
+/// A forward-then-backward line solve along one axis: the structure of
+/// SP's Thomas-algorithm sweeps, with the per-line coefficient recurrence
+/// carried by `rhs` itself.
+fn solve(g: SpGrid, axis: Axis, name: &str) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let f = declare_fields(&mut b, g, false);
+    append_solve(&mut b, g, &f, axis, name);
+    b.finish()
+}
+
+fn append_solve(b: &mut ProgramBuilder, g: SpGrid, f: &Fields, axis: Axis, name: &str) {
+    let hi = g.n as i64 - 1;
+    let (k, j, i) = (
+        b.var(format!("k_{name}")),
+        b.var(format!("j_{name}")),
+        b.var(format!("i_{name}")),
+    );
+    let ctx = Ctx { i, j, k };
+    let at = |comp: i64, d: i64| match axis {
+        Axis::I => u5(f.rhs, comp, &ctx, d),
+        Axis::J => u5_j(f.rhs, comp, &ctx, d),
+        Axis::K => u5_k(f.rhs, comp, &ctx, d),
+    };
+
+    // Forward elimination: rhs[c, x] -= fac · rhs[c, x−1].
+    let mut fwd = Vec::new();
+    let fac = b.scalar(format!("fac_{name}"), 0.0);
+    fwd.push(assign(fac.r(), ld(p3(f.speed, &ctx)) * lit(0.25)));
+    for comp in 0..5 {
+        fwd.push(assign(at(comp, 0), ld(at(comp, 0)) - ld(fac.r()) * ld(at(comp, -1))));
+    }
+    // Back substitution: rhs[c, x] -= fac · rhs[c, x+1].
+    let mut bwd = Vec::new();
+    for comp in 0..5 {
+        bwd.push(assign(at(comp, 0), ld(at(comp, 0)) - ld(fac.r()) * ld(at(comp, 1))));
+    }
+    bwd.insert(0, assign(fac.r(), ld(p3(f.rho_i, &ctx)) * lit(0.25)));
+
+    let sweep_var = match axis {
+        Axis::I => i,
+        Axis::J => j,
+        Axis::K => k,
+    };
+    let outer: Vec<(VarId, i64, i64)> = [k, j, i]
+        .iter()
+        .copied()
+        .filter(|&x| x != sweep_var)
+        .map(|x| (x, 0, hi))
+        .collect();
+
+    let mut loops_fwd: Vec<Loop> = outer.iter().map(|&(x, lo, h)| Loop::new(x, lo, h)).collect();
+    loops_fwd.push(Loop::new(sweep_var, 1, hi));
+    b.nest_general(format!("{name}_fwd"), loops_fwd, fwd);
+
+    let mut loops_bwd: Vec<Loop> = outer.iter().map(|&(x, lo, h)| Loop::new(x, lo, h)).collect();
+    loops_bwd.push(Loop { var: sweep_var, lo: c(hi - 1), hi: c(0), step: -1 });
+    b.nest_general(format!("{name}_bwd"), loops_bwd, bwd);
+}
+
+/// `x_solve`: line solve along the stride-1 dimension.
+pub fn x_solve(g: SpGrid) -> Program {
+    solve(g, Axis::I, "x_solve")
+}
+
+/// `y_solve`: line solve along the middle dimension.
+pub fn y_solve(g: SpGrid) -> Program {
+    solve(g, Axis::J, "y_solve")
+}
+
+/// `z_solve`: line solve along the outer dimension.
+pub fn z_solve(g: SpGrid) -> Program {
+    solve(g, Axis::K, "z_solve")
+}
+
+/// `add`: `u[c,i,j,k] += rhs[c,i,j,k]`, the update pass.
+pub fn add(g: SpGrid) -> Program {
+    let mut b = ProgramBuilder::new("add");
+    let f = declare_fields(&mut b, g, true);
+    append_add(&mut b, g, &f);
+    b.finish()
+}
+
+fn append_add(b: &mut ProgramBuilder, g: SpGrid, f: &Fields) {
+    let hi = g.n as i64 - 1;
+    let (k, j, i) = (b.var("k_add"), b.var("j_add"), b.var("i_add"));
+    let ctx = Ctx { i, j, k };
+    let body = (0..5)
+        .map(|comp| {
+            assign(
+                u5(f.u, comp, &ctx, 0),
+                ld(u5(f.u, comp, &ctx, 0)) + ld(u5(f.rhs, comp, &ctx, 0)),
+            )
+        })
+        .collect();
+    b.nest("add", &[(k, 0, hi), (j, 0, hi), (i, 0, hi)], body);
+}
+
+/// One full ADI time step: all seven subroutines in sequence over shared
+/// fields — the `NAS/SP` row of Figure 1.
+pub fn full_step(g: SpGrid) -> Program {
+    let mut b = ProgramBuilder::new("nas_sp");
+    let f = declare_fields(&mut b, g, true);
+    append_compute_rhs(&mut b, g, &f);
+    append_txinvr(&mut b, g, &f, "txinvr");
+    append_solve(&mut b, g, &f, Axis::I, "x_solve");
+    append_solve(&mut b, g, &f, Axis::J, "y_solve");
+    append_solve(&mut b, g, &f, Axis::K, "z_solve");
+    append_txinvr(&mut b, g, &f, "pinvr");
+    append_add(&mut b, g, &f);
+    b.finish()
+}
+
+/// The subroutine programs in time-step order, paired with their names.
+pub fn subroutines(g: SpGrid) -> Vec<(&'static str, Program)> {
+    vec![
+        ("compute_rhs", compute_rhs(g)),
+        ("txinvr", txinvr(g)),
+        ("x_solve", x_solve(g)),
+        ("y_solve", y_solve(g)),
+        ("z_solve", z_solve(g)),
+        ("pinvr", pinvr(g)),
+        ("add", add(g)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::{interp, validate};
+
+    #[test]
+    fn all_subroutines_validate_and_run() {
+        let g = SpGrid::cubed(6);
+        for (name, p) in subroutines(g) {
+            validate::validate(&p).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            let r = interp::run(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.stats.flops > 0, "{name} performs no flops");
+        }
+    }
+
+    #[test]
+    fn solves_sweep_both_directions() {
+        let g = SpGrid::cubed(5);
+        let p = x_solve(g);
+        assert_eq!(p.nests.len(), 2);
+        assert_eq!(p.nests[1].loops.last().unwrap().step, -1);
+        interp::run(&p).unwrap();
+    }
+
+    #[test]
+    fn add_is_pointwise_balanced() {
+        // add: per point, 5 loads of u + 5 of rhs + 5 stores, 5 flops →
+        // register balance 24 bytes/flop; memory balance 24 too (u is
+        // fetched + written back, rhs fetched: 3 streams).
+        use mbb_memsim::machine::MachineModel;
+        let m = MachineModel::origin2000().scaled(64);
+        let g = SpGrid::cubed(16);
+        let b = mbb_core::balance::measure_program_balance(&add(g), &m).unwrap();
+        assert!((b.bytes_per_flop[0] - 24.0).abs() < 0.5, "reg {}", b.bytes_per_flop[0]);
+        assert!((b.memory() - 24.0).abs() < 2.0, "mem {}", b.memory());
+    }
+
+    #[test]
+    fn grid_too_small_panics() {
+        let result = std::panic::catch_unwind(|| SpGrid::cubed(2));
+        assert!(result.is_err());
+    }
+}
+
+#[cfg(test)]
+mod full_step_tests {
+    use super::*;
+    use mbb_ir::{interp, validate};
+
+    #[test]
+    fn full_step_runs_all_seven() {
+        let p = full_step(SpGrid::cubed(6));
+        validate::validate(&p).unwrap();
+        // 2 (compute_rhs) + 1 + 2×3 (solves) + 1 + 1 nests.
+        assert_eq!(p.nests.len(), 11);
+        let r = interp::run(&p).unwrap();
+        assert!(r.stats.flops > 0);
+        assert_eq!(r.observation.arrays.len(), 1, "u is the live-out field");
+    }
+
+    #[test]
+    fn full_step_flops_equal_sum_of_subroutines() {
+        let g = SpGrid::cubed(5);
+        let total: u64 = subroutines(g)
+            .iter()
+            .map(|(_, p)| interp::run(p).unwrap().stats.flops)
+            .sum();
+        let combined = interp::run(&full_step(g)).unwrap().stats.flops;
+        assert_eq!(total, combined);
+    }
+}

@@ -1,0 +1,162 @@
+//! The Figure-3 stride-one read/write kernels.
+//!
+//! "The kernels are named by the number of arrays they read and write.
+//! For example, kernel `1w1r` reads and writes a single array, and kernel
+//! `1w2r` reads two arrays and writes to one of them."  The figure plots,
+//! in order: `1w1r 2w2r 3w3r 1w2r 1w3r 1w4r 2w3r 2w5r 3w6r 0w1r 0w2r
+//! 0w3r`.  (The text says thirteen kernels; the figure lists these
+//! twelve — we reproduce the figure.)
+//!
+//! Construction rule: a `WwRr` kernel uses `R` distinct arrays; the first
+//! `W` of them are updated in place (each update also reads the array, as
+//! in `a[i] = a[i] + …`), the rest are read-only; read-only operands are
+//! distributed round-robin over the update statements (or summed into a
+//! scalar when `W = 0`).
+
+use mbb_ir::builder::*;
+use mbb_ir::program::Program;
+
+/// The kernel names in Figure 3's plotting order.
+pub const FIGURE3_ORDER: [(usize, usize); 12] = [
+    (1, 1),
+    (2, 2),
+    (3, 3),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (2, 3),
+    (2, 5),
+    (3, 6),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+];
+
+/// Formats a `(writes, reads)` pair as the paper's name (`"1w2r"`).
+pub fn kernel_name(writes: usize, reads: usize) -> String {
+    format!("{writes}w{reads}r")
+}
+
+/// Builds the `WwRr` kernel over arrays of `n` elements.
+///
+/// # Panics
+/// Panics when `reads < writes` or `reads == 0` — no such kernel appears
+/// in the paper.
+pub fn stream_kernel(writes: usize, reads: usize, n: usize) -> Program {
+    assert!(reads >= writes && reads >= 1, "need reads ≥ writes ≥ 0, reads ≥ 1");
+    let mut b = ProgramBuilder::new(kernel_name(writes, reads));
+    let arrays: Vec<_> = (0..reads)
+        .map(|k| {
+            let name = format!("a{k}");
+            if k < writes {
+                b.array_out(name, &[n])
+            } else {
+                b.array_in(name, &[n])
+            }
+        })
+        .collect();
+    let i = b.var("i");
+    let hi = n as i64 - 1;
+
+    let mut body = Vec::new();
+    if writes == 0 {
+        // Pure-read kernel: reduce everything into a scalar.
+        let s = b.scalar_printed("sum", 0.0);
+        let mut e = ld(arrays[0].at([v(i)]));
+        for &arr in &arrays[1..] {
+            e = e + ld(arr.at([v(i)]));
+        }
+        body.push(accumulate(s, e));
+    } else {
+        // Update kernels: each written array reads itself plus its share of
+        // the read-only operands.
+        let extra = &arrays[writes..];
+        for (w, &arr) in arrays[..writes].iter().enumerate() {
+            let mut e = ld(arr.at([v(i)]));
+            let mut took_any = false;
+            for (x, &ro) in extra.iter().enumerate() {
+                if extra.is_empty() || x % writes == w {
+                    e = e + ld(ro.at([v(i)]));
+                    took_any = true;
+                }
+            }
+            if !took_any {
+                e = e + lit(0.4); // the §2.1 `a[i] = a[i] + 0.4` shape
+            }
+            body.push(assign(arr.at([v(i)]), e));
+        }
+    }
+    b.nest("kernel", &[(i, 0, hi)], body);
+    b.finish()
+}
+
+/// All Figure-3 kernels at `n` elements, in plotting order.
+pub fn figure3_kernels(n: usize) -> Vec<Program> {
+    FIGURE3_ORDER
+        .iter()
+        .map(|&(w, r)| stream_kernel(w, r, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::deps::nest_access;
+    use mbb_ir::{interp, validate};
+
+    #[test]
+    fn all_kernels_validate_and_run() {
+        for p in figure3_kernels(64) {
+            validate::validate(&p).unwrap();
+            interp::run(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn read_write_counts_match_names() {
+        for &(w, r) in &FIGURE3_ORDER {
+            let p = stream_kernel(w, r, 16);
+            let acc = nest_access(&p.nests[0]);
+            assert_eq!(acc.array_writes.len(), w, "{}", p.name);
+            assert_eq!(acc.array_reads.len(), r, "{}", p.name);
+            // Written arrays are a subset of read arrays ("writes to one of
+            // them").
+            assert!(acc.array_writes.is_subset(&acc.array_reads), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn one_w_one_r_is_the_section_21_loop() {
+        let p = stream_kernel(1, 1, 32);
+        let r = interp::run(&p).unwrap();
+        assert_eq!(r.stats.loads, 32);
+        assert_eq!(r.stats.stores, 32);
+        assert_eq!(r.stats.flops, 32);
+    }
+
+    #[test]
+    fn zero_write_kernels_reduce_to_scalar() {
+        let p = stream_kernel(0, 3, 16);
+        let r = interp::run(&p).unwrap();
+        assert_eq!(r.stats.stores, 0);
+        assert_eq!(r.stats.loads, 3 * 16);
+        assert_eq!(r.observation.scalars.len(), 1);
+    }
+
+    #[test]
+    fn memory_traffic_scales_with_array_count() {
+        use mbb_memsim::machine::MachineModel;
+        let m = MachineModel::origin2000();
+        let n = 1 << 19; // 4 MB per array
+        let b1 = mbb_core::balance::measure_program_balance(&stream_kernel(0, 1, n), &m).unwrap();
+        let b3 = mbb_core::balance::measure_program_balance(&stream_kernel(0, 3, n), &m).unwrap();
+        let ratio = b3.report.mem_bytes() as f64 / b1.report.mem_bytes() as f64;
+        assert!((ratio - 3.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reads ≥ writes")]
+    fn invalid_kernel_shape_panics() {
+        let _ = stream_kernel(2, 1, 8);
+    }
+}

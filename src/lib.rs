@@ -1,0 +1,24 @@
+//! # mbb — The Memory Bandwidth Bottleneck and its Amelioration by a Compiler
+//!
+//! A from-scratch Rust reproduction of Ding & Kennedy (IPPS 2000).  This
+//! facade crate re-exports the whole workspace:
+//!
+//! * [`ir`] — the loop-program IR, interpreter and static analyses;
+//! * [`memsim`] — the execution-driven memory-hierarchy simulator, machine
+//!   models and the bottleneck timing model;
+//! * [`hypergraph`] — hypergraph minimal cuts (the paper's Figure 5
+//!   algorithm) and k-way partitioning;
+//! * [`core`] — the paper's contribution: the balance performance model,
+//!   bandwidth-minimal loop fusion, storage reduction (array shrinking and
+//!   peeling) and store elimination;
+//! * [`workloads`] — the paper's kernels, applications and figure examples.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every table and
+//! figure.
+
+pub use mbb_core as core;
+pub use mbb_hypergraph as hypergraph;
+pub use mbb_ir as ir;
+pub use mbb_memsim as memsim;
+pub use mbb_workloads as workloads;

@@ -1,0 +1,71 @@
+//! Every `.loop` program shipped under `examples/programs/` must parse,
+//! run, optimize with verified equivalence, and round-trip through the
+//! pretty-printer.
+
+use std::path::PathBuf;
+
+fn program_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/programs");
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/programs exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "loop").then_some(p)
+        })
+        .collect();
+    out.sort();
+    assert!(out.len() >= 3, "expected the shipped .loop programs, found {out:?}");
+    out
+}
+
+/// Shrink huge literal bounds so debug-mode interpretation stays fast: the
+/// shipped files use paper-scale N, the tests only need semantics.
+fn shrink_source(src: &str) -> String {
+    src.replace("2000000", "2000")
+        .replace("1999999", "1999")
+        .replace("1000000", "1000")
+        .replace("999999", "999")
+        .replace("256", "16")
+        .replace("255", "15")
+}
+
+#[test]
+fn all_loop_files_parse_and_run() {
+    for path in program_files() {
+        let src = shrink_source(&std::fs::read_to_string(&path).unwrap());
+        let p = mbb::ir::parse::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        mbb::ir::validate::validate(&p).unwrap();
+        mbb::ir::interp::run(&p).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn all_loop_files_optimize_with_verified_equivalence() {
+    for path in program_files() {
+        let src = shrink_source(&std::fs::read_to_string(&path).unwrap());
+        let p = mbb::ir::parse::parse(&src).unwrap();
+        let out = mbb::core::pipeline::optimize(&p, Default::default());
+        mbb::core::pipeline::verify_equivalent(&p, &out.program, 1e-9)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(out.storage_after <= out.storage_before, "{}", path.display());
+    }
+}
+
+#[test]
+fn all_loop_files_round_trip_through_pretty() {
+    for path in program_files() {
+        let src = shrink_source(&std::fs::read_to_string(&path).unwrap());
+        let p = mbb::ir::parse::parse(&src).unwrap();
+        let text = mbb::ir::pretty::program(&p);
+        let q = mbb::ir::parse::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: re-parse: {e}\n{text}", path.display()));
+        let rp = mbb::ir::interp::run(&p).unwrap();
+        let rq = mbb::ir::interp::run(&q).unwrap();
+        assert!(
+            rp.observation.approx_eq(&rq.observation, 1e-12),
+            "{}",
+            path.display()
+        );
+    }
+}

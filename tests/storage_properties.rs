@@ -1,0 +1,146 @@
+//! Property tests aimed specifically at the storage transformations:
+//! 2-D programs with guarded boundary statements, constant-column uses
+//! (peel fodder) and carried reads (buffer fodder), pushed through
+//! `shrink_storage` and the full pipeline.
+
+use mbb::core::pipeline::verify_equivalent;
+use mbb::core::storage::{peel, shrink_storage};
+use mbb::ir::builder::*;
+use mbb::ir::{validate, CmpOp, Program};
+use proptest::prelude::*;
+
+/// Configuration of one random 2-D stencil-ish program.
+#[derive(Clone, Debug)]
+struct Recipe {
+    /// Carried distance of the temp read (0 = same column, 1 = previous).
+    carried: bool,
+    /// Whether a constant-column read of the temp exists (forces peeling).
+    const_col: bool,
+    /// Whether the temp is consumed by a second (fusable) nest instead of
+    /// in-nest.
+    split_consumer: bool,
+    /// Grid edge.
+    n: usize,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 5usize..10).prop_map(
+        |(carried, const_col, split_consumer, n)| Recipe {
+            carried,
+            const_col,
+            split_consumer,
+            n,
+        },
+    )
+}
+
+fn build(r: &Recipe) -> Program {
+    let n = r.n;
+    let hi = n as i64 - 1;
+    let mut b = ProgramBuilder::new("storage_prop");
+    let src = b.array_in("src", &[n, n]);
+    let tmp = b.array_zero("tmp", &[n, n]);
+    let sum = b.scalar_printed("sum", 0.0);
+    let (i, j) = (b.var("i"), b.var("j"));
+
+    let mut body = vec![assign(
+        tmp.at([v(i), v(j)]),
+        ld(src.at([v(i), v(j)])) * lit(0.5),
+    )];
+    let mut consume = ld(tmp.at([v(i), v(j)]));
+    if r.carried {
+        consume = consume
+            + ld(tmp.at([v(i), v(j) - 1])); // guarded below
+    }
+    if r.const_col {
+        consume = consume + ld(tmp.at([v(i), c(0)]));
+    }
+    let consume_stmt = if r.carried {
+        if_else(
+            cmp(v(j), CmpOp::Ge, c(1)),
+            vec![accumulate(sum, consume)],
+            vec![accumulate(sum, ld(tmp.at([v(i), v(j)])))],
+        )
+    } else {
+        accumulate(sum, consume)
+    };
+
+    if r.split_consumer {
+        b.nest("produce", &[(j, 0, hi), (i, 0, hi)], body);
+        let (i2, j2) = (b.var("i2"), b.var("j2"));
+        // Rebuild the consumer over fresh vars.
+        let mut consume = ld(tmp.at([v(i2), v(j2)]));
+        if r.carried {
+            consume = consume + ld(tmp.at([v(i2), v(j2) - 1]));
+        }
+        if r.const_col {
+            consume = consume + ld(tmp.at([v(i2), c(0)]));
+        }
+        let stmt = if r.carried {
+            if_else(
+                cmp(v(j2), CmpOp::Ge, c(1)),
+                vec![accumulate(sum, consume)],
+                vec![accumulate(sum, ld(tmp.at([v(i2), v(j2)])))],
+            )
+        } else {
+            accumulate(sum, consume)
+        };
+        b.nest("consume", &[(j2, 0, hi), (i2, 0, hi)], vec![stmt]);
+    } else {
+        body.push(consume_stmt);
+        b.nest("fusedk", &[(j, 0, hi), (i, 0, hi)], body);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `shrink_storage` never changes behaviour or grows storage, across
+    /// carried/constant/split variations.
+    #[test]
+    fn shrink_storage_safe_on_2d_stencils(r in arb_recipe()) {
+        let p = build(&r);
+        validate::validate(&p).unwrap();
+        let (q, actions) = shrink_storage(&p);
+        validate::validate(&q).unwrap();
+        if let Err(d) = verify_equivalent(&p, &q, 1e-12) {
+            panic!("{d}\nrecipe {r:?}\nactions {actions:?}\nafter:\n{}",
+                mbb::ir::pretty::program(&q));
+        }
+        prop_assert!(q.storage_bytes() <= p.storage_bytes());
+        // The single-nest, analysable shapes must actually shrink.
+        if !r.split_consumer {
+            prop_assert!(
+                q.storage_bytes() < p.storage_bytes(),
+                "recipe {r:?} should shrink; actions {actions:?}"
+            );
+        }
+    }
+
+    /// The full pipeline (with fusion first) shrinks even the split-nest
+    /// variants when they are fusable, and always stays equivalent.
+    #[test]
+    fn pipeline_safe_on_2d_stencils(r in arb_recipe()) {
+        let p = build(&r);
+        let out = mbb::core::pipeline::optimize(&p, Default::default());
+        validate::validate(&out.program).unwrap();
+        if let Err(d) = verify_equivalent(&p, &out.program, 1e-12) {
+            panic!("{d}\nrecipe {r:?}\nafter:\n{}", mbb::ir::pretty::program(&out.program));
+        }
+        prop_assert!(out.storage_after <= out.storage_before);
+    }
+
+    /// Peeling any in-range column of the temp is always safe.
+    #[test]
+    fn peel_any_column_safe(r in arb_recipe(), col in 0i64..5) {
+        let p = build(&r);
+        let tmp = p.array_by_name("tmp").unwrap();
+        prop_assume!((col as usize) < r.n);
+        let q = peel(&p, tmp, 1, col).unwrap().program;
+        validate::validate(&q).unwrap();
+        if let Err(d) = verify_equivalent(&p, &q, 1e-12) {
+            panic!("{d}\nrecipe {r:?} col {col}\nafter:\n{}", mbb::ir::pretty::program(&q));
+        }
+    }
+}
