@@ -83,12 +83,8 @@ fn ablation_prefetch() {
     // §1 of the paper: prefetching halves exposed latency but consumes the
     // same (or more) bandwidth — saturation, not latency, is the wall.
     let p = stream_kernel(0, 2, N);
-    let mut t = Table::new(&[
-        "prefetch depth",
-        "demand misses",
-        "memory bytes",
-        "predicted time (s)",
-    ]);
+    let mut t =
+        Table::new(&["prefetch depth", "demand misses", "memory bytes", "predicted time (s)"]);
     for depth in [0u32, 1, 3] {
         let mut m = MachineModel::exemplar();
         m.caches[0] = m.caches[0].clone().with_prefetch(depth);

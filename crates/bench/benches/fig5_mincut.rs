@@ -15,9 +15,7 @@ fn random_hypergraph(nodes: usize, edges: usize, seed: u64) -> Hypergraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hg = Hypergraph::new(nodes);
     for _ in 0..edges {
-        let pins: Vec<usize> = (0..rng.gen_range(2..=4))
-            .map(|_| rng.gen_range(0..nodes))
-            .collect();
+        let pins: Vec<usize> = (0..rng.gen_range(2..=4)).map(|_| rng.gen_range(0..nodes)).collect();
         hg.add_edge(HyperEdge::weighted(pins, rng.gen_range(1..=3)));
     }
     hg

@@ -1,99 +1,114 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|sec21|fig1|fig2|fig3|fig4|fig6|fig8|sp|scaling|opt] [--quick]
+//! repro [all|sec21|fig1|fig2|fig3|fig4|fig6|fig8|sp|scaling|opt ...]
+//!       [--quick] [--jobs N] [--json PATH] [--list]
 //! ```
 //!
-//! Without arguments, runs everything at full size (tens of seconds of
+//! Without selectors, runs everything at full size (tens of seconds of
 //! simulation).  `--quick` uses the reduced sizes the test-suite uses.
+//! Experiments run on a worker pool (`--jobs`, default: all cores); the
+//! tables on stdout are byte-identical for every worker count — only the
+//! per-job timing report on stderr and the timing fields of the `--json`
+//! document vary.
 
-use mbb_bench::experiments::{self, Sizes};
-use mbb_memsim::machine::MachineModel;
+use std::process::exit;
+use std::time::Instant;
+
+use mbb_bench::experiments::Sizes;
+use mbb_bench::runner::{self, Ctx, Job};
+
+fn usage() -> ! {
+    eprintln!("usage: repro [all|SELECTOR ...] [--quick] [--jobs N] [--json PATH] [--list]");
+    exit(2)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let sizes = if quick { Sizes::quick() } else { Sizes::full() };
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let all = which.is_empty() || which.contains(&"all");
-    let want = |name: &str| all || which.contains(&name);
+    let registry = runner::paper_jobs();
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut selectors: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" | "-j" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --jobs needs a positive integer");
+                    usage()
+                };
+                threads = Some(n);
+            }
+            "--json" => {
+                let Some(p) = args.next() else {
+                    eprintln!("error: --json needs a path");
+                    usage()
+                };
+                json_path = Some(p);
+            }
+            "--list" => {
+                for job in &registry {
+                    println!("{:8} {}", job.name, job.title);
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+            sel => selectors.push(sel.to_string()),
+        }
+    }
+
+    let all = selectors.is_empty() || selectors.iter().any(|s| s == "all");
+    let jobs: Vec<Job> = if all {
+        registry.clone()
+    } else {
+        if let Some(bad) = selectors.iter().find(|s| !registry.iter().any(|j| j.name == s.as_str()))
+        {
+            let known: Vec<&str> = registry.iter().map(|j| j.name).collect();
+            eprintln!("error: unknown selector `{bad}` (valid: all {})", known.join(" "));
+            exit(2)
+        }
+        // Registry order, not command-line order: the report reads like the
+        // paper no matter how selectors were typed.
+        registry.iter().filter(|j| selectors.iter().any(|s| s == j.name)).copied().collect()
+    };
+
+    let threads = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1);
+    let ctx = Ctx { sizes: if quick { Sizes::quick() } else { Sizes::full() }, quick };
 
     println!("== Reproduction of Ding & Kennedy, IPPS 2000 ==");
     println!(
         "sizes: {} (stream N = {}, cache scale ÷{})\n",
         if quick { "quick" } else { "full" },
-        sizes.stream_n,
-        sizes.cache_scale
+        ctx.sizes.stream_n,
+        ctx.sizes.cache_scale
     );
 
-    if want("sec21") {
-        println!("-- §2.1: the write-back loop vs the read loop --");
-        println!("{}", experiments::render_sec21(&experiments::sec21(sizes)));
-    }
+    let start = Instant::now();
+    let results = runner::run_jobs(&jobs, &ctx, threads);
+    let total_wall = start.elapsed();
 
-    let fig1 = if want("fig1") || want("fig2") || want("scaling") {
-        Some(experiments::figure1(sizes))
-    } else {
-        None
-    };
+    print!("{}", runner::render_report(&results));
+    eprint!("{}", runner::render_timing(&results, total_wall, threads));
 
-    if want("fig1") {
-        println!("-- Figure 1: program and machine balance (bytes per flop) --");
-        println!("{}", experiments::render_figure1(fig1.as_ref().unwrap()));
-        println!(
-            "note: IR register balance runs higher than the paper's hand counts\n\
-             (no loop-invariant register promotion); see EXPERIMENTS.md.\n"
+    if let Some(path) = json_path {
+        let doc = runner::results_to_json(
+            &results,
+            if quick { "quick" } else { "full" },
+            threads,
+            total_wall,
         );
-    }
-
-    if want("fig2") {
-        println!("-- Figure 2: demand / supply ratios on the Origin2000 --");
-        println!(
-            "{}",
-            experiments::render_figure2(&experiments::figure2(fig1.as_ref().unwrap()))
-        );
-    }
-
-    if want("fig3") {
-        println!("-- Figure 3: effective bandwidth of the stride-1 kernels --");
-        println!("{}", experiments::render_figure3(&experiments::figure3(sizes)));
-    }
-
-    if want("sp") {
-        println!("-- §2.3: NAS/SP per-subroutine bandwidth utilisation --");
-        println!("{}", experiments::render_sp_utilization(&experiments::sp_utilization(sizes)));
-    }
-
-    if want("scaling") {
-        println!("-- §2.3: memory bandwidth needed to feed an R10K-class CPU --");
-        println!(
-            "{}",
-            experiments::render_scaling(&experiments::scaling_study(fig1.as_ref().unwrap()))
-        );
-    }
-
-    if want("fig4") {
-        println!("-- Figure 4: bandwidth-minimal vs edge-weighted fusion --");
-        println!("{}", experiments::render_figure4(&experiments::figure4()));
-    }
-
-    if want("fig6") {
-        println!("-- Figure 6: array shrinking and peeling --");
-        let n = if quick { 16 } else { 64 };
-        let m = MachineModel::origin2000().scaled(512);
-        println!("{}", experiments::render_figure6(&experiments::figure6(n, &m)));
-    }
-
-    if want("opt") {
-        println!("-- optimiser study (ours): the §3 strategy across the suite --");
-        println!(
-            "{}",
-            experiments::render_optimizer_study(&experiments::optimizer_study(sizes))
-        );
-    }
-
-    if want("fig8") {
-        println!("-- Figure 8: effect of loop fusion and store elimination --");
-        println!("{}", experiments::render_figure8(&experiments::figure8(sizes)));
+        if let Err(e) = std::fs::write(&path, doc.render()) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1)
+        }
+        eprintln!("wrote {path}");
     }
 }

@@ -28,7 +28,8 @@ use mbb_workloads::{fft, figures, kernels, nas_sp, stream_kernels, sweep3d};
 use crate::table::{f, Table};
 
 /// Scale factors: `quick` for tests, `full` for the repro binary.
-#[derive(Clone, Copy, Debug)]
+/// (`PartialEq` keys the runner's shared Figure-1 memo.)
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Sizes {
     /// Element count for the §2.1 / Figure-3 / Figure-8 streaming loops.
     pub stream_n: usize,
@@ -177,15 +178,13 @@ pub const PAPER_FIG1: [(&str, [f64; 3]); 7] = [
 pub fn figure1(sizes: Sizes) -> Figure1 {
     let m = MachineModel::origin2000()
         .scaled_levels(&[(sizes.cache_scale / 4).max(1), sizes.cache_scale]);
-    let mut programs = vec![
-        measure_program_balance(&kernels::convolution(sizes.conv_n, 3), &m).unwrap(),
-    ];
-    programs.push(
-        measure_program_balance(&kernels::dmxpy(sizes.dmxpy_rows, 16), &m).unwrap(),
-    );
+    let mut programs =
+        vec![measure_program_balance(&kernels::convolution(sizes.conv_n, 3), &m).unwrap()];
+    programs.push(measure_program_balance(&kernels::dmxpy(sizes.dmxpy_rows, 16), &m).unwrap());
     programs.push(measure_program_balance(&kernels::mm_jki(sizes.mm_n), &m).unwrap());
-    programs
-        .push(measure_program_balance(&kernels::mm_blocked(sizes.mm_n, sizes.mm_tile), &m).unwrap());
+    programs.push(
+        measure_program_balance(&kernels::mm_blocked(sizes.mm_n, sizes.mm_tile), &m).unwrap(),
+    );
     // The FFT's bit-reversal scatter is line-size-sensitive, and line sizes
     // do not scale with capacity; measure it on the full-geometry machine
     // at a size exceeding the real L2 instead.
@@ -194,8 +193,7 @@ pub fn figure1(sizes: Sizes) -> Figure1 {
         fft::fft_traced(sizes.fft_n, sink).flops
     }));
     programs.push(
-        measure_program_balance(&nas_sp::full_step(nas_sp::SpGrid::cubed(sizes.sp_n)), &m)
-            .unwrap(),
+        measure_program_balance(&nas_sp::full_step(nas_sp::SpGrid::cubed(sizes.sp_n)), &m).unwrap(),
     );
     programs.push(measure_program_balance(&sweep3d::sweep3d(sizes.sweep_n, 2), &m).unwrap());
     Figure1 {
@@ -280,14 +278,7 @@ pub fn figure2(fig1: &Figure1) -> Figure2 {
 
 /// Renders Figure 2.
 pub fn render_figure2(fig: &Figure2) -> String {
-    let mut t = Table::new(&[
-        "program",
-        "L1-Reg",
-        "L2-L1",
-        "Mem-L2",
-        "CPU util ≤",
-        "paper Mem-L2",
-    ]);
+    let mut t = Table::new(&["program", "L1-Reg", "L2-L1", "Mem-L2", "CPU util ≤", "paper Mem-L2"]);
     for ((name, r, util), &(_, paper)) in fig.rows.iter().zip(&PAPER_FIG2) {
         t.row(vec![
             name.clone(),
@@ -461,8 +452,7 @@ pub fn figure4() -> Fig4 {
     let (ew, ew_weight) = fusion::exhaustive_min_edge_weighted(&g);
     let (_, two_cost) = fusion::two_partition_min_bandwidth(&g, 4, 5).unwrap();
     let greedy = fusion::total_distinct_arrays(&g, &fusion::greedy_fusion(&g));
-    let bisection =
-        fusion::total_distinct_arrays(&g, &fusion::recursive_bisection_fusion(&g));
+    let bisection = fusion::total_distinct_arrays(&g, &fusion::recursive_bisection_fusion(&g));
     Fig4 {
         unfused,
         bandwidth_minimal: bw_cost,
@@ -505,11 +495,7 @@ pub fn render_figure4(x: &Fig4) -> String {
         "7".into(),
     ]);
     t.row(vec!["greedy heuristic".into(), x.greedy.to_string(), "—".into()]);
-    t.row(vec![
-        "recursive bisection (§4 suggestion)".into(),
-        x.bisection.to_string(),
-        "—".into(),
-    ]);
+    t.row(vec!["recursive bisection (§4 suggestion)".into(), x.bisection.to_string(), "—".into()]);
     t.render()
 }
 
@@ -595,10 +581,7 @@ pub fn render_figure6(x: &Fig6) -> String {
         format!("{} B", x.mem_bytes_after),
     ]);
     t.row(vec!["loop nests".into(), "4".into(), x.nests_after.to_string()]);
-    format!(
-        "{}\npaper: two N² arrays become two O(N) arrays plus two scalars\n",
-        t.render()
-    )
+    format!("{}\npaper: two N² arrays become two O(N) arrays plus two scalars\n", t.render())
 }
 
 // ---------------------------------------------------------------------------
@@ -722,12 +705,7 @@ mod tests {
         assert_eq!(rows.len(), 12);
         // On the Origin every kernel should sit near the 312 MB/s channel.
         for r in &rows {
-            assert!(
-                (250.0..340.0).contains(&r.origin_mbs),
-                "{}: {} MB/s",
-                r.name,
-                r.origin_mbs
-            );
+            assert!((250.0..340.0).contains(&r.origin_mbs), "{}: {} MB/s", r.name, r.origin_mbs);
         }
         // On the Exemplar, direct-mapped colour collisions make 3w6r (six
         // hot streams) the clear minimum, far below the low-stream kernels.
@@ -735,11 +713,7 @@ mod tests {
         let min = rows.iter().map(|r| r.exemplar_mbs).fold(f64::INFINITY, f64::min);
         let max = rows.iter().map(|r| r.exemplar_mbs).fold(0.0, f64::max);
         assert_eq!(worst.exemplar_mbs, min, "3w6r is the outlier");
-        assert!(
-            worst.exemplar_mbs < 0.65 * max,
-            "3w6r {} vs best {max}",
-            worst.exemplar_mbs
-        );
+        assert!(worst.exemplar_mbs < 0.65 * max, "3w6r {} vs best {max}", worst.exemplar_mbs);
         assert!(render_figure3(&rows).contains("3w6r"));
     }
 }
@@ -803,13 +777,8 @@ pub fn optimizer_study(sizes: Sizes) -> Vec<OptRow> {
 
 /// Renders the optimiser study.
 pub fn render_optimizer_study(rows: &[OptRow]) -> String {
-    let mut t = Table::new(&[
-        "workload",
-        "nests",
-        "memory traffic",
-        "storage",
-        "predicted speedup",
-    ]);
+    let mut t =
+        Table::new(&["workload", "nests", "memory traffic", "storage", "predicted speedup"]);
     for r in rows {
         t.row(vec![
             r.name.clone(),
@@ -831,12 +800,7 @@ mod optimizer_study_tests {
         let rows = optimizer_study(Sizes::quick());
         assert_eq!(rows.len(), 5);
         for r in &rows {
-            assert!(
-                r.time_s.1 <= r.time_s.0 * 1.02,
-                "{} got slower: {:?}",
-                r.name,
-                r.time_s
-            );
+            assert!(r.time_s.1 <= r.time_s.0 * 1.02, "{} got slower: {:?}", r.name, r.time_s);
             assert!(r.storage.1 <= r.storage.0, "{} grew storage", r.name);
         }
         // The known wins must materialise.  (figure6 needs the dedicated

@@ -1,0 +1,186 @@
+//! A minimal JSON value and pretty writer.
+//!
+//! The bench engine emits machine-readable results (`repro --json`) for CI
+//! to archive, and the container has no serde — so this module is the
+//! whole serialization stack: an owned tree, escaping, and a stable
+//! two-space pretty-printer (stable output keeps JSON artifacts diffable
+//! between runs and usable in the determinism test).
+
+use std::fmt::Write as _;
+
+/// An owned JSON value.  Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite double.
+    Num(f64),
+    /// An unsigned integer (kept exact; `Num` would round above 2⁵³).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A float value.
+    pub fn num(x: f64) -> Json {
+        Json::Num(x)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Looks a key up in an object (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable key lookup in an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj([
+            ("name", Json::str("fig1")),
+            ("wall_s", Json::num(0.25)),
+            ("events", Json::UInt(u64::MAX)),
+            ("rows", Json::arr([Json::num(1.0), Json::Null, Json::Bool(true)])),
+            ("empty", Json::arr([])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"name\": \"fig1\""), "{s}");
+        assert!(s.contains("\"events\": 18446744073709551615"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn escapes_strings_and_hides_nonfinite() {
+        let j = Json::arr([Json::str("a\"b\\c\nd"), Json::num(f64::NAN)]);
+        let s = j.render();
+        assert!(s.contains(r#""a\"b\\c\nd""#), "{s}");
+        assert!(s.contains("null"), "{s}");
+    }
+
+    #[test]
+    fn get_walks_objects() {
+        let mut j = Json::obj([("a", Json::obj([("b", Json::num(2.0))]))]);
+        assert_eq!(j.get("a").and_then(|a| a.get("b")), Some(&Json::Num(2.0)));
+        *j.get_mut("a").unwrap().get_mut("b").unwrap() = Json::Null;
+        assert_eq!(j.get("a").and_then(|a| a.get("b")), Some(&Json::Null));
+        assert_eq!(j.get("missing"), None);
+    }
+}

@@ -2,7 +2,13 @@
 //!
 //! Shared table-formatting and experiment plumbing for the `repro` binary
 //! and the Criterion benches.  Each paper table/figure has one generator
-//! function here so the binary and the benches print identical rows.
+//! function here ([`experiments`]) so the binary and the benches print
+//! identical rows, a declarative job registry plus a scoped-thread worker
+//! pool to run them in parallel with deterministic output ([`runner`]),
+//! and a dependency-free JSON writer for machine-readable results
+//! ([`json`]).
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
 pub mod table;

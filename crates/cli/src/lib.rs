@@ -60,9 +60,7 @@ pub fn machine_by_name(name: &str) -> Result<MachineModel, String> {
     match name {
         "origin" | "origin2000" => Ok(MachineModel::origin2000()),
         "exemplar" | "pa8000" => Ok(MachineModel::exemplar()),
-        other => Err(format!(
-            "unknown machine `{other}` (try origin, exemplar, origin/64)"
-        )),
+        other => Err(format!("unknown machine `{other}` (try origin, exemplar, origin/64)")),
     }
 }
 
@@ -84,25 +82,16 @@ pub fn cmd_graph(src: &str) -> Result<String, String> {
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for k in 0..g.n {
-        let arrays: Vec<&str> = g.arrays_of[k]
-            .iter()
-            .map(|&a| p.array(a).name.as_str())
-            .collect();
-        let _ = writeln!(
-            out,
-            "  n{k} [label=\"{}\\n{{{}}}\"];",
-            p.nests[k].name,
-            arrays.join(", ")
-        );
+        let arrays: Vec<&str> = g.arrays_of[k].iter().map(|&a| p.array(a).name.as_str()).collect();
+        let _ =
+            writeln!(out, "  n{k} [label=\"{}\\n{{{}}}\"];", p.nests[k].name, arrays.join(", "));
     }
     for &(a, b) in &g.deps {
         let _ = writeln!(out, "  n{a} -> n{b};");
     }
     for &(a, b) in &g.preventing {
-        let _ = writeln!(
-            out,
-            "  n{a} -> n{b} [dir=none, style=dashed, color=red, constraint=false];"
-        );
+        let _ =
+            writeln!(out, "  n{a} -> n{b} [dir=none, style=dashed, color=red, constraint=false];");
     }
     let _ = writeln!(out, "}}");
     Ok(out)
@@ -127,15 +116,22 @@ pub fn cmd_run(src: &str) -> Result<String, String> {
     let p = load(src)?;
     let r = mbb_ir::interp::run(&p).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "program {}: ran {} iterations, {} flops, {} loads, {} stores",
-        p.name, r.stats.iterations, r.stats.flops, r.stats.loads, r.stats.stores);
+    let _ = writeln!(
+        out,
+        "program {}: ran {} iterations, {} flops, {} loads, {} stores",
+        p.name, r.stats.iterations, r.stats.flops, r.stats.loads, r.stats.stores
+    );
     for (name, v) in &r.observation.scalars {
         let _ = writeln!(out, "  {name} = {v}");
     }
     for (name, vs) in &r.observation.arrays {
         let shown = vs.iter().take(8).map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", ");
-        let _ = writeln!(out, "  {name}[0..{}] = [{shown}{}]", vs.len(),
-            if vs.len() > 8 { ", …" } else { "" });
+        let _ = writeln!(
+            out,
+            "  {name}[0..{}] = [{shown}{}]",
+            vs.len(),
+            if vs.len() > 8 { ", …" } else { "" }
+        );
     }
     Ok(out)
 }
@@ -143,9 +139,11 @@ pub fn cmd_run(src: &str) -> Result<String, String> {
 /// The `report` command.
 pub fn cmd_report(src: &str, opts: &Options) -> Result<String, String> {
     let p = load(src)?;
+    let meter = mbb_bench::runner::Meter::start();
     let b = measure_program_balance(&p, &opts.machine).map_err(|e| e.to_string())?;
     let r = ratios(&b, &opts.machine);
     let t = time_program(&p, &opts.machine).map_err(|e| e.to_string())?;
+    let sim = meter.finish();
     let supply = opts.machine.balance();
     let channel_names: Vec<String> = (0..supply.len())
         .map(|k| {
@@ -162,10 +160,17 @@ pub fn cmd_report(src: &str, opts: &Options) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
     let _ = writeln!(out, "  flops: {}", b.flops);
-    let _ = writeln!(out, "  {:<8} {:>12} {:>12} {:>8}", "channel", "demand B/f", "supply B/f", "ratio");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>12} {:>12} {:>8}",
+        "channel", "demand B/f", "supply B/f", "ratio"
+    );
     for (k, name) in channel_names.iter().enumerate() {
-        let _ = writeln!(out, "  {:<8} {:>12.2} {:>12.2} {:>7.1}×",
-            name, b.bytes_per_flop[k], supply[k], r.ratios[k]);
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>12.2} {:>12.2} {:>7.1}×",
+            name, b.bytes_per_flop[k], supply[k], r.ratios[k]
+        );
     }
     let _ = writeln!(out, "  CPU utilisation bound: {:.0}%", r.cpu_utilization_bound * 100.0);
     let bottleneck = match t.bottleneck {
@@ -173,6 +178,7 @@ pub fn cmd_report(src: &str, opts: &Options) -> Result<String, String> {
         Bottleneck::Channel(k) => channel_names[k].clone(),
     };
     let _ = writeln!(out, "  predicted time: {:.4} s (bottleneck: {bottleneck})", t.time_s);
+    let _ = writeln!(out, "  simulation: {}", sim.summary());
     Ok(out)
 }
 
@@ -199,28 +205,52 @@ pub fn cmd_optimize(src: &str, opts: &Options) -> Result<(String, String), Strin
     let mut out = String::new();
     let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
     if let Some(part) = &outcome.partitioning {
-        let _ = writeln!(out, "  fusion: {} nests -> {} partitions (array loads {} -> {})",
-            p.nests.len(), part.groups.len(),
-            outcome.arrays_cost_before, outcome.arrays_cost_after);
+        let _ = writeln!(
+            out,
+            "  fusion: {} nests -> {} partitions (array loads {} -> {})",
+            p.nests.len(),
+            part.groups.len(),
+            outcome.arrays_cost_before,
+            outcome.arrays_cost_after
+        );
     }
     for a in &outcome.shrink_actions {
         let _ = writeln!(out, "  storage: {a:?}");
     }
     for s in &outcome.store_eliminations {
-        let _ = writeln!(out, "  store elimination: `{}` ({} store(s) removed)",
-            s.array, s.stores_removed);
+        let _ = writeln!(
+            out,
+            "  store elimination: `{}` ({} store(s) removed)",
+            s.array, s.stores_removed
+        );
     }
     for a in &regroup_actions {
         let _ = writeln!(out, "  regrouped: {{{}}} -> `{}`", a.members.join(", "), a.grouped);
     }
-    let _ = writeln!(out, "  storage bytes:    {} -> {}",
-        outcome.storage_before, outcome.storage_after);
-    let _ = writeln!(out, "  memory traffic:   {} -> {} bytes",
-        before_b.report.mem_bytes(), after_b.report.mem_bytes());
-    let _ = writeln!(out, "  memory balance:   {:.2} -> {:.2} bytes/flop",
-        before_b.memory(), after_b.memory());
-    let _ = writeln!(out, "  predicted time:   {:.4} s -> {:.4} s ({:.2}× speedup)",
-        before_t.time_s, after_t.time_s, before_t.time_s / after_t.time_s);
+    let _ = writeln!(
+        out,
+        "  storage bytes:    {} -> {}",
+        outcome.storage_before, outcome.storage_after
+    );
+    let _ = writeln!(
+        out,
+        "  memory traffic:   {} -> {} bytes",
+        before_b.report.mem_bytes(),
+        after_b.report.mem_bytes()
+    );
+    let _ = writeln!(
+        out,
+        "  memory balance:   {:.2} -> {:.2} bytes/flop",
+        before_b.memory(),
+        after_b.memory()
+    );
+    let _ = writeln!(
+        out,
+        "  predicted time:   {:.4} s -> {:.4} s ({:.2}× speedup)",
+        before_t.time_s,
+        after_t.time_s,
+        before_t.time_s / after_t.time_s
+    );
     let _ = writeln!(out, "  equivalence:      verified (interpreted both versions)");
 
     Ok((out, pretty::program(&outcome.program)))
@@ -256,6 +286,7 @@ program fig7
         assert!(out.contains("Mem"), "{out}");
         assert!(out.contains("CPU utilisation bound"), "{out}");
         assert!(out.contains("bottleneck"), "{out}");
+        assert!(out.contains("simulation: simulated"), "{out}");
     }
 
     #[test]

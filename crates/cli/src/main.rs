@@ -31,9 +31,7 @@ fn usage() -> &'static str {
 fn read_source(path: &str) -> Result<String, String> {
     if path == "-" {
         let mut s = String::new();
-        std::io::stdin()
-            .read_to_string(&mut s)
-            .map_err(|e| format!("stdin: {e}"))?;
+        std::io::stdin().read_to_string(&mut s).map_err(|e| format!("stdin: {e}"))?;
         Ok(s)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))

@@ -29,10 +29,8 @@ fn run_command_succeeds() {
 #[test]
 fn report_with_machine_flag() {
     let p = write_temp("report");
-    let out = mbbc()
-        .args(["report", p.to_str().unwrap(), "--machine", "exemplar"])
-        .output()
-        .unwrap();
+    let out =
+        mbbc().args(["report", p.to_str().unwrap(), "--machine", "exemplar"]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Exemplar"), "{stdout}");
@@ -41,12 +39,8 @@ fn report_with_machine_flag() {
 
 #[test]
 fn stdin_input_via_dash() {
-    let mut child = mbbc()
-        .args(["run", "-"])
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .unwrap();
+    let mut child =
+        mbbc().args(["run", "-"]).stdin(Stdio::piped()).stdout(Stdio::piped()).spawn().unwrap();
     child.stdin.as_mut().unwrap().write_all(SRC.as_bytes()).unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
@@ -68,18 +62,9 @@ fn missing_file_fails_cleanly() {
 
 #[test]
 fn parse_error_reports_line() {
-    let mut child = mbbc()
-        .args(["run", "-"])
-        .stdin(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn()
-        .unwrap();
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"for i = 0, 3\n  nope[i] = 1\nend for\n")
-        .unwrap();
+    let mut child =
+        mbbc().args(["run", "-"]).stdin(Stdio::piped()).stderr(Stdio::piped()).spawn().unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"for i = 0, 3\n  nope[i] = 1\nend for\n").unwrap();
     let out = child.wait_with_output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
@@ -100,10 +85,8 @@ fn trace_emits_dinero_lines() {
 #[test]
 fn optimize_emit_round_trips() {
     let p = write_temp("opt");
-    let out = mbbc()
-        .args(["optimize", p.to_str().unwrap(), "--emit", "--no-shrink"])
-        .output()
-        .unwrap();
+    let out =
+        mbbc().args(["optimize", p.to_str().unwrap(), "--emit", "--no-shrink"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("equivalence:      verified"), "{stdout}");

@@ -171,10 +171,9 @@ pub fn advise(prog: &Program, machine: &MachineModel) -> Result<Advice, String> 
         match can_eliminate(&fused_prog, id) {
             Ok(_) => arrays.push(ArrayFinding::StoresEliminable { array: decl.name.clone() }),
             Err(StoreBlocker::NotSingleWriterNest) | Err(StoreBlocker::LiveOut) => {}
-            Err(blocker) => arrays.push(ArrayFinding::StoresBlocked {
-                array: decl.name.clone(),
-                blocker,
-            }),
+            Err(blocker) => {
+                arrays.push(ArrayFinding::StoresBlocked { array: decl.name.clone(), blocker })
+            }
         }
     }
 
@@ -236,11 +235,13 @@ mod tests {
         assert_eq!(a.bottleneck, "memory");
         assert!(a.max_ratio > 5.0);
         assert_eq!(a.fusion_arrays, (3, 2));
-        assert!(a
-            .arrays
-            .iter()
-            .any(|f| matches!(f, ArrayFinding::StoresEliminable { array } if array == "res")),
-            "{:?}", a.arrays);
+        assert!(
+            a.arrays
+                .iter()
+                .any(|f| matches!(f, ArrayFinding::StoresEliminable { array } if array == "res")),
+            "{:?}",
+            a.arrays
+        );
         let text = a.to_string();
         assert!(text.contains("eliminate stores of `res`"), "{text}");
     }
@@ -311,11 +312,7 @@ mod interchange_advice_tests {
         let s = b.scalar_printed("s", 0.0);
         let (i, j) = (b.var("i"), b.var("j"));
         // i outer, j inner → inner stride n (bad).
-        b.nest(
-            "walk",
-            &[(i, 0, hi), (j, 0, hi)],
-            vec![accumulate(s, ld(a.at([v(i), v(j)])))],
-        );
+        b.nest("walk", &[(i, 0, hi), (j, 0, hi)], vec![accumulate(s, ld(a.at([v(i), v(j)])))]);
         let p = b.finish();
         let m = MachineModel::origin2000().scaled_levels(&[16, 64]);
         let advice = advise(&p, &m).unwrap();
@@ -334,11 +331,7 @@ mod interchange_advice_tests {
         let a = b.array_in("a", &[n, n]);
         let s = b.scalar_printed("s", 0.0);
         let (i, j) = (b.var("i"), b.var("j"));
-        b.nest(
-            "walk",
-            &[(j, 0, hi), (i, 0, hi)],
-            vec![accumulate(s, ld(a.at([v(i), v(j)])))],
-        );
+        b.nest("walk", &[(j, 0, hi), (i, 0, hi)], vec![accumulate(s, ld(a.at([v(i), v(j)])))]);
         let p = b.finish();
         let m = MachineModel::origin2000().scaled_levels(&[16, 64]);
         let advice = advise(&p, &m).unwrap();

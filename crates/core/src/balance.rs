@@ -62,11 +62,7 @@ pub fn ratios(balance: &ProgramBalance, machine: &MachineModel) -> BalanceRatios
         .map(|(&d, &s)| if s > 0.0 { d / s } else { f64::INFINITY })
         .collect();
     let max_ratio = ratios.iter().copied().fold(0.0, f64::max);
-    BalanceRatios {
-        ratios,
-        max_ratio,
-        cpu_utilization_bound: 1.0 / max_ratio.max(1.0),
-    }
+    BalanceRatios { ratios, max_ratio, cpu_utilization_bound: 1.0 / max_ratio.max(1.0) }
 }
 
 /// Builds a [`ProgramBalance`] from a finished hierarchy run.

@@ -49,11 +49,9 @@ enum AccessKey {
 fn stmt_accesses(stmt: &Stmt, levels: &BTreeMap<VarId, usize>) -> Vec<AccessRec> {
     let mut out = Vec::new();
     stmt.for_each_ref(&mut |r, is_store| match r {
-        Ref::Scalar(s) => out.push(AccessRec {
-            key: AccessKey::Scalar(s.0),
-            is_store,
-            shapes: None,
-        }),
+        Ref::Scalar(s) => {
+            out.push(AccessRec { key: AccessKey::Scalar(s.0), is_store, shapes: None })
+        }
         Ref::Element(a, subs) => {
             let shapes: Option<Vec<Shape>> = subs
                 .iter()
@@ -205,10 +203,8 @@ pub fn distribute_nest(prog: &Program, nest_idx: usize) -> Result<Program, Distr
     }
     let first_stmt: Vec<usize> =
         (0..ncomp).map(|c| (0..n).find(|&s| comp[s] == c).unwrap()).collect();
-    let mut ready: std::collections::BTreeSet<(usize, usize)> = (0..ncomp)
-        .filter(|&c| indeg[c] == 0)
-        .map(|c| (first_stmt[c], c))
-        .collect();
+    let mut ready: std::collections::BTreeSet<(usize, usize)> =
+        (0..ncomp).filter(|&c| indeg[c] == 0).map(|c| (first_stmt[c], c)).collect();
     let mut order = Vec::with_capacity(ncomp);
     while let Some(&(key, c)) = ready.iter().next() {
         ready.remove(&(key, c));
@@ -340,10 +336,7 @@ mod tests {
         b.nest(
             "k",
             &[(i, 0, n as i64 - 1)],
-            vec![
-                accumulate(s, ld(t.at([v(i) + 1]))),
-                assign(t.at([v(i)]), ld(s.r())),
-            ],
+            vec![accumulate(s, ld(t.at([v(i) + 1]))), assign(t.at([v(i)]), ld(s.r()))],
         );
         let p = b.finish();
         // The scalar also ties them; check the array logic alone by using

@@ -61,13 +61,8 @@ pub fn embed_nest(
         return Err(EmbedError::NonConforming);
     }
     // Loops of src must conform to dst's loops with `level` removed.
-    let reduced: Vec<_> = nd
-        .loops
-        .iter()
-        .enumerate()
-        .filter(|&(l, _)| l != level)
-        .map(|(_, lp)| lp)
-        .collect();
+    let reduced: Vec<_> =
+        nd.loops.iter().enumerate().filter(|&(l, _)| l != level).map(|(_, lp)| lp).collect();
     for (ls, ld) in ns.loops.iter().zip(&reduced) {
         if !ls.conforms_to(ld) {
             return Err(EmbedError::NonConforming);
@@ -85,9 +80,7 @@ pub fn embed_nest(
         .arrays_touched()
         .intersection(&acc_s.arrays_touched())
         .copied()
-        .filter(|a| {
-            acc_d.array_writes.contains(a) || acc_s.array_writes.contains(a)
-        })
+        .filter(|a| acc_d.array_writes.contains(a) || acc_s.array_writes.contains(a))
         .collect();
     for arr in shared {
         if !interleaving_safe(nd, ns, level, at, arr) {
@@ -112,11 +105,8 @@ pub fn embed_nest(
     // the guard, append to dst's body.
     let mut out = prog.clone();
     let mut body = ns.body.clone();
-    let fresh: Vec<VarId> = ns
-        .loops
-        .iter()
-        .map(|lp| out.add_var(format!("{}__emb", prog.var_name(lp.var))))
-        .collect();
+    let fresh: Vec<VarId> =
+        ns.loops.iter().map(|lp| out.add_var(format!("{}__emb", prog.var_name(lp.var)))).collect();
     for (lp, &f) in ns.loops.iter().zip(&fresh) {
         body = body.iter().map(|s| s.rename(lp.var, f)).collect();
     }
@@ -180,15 +170,9 @@ fn interleaving_safe(
     // src side: the dimensions where dst used var(level) must be the
     // constant `at` in src (same plane as the guarded iteration); shared
     // inner variables must appear with offset 0.
-    let shared_vars: std::collections::BTreeSet<VarId> = nd
-        .loops
-        .iter()
-        .enumerate()
-        .filter(|&(l, _)| l != level)
-        .map(|(_, lp)| lp.var)
-        .collect();
-    let src_vars: std::collections::BTreeSet<VarId> =
-        ns.loops.iter().map(|lp| lp.var).collect();
+    let shared_vars: std::collections::BTreeSet<VarId> =
+        nd.loops.iter().enumerate().filter(|&(l, _)| l != level).map(|(_, lp)| lp.var).collect();
+    let src_vars: std::collections::BTreeSet<VarId> = ns.loops.iter().map(|lp| lp.var).collect();
     ns.for_each_ref(&mut |r, _| {
         if let Ref::Element(a, subs) = r {
             if *a != arr {
@@ -236,10 +220,9 @@ fn normalize_stmts(stmts: &[Stmt], known: &mut Vec<(VarId, i64)>) -> Vec<Stmt> {
     stmts
         .iter()
         .map(|st| match st {
-            Stmt::Assign { lhs, rhs } => Stmt::Assign {
-                lhs: normalize_ref(lhs, known),
-                rhs: normalize_expr(rhs, known),
-            },
+            Stmt::Assign { lhs, rhs } => {
+                Stmt::Assign { lhs: normalize_ref(lhs, known), rhs: normalize_expr(rhs, known) }
+            }
             Stmt::If { cond, then_, else_ } => {
                 let eq = as_var_eq(cond);
                 if let Some(pair) = eq {
@@ -332,11 +315,10 @@ fn cond_decidable(
                 None
             }
         }
-        CmpOp::Ne => cond_decidable(
-            &Cond::new(Affine::var(v), CmpOp::Eq, Affine::constant(k)),
-            intervals,
-        )
-        .map(|b| !b),
+        CmpOp::Ne => {
+            cond_decidable(&Cond::new(Affine::var(v), CmpOp::Eq, Affine::constant(k)), intervals)
+                .map(|b| !b)
+        }
         CmpOp::Le => {
             if all(&|x| x <= k) {
                 Some(true)
@@ -463,10 +445,7 @@ mod tests {
         b.nest(
             "boundary",
             &[(i2, 0, hi)],
-            vec![assign(
-                bb.at([v(i2), c(hi)]),
-                ld(bb.at([v(i2), c(hi)])) * lit(2.0),
-            )],
+            vec![assign(bb.at([v(i2), c(hi)]), ld(bb.at([v(i2), c(hi)])) * lit(2.0))],
         );
         b.finish()
     }
@@ -499,16 +478,8 @@ mod tests {
         let bb = b.array_out("b", &[n, n]);
         let (i, j) = (b.var("i"), b.var("j"));
         let i2 = b.var("i2");
-        b.nest(
-            "compute",
-            &[(j, 0, hi), (i, 0, hi)],
-            vec![assign(bb.at([v(i), v(j)]), lit(1.0))],
-        );
-        b.nest(
-            "boundary",
-            &[(i2, 0, hi)],
-            vec![assign(bb.at([v(i2), c(0)]), lit(5.0))],
-        );
+        b.nest("compute", &[(j, 0, hi), (i, 0, hi)], vec![assign(bb.at([v(i), v(j)]), lit(1.0))]);
+        b.nest("boundary", &[(i2, 0, hi)], vec![assign(bb.at([v(i2), c(0)]), lit(5.0))]);
         let p = b.finish();
         assert_eq!(embed_nest(&p, 0, 0, hi).err(), Some(EmbedError::UnsafeInterleaving));
     }
@@ -534,10 +505,7 @@ mod tests {
             &[(j, 0, hi), (i, 0, hi)],
             vec![
                 assign(t.at([v(i), v(j)]), lit(1.0)),
-                if_then(
-                    cmp(v(j), CmpOp::Eq, c(hi)),
-                    vec![assign(t.at([v(i), c(hi)]), lit(2.0))],
-                ),
+                if_then(cmp(v(j), CmpOp::Eq, c(hi)), vec![assign(t.at([v(i), c(hi)]), lit(2.0))]),
             ],
         );
         let p = b.finish();

@@ -135,8 +135,7 @@ pub fn expand_scalar(
     // reversed so the innermost variable is stride-1.
     let mut out = prog.clone();
     let mut name = format!("{}_x", decl.name);
-    while out.arrays.iter().any(|a| a.name == name)
-        || out.scalars.iter().any(|sc| sc.name == name)
+    while out.arrays.iter().any(|a| a.name == name) || out.scalars.iter().any(|sc| sc.name == name)
     {
         name.push('_');
     }
@@ -232,7 +231,8 @@ mod tests {
         verify_equivalent(&p, &d, 0.0).unwrap();
         // Re-fuse and contract the expanded array away again.
         let g = crate::fusion::build_fusion_graph(&d);
-        let refused = crate::fusion::apply(&d, &crate::fusion::Partitioning::all_fused(g.n)).unwrap();
+        let refused =
+            crate::fusion::apply(&d, &crate::fusion::Partitioning::all_fused(g.n)).unwrap();
         let oc = contract(&refused, arr).unwrap();
         assert!(oc.scalar_replacement.is_some(), "t_x returns to a register");
         verify_equivalent(&p, &oc.program, 0.0).unwrap();

@@ -50,16 +50,8 @@ pub struct FusionGraph {
 /// Builds the fusion graph of a program.
 pub fn build_fusion_graph(prog: &Program) -> FusionGraph {
     let n = prog.nests.len();
-    let arrays_of = prog
-        .nests
-        .iter()
-        .map(|nest| nest_access(nest).arrays_touched())
-        .collect();
-    let deps = dependences(prog)
-        .edges
-        .iter()
-        .map(|e| (e.src, e.dst))
-        .collect();
+    let arrays_of = prog.nests.iter().map(|nest| nest_access(nest).arrays_touched()).collect();
+    let deps = dependences(prog).edges.iter().map(|e| (e.src, e.dst)).collect();
     let mut preventing = BTreeSet::new();
     for a in 0..n {
         for b in (a + 1)..n {
@@ -200,9 +192,8 @@ pub fn fusion_hypergraph(graph: &FusionGraph, s: usize, t: usize) -> (Hypergraph
     let heavy = all_arrays.len() as u64 + 1;
     let mut hg = Hypergraph::new(graph.n);
     for &arr in &all_arrays {
-        let pins: Vec<usize> = (0..graph.n)
-            .filter(|&k| graph.arrays_of[k].contains(&arr))
-            .collect();
+        let pins: Vec<usize> =
+            (0..graph.n).filter(|&k| graph.arrays_of[k].contains(&arr)).collect();
         hg.add_edge(HyperEdge::weighted(pins, 1));
     }
     let mut dep_count = 0u64;
@@ -360,14 +351,10 @@ pub fn greedy_fusion(graph: &FusionGraph) -> Partitioning {
             for gj in (gi + 1)..p.groups.len() {
                 // Benefit of merging: arrays counted twice today that would
                 // be counted once.
-                let set_i: BTreeSet<ArrayId> = p.groups[gi]
-                    .iter()
-                    .flat_map(|&k| graph.arrays_of[k].iter().copied())
-                    .collect();
-                let set_j: BTreeSet<ArrayId> = p.groups[gj]
-                    .iter()
-                    .flat_map(|&k| graph.arrays_of[k].iter().copied())
-                    .collect();
+                let set_i: BTreeSet<ArrayId> =
+                    p.groups[gi].iter().flat_map(|&k| graph.arrays_of[k].iter().copied()).collect();
+                let set_j: BTreeSet<ArrayId> =
+                    p.groups[gj].iter().flat_map(|&k| graph.arrays_of[k].iter().copied()).collect();
                 let benefit = set_i.intersection(&set_j).count() as u64;
                 if benefit == 0 {
                     continue;
@@ -428,10 +415,7 @@ pub fn recursive_bisection_fusion(graph: &FusionGraph) -> Partitioning {
     let mut groups: Vec<Vec<usize>> = vec![(0..graph.n).collect()];
     let preventing: Vec<(usize, usize)> = graph.preventing.iter().copied().collect();
     while let Some((&(s, t), gi)) = preventing.iter().find_map(|p| {
-        groups
-            .iter()
-            .position(|g| g.contains(&p.0) && g.contains(&p.1))
-            .map(|gi| (p, gi))
+        groups.iter().position(|g| g.contains(&p.0) && g.contains(&p.1)).map(|gi| (p, gi))
     }) {
         // Build the subgraph over this group's nodes.
         let members = groups[gi].clone();
@@ -538,12 +522,12 @@ mod tests {
         FusionGraph {
             n: 6,
             arrays_of: vec![
-                set(&[0, 3, 4, 5]), // loop 1: A, D, E, F
-                set(&[0, 3, 4, 5]), // loop 2
-                set(&[0, 3, 4, 5]), // loop 3
+                set(&[0, 3, 4, 5]),    // loop 1: A, D, E, F
+                set(&[0, 3, 4, 5]),    // loop 2
+                set(&[0, 3, 4, 5]),    // loop 3
                 set(&[1, 2, 3, 4, 5]), // loop 4: B, C, D, E, F
-                set(&[0]),          // loop 5: A
-                set(&[1, 2]),       // loop 6: B, C
+                set(&[0]),             // loop 5: A
+                set(&[1, 2]),          // loop 6: B, C
             ],
             deps: vec![(4, 5)],
             preventing: BTreeSet::from([(4, 5)]),
@@ -601,10 +585,7 @@ mod tests {
         // only legal order puts 0 first.
         let g = FusionGraph {
             n: 2,
-            arrays_of: vec![
-                BTreeSet::from([ArrayId(0)]),
-                BTreeSet::from([ArrayId(0)]),
-            ],
+            arrays_of: vec![BTreeSet::from([ArrayId(0)]), BTreeSet::from([ArrayId(0)])],
             deps: vec![(0, 1)],
             preventing: BTreeSet::from([(0, 1)]),
         };
@@ -723,12 +704,7 @@ mod bisection_tests {
             let g = FusionGraph {
                 n,
                 arrays_of: (0..n)
-                    .map(|_| {
-                        (0..arrays)
-                            .filter(|_| rng.gen_bool(0.5))
-                            .map(ArrayId)
-                            .collect()
-                    })
+                    .map(|_| (0..arrays).filter(|_| rng.gen_bool(0.5)).map(ArrayId).collect())
                     .collect(),
                 deps: (0..n)
                     .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))

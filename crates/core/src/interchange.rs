@@ -75,9 +75,8 @@ fn distance_vectors(prog: &Program, nest_idx: usize) -> Result<Vec<Vec<i64>>, In
     // A written scalar is tolerated only when it is a pure commuting
     // reduction (every interleaving sums the same values).
     if scalar_rw {
-        let all_reductions = (0..prog.scalars.len()).all(|s| {
-            mbb_ir::deps::scalar_is_pure_reduction(nest, mbb_ir::ScalarId(s as u32))
-        });
+        let all_reductions = (0..prog.scalars.len())
+            .all(|s| mbb_ir::deps::scalar_is_pure_reduction(nest, mbb_ir::ScalarId(s as u32)));
         if !all_reductions {
             return Err(InterchangeError::Unanalysable);
         }
@@ -161,10 +160,8 @@ pub fn interchange(
         }
     }
     let mut out = prog.clone();
-    out.nests[nest_idx].loops = perm
-        .iter()
-        .map(|&l| prog.nests[nest_idx].loops[l].clone())
-        .collect();
+    out.nests[nest_idx].loops =
+        perm.iter().map(|&l| prog.nests[nest_idx].loops[l].clone()).collect();
     Ok(out)
 }
 
@@ -226,7 +223,10 @@ mod tests {
         b.nest(
             "k",
             &[(j, 0, hi), (i, 0, hi)],
-            vec![assign(a.at([v(i), v(j)]), mbb_ir::Expr::Input(mbb_ir::SourceId(1), vec![v(i), v(j)]))],
+            vec![assign(
+                a.at([v(i), v(j)]),
+                mbb_ir::Expr::Input(mbb_ir::SourceId(1), vec![v(i), v(j)]),
+            )],
         );
         let p = b.finish();
         let q = interchange(&p, 0, &[1, 0]).unwrap();
@@ -248,10 +248,7 @@ mod tests {
         b.nest(
             "k",
             &[(j, 1, hi), (i, 1, hi)],
-            vec![assign(
-                a.at([v(i), v(j)]),
-                ld(a.at([v(i) - 1, v(j) + 1])) * lit(0.5),
-            )],
+            vec![assign(a.at([v(i), v(j)]), ld(a.at([v(i) - 1, v(j) + 1])) * lit(0.5))],
         );
         let p = b.finish();
         assert_eq!(interchange(&p, 0, &[1, 0]).err(), Some(InterchangeError::DirectionViolated));

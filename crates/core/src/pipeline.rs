@@ -237,7 +237,7 @@ mod tests {
         assert_eq!(out.program.nests.len(), 1);
         assert_eq!(out.arrays_cost_before, 3); // res+data, res
         assert_eq!(out.arrays_cost_after, 2); // res, data once
-        // …and store elimination removed the writeback.
+                                              // …and store elimination removed the writeback.
         assert_eq!(out.store_eliminations.len(), 1);
         let stats = mbb_ir::interp::run(&out.program).unwrap().stats;
         assert_eq!(stats.stores, 0);
@@ -248,7 +248,12 @@ mod tests {
         let p = fig7(64);
         let out = optimize(
             &p,
-            OptimizeOptions { fusion: FusionStrategy::None, shrink: false, eliminate_stores: false, ..Default::default() },
+            OptimizeOptions {
+                fusion: FusionStrategy::None,
+                shrink: false,
+                eliminate_stores: false,
+                ..Default::default()
+            },
         );
         assert_eq!(out.program.nests.len(), 2);
         assert!(out.partitioning.is_none());
@@ -259,7 +264,8 @@ mod tests {
     #[test]
     fn exhaustive_matches_greedy_on_simple_case() {
         let p = fig7(64);
-        let g = optimize(&p, OptimizeOptions { fusion: FusionStrategy::Greedy, ..Default::default() });
+        let g =
+            optimize(&p, OptimizeOptions { fusion: FusionStrategy::Greedy, ..Default::default() });
         let e = optimize(
             &p,
             OptimizeOptions { fusion: FusionStrategy::Exhaustive, ..Default::default() },
@@ -348,10 +354,7 @@ mod normalize_tests {
     #[test]
     fn normalized_pipeline_stays_equivalent_and_compact() {
         let p = entangled(32);
-        let out = optimize(
-            &p,
-            OptimizeOptions { normalize: true, ..Default::default() },
-        );
+        let out = optimize(&p, OptimizeOptions { normalize: true, ..Default::default() });
         verify_equivalent(&p, &out.program, 1e-12).unwrap();
         // The expanded temporaries must have been contracted away again:
         // no storage growth survives the full pipeline.

@@ -49,7 +49,10 @@ pub struct RegroupAction {
 
 /// Regroups `members` (same shape, not live-out) into one interleaved
 /// array with a new leading (fastest-varying) member dimension.
-pub fn regroup(prog: &Program, members: &[ArrayId]) -> Result<(Program, RegroupAction), RegroupError> {
+pub fn regroup(
+    prog: &Program,
+    members: &[ArrayId],
+) -> Result<(Program, RegroupAction), RegroupError> {
     if members.len() < 2 {
         return Err(RegroupError::TooFew);
     }
@@ -87,15 +90,9 @@ pub fn regroup(prog: &Program, members: &[ArrayId]) -> Result<(Program, RegroupA
     let mut out = prog.clone();
     let mut name = format!(
         "grp_{}",
-        members
-            .iter()
-            .map(|&m| prog.array(m).name.as_str())
-            .collect::<Vec<_>>()
-            .join("_")
+        members.iter().map(|&m| prog.array(m).name.as_str()).collect::<Vec<_>>().join("_")
     );
-    while out.arrays.iter().any(|a| a.name == name)
-        || out.scalars.iter().any(|s| s.name == name)
-    {
+    while out.arrays.iter().any(|a| a.name == name) || out.scalars.iter().any(|s| s.name == name) {
         name.push('_');
     }
     let mut grouped_dims = vec![members.len()];
@@ -176,11 +173,7 @@ pub fn regroup_candidates(prog: &Program) -> Vec<Vec<ArrayId>> {
             None => groups.push((sig, vec![id])),
         }
     }
-    groups
-        .into_iter()
-        .filter(|(_, g)| g.len() >= 2)
-        .map(|(_, g)| g)
-        .collect()
+    groups.into_iter().filter(|(_, g)| g.len() >= 2).map(|(_, g)| g).collect()
 }
 
 /// Applies regrouping to every candidate group; returns the transformed
@@ -234,8 +227,12 @@ mod tests {
         assert_eq!(q.arrays[0].dims, vec![3, 64]);
         assert_eq!(action.members, vec!["x", "y", "z"]);
         let (rp, rq) = (interp::run(&p).unwrap(), interp::run(&q).unwrap());
-        assert!(rp.observation.approx_eq(&rq.observation, 0.0),
-            "{:?} vs {:?}", rp.observation, rq.observation);
+        assert!(
+            rp.observation.approx_eq(&rq.observation, 0.0),
+            "{:?} vs {:?}",
+            rp.observation,
+            rq.observation
+        );
     }
 
     #[test]
@@ -243,8 +240,8 @@ mod tests {
         // Member k element m must land at linear position m*3 + k (member
         // dimension fastest-varying).
         let p = three_stream(8);
-        let (q, _) = regroup(&p, &[mbb_ir::ArrayId(0), mbb_ir::ArrayId(1), mbb_ir::ArrayId(2)])
-            .unwrap();
+        let (q, _) =
+            regroup(&p, &[mbb_ir::ArrayId(0), mbb_ir::ArrayId(1), mbb_ir::ArrayId(2)]).unwrap();
         let mut sink = mbb_ir::trace::VecSink::new();
         mbb_ir::interp::run_traced(&q, &mut sink).unwrap();
         // Per iteration the three loads are 8 bytes apart — one line.
@@ -260,11 +257,7 @@ mod tests {
         let x = b.array_in("x", &[n]);
         let y = b.array_out("y", &[n]);
         let i = b.var("i");
-        b.nest(
-            "k",
-            &[(i, 0, n as i64 - 1)],
-            vec![assign(y.at([v(i)]), ld(x.at([v(i)])))],
-        );
+        b.nest("k", &[(i, 0, n as i64 - 1)], vec![assign(y.at([v(i)]), ld(x.at([v(i)])))]);
         let p = b.finish();
         assert_eq!(regroup(&p, &[x, y]).err(), Some(RegroupError::LiveOut));
     }

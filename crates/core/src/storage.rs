@@ -120,7 +120,12 @@ impl PeelCtx {
 
 /// Peels the section `arr[…, index, …]` (constant `index` in dimension
 /// `dim`) into its own array, rewriting every reference program-wide.
-pub fn peel(prog: &Program, arr: ArrayId, dim: usize, index: i64) -> Result<PeelOutcome, PeelError> {
+pub fn peel(
+    prog: &Program,
+    arr: ArrayId,
+    dim: usize,
+    index: i64,
+) -> Result<PeelOutcome, PeelError> {
     let decl = prog.array(arr);
     if dim >= decl.dims.len() || index < 0 || index as usize >= decl.dims[dim] {
         return Err(PeelError::BadSection);
@@ -155,13 +160,7 @@ pub fn peel(prog: &Program, arr: ArrayId, dim: usize, index: i64) -> Result<Peel
     let source = out.fresh_source();
     let peeled = out.add_array(ArrayDecl {
         name: peel_name,
-        dims: decl
-            .dims
-            .iter()
-            .enumerate()
-            .filter(|&(d, _)| d != dim)
-            .map(|(_, &e)| e)
-            .collect(),
+        dims: decl.dims.iter().enumerate().filter(|&(d, _)| d != dim).map(|(_, &e)| e).collect(),
         init: peel_init,
         live_out: false,
         source,
@@ -530,8 +529,7 @@ pub fn shrink_storage(prog: &Program) -> (Program, Vec<ShrinkAction>) {
                 }
             });
         }
-        let dead = (0..cur.arrays.len())
-            .find(|&k| !referenced[k] && !cur.arrays[k].live_out);
+        let dead = (0..cur.arrays.len()).find(|&k| !referenced[k] && !cur.arrays[k].live_out);
         match dead {
             Some(k) => {
                 actions.push(ShrinkAction::Contracted {
@@ -707,11 +705,7 @@ mod tests {
         let a = b.array_in("a", &[n, n]);
         let s = b.scalar_printed("s", 0.0);
         let i = b.var("i");
-        b.nest(
-            "r",
-            &[(i, 0, n as i64 - 1)],
-            vec![accumulate(s, ld(a.at([v(i), c(2)])))],
-        );
+        b.nest("r", &[(i, 0, n as i64 - 1)], vec![accumulate(s, ld(a.at([v(i), c(2)])))]);
         let p = b.finish();
         let po = peel(&p, a, 1, 2).unwrap();
         check_equiv(&p, &po.program, 0.0);

@@ -72,10 +72,7 @@ enum Shape {
     Const(i64),
 }
 
-fn shapes_of(
-    subs: &[Sub],
-    levels: &BTreeMap<VarId, usize>,
-) -> Result<Vec<Shape>, StoreBlocker> {
+fn shapes_of(subs: &[Sub], levels: &BTreeMap<VarId, usize>) -> Result<Vec<Shape>, StoreBlocker> {
     subs.iter()
         .map(|s| {
             let e = s.as_plain().ok_or(StoreBlocker::UnsupportedSubscript)?;
@@ -212,7 +209,10 @@ pub fn can_eliminate(prog: &Program, arr: ArrayId) -> Result<usize, StoreBlocker
 /// Eliminates the stores of `arr`: each write becomes a scalar temporary,
 /// and every textually later load with identical subscripts in the same
 /// body is forwarded to the temporary.
-pub fn eliminate_stores_for(prog: &Program, arr: ArrayId) -> Result<(Program, StoreElimination), StoreBlocker> {
+pub fn eliminate_stores_for(
+    prog: &Program,
+    arr: ArrayId,
+) -> Result<(Program, StoreElimination), StoreBlocker> {
     let nest = can_eliminate(prog, arr)?;
     let mut out = prog.clone();
     let mut forwarded: Vec<(Vec<Sub>, ScalarId)> = Vec::new();
@@ -233,10 +233,9 @@ pub fn eliminate_stores_for(prog: &Program, arr: ArrayId) -> Result<(Program, St
 
     fn forward_stmt(st: &Stmt, arr: ArrayId, map: &[(Vec<Sub>, ScalarId)]) -> Stmt {
         match st {
-            Stmt::Assign { lhs, rhs } => Stmt::Assign {
-                lhs: lhs.clone(),
-                rhs: forward_expr(rhs, arr, map),
-            },
+            Stmt::Assign { lhs, rhs } => {
+                Stmt::Assign { lhs: lhs.clone(), rhs: forward_expr(rhs, arr, map) }
+            }
             Stmt::If { cond, then_, else_ } => Stmt::If {
                 cond: cond.clone(),
                 then_: then_.iter().map(|s| forward_stmt(s, arr, map)).collect(),
@@ -263,11 +262,8 @@ pub fn eliminate_stores_for(prog: &Program, arr: ArrayId) -> Result<(Program, St
         }
     }
     out.nests[nest].body = body;
-    let report = StoreElimination {
-        array: prog.array(arr).name.clone(),
-        nest,
-        stores_removed: removed,
-    };
+    let report =
+        StoreElimination { array: prog.array(arr).name.clone(), nest, stores_removed: removed };
     Ok((out, report))
 }
 
@@ -291,7 +287,6 @@ pub fn eliminate_all_stores(prog: &Program) -> (Program, Vec<StoreElimination>) 
     }
     (cur, reports)
 }
-
 
 impl std::fmt::Display for StoreBlocker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -399,10 +394,7 @@ mod tests {
         b.nest(
             "k",
             &[(i, 1, n as i64 - 1)],
-            vec![
-                assign(t.at([v(i)]), lit(1.0)),
-                accumulate(s, ld(t.at([v(i) - 1]))),
-            ],
+            vec![assign(t.at([v(i)]), lit(1.0)), accumulate(s, ld(t.at([v(i) - 1])))],
         );
         let p = b.finish();
         assert_eq!(can_eliminate(&p, t), Err(StoreBlocker::CrossIterationUse));
@@ -419,10 +411,7 @@ mod tests {
             "k",
             &[(i, 0, n as i64 - 1)],
             vec![
-                if_then(
-                    cmp(v(i), mbb_ir::CmpOp::Ge, c(4)),
-                    vec![assign(t.at([v(i)]), lit(1.0))],
-                ),
+                if_then(cmp(v(i), mbb_ir::CmpOp::Ge, c(4)), vec![assign(t.at([v(i)]), lit(1.0))]),
                 accumulate(s, ld(t.at([v(i)]))),
             ],
         );
@@ -471,10 +460,7 @@ mod tests {
             &[(i, 0, n as i64 - 1)],
             vec![
                 assign(t.at([v(i)]), lit(5.0)),
-                if_then(
-                    cmp(v(i), mbb_ir::CmpOp::Ge, c(4)),
-                    vec![accumulate(s, ld(t.at([v(i)])))],
-                ),
+                if_then(cmp(v(i), mbb_ir::CmpOp::Ge, c(4)), vec![accumulate(s, ld(t.at([v(i)])))]),
             ],
         );
         let p = b.finish();

@@ -90,11 +90,7 @@ pub fn fuse_nests(prog: &Program, groups: &[Vec<usize>]) -> Result<Program, Fuse
         sorted.sort_unstable();
         let lead = &prog.nests[sorted[0]];
         let mut fused = LoopNest {
-            name: sorted
-                .iter()
-                .map(|&k| prog.nests[k].name.as_str())
-                .collect::<Vec<_>>()
-                .join("+"),
+            name: sorted.iter().map(|&k| prog.nests[k].name.as_str()).collect::<Vec<_>>().join("+"),
             loops: lead.loops.clone(),
             body: lead.body.clone(),
         };
@@ -158,7 +154,6 @@ pub fn peel_front_iterations(prog: &Program, nest_idx: usize, count: u64) -> Pro
         .collect();
     out
 }
-
 
 impl std::fmt::Display for FuseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -243,10 +238,7 @@ mod tests {
         let mut p = three_loop_program(16);
         p.fusion_preventing.push((0, 1));
         let err = fuse_nests(&p, &[vec![0, 1], vec![2]]).unwrap_err();
-        assert_eq!(
-            err,
-            FuseError::Illegal { pair: (0, 1), blocker: FusionBlocker::Explicit }
-        );
+        assert_eq!(err, FuseError::Illegal { pair: (0, 1), blocker: FusionBlocker::Explicit });
     }
 
     #[test]
@@ -260,11 +252,7 @@ mod tests {
         let (i, j) = (b.var("i"), b.var("j"));
         let (x, y) = (b.var("x"), b.var("y"));
         let hi = n as i64 - 1;
-        b.nest(
-            "w",
-            &[(j, 0, hi), (i, 0, hi)],
-            vec![assign(a.at([v(i), v(j)]), lit(1.0))],
-        );
+        b.nest("w", &[(j, 0, hi), (i, 0, hi)], vec![assign(a.at([v(i), v(j)]), lit(1.0))]);
         b.nest(
             "r",
             &[(y, 0, hi), (x, 0, hi)],

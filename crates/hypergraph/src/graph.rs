@@ -67,10 +67,7 @@ impl Hypergraph {
     /// # Panics
     /// Panics if a pin is out of range.
     pub fn add_edge(&mut self, e: HyperEdge) -> usize {
-        assert!(
-            e.pins.iter().all(|&p| p < self.num_nodes),
-            "hyperedge pin out of range"
-        );
+        assert!(e.pins.iter().all(|&p| p < self.num_nodes), "hyperedge pin out of range");
         self.edges.push(e);
         self.edges.len() - 1
     }
@@ -87,12 +84,7 @@ impl Hypergraph {
 
     /// Edge indices incident to `node`.
     pub fn incident(&self, node: usize) -> Vec<usize> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.contains(node))
-            .map(|(k, _)| k)
-            .collect()
+        self.edges.iter().enumerate().filter(|(_, e)| e.contains(node)).map(|(k, _)| k).collect()
     }
 
     /// The set of nodes connected to `start` through hyperedges not in

@@ -211,16 +211,19 @@ mod tests {
         let f = n.max_flow(0, 3);
         let cut = n.min_cut_arcs(0);
         // Max-flow = min-cut.
-        let cut_cap: u64 = cut.iter().map(|&(_, u, v)| {
-            // Original capacities were 3,1,4,2 on arcs 0,2,4,6.
-            match (u, v) {
-                (0, 1) => 3,
-                (1, 3) => 1,
-                (0, 2) => 4,
-                (2, 3) => 2,
-                _ => panic!("unexpected cut arc"),
-            }
-        }).sum();
+        let cut_cap: u64 = cut
+            .iter()
+            .map(|&(_, u, v)| {
+                // Original capacities were 3,1,4,2 on arcs 0,2,4,6.
+                match (u, v) {
+                    (0, 1) => 3,
+                    (1, 3) => 1,
+                    (0, 2) => 4,
+                    (2, 3) => 2,
+                    _ => panic!("unexpected cut arc"),
+                }
+            })
+            .sum();
         assert_eq!(f, 3);
         assert_eq!(cut_cap, f);
     }

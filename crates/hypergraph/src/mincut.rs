@@ -74,10 +74,7 @@ fn min_cut_impl(hg: &Hypergraph, sources: &[usize], sinks: &[usize], dinic: bool
     for &n in sources.iter().chain(sinks) {
         assert!(n < hg.num_nodes, "terminal out of range");
     }
-    assert!(
-        sources.iter().all(|s| !sinks.contains(s)),
-        "sources and sinks must be disjoint"
-    );
+    assert!(sources.iter().all(|s| !sinks.contains(s)), "sources and sinks must be disjoint");
 
     let ne = hg.edges.len();
     // Flow-network node ids: hyperedge e → (2e, 2e+1); then s', t'.
@@ -111,9 +108,7 @@ fn min_cut_impl(hg: &Hypergraph, sources: &[usize], sinks: &[usize], dinic: bool
     let cut_weight = if dinic { net.max_flow_dinic(sp, tp) } else { net.max_flow(sp, tp) };
     let reach = net.residual_reachable(sp);
     // A hyperedge is cut when its split arc crosses the residual frontier.
-    let cut_edges: Vec<usize> = (0..ne)
-        .filter(|&e| reach[2 * e] && !reach[2 * e + 1])
-        .collect();
+    let cut_edges: Vec<usize> = (0..ne).filter(|&e| reach[2 * e] && !reach[2 * e + 1]).collect();
     debug_assert_eq!(
         cut_edges.iter().map(|&e| hg.edges[e].weight).sum::<u64>(),
         cut_weight,
@@ -126,8 +121,7 @@ fn min_cut_impl(hg: &Hypergraph, sources: &[usize], sinks: &[usize], dinic: bool
     for &s in sources {
         side_s.extend(hg.component(s, &removed));
     }
-    let side_t: BTreeSet<usize> =
-        (0..hg.num_nodes).filter(|n| !side_s.contains(n)).collect();
+    let side_t: BTreeSet<usize> = (0..hg.num_nodes).filter(|n| !side_s.contains(n)).collect();
     debug_assert!(sinks.iter().all(|t| side_t.contains(t)), "cut must separate");
     CutResult { cut_edges, cut_weight, side_s, side_t }
 }

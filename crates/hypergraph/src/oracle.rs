@@ -17,8 +17,7 @@ use crate::graph::Hypergraph;
 pub fn exact_min_cut_weight(hg: &Hypergraph, s: usize, t: usize) -> u64 {
     assert_ne!(s, t);
     assert!(hg.num_nodes <= 24, "oracle is exponential; instance too large");
-    let others: Vec<usize> =
-        (0..hg.num_nodes).filter(|&n| n != s && n != t).collect();
+    let others: Vec<usize> = (0..hg.num_nodes).filter(|&n| n != s && n != t).collect();
     let mut best = u64::MAX;
     for mask in 0..(1u32 << others.len()) {
         // side bit per node: true = s-side.
@@ -30,9 +29,7 @@ pub fn exact_min_cut_weight(hg: &Hypergraph, s: usize, t: usize) -> u64 {
         let w: u64 = hg
             .edges
             .iter()
-            .filter(|e| {
-                e.pins.iter().any(|&p| side[p]) && e.pins.iter().any(|&p| !side[p])
-            })
+            .filter(|e| e.pins.iter().any(|&p| side[p]) && e.pins.iter().any(|&p| !side[p]))
             .map(|e| e.weight)
             .sum();
         best = best.min(w);
@@ -49,8 +46,7 @@ pub fn exact_min_cut_weight(hg: &Hypergraph, s: usize, t: usize) -> u64 {
 pub fn exact_kway_cut_weight(hg: &Hypergraph, terminals: &[usize]) -> u64 {
     let k = terminals.len();
     assert!(k >= 1);
-    let others: Vec<usize> =
-        (0..hg.num_nodes).filter(|n| !terminals.contains(n)).collect();
+    let others: Vec<usize> = (0..hg.num_nodes).filter(|n| !terminals.contains(n)).collect();
     let assignments = (k as u64).checked_pow(others.len() as u32).expect("overflow");
     assert!(assignments <= 1 << 20, "oracle is exponential; instance too large");
 
@@ -87,8 +83,7 @@ pub fn exact_kway_cut_weight(hg: &Hypergraph, terminals: &[usize]) -> u64 {
 /// for 2-pin hyperedges this equals `Σ weights + exact_kway_cut_weight`.
 pub fn exact_fusion_total_length(hg: &Hypergraph, terminals: &[usize]) -> u64 {
     let k = terminals.len();
-    let others: Vec<usize> =
-        (0..hg.num_nodes).filter(|n| !terminals.contains(n)).collect();
+    let others: Vec<usize> = (0..hg.num_nodes).filter(|n| !terminals.contains(n)).collect();
     let assignments = (k as u64).checked_pow(others.len() as u32).expect("overflow");
     assert!(assignments <= 1 << 20, "oracle is exponential; instance too large");
 

@@ -53,10 +53,7 @@ pub fn reduce_kway_to_fusion(inst: &KwayInstance) -> FusionInstance {
 ///
 /// Returns `None` when the partitioning is illegal: a node in no or several
 /// groups, or a fusion-preventing pair sharing a group.
-pub fn fusion_cost(
-    inst: &FusionInstance,
-    groups: &[Vec<usize>],
-) -> Option<u64> {
+pub fn fusion_cost(inst: &FusionInstance, groups: &[Vec<usize>]) -> Option<u64> {
     let n = inst.hypergraph.num_nodes;
     let mut group_of = vec![usize::MAX; n];
     for (g, members) in groups.iter().enumerate() {

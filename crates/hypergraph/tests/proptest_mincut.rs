@@ -14,10 +14,7 @@ use proptest::prelude::*;
 /// hyperedges of 1–4 pins with weights 1–5.
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (2usize..=8).prop_flat_map(|n| {
-        let edge = (
-            proptest::collection::btree_set(0..n, 1..=4usize.min(n)),
-            1u64..=5,
-        );
+        let edge = (proptest::collection::btree_set(0..n, 1..=4usize.min(n)), 1u64..=5);
         proptest::collection::vec(edge, 0..10).prop_map(move |edges| {
             let mut hg = Hypergraph::new(n);
             for (pins, w) in edges {

@@ -98,10 +98,7 @@ impl ProgramBuilder {
     ) -> usize {
         self.nest_general(
             name,
-            loops
-                .iter()
-                .map(|&(v, lo, hi)| Loop::new(v, lo, hi))
-                .collect(),
+            loops.iter().map(|&(v, lo, hi)| Loop::new(v, lo, hi)).collect(),
             body,
         )
     }
@@ -255,11 +252,7 @@ mod tests {
         let mut b = ProgramBuilder::new("2d");
         let a = b.array_out("a", &[4, 4]);
         let (i, j) = (b.var("i"), b.var("j"));
-        b.nest(
-            "w",
-            &[(j, 0, 3), (i, 0, 3)],
-            vec![assign(a.at([v(i), v(j)]), lit(1.0))],
-        );
+        b.nest("w", &[(j, 0, 3), (i, 0, 3)], vec![assign(a.at([v(i), v(j)]), lit(1.0))]);
         let r = interp::run(&b.finish()).unwrap();
         assert!(r.observation.arrays[0].1.iter().all(|&x| x == 1.0));
     }

@@ -286,11 +286,7 @@ enum SubShape {
 /// `(read shapes, write shapes)` of one array in one nest.
 type RefShapes = (Vec<Vec<SubShape>>, Vec<Vec<SubShape>>);
 
-fn ref_shapes(
-    n: &LoopNest,
-    arr: ArrayId,
-    levels: &BTreeMap<VarId, usize>,
-) -> Option<RefShapes> {
+fn ref_shapes(n: &LoopNest, arr: ArrayId, levels: &BTreeMap<VarId, usize>) -> Option<RefShapes> {
     let mut reads = Vec::new();
     let mut writes = Vec::new();
     let mut ok = true;

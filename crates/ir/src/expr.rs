@@ -70,11 +70,7 @@ impl Affine {
 
     /// The coefficient of variable `v` (zero if absent).
     pub fn coeff(&self, v: VarId) -> i64 {
-        self.terms
-            .iter()
-            .find(|&&(tv, _)| tv == v)
-            .map(|&(_, a)| a)
-            .unwrap_or(0)
+        self.terms.iter().find(|&&(tv, _)| tv == v).map(|&(_, a)| a).unwrap_or(0)
     }
 
     /// All variables appearing with a non-zero coefficient.

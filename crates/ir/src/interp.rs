@@ -178,10 +178,9 @@ pub enum InterpError {
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InterpError::OutOfBounds { array, dim, value, extent } => write!(
-                f,
-                "subscript out of bounds: {array} dim {dim} = {value}, extent {extent}"
-            ),
+            InterpError::OutOfBounds { array, dim, value, extent } => {
+                write!(f, "subscript out of bounds: {array} dim {dim} = {value}, extent {extent}")
+            }
             InterpError::ZeroStep { nest } => write!(f, "loop with zero step in nest {nest}"),
             InterpError::RankMismatch { array, got, want } => {
                 write!(f, "rank mismatch on {array}: {got} subscripts, {want} dims")
@@ -379,10 +378,9 @@ impl<'p> Interpreter<'p> {
                 self.store(lhs, value, sink)
             }
             Stmt::If { cond, then_, else_ } => {
-                let taken = cond.op.apply(
-                    self.eval_affine_vars(&cond.lhs),
-                    self.eval_affine_vars(&cond.rhs),
-                );
+                let taken = cond
+                    .op
+                    .apply(self.eval_affine_vars(&cond.lhs), self.eval_affine_vars(&cond.rhs));
                 let branch = if taken { then_ } else { else_ };
                 for s in branch {
                     self.exec_stmt(s, sink)?;
@@ -593,9 +591,7 @@ mod tests {
         // Shift the subscript to i+1 so the last iteration runs off the end.
         if let Stmt::Assign { rhs, .. } = &mut p.nests[0].body[0] {
             *rhs = rhs.map_refs(&mut |r| match r {
-                Ref::Element(a, subs) => {
-                    Ref::element(*a, [subs[0].expr.clone() + 1])
-                }
+                Ref::Element(a, subs) => Ref::element(*a, [subs[0].expr.clone() + 1]),
                 other => other.clone(),
             });
         }
@@ -684,7 +680,8 @@ mod tests {
     #[test]
     fn downward_loop_runs() {
         let mut p = sum_program(8, Init::Zero);
-        p.nests[0].loops[0] = Loop { var: VarId(0), lo: Affine::constant(7), hi: Affine::constant(0), step: -1 };
+        p.nests[0].loops[0] =
+            Loop { var: VarId(0), lo: Affine::constant(7), hi: Affine::constant(0), step: -1 };
         let r = run(&p).unwrap();
         assert_eq!(r.stats.iterations, 8);
     }

@@ -43,9 +43,20 @@ pub use interp::{
     input_value, run, run_traced, ExecStats, InterpError, Interpreter, LayoutOpts, Observation,
     RunResult,
 };
+pub use parse::{parse, ParseError};
 pub use program::{
     ArrayDecl, ArrayId, Init, Loop, LoopNest, Program, ScalarDecl, ScalarId, SourceId, Stmt, VarId,
 };
-pub use parse::{parse, ParseError};
 pub use trace::{Access, AccessKind, AccessSink, CountingSink, NullSink, TeeSink, VecSink};
 pub use validate::{validate, ValidateError};
+
+// The parallel experiment runner (`mbb-bench`) executes whole simulations
+// — program, interpreter, trace sinks — inside worker threads, so the
+// interpretation stack must stay `Send` (no `Rc`, no thread-affine state).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Program>();
+    assert_send::<Interpreter<'static>>();
+    assert_send::<RunResult>();
+    assert_send::<VecSink>();
+};

@@ -25,8 +25,7 @@ pub struct ArrayLiveness {
 impl ArrayLiveness {
     /// All nests touching the array.
     pub fn touched_in(&self) -> Vec<usize> {
-        let set: BTreeSet<usize> =
-            self.read_in.iter().chain(&self.written_in).copied().collect();
+        let set: BTreeSet<usize> = self.read_in.iter().chain(&self.written_in).copied().collect();
         set.into_iter().collect()
     }
 

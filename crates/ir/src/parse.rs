@@ -204,9 +204,10 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks.get(self.pos).map(|&(l, _)| l).unwrap_or_else(|| {
-            self.toks.last().map(|&(l, _)| l).unwrap_or(0)
-        })
+        self.toks
+            .get(self.pos)
+            .map(|&(l, _)| l)
+            .unwrap_or_else(|| self.toks.last().map(|&(l, _)| l).unwrap_or(0))
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -302,7 +303,8 @@ impl Parser {
             return self.err(format!("duplicate declaration `{name}`"));
         }
         let source = self.prog.fresh_source();
-        let id = self.prog.add_array(ArrayDecl { name: name.clone(), dims, init, live_out, source });
+        let id =
+            self.prog.add_array(ArrayDecl { name: name.clone(), dims, init, live_out, source });
         self.arrays.insert(name, id);
         Ok(())
     }
@@ -402,8 +404,10 @@ impl Parser {
                     out.push(self.parse_if()?);
                 }
                 Some(Tok::Ident(s)) if s == "for" => {
-                    return self.err("nested `for` with sibling statements is not supported \
-                                     (the IR requires perfect nests)");
+                    return self.err(
+                        "nested `for` with sibling statements is not supported \
+                                     (the IR requires perfect nests)",
+                    );
                 }
                 Some(Tok::Ident(s)) if s == "read" => {
                     self.pos += 1;
@@ -684,8 +688,7 @@ impl Parser {
                             Some(Tok::Comma) => continue,
                             Some(Tok::RParen) => break,
                             other => {
-                                return self
-                                    .err(format!("expected `,` or `)`, found {other:?}"))
+                                return self.err(format!("expected `,` or `)`, found {other:?}"))
                             }
                         }
                     }
@@ -796,10 +799,8 @@ pub fn parse(src: &str) -> PResult<Program> {
             Some(t) => return p.err(format!("expected declaration or `for`, found {t:?}")),
         }
     }
-    crate::validate::validate(&p.prog).map_err(|e| ParseError {
-        line: 0,
-        message: format!("validation failed: {e:?}"),
-    })?;
+    crate::validate::validate(&p.prog)
+        .map_err(|e| ParseError { line: 0, message: format!("validation failed: {e:?}") })?;
     Ok(p.prog)
 }
 
@@ -1008,7 +1009,11 @@ end for
         let p = b.finish();
         let q = parse(&pretty::program(&p)).unwrap();
         let (rp, rq) = (interp::run(&p).unwrap(), interp::run(&q).unwrap());
-        assert!(rp.observation.approx_eq(&rq.observation, 0.0), "{:?} vs {:?}",
-            rp.observation, rq.observation);
+        assert!(
+            rp.observation.approx_eq(&rq.observation, 0.0),
+            "{:?} vs {:?}",
+            rp.observation,
+            rq.observation
+        );
     }
 }

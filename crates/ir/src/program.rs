@@ -445,7 +445,8 @@ mod tests {
 
     #[test]
     fn nest_conformability_checks_depth() {
-        let n1 = LoopNest { name: "a".into(), loops: vec![Loop::new(VarId(0), 1, 9)], body: vec![] };
+        let n1 =
+            LoopNest { name: "a".into(), loops: vec![Loop::new(VarId(0), 1, 9)], body: vec![] };
         let n2 = LoopNest {
             name: "b".into(),
             loops: vec![Loop::new(VarId(1), 1, 9), Loop::new(VarId(2), 1, 9)],

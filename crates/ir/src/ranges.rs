@@ -178,21 +178,11 @@ pub fn collect_array_refs(
 
     let mut refs = Vec::new();
     let mut seq = 0usize;
-    collect_stmts(
-        &nest.body,
-        &level_of,
-        &base_intervals,
-        arr,
-        &mut seq,
-        &mut refs,
-    )?;
+    collect_stmts(&nest.body, &level_of, &base_intervals, arr, &mut seq, &mut refs)?;
     Ok(refs)
 }
 
-fn shape_of(
-    sub: &Affine,
-    level_of: &BTreeMap<VarId, usize>,
-) -> Result<SubShape, ContractBlocker> {
+fn shape_of(sub: &Affine, level_of: &BTreeMap<VarId, usize>) -> Result<SubShape, ContractBlocker> {
     if let Some(k) = sub.as_const() {
         return Ok(SubShape::Const(k));
     }
@@ -223,12 +213,7 @@ fn record_ref(
                         .and_then(|e| shape_of(e, level_of))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            out.push(RefInfo {
-                is_store,
-                seq: *seq,
-                shapes,
-                level_intervals: intervals.to_vec(),
-            });
+            out.push(RefInfo { is_store, seq: *seq, shapes, level_intervals: intervals.to_vec() });
         }
     }
     *seq += 1;
@@ -272,21 +257,19 @@ fn collect_stmts(
                 // Refine intervals along each branch when the condition is a
                 // recognised single-variable bound; otherwise keep them as a
                 // sound over-approximation.
-                let refined = normalize_cond(cond).and_then(|(v, op, k)| {
-                    level_of.get(&v).map(|&l| (l, op, k))
-                });
-                let branch =
-                    |body: &[Stmt], neg: bool, seq: &mut usize, out: &mut Vec<RefInfo>| {
-                        let mut iv = intervals.to_vec();
-                        if let Some((l, op, k)) = refined {
-                            iv[l] = refine(iv[l], op, k, neg);
-                        }
-                        if iv.iter().any(|&(lo, hi)| lo > hi) {
-                            // Branch provably never executes.
-                            return Ok(());
-                        }
-                        collect_stmts(body, level_of, &iv, arr, seq, out)
-                    };
+                let refined = normalize_cond(cond)
+                    .and_then(|(v, op, k)| level_of.get(&v).map(|&l| (l, op, k)));
+                let branch = |body: &[Stmt], neg: bool, seq: &mut usize, out: &mut Vec<RefInfo>| {
+                    let mut iv = intervals.to_vec();
+                    if let Some((l, op, k)) = refined {
+                        iv[l] = refine(iv[l], op, k, neg);
+                    }
+                    if iv.iter().any(|&(lo, hi)| lo > hi) {
+                        // Branch provably never executes.
+                        return Ok(());
+                    }
+                    collect_stmts(body, level_of, &iv, arr, seq, out)
+                };
                 branch(then_, false, seq, out)?;
                 branch(else_, true, seq, out)?;
             }
@@ -384,9 +367,8 @@ pub fn contraction_plan(prog: &Program, arr: ArrayId) -> Result<ContractionPlan,
     // every iteration of these levels, so a covering write must execute at
     // every unmapped-level iteration where the read does — otherwise the
     // read at other iterations observes stale (effectively live-in) data.
-    let unmapped: Vec<usize> = (0..prog.nests[nest_idx].loops.len())
-        .filter(|l| !dim_levels.contains(l))
-        .collect();
+    let unmapped: Vec<usize> =
+        (0..prog.nests[nest_idx].loops.len()).filter(|l| !dim_levels.contains(l)).collect();
     for read in refs.iter().filter(|r| !r.is_store) {
         let cr = offsets(read);
         // Writes admissible as producers for this read: offsets no earlier
@@ -413,9 +395,7 @@ pub fn contraction_plan(prog: &Program, arr: ArrayId) -> Result<ContractionPlan,
             let (rlo, rhi) = read.level_intervals[l];
             wlo + cw[d] <= rlo + cr[d] && whi + cw[d] >= rhi + cr[d]
         };
-        let single = candidates
-            .iter()
-            .any(|(w, cw)| (0..rank).all(|d| covers_dim(w, cw, d)));
+        let single = candidates.iter().any(|(w, cw)| (0..rank).all(|d| covers_dim(w, cw, d)));
         // Union coverage: guarded writes that partition exactly one
         // dimension (the `if j == 0 { … } else { … }` boundary pattern)
         // may jointly cover a read even though none does alone.  Sound
@@ -427,9 +407,7 @@ pub fn contraction_plan(prog: &Program, arr: ArrayId) -> Result<ContractionPlan,
             && (0..rank).any(|free| {
                 let mut strips: Vec<(i64, i64)> = candidates
                     .iter()
-                    .filter(|(w, cw)| {
-                        (0..rank).all(|d| d == free || covers_dim(w, cw, d))
-                    })
+                    .filter(|(w, cw)| (0..rank).all(|d| d == free || covers_dim(w, cw, d)))
                     .map(|(w, cw)| {
                         let l = dim_levels[free];
                         let (wlo, whi) = w.level_intervals[l];
@@ -459,22 +437,12 @@ pub fn contraction_plan(prog: &Program, arr: ArrayId) -> Result<ContractionPlan,
     // --- Carried distances per level. --------------------------------------
     let mut distance: Vec<i64> = vec![0; prog.nests[nest_idx].loops.len()];
     for (d, &l) in dim_levels.iter().enumerate() {
-        let max_cw = refs
-            .iter()
-            .filter(|r| r.is_store)
-            .map(|r| offsets(r)[d])
-            .max()
-            .unwrap_or(0);
-        let min_cr = refs
-            .iter()
-            .filter(|r| !r.is_store)
-            .map(|r| offsets(r)[d])
-            .min()
-            .unwrap_or(max_cw);
+        let max_cw = refs.iter().filter(|r| r.is_store).map(|r| offsets(r)[d]).max().unwrap_or(0);
+        let min_cr =
+            refs.iter().filter(|r| !r.is_store).map(|r| offsets(r)[d]).min().unwrap_or(max_cw);
         distance[l] = distance[l].max(max_cw - min_cr);
     }
-    let carried: Vec<usize> =
-        (0..distance.len()).filter(|&l| distance[l] > 0).collect();
+    let carried: Vec<usize> = (0..distance.len()).filter(|&l| distance[l] > 0).collect();
     if carried.len() > 1 {
         return Err(ContractBlocker::MultiCarried);
     }
@@ -499,7 +467,6 @@ pub fn contraction_plan(prog: &Program, arr: ArrayId) -> Result<ContractionPlan,
 
     Ok(ContractionPlan { nest: nest_idx, dim_levels, slot_counts })
 }
-
 
 impl std::fmt::Display for ContractBlocker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -699,10 +666,7 @@ mod tests {
         b.nest(
             "k",
             &[(j, 0, n as i64 - 1), (i, 0, n as i64 - 1)],
-            vec![
-                assign(a.at([v(i), v(j)]), lit(1.0)),
-                accumulate(s, ld(a.at([v(i), c(0)]))),
-            ],
+            vec![assign(a.at([v(i), v(j)]), lit(1.0)), accumulate(s, ld(a.at([v(i), c(0)])))],
         );
         let p = b.finish();
         assert_eq!(
@@ -796,15 +760,9 @@ mod tests {
         b.nest(
             "k",
             &[(j, 0, n as i64 - 1), (i, 0, n as i64 - 1)],
-            vec![
-                assign(a.at([v(i), v(j)]), lit(1.0)),
-                accumulate(s, ld(a.at([v(j), v(i)]))),
-            ],
+            vec![assign(a.at([v(i), v(j)]), lit(1.0)), accumulate(s, ld(a.at([v(j), v(i)])))],
         );
         let p = b.finish();
-        assert!(matches!(
-            contraction_plan(&p, a),
-            Err(ContractBlocker::InconsistentDim { .. })
-        ));
+        assert!(matches!(contraction_plan(&p, a), Err(ContractBlocker::InconsistentDim { .. })));
     }
 }

@@ -67,12 +67,7 @@ pub enum ValidateError {
 pub fn validate(prog: &Program) -> Result<(), ValidateError> {
     // Unique declaration names.
     let mut names = BTreeSet::new();
-    for n in prog
-        .arrays
-        .iter()
-        .map(|a| &a.name)
-        .chain(prog.scalars.iter().map(|s| &s.name))
-    {
+    for n in prog.arrays.iter().map(|a| &a.name).chain(prog.scalars.iter().map(|s| &s.name)) {
         if !names.insert(n.clone()) {
             return Err(ValidateError::DuplicateName { name: n.clone() });
         }
@@ -123,10 +118,7 @@ fn validate_nest(prog: &Program, nest: &LoopNest) -> Result<(), ValidateError> {
 }
 
 fn var_name(prog: &Program, v: VarId) -> String {
-    prog.vars
-        .get(v.0 as usize)
-        .cloned()
-        .unwrap_or_else(|| format!("v{}", v.0))
+    prog.vars.get(v.0 as usize).cloned().unwrap_or_else(|| format!("v{}", v.0))
 }
 
 fn validate_stmt(
@@ -255,10 +247,7 @@ mod tests {
         let s = b.scalar("s", 0.0);
         let i = b.var("i");
         b.nest("k", &[(i, 0, 7)], vec![accumulate(s, ld(a.at([v(i)])))]);
-        assert!(matches!(
-            validate(&b.finish()),
-            Err(ValidateError::RankMismatch { .. })
-        ));
+        assert!(matches!(validate(&b.finish()), Err(ValidateError::RankMismatch { .. })));
     }
 
     #[test]
@@ -269,10 +258,7 @@ mod tests {
         let i = b.var("i");
         let ghost = b.var("ghost");
         b.nest("k", &[(i, 0, 7)], vec![accumulate(s, ld(a.at([v(ghost)])))]);
-        assert!(matches!(
-            validate(&b.finish()),
-            Err(ValidateError::UnboundVar { .. })
-        ));
+        assert!(matches!(validate(&b.finish()), Err(ValidateError::UnboundVar { .. })));
     }
 
     #[test]
@@ -281,10 +267,7 @@ mod tests {
         let s = b.scalar("s", 0.0);
         let i = b.var("i");
         b.nest("k", &[(i, 0, 7), (i, 0, 7)], vec![accumulate(s, lit(1.0))]);
-        assert!(matches!(
-            validate(&b.finish()),
-            Err(ValidateError::DuplicateLoopVar { .. })
-        ));
+        assert!(matches!(validate(&b.finish()), Err(ValidateError::DuplicateLoopVar { .. })));
     }
 
     #[test]
@@ -292,20 +275,14 @@ mod tests {
         let mut b = ProgramBuilder::new("dn");
         b.array("x", &[4]);
         b.scalar("x", 0.0);
-        assert!(matches!(
-            validate(&b.finish()),
-            Err(ValidateError::DuplicateName { .. })
-        ));
+        assert!(matches!(validate(&b.finish()), Err(ValidateError::DuplicateName { .. })));
     }
 
     #[test]
     fn rejects_bad_fusion_edge() {
         let mut b = ProgramBuilder::new("fe");
         b.prevent_fusion(0, 3);
-        assert!(matches!(
-            validate(&b.finish()),
-            Err(ValidateError::BadFusionEdge { .. })
-        ));
+        assert!(matches!(validate(&b.finish()), Err(ValidateError::BadFusionEdge { .. })));
     }
 
     #[test]
@@ -315,10 +292,7 @@ mod tests {
         let (i, j) = (b.var("i"), b.var("j"));
         b.nest_general(
             "k",
-            vec![
-                crate::program::Loop::new(i, 0, 7),
-                crate::program::Loop::new(j, 0, v(i)),
-            ],
+            vec![crate::program::Loop::new(i, 0, 7), crate::program::Loop::new(j, 0, v(i))],
             vec![accumulate(s, lit(1.0))],
         );
         assert_eq!(validate(&b.finish()), Ok(()));
@@ -360,12 +334,8 @@ mod display_tests {
 
     #[test]
     fn messages_name_the_construct() {
-        let e = ValidateError::RankMismatch {
-            nest: "k".into(),
-            array: "a".into(),
-            got: 1,
-            want: 2,
-        };
+        let e =
+            ValidateError::RankMismatch { nest: "k".into(), array: "a".into(), got: 1, want: 2 };
         assert!(e.to_string().contains("`a`"));
         assert!(e.to_string().contains("1 subscripts"));
         let e = ValidateError::UnboundVar { nest: "k".into(), var: "j".into() };

@@ -46,8 +46,7 @@ fn arb_expr() -> impl Strategy<Value = ExprKind> {
                 .prop_map(|(a, b)| ExprKind::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| ExprKind::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprKind::F(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprKind::F(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| ExprKind::Sqrt(Box::new(a))),
             inner.prop_map(|a| ExprKind::Neg(Box::new(a))),
         ]
@@ -70,27 +69,27 @@ fn build(stmts: &[StmtKind], n: usize) -> Program {
     let sum = b.scalar_printed("sum", 0.25);
     let i = b.var("i");
     let expr = |e: &ExprKind| -> Expr {
-        fn go(e: &ExprKind, a: mbb_ir::ArrayId, bb: mbb_ir::ArrayId, sum: mbb_ir::ScalarId, i: mbb_ir::VarId) -> Expr {
+        fn go(
+            e: &ExprKind,
+            a: mbb_ir::ArrayId,
+            bb: mbb_ir::ArrayId,
+            sum: mbb_ir::ScalarId,
+            i: mbb_ir::VarId,
+        ) -> Expr {
             match e {
                 ExprKind::Const(k) => Expr::Const(*k as f64 * 0.125),
                 ExprKind::LoadA => ld(a.at([v(i)])),
                 ExprKind::LoadBBack => ld(bb.at([v(i) - 1])),
                 ExprKind::Sum => ld(sum.r()),
-                ExprKind::Add(x, y) => Expr::bin(
-                    BinOp::Add,
-                    go(x, a, bb, sum, i),
-                    go(y, a, bb, sum, i),
-                ),
-                ExprKind::Mul(x, y) => Expr::bin(
-                    BinOp::Mul,
-                    go(x, a, bb, sum, i),
-                    go(y, a, bb, sum, i),
-                ),
-                ExprKind::F(x, y) => Expr::bin(
-                    BinOp::F,
-                    go(x, a, bb, sum, i),
-                    go(y, a, bb, sum, i),
-                ),
+                ExprKind::Add(x, y) => {
+                    Expr::bin(BinOp::Add, go(x, a, bb, sum, i), go(y, a, bb, sum, i))
+                }
+                ExprKind::Mul(x, y) => {
+                    Expr::bin(BinOp::Mul, go(x, a, bb, sum, i), go(y, a, bb, sum, i))
+                }
+                ExprKind::F(x, y) => {
+                    Expr::bin(BinOp::F, go(x, a, bb, sum, i), go(y, a, bb, sum, i))
+                }
                 ExprKind::Sqrt(x) => Expr::un(UnOp::Sqrt, go(x, a, bb, sum, i)),
                 ExprKind::Neg(x) => Expr::un(UnOp::Neg, go(x, a, bb, sum, i)),
             }

@@ -368,7 +368,7 @@ mod tests {
         c.access_line(0, false, false); // line 0
         c.access_line(64, false, false); // line 2
         c.access_line(0, false, false); // line 0 → MRU
-        // Line 4 evicts line 2 (LRU), not line 0.
+                                        // Line 4 evicts line 2 (LRU), not line 0.
         c.access_line(128, false, false);
         assert_eq!(c.access_line(0, false, false), LineOutcome::Hit);
         assert!(matches!(c.access_line(64, false, false), LineOutcome::Miss { .. }));
@@ -379,7 +379,7 @@ mod tests {
         let mut c = tiny();
         c.access_line(0, true, false); // line 0, dirty
         c.access_line(64, false, false); // line 2, same set
-        // Line 4 evicts line 0 (LRU, dirty).
+                                         // Line 4 evicts line 0 (LRU, dirty).
         match c.access_line(128, false, false) {
             LineOutcome::Miss { writeback_of: Some(a), fetched: true } => assert_eq!(a, 0),
             other => panic!("expected dirty eviction, got {other:?}"),

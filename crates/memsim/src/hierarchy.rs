@@ -222,6 +222,7 @@ impl Hierarchy {
 
 impl AccessSink for Hierarchy {
     fn access(&mut self, a: Access) {
+        crate::events::record();
         if let Some(t) = &mut self.tlb {
             t.access(a.addr);
         }
@@ -412,8 +413,7 @@ mod tlb_tests {
     use mbb_ir::trace::Access;
 
     fn with_tlb() -> Hierarchy {
-        Hierarchy::new(vec![CacheConfig::write_back("L1", 4096, 32, 2)])
-            .with_tlb(4, 256)
+        Hierarchy::new(vec![CacheConfig::write_back("L1", 4096, 32, 2)]).with_tlb(4, 256)
     }
 
     #[test]

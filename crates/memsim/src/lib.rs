@@ -26,6 +26,7 @@
 pub mod arena;
 pub mod cache;
 pub mod cachebench;
+pub mod events;
 pub mod hierarchy;
 pub mod machine;
 pub mod stream;
@@ -37,3 +38,16 @@ pub use cache::{Cache, CacheConfig, LevelStats, WritePolicy};
 pub use hierarchy::{Hierarchy, TrafficReport};
 pub use machine::MachineModel;
 pub use timing::{effective_bandwidth_mbs, predict, Prediction};
+
+// The whole simulation stack is shipped across threads by the parallel
+// experiment runner (`mbb-bench`): one worker owns one simulation end to
+// end.  Keep it `Send` — no `Rc`, no thread-affine interior mutability.
+// (`Sync` is *not* required: workers never share a live simulation.)
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Hierarchy>();
+    assert_send::<Cache>();
+    assert_send::<MachineModel>();
+    assert_send::<TrafficReport>();
+    assert_send::<Arena>();
+};

@@ -73,8 +73,7 @@ impl MachineModel {
             tlb: Some(TlbConfig { entries: 64, page: 16 * 1024, miss_latency_s: 200e-9 }),
             caches: vec![
                 CacheConfig::write_back("L1", 32 * 1024, 32, 2).with_page_shuffle(16 * 1024),
-                CacheConfig::write_back("L2", 4 * 1024 * 1024, 128, 2)
-                    .with_page_shuffle(16 * 1024),
+                CacheConfig::write_back("L2", 4 * 1024 * 1024, 128, 2).with_page_shuffle(16 * 1024),
             ],
             bandwidth_mbs: vec![1560.0, 1560.0, 312.0],
             // R10K + MIPSpro software prefetching hide most miss latency;

@@ -91,8 +91,9 @@ pub fn replay<R: BufRead>(reader: R, sink: &mut dyn AccessSink) -> io::Result<u6
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let a = parse_line(trimmed)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", k + 1)))?;
+        let a = parse_line(trimmed).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", k + 1))
+        })?;
         sink.access(a);
         count += 1;
     }
@@ -110,11 +111,7 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.array_out("a", &[64]);
         let i = b.var("i");
-        b.nest(
-            "k",
-            &[(i, 0, 63)],
-            vec![assign(a.at([v(i)]), ld(a.at([v(i)])) + lit(1.0))],
-        );
+        b.nest("k", &[(i, 0, 63)], vec![assign(a.at([v(i)]), ld(a.at([v(i)])) + lit(1.0))]);
         b.finish()
     }
 

@@ -122,11 +122,7 @@ pub fn figure6(n: usize) -> Program {
         &[(j1, 1, hi), (i1, 0, hi)],
         vec![assign(
             bb.at([v(i1), v(j1)]),
-            Expr::bin(
-                BinOp::F,
-                ld(a.at([v(i1), v(j1) - 1])),
-                ld(a.at([v(i1), v(j1)])),
-            ),
+            Expr::bin(BinOp::F, ld(a.at([v(i1), v(j1) - 1])), ld(a.at([v(i1), v(j1)]))),
         )],
     );
     // Boundary: for i: b[i,N] = g(b[i,N], a[i,1]).
@@ -172,13 +168,8 @@ mod tests {
 
     #[test]
     fn all_figures_validate_and_run() {
-        for p in [
-            sec21_update_loop(64),
-            sec21_read_loop(64),
-            figure4(64),
-            figure6(8),
-            figure7(64),
-        ] {
+        for p in [sec21_update_loop(64), sec21_read_loop(64), figure4(64), figure6(8), figure7(64)]
+        {
             validate::validate(&p).unwrap();
             interp::run(&p).unwrap();
         }
@@ -227,9 +218,6 @@ mod tests {
         let p = figure7(32);
         let g = mbb_ir::deps::dependences(&p);
         let e = g.edge(0, 1).expect("res flow dependence");
-        assert!(e
-            .carriers
-            .iter()
-            .any(|&(k, _)| k == mbb_ir::deps::DepKind::Flow));
+        assert!(e.carriers.iter().any(|&(k, _)| k == mbb_ir::deps::DepKind::Flow));
     }
 }

@@ -46,10 +46,7 @@ pub fn dmxpy(rows: usize, cols: usize) -> Program {
     b.nest(
         "dmxpy",
         &[(j, 0, cols as i64 - 1), (i, 0, rows as i64 - 1)],
-        vec![assign(
-            y.at([v(i)]),
-            ld(y.at([v(i)])) + ld(x.at([v(j)])) * ld(m.at([v(i), v(j)])),
-        )],
+        vec![assign(y.at([v(i)]), ld(y.at([v(i)])) + ld(x.at([v(j)])) * ld(m.at([v(i), v(j)])))],
     );
     b.finish()
 }
@@ -133,9 +130,7 @@ mod tests {
         // Two multiplies and one add per output element.
         assert_eq!(r.stats.flops, 16 * 3);
         // Reference check against the deterministic inputs.
-        let get = |src: u32, k: usize| {
-            mbb_ir::interp::input_value(mbb_ir::SourceId(src), k as u64)
-        };
+        let get = |src: u32, k: usize| mbb_ir::interp::input_value(mbb_ir::SourceId(src), k as u64);
         for (i, &got) in out.iter().enumerate() {
             let want = get(1, 0) * get(0, i) + get(1, 1) * get(0, i + 1);
             assert!((got - want).abs() < 1e-12, "out[{i}]");
@@ -148,9 +143,7 @@ mod tests {
         let p = dmxpy(rows, cols);
         let r = interp::run(&p).unwrap();
         // Reference computation from the same deterministic inputs.
-        let get = |src: u32, k: usize| {
-            mbb_ir::interp::input_value(mbb_ir::SourceId(src), k as u64)
-        };
+        let get = |src: u32, k: usize| mbb_ir::interp::input_value(mbb_ir::SourceId(src), k as u64);
         let out = &r.observation.arrays[0].1;
         for (i, &got) in out.iter().enumerate() {
             let mut acc = get(2, i); // y's initial value
@@ -168,9 +161,7 @@ mod tests {
         let blocked = interp::run(&mm_blocked(n, 4)).unwrap();
         let blocked2 = interp::run(&mm_blocked(n, 2)).unwrap();
         assert!(naive.observation.approx_eq(&blocked2.observation, 1e-12));
-        assert!(naive
-            .observation
-            .approx_eq(&blocked.observation, 1e-12));
+        assert!(naive.observation.approx_eq(&blocked.observation, 1e-12));
         assert_eq!(naive.stats.flops, blocked.stats.flops);
     }
 
@@ -189,8 +180,7 @@ mod tests {
         let m = MachineModel::origin2000().scaled(64); // 512 B L1, 64 KB L2
         let n = 128; // each array is 128 KB, 2× the scaled L2
         let naive = mbb_core::balance::measure_program_balance(&mm_jki(n), &m).unwrap();
-        let blocked =
-            mbb_core::balance::measure_program_balance(&mm_blocked(n, 32), &m).unwrap();
+        let blocked = mbb_core::balance::measure_program_balance(&mm_blocked(n, 32), &m).unwrap();
         assert!(
             naive.memory() > 4.0 * blocked.memory(),
             "naive {} vs blocked {}",
@@ -253,7 +243,8 @@ pub fn jacobi2d(n: usize, steps: usize) -> Program {
             &[(j, 1, hi - 1), (i, 1, hi - 1)],
             vec![assign(
                 new.at([v(i), v(j)]),
-                (ld(old.at([v(i) - 1, v(j)])) + ld(old.at([v(i) + 1, v(j)]))
+                (ld(old.at([v(i) - 1, v(j)]))
+                    + ld(old.at([v(i) + 1, v(j)]))
                     + ld(old.at([v(i), v(j) - 1]))
                     + ld(old.at([v(i), v(j) + 1])))
                     * lit(0.25),
@@ -288,10 +279,7 @@ mod order_and_jacobi_tests {
             let p = mm_order(n, order);
             validate::validate(&p).unwrap();
             let r = interp::run(&p).unwrap();
-            assert!(
-                reference.observation.approx_eq(&r.observation, 1e-12),
-                "{order} diverges"
-            );
+            assert!(reference.observation.approx_eq(&r.observation, 1e-12), "{order} diverges");
         }
     }
 
@@ -307,9 +295,7 @@ mod order_and_jacobi_tests {
         let m = MachineModel::origin2000().scaled_levels(&[16, 64]);
         let n = 96;
         let bal = |order: &str| {
-            mbb_core::balance::measure_program_balance(&mm_order(n, order), &m)
-                .unwrap()
-                .memory()
+            mbb_core::balance::measure_program_balance(&mm_order(n, order), &m).unwrap().memory()
         };
         // `jki` streams columns of `a` (stride-1): far less memory traffic
         // than `ijk`, whose inner loop walks `b` with stride n (one element

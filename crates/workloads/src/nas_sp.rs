@@ -122,10 +122,7 @@ fn append_compute_rhs(b: &mut ProgramBuilder, g: SpGrid, f: &Fields) {
             ),
             assign(
                 p3(f.speed, &ctx),
-                Expr::un(
-                    mbb_ir::UnOp::Sqrt,
-                    lit(1.4) * ld(p3(f.qs, &ctx)) * ld(p3(f.rho_i, &ctx)),
-                ),
+                Expr::un(mbb_ir::UnOp::Sqrt, lit(1.4) * ld(p3(f.qs, &ctx)) * ld(p3(f.rho_i, &ctx))),
             ),
         ],
     );
@@ -143,10 +140,7 @@ fn append_compute_rhs(b: &mut ProgramBuilder, g: SpGrid, f: &Fields) {
             + ld(u5_j(f.u, comp, &ctx2, 1))
             + ld(u5_k(f.u, comp, &ctx2, -1))
             + ld(u5_k(f.u, comp, &ctx2, 1));
-        body.push(assign(
-            u5(f.rhs, comp, &ctx2, 0),
-            sum * lit(0.1) + ld(p3(f.qs, &ctx2)),
-        ));
+        body.push(assign(u5(f.rhs, comp, &ctx2, 0), sum * lit(0.1) + ld(p3(f.qs, &ctx2))));
     }
     b.nest("rhs_stencil", &[(k2, 1, hi - 1), (j2, 1, hi - 1), (i2, 1, hi - 1)], body);
 }
@@ -161,11 +155,8 @@ pub fn txinvr(g: SpGrid) -> Program {
 
 fn append_txinvr(b: &mut ProgramBuilder, g: SpGrid, f: &Fields, name: &str) {
     let hi = g.n as i64 - 1;
-    let (k, j, i) = (
-        b.var(format!("k_{name}")),
-        b.var(format!("j_{name}")),
-        b.var(format!("i_{name}")),
-    );
+    let (k, j, i) =
+        (b.var(format!("k_{name}")), b.var(format!("j_{name}")), b.var(format!("i_{name}")));
     let ctx = Ctx { i, j, k };
     let t0 = b.scalar(format!("t0_{name}"), 0.0);
     let mut body = vec![assign(
@@ -207,11 +198,8 @@ fn solve(g: SpGrid, axis: Axis, name: &str) -> Program {
 
 fn append_solve(b: &mut ProgramBuilder, g: SpGrid, f: &Fields, axis: Axis, name: &str) {
     let hi = g.n as i64 - 1;
-    let (k, j, i) = (
-        b.var(format!("k_{name}")),
-        b.var(format!("j_{name}")),
-        b.var(format!("i_{name}")),
-    );
+    let (k, j, i) =
+        (b.var(format!("k_{name}")), b.var(format!("j_{name}")), b.var(format!("i_{name}")));
     let ctx = Ctx { i, j, k };
     let at = |comp: i64, d: i64| match axis {
         Axis::I => u5(f.rhs, comp, &ctx, d),
@@ -238,12 +226,8 @@ fn append_solve(b: &mut ProgramBuilder, g: SpGrid, f: &Fields, axis: Axis, name:
         Axis::J => j,
         Axis::K => k,
     };
-    let outer: Vec<(VarId, i64, i64)> = [k, j, i]
-        .iter()
-        .copied()
-        .filter(|&x| x != sweep_var)
-        .map(|x| (x, 0, hi))
-        .collect();
+    let outer: Vec<(VarId, i64, i64)> =
+        [k, j, i].iter().copied().filter(|&x| x != sweep_var).map(|x| (x, 0, hi)).collect();
 
     let mut loops_fwd: Vec<Loop> = outer.iter().map(|&(x, lo, h)| Loop::new(x, lo, h)).collect();
     loops_fwd.push(Loop::new(sweep_var, 1, hi));
@@ -383,10 +367,8 @@ mod full_step_tests {
     #[test]
     fn full_step_flops_equal_sum_of_subroutines() {
         let g = SpGrid::cubed(5);
-        let total: u64 = subroutines(g)
-            .iter()
-            .map(|(_, p)| interp::run(p).unwrap().stats.flops)
-            .sum();
+        let total: u64 =
+            subroutines(g).iter().map(|(_, p)| interp::run(p).unwrap().stats.flops).sum();
         let combined = interp::run(&full_step(g)).unwrap().stats.flops;
         assert_eq!(total, combined);
     }

@@ -92,10 +92,7 @@ pub fn stream_kernel(writes: usize, reads: usize, n: usize) -> Program {
 
 /// All Figure-3 kernels at `n` elements, in plotting order.
 pub fn figure3_kernels(n: usize) -> Vec<Program> {
-    FIGURE3_ORDER
-        .iter()
-        .map(|&(w, r)| stream_kernel(w, r, n))
-        .collect()
+    FIGURE3_ORDER.iter().map(|&(w, r)| stream_kernel(w, r, n)).collect()
 }
 
 #[cfg(test)]

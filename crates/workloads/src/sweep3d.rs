@@ -64,10 +64,7 @@ pub fn sweep3d(n: usize, angles: usize) -> Program {
                 flux.at([v(i), v(j), v(k)]),
                 ld(flux.at([v(i), v(j), v(k)])) + ld(wgt.at([v(m)])) * ld(phi.r()),
             ),
-            assign(
-                aflux.at([v(i), v(j), v(k)]),
-                ld(aflux.at([v(i), v(j), v(k)])) + ld(phi.r()),
-            ),
+            assign(aflux.at([v(i), v(j), v(k)]), ld(aflux.at([v(i), v(j), v(k)])) + ld(phi.r())),
             // Diamond-difference face updates.
             assign(flx_i.at([v(j), v(k)]), lit(2.0) * ld(phi.r()) - ld(flx_i.at([v(j), v(k)]))),
             assign(flx_j.at([v(i), v(k)]), lit(2.0) * ld(phi.r()) - ld(flx_j.at([v(i), v(k)]))),

@@ -11,9 +11,7 @@
 //! cargo run --release --example machine_audit
 //! ```
 
-use mbb::core::balance::{
-    measure_program_balance, measured_machine_balance, ratios,
-};
+use mbb::core::balance::{measure_program_balance, measured_machine_balance, ratios};
 use mbb::memsim::machine::MachineModel;
 use mbb::memsim::stream;
 use mbb::workloads::{kernels, stream_kernels};

@@ -26,16 +26,21 @@ fn main() {
     let sum = b.scalar_printed("sum", 0.0);
     let (i, j, k) = (b.var("i"), b.var("j"), b.var("k"));
     b.nest("produce", &[(i, 0, hi)], vec![assign(t.at([v(i)]), ld(x.at([v(i)])) * lit(2.0))]);
-    b.nest("consume", &[(j, 0, hi)], vec![assign(
-        y.at([v(j)]),
-        ld(y.at([v(j)])) + ld(t.at([v(j)])),
-    )]);
+    b.nest(
+        "consume",
+        &[(j, 0, hi)],
+        vec![assign(y.at([v(j)]), ld(y.at([v(j)])) + ld(t.at([v(j)])))],
+    );
     b.nest("reduce", &[(k, 0, hi)], vec![accumulate(sum, ld(y.at([v(k)])))]);
     let program = b.finish();
 
     let machine = MachineModel::origin2000();
-    println!("machine: {} (memory supply {:.1} MB/s, balance {:?} B/flop)\n",
-        machine.name, machine.memory_bandwidth_mbs(), machine.balance());
+    println!(
+        "machine: {} (memory supply {:.1} MB/s, balance {:?} B/flop)\n",
+        machine.name,
+        machine.memory_bandwidth_mbs(),
+        machine.balance()
+    );
 
     // --- Before -----------------------------------------------------------
     let before = measure_program_balance(&program, &machine).unwrap();
@@ -43,8 +48,11 @@ fn main() {
     let before_time = time_program(&program, &machine).unwrap();
     println!("before optimisation:");
     println!("  memory demand      {:.2} bytes/flop", before.memory());
-    println!("  demand/supply      {:.1}×  (CPU utilisation ≤ {:.0}%)",
-        before_ratios.max_ratio, before_ratios.cpu_utilization_bound * 100.0);
+    println!(
+        "  demand/supply      {:.1}×  (CPU utilisation ≤ {:.0}%)",
+        before_ratios.max_ratio,
+        before_ratios.cpu_utilization_bound * 100.0
+    );
     println!("  array storage      {} KB", program.storage_bytes() / 1024);
     println!("  predicted time     {:.2} ms\n", before_time.time_s * 1e3);
 
@@ -53,9 +61,13 @@ fn main() {
     verify_equivalent(&program, &outcome.program, 1e-9).expect("must stay equivalent");
     println!("applied:");
     if let Some(p) = &outcome.partitioning {
-        println!("  fusion             {} nests -> {} partitions (arrays loaded {} -> {})",
-            program.nests.len(), p.groups.len(),
-            outcome.arrays_cost_before, outcome.arrays_cost_after);
+        println!(
+            "  fusion             {} nests -> {} partitions (arrays loaded {} -> {})",
+            program.nests.len(),
+            p.groups.len(),
+            outcome.arrays_cost_before,
+            outcome.arrays_cost_after
+        );
     }
     for a in &outcome.shrink_actions {
         println!("  storage            {a:?}");
@@ -70,8 +82,11 @@ fn main() {
     let after_time = time_program(&outcome.program, &machine).unwrap();
     println!("\nafter optimisation:");
     println!("  memory demand      {:.2} bytes/flop", after.memory());
-    println!("  demand/supply      {:.1}×  (CPU utilisation ≤ {:.0}%)",
-        after_ratios.max_ratio, after_ratios.cpu_utilization_bound * 100.0);
+    println!(
+        "  demand/supply      {:.1}×  (CPU utilisation ≤ {:.0}%)",
+        after_ratios.max_ratio,
+        after_ratios.cpu_utilization_bound * 100.0
+    );
     println!("  array storage      {} KB", outcome.program.storage_bytes() / 1024);
     println!("  predicted time     {:.2} ms", after_time.time_s * 1e3);
     println!("\nspeedup: {:.2}×", before_time.time_s / after_time.time_s);

@@ -77,10 +77,16 @@ fn main() {
     println!("=== optimised ===\n{}", pretty::program(&outcome.program));
 
     let after = measure_program_balance(&outcome.program, &machine).unwrap();
-    println!("storage:          {} KB -> {} KB",
-        program.storage_bytes() / 1024, outcome.program.storage_bytes() / 1024);
-    println!("memory traffic:   {} KB -> {} KB",
-        before.report.mem_bytes() / 1024, after.report.mem_bytes() / 1024);
+    println!(
+        "storage:          {} KB -> {} KB",
+        program.storage_bytes() / 1024,
+        outcome.program.storage_bytes() / 1024
+    );
+    println!(
+        "memory traffic:   {} KB -> {} KB",
+        before.report.mem_bytes() / 1024,
+        after.report.mem_bytes() / 1024
+    );
     println!("memory balance:   {:.2} -> {:.2} bytes/flop", before.memory(), after.memory());
     println!("nests:            {} -> {}", program.nests.len(), outcome.program.nests.len());
     for a in &outcome.shrink_actions {

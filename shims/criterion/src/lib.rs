@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the measurement surface the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.  Measurement is
+//! deliberately simple — per-sample wall-clock around the closure, with
+//! min / mean / max printed per benchmark — because the repo's own
+//! `repro --json` engine, not Criterion statistics, is the perf record.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Measures a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Throughput annotation (printed alongside the timing when set).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark name (`group/function/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing a sample size and throughput annotation.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Times `f` against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line, mirroring upstream's summary).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up sample, discarded.
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        if samples.is_empty() {
+            return;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let label =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{}", self.name, id) };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(k)) if mean > 0.0 => {
+                format!("  {:>10.1} Kelem/s", k as f64 / mean / 1e3)
+            }
+            Some(Throughput::Bytes(k)) if mean > 0.0 => {
+                format!("  {:>10.1} MB/s", k as f64 / mean / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {label:<48} [{} {} {}]{rate}",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+/// Per-sample timing handle.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` (a small fixed batch per sample).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Prevents the optimiser from discarding a value (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Bundles bench functions into one runner (upstream macro surface).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group (upstream macro surface).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_accumulate() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 3 samples, 3 iterations each.
+        assert_eq!(runs, 12);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        let mut g = c.benchmark_group("unit2");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| seen = d.iter().sum())
+        });
+        g.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 µs");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+}

@@ -33,8 +33,7 @@ fn shrink_source(src: &str) -> String {
 fn all_loop_files_parse_and_run() {
     for path in program_files() {
         let src = shrink_source(&std::fs::read_to_string(&path).unwrap());
-        let p = mbb::ir::parse::parse(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let p = mbb::ir::parse::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         mbb::ir::validate::validate(&p).unwrap();
         mbb::ir::interp::run(&p).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     }
@@ -62,10 +61,6 @@ fn all_loop_files_round_trip_through_pretty() {
             .unwrap_or_else(|e| panic!("{}: re-parse: {e}\n{text}", path.display()));
         let rp = mbb::ir::interp::run(&p).unwrap();
         let rq = mbb::ir::interp::run(&q).unwrap();
-        assert!(
-            rp.observation.approx_eq(&rq.observation, 1e-12),
-            "{}",
-            path.display()
-        );
+        assert!(rp.observation.approx_eq(&rq.observation, 1e-12), "{}", path.display());
     }
 }

@@ -30,11 +30,7 @@ fn figure_1_and_2_the_memory_channel_is_the_bottleneck() {
     // supply, and memory is (almost always) the binding channel — the
     // paper's range is 3.4–10.5×.
     for (name, ratios, util) in &fig2.rows {
-        assert!(
-            ratios[2] > 3.0,
-            "{name}: memory pressure ratio {} too low",
-            ratios[2]
-        );
+        assert!(ratios[2] > 3.0, "{name}: memory pressure ratio {} too low", ratios[2]);
         assert!(*util < 0.35, "{name}: utilisation bound {util} too high");
     }
     // mm (-O3) is the exception that proves the compiler's power: its
@@ -71,8 +67,14 @@ fn sp_subroutines_run_at_high_bandwidth_utilisation() {
 fn figure_4_is_reproduced_exactly() {
     let x = experiments::figure4();
     assert_eq!(
-        (x.unfused, x.bandwidth_minimal, x.edge_weighted_arrays, x.edge_weighted_weight,
-         x.bandwidth_minimal_edge_weight, x.two_partition),
+        (
+            x.unfused,
+            x.bandwidth_minimal,
+            x.edge_weighted_arrays,
+            x.edge_weighted_weight,
+            x.bandwidth_minimal_edge_weight,
+            x.two_partition
+        ),
         (20, 7, 8, 2, 3, 7)
     );
 }

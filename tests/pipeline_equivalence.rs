@@ -25,9 +25,9 @@ enum NestKind {
 
 fn arb_nest(arrays: usize) -> impl Strategy<Value = NestKind> {
     prop_oneof![
-        (0..arrays, 0..arrays, 0..arrays, any::<bool>()).prop_map(
-            |(dst, src, src2, off_back)| NestKind::Pointwise { dst, src, src2, off_back }
-        ),
+        (0..arrays, 0..arrays, 0..arrays, any::<bool>()).prop_map(|(dst, src, src2, off_back)| {
+            NestKind::Pointwise { dst, src, src2, off_back }
+        }),
         (0..arrays).prop_map(|src| NestKind::Reduce { src }),
         (0..arrays, 0..arrays).prop_map(|(dst, src)| NestKind::Update { dst, src }),
     ]
@@ -54,10 +54,8 @@ fn build(nests: &[NestKind], live_out_mask: u8, n: usize) -> Program {
                 } else {
                     ld(pool[src].at([v(i)]))
                 };
-                let stmt = assign(
-                    pool[dst].at([v(i)]),
-                    read + ld(pool[src2].at([v(i)])) * lit(0.5),
-                );
+                let stmt =
+                    assign(pool[dst].at([v(i)]), read + ld(pool[src2].at([v(i)])) * lit(0.5));
                 if off_back {
                     vec![if_else(
                         cmp(v(i), CmpOp::Ge, c(1)),

@@ -25,12 +25,7 @@ struct Recipe {
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (any::<bool>(), any::<bool>(), any::<bool>(), 5usize..10).prop_map(
-        |(carried, const_col, split_consumer, n)| Recipe {
-            carried,
-            const_col,
-            split_consumer,
-            n,
-        },
+        |(carried, const_col, split_consumer, n)| Recipe { carried, const_col, split_consumer, n },
     )
 }
 
@@ -43,14 +38,10 @@ fn build(r: &Recipe) -> Program {
     let sum = b.scalar_printed("sum", 0.0);
     let (i, j) = (b.var("i"), b.var("j"));
 
-    let mut body = vec![assign(
-        tmp.at([v(i), v(j)]),
-        ld(src.at([v(i), v(j)])) * lit(0.5),
-    )];
+    let mut body = vec![assign(tmp.at([v(i), v(j)]), ld(src.at([v(i), v(j)])) * lit(0.5))];
     let mut consume = ld(tmp.at([v(i), v(j)]));
     if r.carried {
-        consume = consume
-            + ld(tmp.at([v(i), v(j) - 1])); // guarded below
+        consume = consume + ld(tmp.at([v(i), v(j) - 1])); // guarded below
     }
     if r.const_col {
         consume = consume + ld(tmp.at([v(i), c(0)]));
