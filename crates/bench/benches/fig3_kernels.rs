@@ -2,7 +2,7 @@
 //! machines: prints the series and times one kernel simulation per
 //! machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mbb_bench::experiments::{figure3, render_figure3, Sizes};
 use mbb_core::balance::measure_program_balance;
 use mbb_memsim::machine::MachineModel;
@@ -15,8 +15,17 @@ fn bench(c: &mut Criterion) {
     let p = stream_kernel(1, 2, 1 << 16);
     let origin = MachineModel::origin2000();
     let exemplar = MachineModel::exemplar();
+    // One untimed run counts the simulated access events per iteration
+    // (identical on both machines: same program, same trace), so the
+    // timings below also print as events/second.
+    let events = {
+        let before = mbb_memsim::events::so_far();
+        measure_program_balance(&p, &origin).unwrap();
+        mbb_memsim::events::so_far() - before
+    };
     let mut g = c.benchmark_group("fig3_kernel_sim");
     g.sample_size(10);
+    g.throughput(Throughput::Events(events));
     g.bench_function("1w2r_on_origin", |b| {
         b.iter(|| measure_program_balance(std::hint::black_box(&p), &origin).unwrap().flops)
     });

@@ -3,6 +3,8 @@
 //! ```text
 //! repro [all|sec21|fig1|fig2|fig3|fig4|fig6|fig8|sp|scaling|opt ...]
 //!       [--quick] [--jobs N] [--json PATH] [--list]
+//! repro gate [--quick] [--reps N] [--out DIR] [--baseline PATH]
+//!            [--tolerance F] [--write-baseline]
 //! ```
 //!
 //! Without selectors, runs everything at full size (tens of seconds of
@@ -11,16 +13,145 @@
 //! tables on stdout are byte-identical for every worker count — only the
 //! per-job timing report on stderr and the timing fields of the `--json`
 //! document vary.
+//!
+//! `repro gate` is the simulator perf-regression gate: it runs the
+//! calibrated kernel suite (STREAM triad, FFT, a Sweep3D slice) under the
+//! events/sec meter, appends the measurement to the `BENCH_<n>.json`
+//! trajectory in `--out` (default `bench/`, first unused index), and
+//! exits nonzero when any kernel falls below `baseline × (1 − tolerance)`
+//! against `--baseline` (default `bench/baseline.json`; a missing
+//! baseline skips comparison).  `--write-baseline` records the current
+//! run as the new baseline.
 
+use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
 use mbb_bench::experiments::Sizes;
+use mbb_bench::json::Json;
+use mbb_bench::perfgate;
 use mbb_bench::runner::{self, Ctx, Job};
 
 fn usage() -> ! {
     eprintln!("usage: repro [all|SELECTOR ...] [--quick] [--jobs N] [--json PATH] [--list]");
+    eprintln!("       repro gate [--quick] [--reps N] [--out DIR] [--baseline PATH]");
+    eprintln!("                  [--tolerance F] [--write-baseline]");
     exit(2)
+}
+
+fn gate_main(args: impl Iterator<Item = String>) -> ! {
+    let mut quick = false;
+    let mut reps: u32 = 3;
+    let mut out_dir = PathBuf::from("bench");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut tolerance = perfgate::DEFAULT_TOLERANCE;
+    let mut write_baseline = false;
+
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--reps" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
+                    eprintln!("error: --reps needs a positive integer");
+                    usage()
+                };
+                reps = n;
+            }
+            "--out" => {
+                let Some(d) = args.next() else {
+                    eprintln!("error: --out needs a directory");
+                    usage()
+                };
+                out_dir = PathBuf::from(d);
+            }
+            "--baseline" => {
+                let Some(p) = args.next() else {
+                    eprintln!("error: --baseline needs a path");
+                    usage()
+                };
+                baseline_path = Some(PathBuf::from(p));
+            }
+            "--tolerance" => {
+                let parsed = args.next().and_then(|v| v.parse::<f64>().ok());
+                let Some(t) = parsed.filter(|t| (0.0..1.0).contains(t)) else {
+                    eprintln!("error: --tolerance needs a fraction in [0, 1)");
+                    usage()
+                };
+                tolerance = t;
+            }
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown gate argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let (sizes, mode) = if quick {
+        (perfgate::GateSizes::quick(), "quick")
+    } else {
+        (perfgate::GateSizes::full(), "full")
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| out_dir.join("baseline.json"));
+
+    eprintln!("running gate kernels ({mode}, best of {reps})...");
+    let report = perfgate::run_gate(&sizes, mode, reps);
+    print!("{}", report.render());
+
+    let doc = report.to_json();
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        exit(1)
+    }
+    let bench_path = perfgate::next_bench_path(&out_dir);
+    if let Err(e) = std::fs::write(&bench_path, doc.render()) {
+        eprintln!("error: cannot write {}: {e}", bench_path.display());
+        exit(1)
+    }
+    eprintln!("wrote {}", bench_path.display());
+
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, doc.render()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            exit(1)
+        }
+        eprintln!("wrote {}", baseline_path.display());
+    }
+
+    let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+        eprintln!("no baseline at {}; comparison skipped", baseline_path.display());
+        exit(0)
+    };
+    let baseline = match Json::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: baseline {} is not valid JSON: {e}", baseline_path.display());
+            exit(1)
+        }
+    };
+    match perfgate::compare(&doc, &baseline, tolerance) {
+        Ok(regressions) if regressions.is_empty() => {
+            eprintln!(
+                "gate passed: every kernel within {:.0}% of {}",
+                tolerance * 100.0,
+                baseline_path.display()
+            );
+            exit(0)
+        }
+        Ok(regressions) => {
+            eprintln!("gate FAILED against {} (tolerance {tolerance}):", baseline_path.display());
+            for r in &regressions {
+                eprintln!("  {}", r.describe());
+            }
+            exit(1)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+    }
 }
 
 fn main() {
@@ -30,7 +161,11 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut selectors: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("gate") {
+        args.next();
+        gate_main(args)
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,

@@ -64,6 +64,41 @@ impl Json {
         }
     }
 
+    /// The value as an `f64` (both numeric variants; `None` elsewhere).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Accepts exactly what [`Json::render`] emits plus arbitrary
+    /// whitespace — enough to read back baselines and CI artifacts without
+    /// serde.  Non-negative integers without fraction or exponent parse as
+    /// [`Json::UInt`] (round-tripping exactly); everything else numeric is
+    /// [`Json::Num`].  Trailing garbage after the document is an error.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
     /// Renders with two-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -129,6 +164,179 @@ impl Json {
     }
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{token}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|_| Json::Null),
+            Some(b't') => self.eat("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte {:?} at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(format!("expected string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // BMP only: the writer never emits surrogate
+                            // pairs (it passes non-ASCII through raw).
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| {
+                                    format!("bad \\u escape at byte {}", self.pos)
+                                })?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
@@ -173,6 +381,50 @@ mod tests {
         let s = j.render();
         assert!(s.contains(r#""a\"b\\c\nd""#), "{s}");
         assert!(s.contains("null"), "{s}");
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let j = Json::obj([
+            ("schema", Json::str("mbb-bench-gate/1")),
+            ("events", Json::UInt(u64::MAX)),
+            ("rate", Json::num(1234.5)),
+            ("neg", Json::num(-2.0)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("text", Json::str("a\"b\\c\nd\tê")),
+            ("kernels", Json::arr([Json::obj([("name", Json::str("triad"))]), Json::arr([])])),
+            ("empty", Json::obj([] as [(&str, Json); 0])),
+        ]);
+        let parsed = Json::parse(&j.render()).expect("parse");
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("null x").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_distinguishes_uint_from_float() {
+        assert_eq!(Json::parse("7").unwrap(), Json::UInt(7));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::Num(7.0));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Num(-7.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Json::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Num(2.5).as_f64(), Some(2.5));
+        assert_eq!(Json::str("x").as_f64(), None);
+        assert_eq!(Json::str("x").as_str(), Some("x"));
+        assert_eq!(Json::Null.as_str(), None);
     }
 
     #[test]

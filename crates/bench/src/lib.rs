@@ -5,10 +5,13 @@
 //! function here ([`experiments`]) so the binary and the benches print
 //! identical rows, a declarative job registry plus a scoped-thread worker
 //! pool to run them in parallel with deterministic output ([`runner`]),
-//! and a dependency-free JSON writer for machine-readable results
-//! ([`json`]).
+//! and a dependency-free JSON value with writer and parser for
+//! machine-readable results ([`json`]).  The [`perfgate`] module is the
+//! simulator's perf-regression gate (`repro gate`), defending the hot
+//! path every experiment runs on.
 
 pub mod experiments;
 pub mod json;
+pub mod perfgate;
 pub mod runner;
 pub mod table;

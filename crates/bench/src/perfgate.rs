@@ -1,0 +1,453 @@
+//! The simulator perf-regression gate behind `repro gate`.
+//!
+//! Every number this repository reproduces comes off one hot path — an
+//! access stream driven through [`mbb_memsim::hierarchy::Hierarchy`] — so
+//! a simulator slowdown taxes every experiment at once, and nothing in the
+//! result tables would show it.  This module is the instrument that makes
+//! such a slowdown a CI failure instead of a silent tax: it runs a fixed
+//! set of calibrated kernels through the runner's [`Meter`], records
+//! events/second per kernel in a `BENCH_<n>.json` (schema
+//! [`SCHEMA`] = `mbb-bench-gate/1`), and compares the run against a
+//! committed `bench/baseline.json` with a configurable tolerance.
+//!
+//! The three kernels cover the distinct hot-path regimes:
+//!
+//! * **STREAM triad** — out-of-cache stride-1 streaming: miss/writeback
+//!   heavy, exercises the full hierarchy walk on every line;
+//! * **FFT** — in-L2 butterflies: L1-missy with high reuse, exercises the
+//!   hit path and the TLB under a non-affine access pattern;
+//! * **Sweep3D slice** — interpreter-driven wavefront: exercises the
+//!   IR interpreter's emission path into the hierarchy, hit-dominated.
+//!
+//! Wall-clock on shared CI runners is noisy, so each kernel takes the best
+//! of `reps` repetitions and the comparison tolerance defaults to
+//! [`DEFAULT_TOLERANCE`] (generous by design: the gate is meant to catch
+//! integer-factor regressions, not percent-level drift).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use mbb_ir::interp::Interpreter;
+use mbb_ir::trace::Buffered;
+use mbb_memsim::arena::{Arena, TracedArray};
+use mbb_memsim::machine::MachineModel;
+
+use crate::json::Json;
+use crate::runner::Meter;
+use crate::table::{f, Table};
+
+/// Schema tag of the gate's JSON documents.
+pub const SCHEMA: &str = "mbb-bench-gate/1";
+
+/// Default regression tolerance: fail when a kernel's events/second drops
+/// below `(1 - tolerance)` × baseline.  0.5 tolerates a 2× slowdown from
+/// runner noise and CPU heterogeneity; real hot-path regressions that
+/// matter (a reintroduced per-event allocation, a lost fast path) cost
+/// more than that.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// Workload sizes for one gate run.
+#[derive(Clone, Copy, Debug)]
+pub struct GateSizes {
+    /// STREAM triad elements per array (sized out-of-cache).
+    pub triad_n: usize,
+    /// FFT points (power of two, sized in-L2 / out-of-L1).
+    pub fft_n: usize,
+    /// Sweep3D grid edge.
+    pub sweep_n: usize,
+    /// Sweep3D angles per octant.
+    pub sweep_angles: usize,
+}
+
+impl GateSizes {
+    /// CI-sized run: a few hundred thousand events per kernel, finishing
+    /// in well under a second per repetition on any machine.
+    pub fn quick() -> Self {
+        GateSizes { triad_n: 1 << 18, fft_n: 1 << 13, sweep_n: 16, sweep_angles: 2 }
+    }
+
+    /// Local-measurement run (~10× quick) for refreshing baselines.
+    pub fn full() -> Self {
+        GateSizes { triad_n: 1 << 20, fft_n: 1 << 15, sweep_n: 24, sweep_angles: 3 }
+    }
+}
+
+/// One kernel's best-of-reps measurement.
+#[derive(Clone, Debug)]
+pub struct KernelMeasure {
+    /// Kernel name (`triad`, `fft`, `sweep3d`).
+    pub name: &'static str,
+    /// Simulated access events per repetition (identical across reps by
+    /// construction — the simulation is deterministic).
+    pub events: u64,
+    /// Time of the best (fastest) repetition: the thread's on-CPU time
+    /// where the OS exposes it (so background load on a shared runner
+    /// doesn't masquerade as a regression), wall-clock otherwise.
+    pub wall: Duration,
+}
+
+impl KernelMeasure {
+    /// Simulated events per second of the best repetition.
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete gate run.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// Repetitions per kernel (best-of).
+    pub reps: u32,
+    /// Per-kernel measurements.
+    pub kernels: Vec<KernelMeasure>,
+}
+
+impl GateReport {
+    /// Total events across kernels (one repetition each).
+    pub fn total_events(&self) -> u64 {
+        self.kernels.iter().map(|k| k.events).sum()
+    }
+
+    /// Aggregate throughput: total events over summed best wall-clocks.
+    pub fn events_per_sec(&self) -> f64 {
+        let wall: f64 = self.kernels.iter().map(|k| k.wall.as_secs_f64()).sum();
+        if wall > 0.0 {
+            self.total_events() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// The `mbb-bench-gate/1` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("mode", Json::str(self.mode)),
+            ("reps", Json::UInt(u64::from(self.reps))),
+            (
+                "kernels",
+                Json::arr(self.kernels.iter().map(|k| {
+                    Json::obj([
+                        ("name", Json::str(k.name)),
+                        ("events", Json::UInt(k.events)),
+                        ("wall_s", Json::num(k.wall.as_secs_f64())),
+                        ("events_per_sec", Json::num(k.events_per_sec())),
+                    ])
+                })),
+            ),
+            ("total_events", Json::UInt(self.total_events())),
+            ("events_per_sec", Json::num(self.events_per_sec())),
+        ])
+    }
+
+    /// The human table printed by `repro gate`.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["kernel", "events", "best wall (s)", "Mev/s"]);
+        for k in &self.kernels {
+            t.row(vec![
+                k.name.to_string(),
+                k.events.to_string(),
+                f(k.wall.as_secs_f64(), 3),
+                f(k.events_per_sec() / 1e6, 2),
+            ]);
+        }
+        t.row(vec![
+            "total".into(),
+            self.total_events().to_string(),
+            f(self.kernels.iter().map(|k| k.wall.as_secs_f64()).sum::<f64>(), 3),
+            f(self.events_per_sec() / 1e6, 2),
+        ]);
+        t.render()
+    }
+}
+
+/// Runs one kernel `reps` times under the [`Meter`], keeping the fastest
+/// repetition.  Panics if the simulation is non-deterministic (different
+/// event counts between repetitions).
+fn measure(name: &'static str, reps: u32, kernel: impl Fn()) -> KernelMeasure {
+    assert!(reps >= 1, "need at least one repetition");
+    let mut best: Option<KernelMeasure> = None;
+    for _ in 0..reps {
+        let meter = Meter::start();
+        kernel();
+        let m = meter.finish();
+        if let Some(b) = &best {
+            assert_eq!(b.events, m.events, "gate kernel `{name}` must be deterministic");
+        }
+        let t = m.busy();
+        if best.as_ref().is_none_or(|b| t < b.wall) {
+            best = Some(KernelMeasure { name, events: m.events, wall: t });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// STREAM triad (`a[i] = b[i] + s·c[i]`) on the Origin2000, sized
+/// out-of-cache: the miss/writeback-heavy regime.
+fn triad_kernel(n: usize) {
+    let machine = MachineModel::origin2000();
+    let mut h = machine.hierarchy();
+    let mut arena = Arena::new();
+    let mut a = TracedArray::zeroed(&mut arena, n);
+    let b = TracedArray::from_fn(&mut arena, n, |i| i as f64);
+    let c = TracedArray::from_fn(&mut arena, n, |i| 0.5 * i as f64);
+    let s = 3.0;
+    {
+        let mut buffered = Buffered::new(&mut h);
+        let sink = &mut buffered;
+        for i in 0..n {
+            let v = b.get(i, sink) + s * c.get(i, sink);
+            a.set(i, v, sink);
+        }
+    }
+    h.flush();
+    std::hint::black_box(h.report());
+}
+
+/// Traced FFT on the Origin2000, sized in-L2: the hit-path regime with a
+/// non-affine pattern.
+fn fft_kernel(n: usize) {
+    let machine = MachineModel::origin2000();
+    let mut h = machine.hierarchy();
+    {
+        let mut buffered = Buffered::new(&mut h);
+        std::hint::black_box(mbb_workloads::fft::fft_traced(n, &mut buffered));
+    }
+    h.flush();
+    std::hint::black_box(h.report());
+}
+
+/// A Sweep3D slice through the IR interpreter on the Origin2000: the
+/// interpreter-emission regime.
+fn sweep_kernel(n: usize, angles: usize) {
+    let prog = mbb_workloads::sweep3d::sweep3d(n, angles);
+    let machine = MachineModel::origin2000();
+    let mut h = machine.hierarchy();
+    Interpreter::new(&prog).run(&mut h).expect("sweep3d interprets");
+    h.flush();
+    std::hint::black_box(h.report());
+}
+
+/// Runs the whole gate suite.
+pub fn run_gate(sizes: &GateSizes, mode: &'static str, reps: u32) -> GateReport {
+    let kernels = vec![
+        measure("triad", reps, || triad_kernel(sizes.triad_n)),
+        measure("fft", reps, || fft_kernel(sizes.fft_n)),
+        measure("sweep3d", reps, || sweep_kernel(sizes.sweep_n, sizes.sweep_angles)),
+    ];
+    GateReport { mode, reps, kernels }
+}
+
+/// One kernel that fell below tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Kernel name (or `"total"` for the aggregate).
+    pub kernel: String,
+    /// Events/second in the current run.
+    pub current: f64,
+    /// Events/second in the baseline.
+    pub baseline: f64,
+    /// The floor the current value had to clear.
+    pub floor: f64,
+}
+
+impl Regression {
+    /// A one-line human description.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: {:.2} Mev/s vs baseline {:.2} Mev/s (floor {:.2})",
+            self.kernel,
+            self.current / 1e6,
+            self.baseline / 1e6,
+            self.floor / 1e6
+        )
+    }
+}
+
+/// Checks that `doc` is a structurally valid `mbb-bench-gate/1` document.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema is `{s}`, expected `{SCHEMA}`")),
+        None => return Err("missing `schema` field".into()),
+    }
+    let Some(Json::Arr(kernels)) = doc.get("kernels") else {
+        return Err("missing `kernels` array".into());
+    };
+    if kernels.is_empty() {
+        return Err("empty `kernels` array".into());
+    }
+    for k in kernels {
+        let name = k.get("name").and_then(Json::as_str).ok_or("kernel without `name`")?;
+        for field in ["events", "wall_s", "events_per_sec"] {
+            if k.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("kernel `{name}` missing numeric `{field}`"));
+            }
+        }
+    }
+    if doc.get("events_per_sec").and_then(Json::as_f64).is_none() {
+        return Err("missing aggregate `events_per_sec`".into());
+    }
+    Ok(())
+}
+
+/// Compares a current gate document against a baseline document.
+///
+/// Every kernel present in the baseline must appear in the current run and
+/// clear `baseline × (1 − tolerance)` events/second; the aggregate rate is
+/// held to the same floor under the name `total`.  Returns the list of
+/// kernels that regressed (empty = pass).
+pub fn compare(current: &Json, baseline: &Json, tolerance: f64) -> Result<Vec<Regression>, String> {
+    assert!((0.0..1.0).contains(&tolerance), "tolerance must be in [0, 1)");
+    validate(current).map_err(|e| format!("current run: {e}"))?;
+    validate(baseline).map_err(|e| format!("baseline: {e}"))?;
+
+    let rate_of = |doc: &Json, name: &str| -> Option<f64> {
+        let Some(Json::Arr(kernels)) = doc.get("kernels") else { return None };
+        kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|k| k.get("events_per_sec"))
+            .and_then(Json::as_f64)
+    };
+
+    let mut regressions = Vec::new();
+    let mut check = |name: &str, cur: Option<f64>, base: f64| {
+        let cur = cur.unwrap_or(0.0);
+        let floor = base * (1.0 - tolerance);
+        if cur < floor {
+            regressions.push(Regression {
+                kernel: name.to_string(),
+                current: cur,
+                baseline: base,
+                floor,
+            });
+        }
+    };
+
+    let Some(Json::Arr(base_kernels)) = baseline.get("kernels") else { unreachable!() };
+    for k in base_kernels {
+        let name = k.get("name").and_then(Json::as_str).expect("validated");
+        let base = k.get("events_per_sec").and_then(Json::as_f64).expect("validated");
+        if rate_of(current, name).is_none() {
+            return Err(format!("baseline kernel `{name}` missing from current run"));
+        }
+        check(name, rate_of(current, name), base);
+    }
+    check(
+        "total",
+        current.get("events_per_sec").and_then(Json::as_f64),
+        baseline.get("events_per_sec").and_then(Json::as_f64).expect("validated"),
+    );
+    Ok(regressions)
+}
+
+/// First unused `BENCH_<n>.json` path under `dir`, so every gate run in a
+/// working tree extends the recorded trajectory instead of overwriting it.
+pub fn next_bench_path(dir: &Path) -> PathBuf {
+    for n in 0u32.. {
+        let candidate = dir.join(format!("BENCH_{n}.json"));
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("fewer than 2^32 bench files")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sizes() -> GateSizes {
+        GateSizes { triad_n: 2048, fft_n: 256, sweep_n: 4, sweep_angles: 1 }
+    }
+
+    #[test]
+    fn gate_report_is_schema_valid_and_round_trips() {
+        let report = run_gate(&tiny_sizes(), "quick", 1);
+        let doc = report.to_json();
+        validate(&doc).expect("schema-valid");
+        let parsed = Json::parse(&doc.render()).expect("parses");
+        validate(&parsed).expect("still valid after round-trip");
+        assert_eq!(report.kernels.len(), 3);
+        for k in &report.kernels {
+            assert!(k.events > 0, "kernel {} produced no events", k.name);
+        }
+    }
+
+    #[test]
+    fn repetitions_are_deterministic() {
+        // `measure` asserts equal event counts across reps internally.
+        let report = run_gate(&tiny_sizes(), "quick", 2);
+        assert!(report.total_events() > 0);
+    }
+
+    #[test]
+    fn detects_injected_synthetic_regression() {
+        let report = run_gate(&tiny_sizes(), "quick", 1);
+        let current = report.to_json();
+        // Forge a baseline claiming 10× the measured throughput: with a
+        // 50% tolerance the "regressed" current run must trip the gate.
+        let mut baseline = current.clone();
+        let scale = |v: &mut Json| {
+            if let Some(x) = v.as_f64() {
+                *v = Json::num(x * 10.0);
+            }
+        };
+        scale(baseline.get_mut("events_per_sec").unwrap());
+        if let Some(Json::Arr(kernels)) = baseline.get_mut("kernels") {
+            for k in kernels {
+                scale(k.get_mut("events_per_sec").unwrap());
+            }
+        }
+        let regressions = compare(&current, &baseline, DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(regressions.len(), 4, "3 kernels + total: {regressions:?}");
+        assert!(regressions.iter().any(|r| r.kernel == "total"));
+        assert!(regressions[0].describe().contains("Mev/s"));
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let report = run_gate(&tiny_sizes(), "quick", 1);
+        let doc = report.to_json();
+        let regressions = compare(&doc, &doc, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn baseline_kernel_missing_from_current_is_an_error() {
+        let report = run_gate(&tiny_sizes(), "quick", 1);
+        let baseline = report.to_json();
+        let mut current = baseline.clone();
+        if let Some(Json::Arr(kernels)) = current.get_mut("kernels") {
+            kernels.retain(|k| k.get("name").and_then(Json::as_str) != Some("fft"));
+        }
+        let err = compare(&current, &baseline, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("fft"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate(&Json::Null).is_err());
+        assert!(validate(&Json::obj([("schema", Json::str("other/9"))])).is_err());
+        let no_kernels = Json::obj([("schema", Json::str(SCHEMA))]);
+        assert!(validate(&no_kernels).is_err());
+    }
+
+    #[test]
+    fn next_bench_path_skips_existing_files() {
+        let dir = std::env::temp_dir().join(format!("mbb-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_0.json"));
+        std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_1.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

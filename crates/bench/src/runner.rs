@@ -248,11 +248,25 @@ pub fn strip_timing(doc: &mut Json) {
 // Wall-clock + event metering for one-off runs (`mbbc report`)
 // ---------------------------------------------------------------------------
 
+/// Time this thread has spent on-CPU, from the scheduler's own accounting
+/// (`/proc/thread-self/schedstat`, nanosecond resolution).  Unlike
+/// wall-clock it does not count time stolen by other processes, which is
+/// what makes the perf gate usable on busy shared runners.  `None` where
+/// the kernel or platform doesn't expose it.
+fn thread_on_cpu() -> Option<Duration> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat")
+        .or_else(|_| std::fs::read_to_string("/proc/self/schedstat"))
+        .ok()?;
+    let ns: u64 = text.split_whitespace().next()?.parse().ok()?;
+    Some(Duration::from_nanos(ns))
+}
+
 /// Meters wall-clock and simulated events over a region of the current
 /// thread.  This is the same instrument `run_jobs` wraps around each job,
 /// exposed for single-simulation callers like the CLI.
 pub struct Meter {
     start: Instant,
+    on_cpu_before: Option<Duration>,
     events_before: u64,
 }
 
@@ -260,6 +274,9 @@ pub struct Meter {
 pub struct Measure {
     /// Elapsed wall-clock.
     pub wall: Duration,
+    /// Time the thread was actually on-CPU during the region, when the OS
+    /// exposes it (Linux schedstat); background load does not inflate it.
+    pub on_cpu: Option<Duration>,
     /// Simulated access events during the region (this thread only).
     pub events: u64,
 }
@@ -268,13 +285,20 @@ impl Meter {
     /// Starts metering.
     #[allow(clippy::new_without_default)]
     pub fn start() -> Meter {
-        Meter { start: Instant::now(), events_before: mbb_memsim::events::so_far() }
+        Meter {
+            start: Instant::now(),
+            on_cpu_before: thread_on_cpu(),
+            events_before: mbb_memsim::events::so_far(),
+        }
     }
 
     /// Stops and reads the meter.
     pub fn finish(self) -> Measure {
         Measure {
             wall: self.start.elapsed(),
+            on_cpu: self
+                .on_cpu_before
+                .and_then(|before| Some(thread_on_cpu()?.saturating_sub(before))),
             events: mbb_memsim::events::so_far().wrapping_sub(self.events_before),
         }
     }
@@ -284,6 +308,11 @@ impl Measure {
     /// Simulated events per second of wall-clock.
     pub fn events_per_sec(&self) -> f64 {
         rate_mev(self.events, self.wall) * 1e6
+    }
+
+    /// The region's compute time: on-CPU when available, else wall-clock.
+    pub fn busy(&self) -> Duration {
+        self.on_cpu.unwrap_or(self.wall)
     }
 
     /// One human line: `simulated 2076672 accesses in 0.031 s (67.0 Mev/s)`.

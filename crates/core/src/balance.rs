@@ -15,7 +15,7 @@
 
 use mbb_ir::interp::{InterpError, Interpreter, LayoutOpts};
 use mbb_ir::program::Program;
-use mbb_ir::trace::AccessSink;
+use mbb_ir::trace::{AccessSink, Buffered};
 use mbb_memsim::hierarchy::TrafficReport;
 use mbb_memsim::machine::MachineModel;
 use mbb_memsim::timing::{predict, Prediction};
@@ -127,7 +127,11 @@ pub fn measure_native_balance(
     kernel: impl FnOnce(&mut dyn AccessSink) -> u64,
 ) -> ProgramBalance {
     let mut h = machine.hierarchy();
-    let flops = kernel(&mut h);
+    // Native kernels emit one event at a time; batch them on the way in.
+    let flops = {
+        let mut buffered = Buffered::new(&mut h);
+        kernel(&mut buffered)
+    };
     h.flush();
     balance_from_report(name, h.report(), flops)
 }

@@ -15,7 +15,7 @@ use std::fmt;
 
 use crate::expr::{Expr, Ref};
 use crate::program::{ArrayId, Init, LoopNest, Program, SourceId, Stmt};
-use crate::trace::{Access, AccessSink};
+use crate::trace::{Access, AccessSink, Buffered};
 
 /// Controls how arrays are laid out in the simulated address space.
 ///
@@ -307,10 +307,18 @@ impl<'p> Interpreter<'p> {
     }
 
     /// Runs the whole program, streaming accesses into `sink`.
+    ///
+    /// Accesses are emitted in batches: the interpreter's inner loops push
+    /// into a [`Buffered`] adapter (a plain, inlinable `Vec` push) and the
+    /// sink receives whole runs via [`AccessSink::access_block`].  The
+    /// sink observes the same events in the same order as it would one at
+    /// a time, so results are identical to the unbatched path.
     pub fn run(mut self, sink: &mut dyn AccessSink) -> Result<RunResult, InterpError> {
+        let mut buffered = Buffered::new(sink);
         for nest in &self.prog.nests {
-            self.run_nest(nest, sink)?;
+            self.run_nest(nest, &mut buffered)?;
         }
+        buffered.flush();
         let observation = self.observe();
         Ok(RunResult { stats: self.stats, observation })
     }
@@ -335,15 +343,22 @@ impl<'p> Interpreter<'p> {
         Observation { scalars, arrays }
     }
 
-    fn run_nest(&mut self, nest: &LoopNest, sink: &mut dyn AccessSink) -> Result<(), InterpError> {
+    // The interpreter internals are generic over the sink so the per-event
+    // call is monomorphised (and inlined, for `Buffered`) instead of a
+    // virtual dispatch per array element.
+    fn run_nest<S: AccessSink + ?Sized>(
+        &mut self,
+        nest: &LoopNest,
+        sink: &mut S,
+    ) -> Result<(), InterpError> {
         self.run_level(nest, 0, sink)
     }
 
-    fn run_level(
+    fn run_level<S: AccessSink + ?Sized>(
         &mut self,
         nest: &LoopNest,
         level: usize,
-        sink: &mut dyn AccessSink,
+        sink: &mut S,
     ) -> Result<(), InterpError> {
         if level == nest.loops.len() {
             self.stats.iterations += 1;
@@ -371,7 +386,11 @@ impl<'p> Interpreter<'p> {
         a.constant + a.terms.iter().map(|&(v, c)| c * self.vars[v.0 as usize]).sum::<i64>()
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt, sink: &mut dyn AccessSink) -> Result<(), InterpError> {
+    fn exec_stmt<S: AccessSink + ?Sized>(
+        &mut self,
+        stmt: &Stmt,
+        sink: &mut S,
+    ) -> Result<(), InterpError> {
         match stmt {
             Stmt::Assign { lhs, rhs } => {
                 let value = self.eval_expr(rhs, sink)?;
@@ -425,7 +444,7 @@ impl<'p> Interpreter<'p> {
         Ok((index, addr))
     }
 
-    fn load(&mut self, r: &Ref, sink: &mut dyn AccessSink) -> Result<f64, InterpError> {
+    fn load<S: AccessSink + ?Sized>(&mut self, r: &Ref, sink: &mut S) -> Result<f64, InterpError> {
         match r {
             Ref::Scalar(s) => Ok(self.scalars[s.0 as usize]),
             Ref::Element(a, subs) => {
@@ -437,7 +456,12 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn store(&mut self, r: &Ref, value: f64, sink: &mut dyn AccessSink) -> Result<(), InterpError> {
+    fn store<S: AccessSink + ?Sized>(
+        &mut self,
+        r: &Ref,
+        value: f64,
+        sink: &mut S,
+    ) -> Result<(), InterpError> {
         match r {
             Ref::Scalar(s) => {
                 self.scalars[s.0 as usize] = value;
@@ -453,7 +477,11 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn eval_expr(&mut self, e: &Expr, sink: &mut dyn AccessSink) -> Result<f64, InterpError> {
+    fn eval_expr<S: AccessSink + ?Sized>(
+        &mut self,
+        e: &Expr,
+        sink: &mut S,
+    ) -> Result<f64, InterpError> {
         match e {
             Expr::Const(c) => Ok(*c),
             Expr::Load(r) => self.load(r, sink),

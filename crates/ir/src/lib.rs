@@ -17,7 +17,7 @@
 //! * the static analyses the transformations need: loop-level
 //!   [`deps`] (dependence) analysis, whole-program array [`liveness`], and
 //!   per-element live-[`ranges`] inside a nest;
-//! * structural [`validate`] checks and a [`pretty`] printer.
+//! * structural [`mod@validate`] checks and a [`pretty`] printer.
 //!
 //! The IR is deliberately *not* a general compiler IR: subscripts are affine,
 //! loops are countable `for` loops, and control flow inside a nest is limited

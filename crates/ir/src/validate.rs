@@ -1,7 +1,7 @@
 //! Structural validation of programs.
 //!
 //! Transformations in this workspace construct programs mechanically;
-//! [`validate`] is the safety net run by tests (and cheap enough to run
+//! [`validate()`] is the safety net run by tests (and cheap enough to run
 //! always) that catches malformed IR early, with diagnostics that name the
 //! offending construct.
 

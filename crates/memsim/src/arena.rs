@@ -84,15 +84,19 @@ impl TracedArray {
     }
 
     /// Loads cell `i`, reporting the access.
+    ///
+    /// Generic over the sink so kernels driving a concrete sink (the
+    /// batching [`mbb_ir::trace::Buffered`], a counter) get an inlined
+    /// call; `&mut dyn AccessSink` still works as before.
     #[inline]
-    pub fn get(&self, i: usize, sink: &mut dyn AccessSink) -> f64 {
+    pub fn get(&self, i: usize, sink: &mut (impl AccessSink + ?Sized)) -> f64 {
         sink.access(Access::read(self.base + (i as u64) * 8, 8));
         self.data[i]
     }
 
     /// Stores cell `i`, reporting the access.
     #[inline]
-    pub fn set(&mut self, i: usize, value: f64, sink: &mut dyn AccessSink) {
+    pub fn set(&mut self, i: usize, value: f64, sink: &mut (impl AccessSink + ?Sized)) {
         sink.access(Access::write(self.base + (i as u64) * 8, 8));
         self.data[i] = value;
     }

@@ -159,6 +159,19 @@ pub struct Cache {
     lru: Vec<Vec<u8>>,
     /// Event counters.
     pub stats: LevelStats,
+    // Geometry precomputed at construction so the per-access path is all
+    // shifts and masks (64-bit divides by runtime values dominate the
+    // profile otherwise).
+    /// `log2(line)`: `addr >> line_shift` is the line address.
+    line_shift: u32,
+    /// `sets − 1` when the set count is a power of two (the mask fast
+    /// case); `None` falls back to `% sets` for odd geometries.
+    set_mask: Option<u64>,
+    /// Set count, for the modulo fallback.
+    set_count: u64,
+    /// `log2(lines per shuffle page)` when page shuffling is on (page and
+    /// line are both powers of two, so this is exact).
+    shuffle_shift: Option<u32>,
 }
 
 impl Cache {
@@ -168,10 +181,21 @@ impl Cache {
         assert!(cfg.assoc >= 1, "associativity must be at least 1");
         let sets = cfg.sets() as usize;
         let ways = cfg.assoc as usize;
+        let shuffle_shift = cfg.page_shuffle.map(|page| {
+            assert!(
+                page.is_power_of_two() && page >= cfg.line,
+                "shuffle page must be a power of two covering at least one line"
+            );
+            (page / cfg.line).trailing_zeros()
+        });
         Cache {
             sets: vec![vec![Line { tag: 0, dirty: false, valid: false }; ways]; sets],
             lru: vec![(0..ways as u8).collect(); sets],
             stats: LevelStats::default(),
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: (cfg.sets().is_power_of_two()).then(|| cfg.sets() - 1),
+            set_count: cfg.sets(),
+            shuffle_shift,
             cfg,
         }
     }
@@ -197,30 +221,48 @@ impl Cache {
         self.stats = LevelStats::default();
     }
 
+    #[inline]
     fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
-        let sets = self.cfg.sets();
-        let index_addr = match self.cfg.page_shuffle {
+        let index_addr = match self.shuffle_shift {
             None => line_addr,
-            Some(page) => {
+            Some(shift) => {
                 // Deterministic SplitMix64 of the page number stands in for
-                // the OS's random physical page placement.
-                let lines_per_page = page / self.cfg.line;
-                let page_num = line_addr / lines_per_page;
-                let offset = line_addr % lines_per_page;
+                // the OS's random physical page placement.  Lines per page
+                // is a power of two, so the original divide / modulo /
+                // multiply are exactly these shifts and the mask.
+                let page_num = line_addr >> shift;
+                let offset = line_addr & ((1u64 << shift) - 1);
                 let mut z = page_num.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                (z ^ (z >> 31)).wrapping_mul(lines_per_page).wrapping_add(offset)
+                ((z ^ (z >> 31)) << shift).wrapping_add(offset)
             }
         };
         // The tag is the full (virtual) line address, so identity is exact
         // regardless of the index mapping.
-        ((index_addr % sets) as usize, line_addr)
+        let set = match self.set_mask {
+            Some(mask) => index_addr & mask,
+            None => index_addr % self.set_count,
+        };
+        (set as usize, line_addr)
     }
 
+    #[inline]
     fn touch_mru(lru: &mut [u8], way: u8) {
+        // MRU already in front is the steady state of every hot loop; the
+        // rotate over `[..=0]` it would perform is a no-op, so skip it.
+        if lru[0] == way {
+            return;
+        }
         let pos = lru.iter().position(|&w| w == way).expect("way in LRU order");
         lru[..=pos].rotate_right(1);
+    }
+
+    /// True when the `size`-byte access at `addr` stays inside one line
+    /// (the fast-path precondition — straddlers take the split loop).
+    #[inline]
+    pub(crate) fn covers_one_line(&self, addr: u64, size: u64) -> bool {
+        size != 0 && (addr >> self.line_shift) == ((addr + size - 1) >> self.line_shift)
     }
 
     /// Accesses one whole line containing `addr`.
@@ -228,8 +270,9 @@ impl Cache {
     /// `is_write` marks stores; `full_line_write` marks stores known to
     /// overwrite the entire line (arriving writebacks from an upper level),
     /// which allocate without fetching.
+    #[inline]
     pub fn access_line(&mut self, addr: u64, is_write: bool, full_line_write: bool) -> LineOutcome {
-        let line_addr = addr / self.cfg.line;
+        let line_addr = addr >> self.line_shift;
         let (set_idx, tag) = self.set_and_tag(line_addr);
         let set = &mut self.sets[set_idx];
         let order = &mut self.lru[set_idx];
@@ -269,7 +312,7 @@ impl Cache {
         let victim = set[victim_way];
         let writeback_of = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
-            Some(victim.tag * self.cfg.line)
+            Some(victim.tag << self.line_shift)
         } else {
             None
         };
@@ -291,7 +334,7 @@ impl Cache {
     /// `None` when already present, otherwise the optional dirty victim's
     /// address.  Counted as a fetch + prefetch, never as a demand miss.
     pub fn prefetch_line(&mut self, addr: u64) -> Option<Option<u64>> {
-        let line_addr = addr / self.cfg.line;
+        let line_addr = addr >> self.line_shift;
         let (set_idx, tag) = self.set_and_tag(line_addr);
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
@@ -304,7 +347,7 @@ impl Cache {
         let victim = set[victim_way];
         let writeback_of = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
-            Some(victim.tag * self.cfg.line)
+            Some(victim.tag << self.line_shift)
         } else {
             None
         };
@@ -449,6 +492,60 @@ mod tests {
         c.reset();
         assert_eq!(c.stats, LevelStats::default());
         assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_modulo_fallback() {
+        // 96 B / 32 B / direct-mapped = 3 sets: lines 0 and 3 share set 0.
+        let mut c = Cache::new(CacheConfig::write_back("odd", 96, 32, 1));
+        assert_eq!(c.config().sets(), 3);
+        c.access_line(0, false, false);
+        assert!(matches!(c.access_line(3 * 32, false, false), LineOutcome::Miss { .. }));
+        assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }), "evicted");
+        // Line 1 maps to set 1: cold miss, then a hit — and it leaves the
+        // set-0 resident (line 0) undisturbed.
+        assert!(matches!(c.access_line(32, false, false), LineOutcome::Miss { .. }));
+        assert_eq!(c.access_line(32, false, false), LineOutcome::Hit);
+        assert_eq!(c.access_line(0, false, false), LineOutcome::Hit, "set 0 undisturbed");
+    }
+
+    #[test]
+    fn covers_one_line_boundaries() {
+        let c = tiny();
+        assert!(c.covers_one_line(0, 8));
+        assert!(c.covers_one_line(24, 8), "exactly reaches the line end");
+        assert!(!c.covers_one_line(28, 8), "straddles into the next line");
+        assert!(c.covers_one_line(32, 32), "whole aligned line");
+        assert!(!c.covers_one_line(0, 0), "zero-size accesses take the slow path");
+    }
+
+    #[test]
+    fn shuffled_indexing_matches_the_divide_formula() {
+        // The shift/mask rewrite of the SplitMix64 page shuffle must place
+        // every line exactly where the original divide/modulo/multiply
+        // formula did.
+        fn reference_set(line_addr: u64, page: u64, line: u64, sets: u64) -> u64 {
+            let lines_per_page = page / line;
+            let page_num = line_addr / lines_per_page;
+            let offset = line_addr % lines_per_page;
+            let mut z = page_num.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)).wrapping_mul(lines_per_page).wrapping_add(offset) % sets
+        }
+        for (size, line, assoc, page) in
+            [(32 * 1024, 32, 2, 16 * 1024), (1024 * 1024, 32, 1, 64 * 1024), (4096, 128, 2, 4096)]
+        {
+            let cfg = CacheConfig::write_back("s", size, line, assoc).with_page_shuffle(page);
+            let sets = cfg.sets();
+            let c = Cache::new(cfg);
+            for k in 0..10_000u64 {
+                let line_addr = k.wrapping_mul(0x9E37_79B9).wrapping_add(k >> 3);
+                let (set_idx, tag) = c.set_and_tag(line_addr);
+                assert_eq!(set_idx as u64, reference_set(line_addr, page, line, sets));
+                assert_eq!(tag, line_addr, "tag stays the full line address");
+            }
+        }
     }
 
     #[test]

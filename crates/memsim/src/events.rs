@@ -19,7 +19,15 @@ thread_local! {
 /// Ticks the current thread's event counter (one demand access).
 #[inline]
 pub(crate) fn record() {
-    SIM_EVENTS.with(|c| c.set(c.get().wrapping_add(1)));
+    record_n(1)
+}
+
+/// Ticks the current thread's event counter by `n` at once — one
+/// thread-local access per block instead of per event, which is what makes
+/// the batched sink path cheap.
+#[inline]
+pub(crate) fn record_n(n: u64) {
+    SIM_EVENTS.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
 /// Total simulated access events observed on this thread so far.

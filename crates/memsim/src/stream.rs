@@ -15,7 +15,7 @@
 //!   time, which reaches the configured peak when the kernel saturates it.
 //!   The machine balance in Figure 1 is stated in channel terms.
 
-use mbb_ir::trace::AccessSink;
+use mbb_ir::trace::Buffered;
 
 use crate::arena::{Arena, TracedArray};
 use crate::machine::MachineModel;
@@ -75,7 +75,11 @@ pub fn run(machine: &MachineModel, n: usize) -> StreamResult {
         let mut c = TracedArray::zeroed(&mut arena, n);
         let s = 3.0;
         let mut h = machine.hierarchy();
-        let sink: &mut dyn AccessSink = &mut h;
+        // Stream through the batching adapter: the hierarchy consumes the
+        // same events in the same order, in blocks.  Kept monomorphic so
+        // the per-element pushes inline instead of going through a vtable.
+        let mut buffered = Buffered::new(&mut h);
+        let sink = &mut buffered;
         let (flops, program_bytes) = match which {
             0 => {
                 for i in 0..n {
@@ -106,6 +110,7 @@ pub fn run(machine: &MachineModel, n: usize) -> StreamResult {
                 (2 * n as u64, 24 * n as u64)
             }
         };
+        drop(buffered);
         h.flush();
         let report = h.report();
         let p = predict(machine, &report, flops);

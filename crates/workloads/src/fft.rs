@@ -28,7 +28,7 @@ pub struct FftRun {
 ///
 /// # Panics
 /// Panics unless `n` is a power of two ≥ 2.
-pub fn fft_traced(n: usize, sink: &mut dyn AccessSink) -> FftRun {
+pub fn fft_traced(n: usize, sink: &mut (impl AccessSink + ?Sized)) -> FftRun {
     assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
     let mut arena = Arena::new();
     // Interleaved complex data (`d[2k]` = re, `d[2k+1]` = im), as real FFT

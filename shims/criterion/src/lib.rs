@@ -7,18 +7,116 @@
 //! deliberately simple — per-sample wall-clock around the closure, with
 //! min / mean / max printed per benchmark — because the repo's own
 //! `repro --json` engine, not Criterion statistics, is the perf record.
+//!
+//! Two extensions mirror upstream features the workspace relies on:
+//!
+//! * [`Throughput::Events`] prints simulated-events-per-second next to the
+//!   timing, the unit the simulator's perf gate standardises on;
+//! * [`Baseline`] files: set `CRITERION_SHIM_SAVE_BASELINE=<path>` to
+//!   record every benchmark's mean, and `CRITERION_SHIM_BASELINE=<path>` to
+//!   print each run's delta against a previously saved file (the shim's
+//!   analogue of upstream's `--save-baseline` / `--baseline`).
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// Per-benchmark mean times, loadable from / savable to a text file.
+///
+/// The format is one line per benchmark, `mean_seconds<TAB>label`, with
+/// `#` comments — trivially diffable and mergeable in review.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Mean seconds per iteration, keyed by the printed benchmark label.
+    pub entries: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    /// Parses a baseline file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Baseline> {
+        let text = std::fs::read_to_string(path)?;
+        let mut entries = BTreeMap::new();
+        for (k, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = || io::Error::new(io::ErrorKind::InvalidData, format!("line {}", k + 1));
+            let (mean, label) = line.split_once('\t').ok_or_else(bad)?;
+            let mean: f64 = mean.parse().map_err(|_| bad())?;
+            entries.insert(label.to_string(), mean);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Writes the baseline file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut out = String::from("# criterion-shim baseline: mean_seconds<TAB>label\n");
+        for (label, mean) in &self.entries {
+            out.push_str(&format!("{mean:.9e}\t{label}\n"));
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Percentage change of `mean` against the stored entry for `label`
+    /// (positive = slower than baseline); `None` when the label is new.
+    pub fn delta_pct(&self, label: &str, mean: f64) -> Option<f64> {
+        let base = *self.entries.get(label)?;
+        if base > 0.0 {
+            Some((mean / base - 1.0) * 100.0)
+        } else {
+            None
+        }
+    }
+}
 
 /// Top-level harness handle, passed to every bench function.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    baseline: Option<Baseline>,
+    save_to: Option<PathBuf>,
+    recorded: BTreeMap<String, f64>,
+}
 
 impl Criterion {
+    /// A harness wired to the `CRITERION_SHIM_BASELINE` (compare) and
+    /// `CRITERION_SHIM_SAVE_BASELINE` (record) environment variables.
+    pub fn from_env() -> Self {
+        let mut c = Criterion::default();
+        if let Ok(path) = std::env::var("CRITERION_SHIM_BASELINE") {
+            match Baseline::load(&path) {
+                Ok(b) => c.baseline = Some(b),
+                Err(e) => eprintln!("criterion(shim): cannot load baseline {path}: {e}"),
+            }
+        }
+        if let Ok(path) = std::env::var("CRITERION_SHIM_SAVE_BASELINE") {
+            c.save_to = Some(PathBuf::from(path));
+        }
+        c
+    }
+
+    /// Compares subsequent benchmarks against a loaded baseline.
+    pub fn with_baseline(mut self, b: Baseline) -> Self {
+        self.baseline = Some(b);
+        self
+    }
+
+    /// Saves every benchmark's mean to `path` when the harness is dropped.
+    pub fn save_baseline_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.save_to = Some(path.into());
+        self
+    }
+
+    /// Means recorded so far (label → seconds).
+    pub fn recorded(&self) -> &BTreeMap<String, f64> {
+        &self.recorded
+    }
+
     /// Opens a named group of related measurements.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: 10, throughput: None }
     }
 
     /// Measures a single free-standing benchmark.
@@ -33,6 +131,17 @@ impl Criterion {
     }
 }
 
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Some(path) = &self.save_to {
+            let b = Baseline { entries: std::mem::take(&mut self.recorded) };
+            if let Err(e) = b.save(path) {
+                eprintln!("criterion(shim): cannot save baseline {}: {e}", path.display());
+            }
+        }
+    }
+}
+
 /// Throughput annotation (printed alongside the timing when set).
 #[derive(Clone, Copy, Debug)]
 pub enum Throughput {
@@ -40,6 +149,9 @@ pub enum Throughput {
     Elements(u64),
     /// Bytes processed per iteration.
     Bytes(u64),
+    /// Simulated access events per iteration — reported as Mev/s, the
+    /// unit the simulator perf gate records.
+    Events(u64),
 }
 
 /// A parameterised benchmark name (`group/function/param`).
@@ -56,13 +168,14 @@ impl BenchmarkId {
 }
 
 /// A group of benchmarks sharing a sample size and throughput annotation.
-pub struct BenchmarkGroup {
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
 
-impl BenchmarkGroup {
+impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
@@ -99,7 +212,7 @@ impl BenchmarkGroup {
     /// Ends the group (separator line, mirroring upstream's summary).
     pub fn finish(self) {}
 
-    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let mut samples = Vec::with_capacity(self.sample_size);
         // One warm-up sample, discarded.
         let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
@@ -120,21 +233,34 @@ impl BenchmarkGroup {
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
         let label =
             if self.name.is_empty() { id.to_string() } else { format!("{}/{}", self.name, id) };
-        let rate = match self.throughput {
-            Some(Throughput::Elements(k)) if mean > 0.0 => {
-                format!("  {:>10.1} Kelem/s", k as f64 / mean / 1e3)
-            }
-            Some(Throughput::Bytes(k)) if mean > 0.0 => {
-                format!("  {:>10.1} MB/s", k as f64 / mean / 1e6)
-            }
-            _ => String::new(),
+        let rate = rate_label(self.throughput, mean);
+        let vs = match self.parent.baseline.as_ref().and_then(|b| b.delta_pct(&label, mean)) {
+            Some(pct) => format!("  ({pct:+.1}% vs baseline)"),
+            None => String::new(),
         };
         println!(
-            "bench {label:<48} [{} {} {}]{rate}",
+            "bench {label:<48} [{} {} {}]{rate}{vs}",
             fmt_time(min),
             fmt_time(mean),
             fmt_time(max)
         );
+        self.parent.recorded.insert(label, mean);
+    }
+}
+
+/// Renders the throughput column for a mean seconds-per-iteration.
+fn rate_label(t: Option<Throughput>, mean: f64) -> String {
+    match t {
+        Some(Throughput::Elements(k)) if mean > 0.0 => {
+            format!("  {:>10.1} Kelem/s", k as f64 / mean / 1e3)
+        }
+        Some(Throughput::Bytes(k)) if mean > 0.0 => {
+            format!("  {:>10.1} MB/s", k as f64 / mean / 1e6)
+        }
+        Some(Throughput::Events(k)) if mean > 0.0 => {
+            format!("  {:>10.2} Mev/s", k as f64 / mean / 1e6)
+        }
+        _ => String::new(),
     }
 }
 
@@ -182,7 +308,7 @@ fn fmt_time(s: f64) -> String {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::from_env();
             $($target(&mut c);)+
         }
     };
@@ -213,6 +339,7 @@ mod tests {
         g.finish();
         // 1 warm-up + 3 samples, 3 iterations each.
         assert_eq!(runs, 12);
+        assert!(c.recorded().contains_key("unit/count"));
     }
 
     #[test]
@@ -235,5 +362,53 @@ mod tests {
         assert_eq!(fmt_time(2e-3), "2.000 ms");
         assert_eq!(fmt_time(2e-6), "2.000 µs");
         assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+
+    #[test]
+    fn events_throughput_prints_mev_per_sec() {
+        // 5M events in 0.25 s/iter = 20 Mev/s.
+        assert_eq!(rate_label(Some(Throughput::Events(5_000_000)), 0.25).trim(), "20.00 Mev/s");
+        assert_eq!(rate_label(Some(Throughput::Events(1)), 0.0), "");
+    }
+
+    #[test]
+    fn baseline_round_trips_and_reports_delta() {
+        let mut b = Baseline::default();
+        b.entries.insert("g/fast".into(), 0.010);
+        b.entries.insert("g/slow".into(), 0.100);
+        let path = std::env::temp_dir().join(format!("crit-shim-{}.base", std::process::id()));
+        b.save(&path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded, b);
+        // 0.012 s against a 0.010 s baseline: 20% slower.
+        let pct = loaded.delta_pct("g/fast", 0.012).unwrap();
+        assert!((pct - 20.0).abs() < 1e-6, "{pct}");
+        assert_eq!(loaded.delta_pct("g/new", 1.0), None);
+    }
+
+    #[test]
+    fn baseline_load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("crit-shim-bad-{}.base", std::process::id()));
+        std::fs::write(&path, "not-a-number\tlabel\n").unwrap();
+        let err = Baseline::load(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn save_baseline_on_drop_and_compare_next_run() {
+        let path = std::env::temp_dir().join(format!("crit-shim-rt-{}.base", std::process::id()));
+        {
+            let mut c = Criterion::default().save_baseline_to(&path);
+            c.bench_function("t", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        }
+        let loaded = Baseline::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(loaded.entries.contains_key("t"), "{:?}", loaded.entries);
+        assert!(loaded.entries["t"] >= 0.0);
+        // A harness comparing against it sees a delta for the same label.
+        let c2 = Criterion::default().with_baseline(loaded);
+        assert!(c2.baseline.as_ref().unwrap().delta_pct("t", 1.0).is_some());
     }
 }
