@@ -83,13 +83,19 @@ impl Json {
 
     /// Parses a JSON document.
     ///
-    /// Accepts exactly what [`Json::render`] emits plus arbitrary
-    /// whitespace — enough to read back baselines and CI artifacts without
-    /// serde.  Non-negative integers without fraction or exponent parse as
-    /// [`Json::UInt`] (round-tripping exactly); everything else numeric is
-    /// [`Json::Num`].  Trailing garbage after the document is an error.
+    /// Accepts exactly what [`Json::render`] and [`Json::render_compact`]
+    /// emit plus arbitrary whitespace — enough to read back baselines, CI
+    /// artifacts and `mbb-serve/1` requests without serde.  Non-negative
+    /// integers without fraction or exponent parse as [`Json::UInt`]
+    /// (round-tripping exactly); everything else numeric is [`Json::Num`].
+    /// Trailing garbage after the document is an error.
+    ///
+    /// The parser fronts a network service (`mbb-server`), so it is total
+    /// over untrusted input: malformed documents — unterminated strings,
+    /// bad escapes, truncated literals — return `Err`, and nesting deeper
+    /// than [`MAX_DEPTH`] is rejected before it can overflow the stack.
     pub fn parse(src: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: src.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -105,6 +111,46 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders on a single line with no whitespace and no trailing
+    /// newline — the form the newline-delimited `mbb-serve/1` protocol
+    /// puts on the wire (embedded string newlines are escaped, so the
+    /// result never contains a literal `\n`).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::UInt(_) | Json::Str(_) => {
+                self.write(out, 0)
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -164,9 +210,16 @@ impl Json {
     }
 }
 
+/// Maximum container nesting [`Json::parse`] accepts.  The parser recurses
+/// per `[`/`{`, so without a bound a short adversarial input like
+/// `"[".repeat(100_000)` would overflow the stack; 128 levels is far beyond
+/// any document this workspace emits.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -207,12 +260,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.pos += 1; // '['
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -223,6 +286,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -231,11 +295,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.pos += 1; // '{'
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -251,6 +317,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -407,6 +474,63 @@ mod tests {
         assert!(Json::parse("{\"a\" 1}").is_err());
         assert!(Json::parse("null x").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_untrusted_input_without_panicking() {
+        for src in [
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "\"truncated unicode \\u12",
+            "\"surrogate \\ud800\"",
+            "tru",
+            "nul",
+            "-",
+            "+",
+            "1e",
+            "[1, ",
+            "{\"a\": ",
+            "{\"a\"",
+            "[}",
+            "{]",
+            "{1: 2}",
+            "\u{7f}",
+        ] {
+            assert!(Json::parse(src).is_err(), "accepted {src:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting_instead_of_overflowing() {
+        // Far beyond MAX_DEPTH: must error, not crash the thread.
+        let deep = "[".repeat(100_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).unwrap_err().contains("nesting"));
+        // And exactly MAX_DEPTH is still fine.
+        let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let over = format!("{}null{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&over).is_err());
+    }
+
+    #[test]
+    fn compact_render_is_single_line_and_round_trips() {
+        let j = Json::obj([
+            ("kind", Json::str("report")),
+            ("text", Json::str("line one\nline two")),
+            ("xs", Json::arr([Json::UInt(1), Json::Num(2.5), Json::Null, Json::Bool(false)])),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj([] as [(&str, Json); 0])),
+        ]);
+        let s = j.render_compact();
+        assert!(!s.contains('\n'), "compact render must be newline-free: {s}");
+        assert_eq!(
+            s,
+            r#"{"kind":"report","text":"line one\nline two","xs":[1,2.5,null,false],"empty_arr":[],"empty_obj":{}}"#
+        );
+        assert_eq!(Json::parse(&s).unwrap(), j);
     }
 
     #[test]

@@ -1,80 +1,38 @@
 //! The logic behind the `mbbc` command-line driver (kept in a library so
 //! the test-suite can drive it without spawning processes).
 //!
-//! Three commands over programs written in the paper's pseudo-code (see
-//! `mbb_ir::parse` for the grammar):
-//!
-//! * `run` — interpret the program and print observable outputs and
-//!   execution counters;
-//! * `report` — the §2 methodology: program balance per channel on a
-//!   chosen machine, demand/supply ratios, the CPU-utilisation bound, and
-//!   the predicted execution time with its bottleneck;
-//! * `optimize` — the §3 strategy: fuse, shrink storage, eliminate stores;
-//!   prints the optimised program (in the same parseable syntax), the
-//!   transformation log, and before/after traffic and time.
+//! The analysis commands — `report`, `advise`, `optimize`, `trace-stats`
+//! — delegate to [`mbb_server::analysis`], the same entry points the
+//! network service uses, so `mbbc` and `mbbc serve` can never disagree.
+//! This crate adds what is CLI-only: the nondeterministic `simulation:`
+//! timing line, the `run`/`trace`/`graph` commands, and exit-code
+//! classification via [`ServeError`] (parse 3, validate 4, I/O 5).
 
 use std::fmt::Write as _;
 
-use mbb_core::advisor::advise;
-use mbb_core::balance::{measure_program_balance, ratios, time_program};
-use mbb_core::pipeline::{optimize, verify_equivalent, OptimizeOptions};
-use mbb_core::regroup::regroup_all;
-use mbb_ir::{parse, pretty, Program};
-use mbb_memsim::machine::MachineModel;
-use mbb_memsim::timing::Bottleneck;
+pub use mbb_server::analysis::{machine_by_name, Options};
+pub use mbb_server::error::{ErrorKind, ServeError};
 
-/// Options shared by the commands.
-#[derive(Clone, Debug)]
-pub struct Options {
-    /// The machine model to measure against.
-    pub machine: MachineModel,
-    /// Pipeline configuration (optimize only).
-    pub pipeline: OptimizeOptions,
-    /// Also apply inter-array data regrouping after the pipeline.
-    pub regroup: bool,
-}
+use mbb_ir::Program;
+use mbb_server::analysis;
 
-impl Default for Options {
-    fn default() -> Self {
-        Options {
-            machine: MachineModel::origin2000(),
-            pipeline: OptimizeOptions::default(),
-            regroup: false,
-        }
-    }
+/// Parses source text, surfacing errors with line numbers and
+/// classifying them for the exit code.
+pub fn load(src: &str) -> Result<Program, ServeError> {
+    analysis::load(src)
 }
 
 /// The `advise` command: the §4 bandwidth-tuning report.
-pub fn cmd_advise(src: &str, opts: &Options) -> Result<String, String> {
+pub fn cmd_advise(src: &str, opts: &Options) -> Result<String, ServeError> {
     let p = load(src)?;
-    Ok(advise(&p, &opts.machine)?.to_string())
-}
-
-/// Parses a machine name: `origin` (default), `exemplar`, or
-/// `origin/N` for the cache-scaled variant.
-pub fn machine_by_name(name: &str) -> Result<MachineModel, String> {
-    if let Some(rest) = name.strip_prefix("origin/") {
-        let n: u64 = rest.parse().map_err(|_| format!("bad scale `{rest}`"))?;
-        return Ok(MachineModel::origin2000().scaled(n));
-    }
-    match name {
-        "origin" | "origin2000" => Ok(MachineModel::origin2000()),
-        "exemplar" | "pa8000" => Ok(MachineModel::exemplar()),
-        other => Err(format!("unknown machine `{other}` (try origin, exemplar, origin/64)")),
-    }
-}
-
-/// Parses source text, surfacing errors with line numbers.
-pub fn load(src: &str) -> Result<Program, String> {
-    parse::parse(src).map_err(|e| e.to_string())
+    Ok(analysis::advise(&p, opts)?.text)
 }
 
 /// The `graph` command: render the program's fusion graph as Graphviz
 /// DOT — solid directed edges for dependences, dashed red edges for
 /// fusion-preventing pairs, node labels listing the arrays each nest
 /// touches.
-pub fn cmd_graph(src: &str) -> Result<String, String> {
-    use std::fmt::Write as _;
+pub fn cmd_graph(src: &str) -> Result<String, ServeError> {
     let p = load(src)?;
     let g = mbb_core::fusion::build_fusion_graph(&p);
     let mut out = String::new();
@@ -100,21 +58,22 @@ pub fn cmd_graph(src: &str) -> Result<String, String> {
 /// The `trace` command: emit the program's access trace (Dinero-style
 /// text, one access per line) to the returned string.  Intended for
 /// interop with external cache simulators; traces grow with N.
-pub fn cmd_trace(src: &str) -> Result<String, String> {
+pub fn cmd_trace(src: &str) -> Result<String, ServeError> {
     let p = load(src)?;
     let mut buf = Vec::new();
     {
         let mut w = mbb_memsim::tracefile::TraceWriter::new(&mut buf);
-        mbb_ir::interp::run_traced(&p, &mut w).map_err(|e| e.to_string())?;
-        w.finish().map_err(|e| e.to_string())?;
+        mbb_ir::interp::run_traced(&p, &mut w)
+            .map_err(|e| ServeError::new(ErrorKind::Run, e.to_string()))?;
+        w.finish().map_err(ServeError::from)?;
     }
-    String::from_utf8(buf).map_err(|e| e.to_string())
+    String::from_utf8(buf).map_err(|e| ServeError::new(ErrorKind::Run, e.to_string()))
 }
 
 /// The `run` command.
-pub fn cmd_run(src: &str) -> Result<String, String> {
+pub fn cmd_run(src: &str) -> Result<String, ServeError> {
     let p = load(src)?;
-    let r = mbb_ir::interp::run(&p).map_err(|e| e.to_string())?;
+    let r = mbb_ir::interp::run(&p).map_err(|e| ServeError::new(ErrorKind::Run, e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -137,129 +96,40 @@ pub fn cmd_run(src: &str) -> Result<String, String> {
 }
 
 /// The `report` command.
-pub fn cmd_report(src: &str, opts: &Options) -> Result<String, String> {
+pub fn cmd_report(src: &str, opts: &Options) -> Result<String, ServeError> {
     let p = load(src)?;
     let meter = mbb_bench::runner::Meter::start();
-    let b = measure_program_balance(&p, &opts.machine).map_err(|e| e.to_string())?;
-    let r = ratios(&b, &opts.machine);
-    let t = time_program(&p, &opts.machine).map_err(|e| e.to_string())?;
+    let a = analysis::report(&p, opts)?;
     let sim = meter.finish();
-    let supply = opts.machine.balance();
-    let channel_names: Vec<String> = (0..supply.len())
-        .map(|k| {
-            if k == 0 {
-                "Reg↔L1".to_string()
-            } else if k + 1 == supply.len() {
-                "Mem".to_string()
-            } else {
-                format!("L{}↔L{}", k, k + 1)
-            }
-        })
-        .collect();
+    let mut out = a.text;
+    let _ = writeln!(out, "  simulation: {}", sim.summary());
+    Ok(out)
+}
 
-    let mut out = String::new();
-    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
-    let _ = writeln!(out, "  flops: {}", b.flops);
-    let _ = writeln!(
-        out,
-        "  {:<8} {:>12} {:>12} {:>8}",
-        "channel", "demand B/f", "supply B/f", "ratio"
-    );
-    for (k, name) in channel_names.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  {:<8} {:>12.2} {:>12.2} {:>7.1}×",
-            name, b.bytes_per_flop[k], supply[k], r.ratios[k]
-        );
-    }
-    let _ = writeln!(out, "  CPU utilisation bound: {:.0}%", r.cpu_utilization_bound * 100.0);
-    let bottleneck = match t.bottleneck {
-        Bottleneck::Compute => "compute".to_string(),
-        Bottleneck::Channel(k) => channel_names[k].clone(),
-    };
-    let _ = writeln!(out, "  predicted time: {:.4} s (bottleneck: {bottleneck})", t.time_s);
+/// The `trace-stats` command: execution counters plus induced hierarchy
+/// traffic (also served over the wire by `mbbc serve`).
+pub fn cmd_trace_stats(src: &str, opts: &Options) -> Result<String, ServeError> {
+    let p = load(src)?;
+    let meter = mbb_bench::runner::Meter::start();
+    let a = analysis::trace_stats(&p, opts)?;
+    let sim = meter.finish();
+    let mut out = a.text;
     let _ = writeln!(out, "  simulation: {}", sim.summary());
     Ok(out)
 }
 
 /// The `optimize` command; returns `(report, optimized_source)`.
-pub fn cmd_optimize(src: &str, opts: &Options) -> Result<(String, String), String> {
+pub fn cmd_optimize(src: &str, opts: &Options) -> Result<(String, String), ServeError> {
     let p = load(src)?;
     // Meter the whole simulation-backed region — balance measurements,
     // the equivalence verification runs, and the re-measurement of the
     // optimised program — exactly as `report` meters its single run.
     let meter = mbb_bench::runner::Meter::start();
-    let before_t = time_program(&p, &opts.machine).map_err(|e| e.to_string())?;
-    let before_b = measure_program_balance(&p, &opts.machine).map_err(|e| e.to_string())?;
-
-    let mut outcome = optimize(&p, opts.pipeline);
-    let mut regroup_actions = Vec::new();
-    if opts.regroup {
-        let (next, actions) = regroup_all(&outcome.program);
-        outcome.program = next;
-        regroup_actions = actions;
-    }
-    verify_equivalent(&p, &outcome.program, 1e-9)
-        .map_err(|d| format!("internal error: transformation changed behaviour: {d}"))?;
-
-    let after_t = time_program(&outcome.program, &opts.machine).map_err(|e| e.to_string())?;
-    let after_b =
-        measure_program_balance(&outcome.program, &opts.machine).map_err(|e| e.to_string())?;
+    let (a, optimized) = analysis::optimize(&p, opts)?;
     let sim = meter.finish();
-
-    let mut out = String::new();
-    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
-    if let Some(part) = &outcome.partitioning {
-        let _ = writeln!(
-            out,
-            "  fusion: {} nests -> {} partitions (array loads {} -> {})",
-            p.nests.len(),
-            part.groups.len(),
-            outcome.arrays_cost_before,
-            outcome.arrays_cost_after
-        );
-    }
-    for a in &outcome.shrink_actions {
-        let _ = writeln!(out, "  storage: {a:?}");
-    }
-    for s in &outcome.store_eliminations {
-        let _ = writeln!(
-            out,
-            "  store elimination: `{}` ({} store(s) removed)",
-            s.array, s.stores_removed
-        );
-    }
-    for a in &regroup_actions {
-        let _ = writeln!(out, "  regrouped: {{{}}} -> `{}`", a.members.join(", "), a.grouped);
-    }
-    let _ = writeln!(
-        out,
-        "  storage bytes:    {} -> {}",
-        outcome.storage_before, outcome.storage_after
-    );
-    let _ = writeln!(
-        out,
-        "  memory traffic:   {} -> {} bytes",
-        before_b.report.mem_bytes(),
-        after_b.report.mem_bytes()
-    );
-    let _ = writeln!(
-        out,
-        "  memory balance:   {:.2} -> {:.2} bytes/flop",
-        before_b.memory(),
-        after_b.memory()
-    );
-    let _ = writeln!(
-        out,
-        "  predicted time:   {:.4} s -> {:.4} s ({:.2}× speedup)",
-        before_t.time_s,
-        after_t.time_s,
-        before_t.time_s / after_t.time_s
-    );
-    let _ = writeln!(out, "  equivalence:      verified (interpreted both versions)");
+    let mut out = a.text;
     let _ = writeln!(out, "  simulation: {}", sim.summary());
-
-    Ok((out, pretty::program(&outcome.program)))
+    Ok((out, optimized))
 }
 
 #[cfg(test)]
@@ -296,6 +166,14 @@ program fig7
     }
 
     #[test]
+    fn trace_stats_shows_hierarchy_traffic() {
+        let out = cmd_trace_stats(SRC, &Options::default()).unwrap();
+        assert!(out.contains("accesses:"), "{out}");
+        assert!(out.contains("tlb misses"), "{out}");
+        assert!(out.contains("simulation: simulated"), "{out}");
+    }
+
+    #[test]
     fn optimize_round_trips_through_the_parser() {
         let (report, optimized) = cmd_optimize(SRC, &Options::default()).unwrap();
         assert!(report.contains("store elimination"), "{report}");
@@ -318,9 +196,20 @@ program fig7
     }
 
     #[test]
-    fn parse_errors_are_surfaced() {
+    fn parse_errors_are_surfaced_with_their_kind() {
         let e = cmd_run("for i = 0, 3\n  bogus[i] = 1\nend for\n").unwrap_err();
-        assert!(e.contains("line 2"), "{e}");
+        assert_eq!(e.kind, ErrorKind::Parse);
+        assert!(e.message.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_are_distinguished_from_syntax() {
+        // An inner loop rebinding `i` parses fine but fails validation.
+        let e = cmd_run(
+            "array a[16]\nfor i = 0, 3\n  for i = 0, 3\n    a[i] = 1\n  end for\nend for\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Validate, "{e}");
     }
 }
 

@@ -5,36 +5,103 @@
 //! mbbc report   FILE [--machine origin|exemplar|origin/N]
 //! mbbc optimize FILE [--machine …] [--no-fuse] [--no-shrink]
 //!                    [--no-store-elim] [--emit]
+//! mbbc serve         [--addr HOST:PORT] [--workers N] [--cache-mb M]
+//!                    [--queue-depth D] [--idle-timeout SECS]
 //! ```
 //!
 //! `FILE` is a loop program in the paper's pseudo-code (grammar:
 //! `mbb_ir::parse`); `-` reads standard input.  `--emit` prints the
 //! optimised program (itself parseable) after the report.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage, 3 parse error,
+//! 4 validation error, 5 I/O error — the same classification `mbbc
+//! serve` returns in structured error payloads.
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use mbb_cli::{cmd_advise, cmd_optimize, cmd_report, cmd_run, machine_by_name, Options};
+use mbb_cli::{
+    cmd_advise, cmd_optimize, cmd_report, cmd_run, cmd_trace_stats, machine_by_name, ErrorKind,
+    Options, ServeError,
+};
 use mbb_core::pipeline::FusionStrategy;
 
 fn usage() -> &'static str {
-    "usage: mbbc <run|report|advise|optimize|trace|graph> FILE [options]\n\
+    "usage: mbbc <run|report|advise|optimize|trace|trace-stats|graph> FILE [options]\n\
+     \x20      mbbc serve [server options]\n\
      options:\n\
        --machine origin|exemplar|origin/N   machine model (default origin)\n\
        --no-fuse | --no-shrink | --no-store-elim   disable a pipeline stage\n\
        --exhaustive | --bisection            alternative fusion strategies\n\
        --normalize                           expand + distribute before fusing\n\
        --regroup                             interleave co-accessed arrays\n\
-       --emit                                print the optimised program\n"
+       --emit                                print the optimised program\n\
+     server options:\n\
+       --addr HOST:PORT   bind address (default 127.0.0.1:7455; port 0 = pick)\n\
+       --workers N        worker threads (default 4)\n\
+       --cache-mb M       result-cache capacity (default 32)\n\
+       --queue-depth D    accept-queue bound before shedding (default 64)\n\
+       --idle-timeout S   exit after S seconds without traffic\n"
 }
 
-fn read_source(path: &str) -> Result<String, String> {
+fn read_source(path: &str) -> Result<String, ServeError> {
     if path == "-" {
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).map_err(|e| format!("stdin: {e}"))?;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| ServeError::new(ErrorKind::Io, format!("stdin: {e}")))?;
         Ok(s)
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+        std::fs::read_to_string(path)
+            .map_err(|e| ServeError::new(ErrorKind::Io, format!("{path}: {e}")))
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = mbb_server::Config { addr: "127.0.0.1:7455".to_string(), ..Default::default() };
+    let mut k = 0;
+    while k < args.len() {
+        let flag = args[k].as_str();
+        let Some(value) = args.get(k + 1) else {
+            eprintln!("mbbc: {flag} needs a value");
+            return ExitCode::from(2);
+        };
+        let numeric = || {
+            value.parse::<u64>().map_err(|_| format!("mbbc: {flag} wants a number, got `{value}`"))
+        };
+        let outcome = match flag {
+            "--addr" => {
+                cfg.addr = value.clone();
+                Ok(())
+            }
+            "--workers" => numeric().map(|n| cfg.workers = (n as usize).max(1)),
+            "--cache-mb" => numeric().map(|n| cfg.cache_bytes = n << 20),
+            "--queue-depth" => numeric().map(|n| cfg.queue_depth = (n as usize).max(1)),
+            "--idle-timeout" => numeric().map(|n| cfg.idle_timeout = Some(Duration::from_secs(n))),
+            other => {
+                eprintln!("mbbc: unknown serve option `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = outcome {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        k += 2;
+    }
+    let result = mbb_server::serve(cfg, |addr, _handle| {
+        println!("mbbc serve: listening on {addr} (mbb-serve/1)");
+    });
+    match result {
+        Ok(()) => {
+            println!("mbbc serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mbbc: serve: {e}");
+            ExitCode::from(ErrorKind::Io.exit_code())
+        }
     }
 }
 
@@ -44,9 +111,12 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::from(2);
     };
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
+    }
     if !matches!(
         cmd.as_str(),
-        "run" | "report" | "advise" | "optimize" | "optimise" | "trace" | "graph"
+        "run" | "report" | "advise" | "optimize" | "optimise" | "trace" | "trace-stats" | "graph"
     ) {
         eprintln!("mbbc: unknown command `{cmd}`\n{}", usage());
         return ExitCode::from(2);
@@ -91,20 +161,13 @@ fn main() -> ExitCode {
         k += 1;
     }
 
-    let src = match read_source(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("mbbc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let result = match cmd.as_str() {
+    let result = read_source(file).and_then(|src| match cmd.as_str() {
         "run" => cmd_run(&src),
         "trace" => mbb_cli::cmd_trace(&src),
         "graph" => mbb_cli::cmd_graph(&src),
         "report" => cmd_report(&src, &opts),
         "advise" => cmd_advise(&src, &opts),
+        "trace-stats" => cmd_trace_stats(&src, &opts),
         "optimize" | "optimise" => cmd_optimize(&src, &opts).map(|(report, program)| {
             if emit {
                 format!("{report}\n{program}")
@@ -113,7 +176,7 @@ fn main() -> ExitCode {
             }
         }),
         other => unreachable!("command `{other}` validated above"),
-    };
+    });
 
     match result {
         Ok(out) => {
@@ -122,7 +185,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("mbbc: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.kind.exit_code())
         }
     }
 }

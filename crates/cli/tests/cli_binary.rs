@@ -55,19 +55,53 @@ fn unknown_command_exits_2() {
 }
 
 #[test]
-fn missing_file_fails_cleanly() {
+fn missing_file_exits_5_for_io() {
     let out = mbbc().args(["run", "/nonexistent/prog.loop"]).output().unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]
-fn parse_error_reports_line() {
+fn parse_error_reports_line_and_exits_3() {
     let mut child =
         mbbc().args(["run", "-"]).stdin(Stdio::piped()).stderr(Stdio::piped()).spawn().unwrap();
     child.stdin.as_mut().unwrap().write_all(b"for i = 0, 3\n  nope[i] = 1\nend for\n").unwrap();
     let out = child.wait_with_output().unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
+fn validation_error_exits_4() {
+    let mut child =
+        mbbc().args(["run", "-"]).stdin(Stdio::piped()).stderr(Stdio::piped()).spawn().unwrap();
+    // Parses fine, but the inner loop rebinding `i` fails validation.
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"array a[16]\nfor i = 0, 3\n  for i = 0, 3\n    a[i] = 1\n  end for\nend for\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("validation"));
+}
+
+#[test]
+fn trace_stats_command_reports_hierarchy_traffic() {
+    let p = write_temp("tstats");
+    let out = mbbc().args(["trace-stats", p.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tlb misses"), "{stdout}");
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn serve_option_errors_exit_2() {
+    let out = mbbc().args(["serve", "--workers", "many"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = mbbc().args(["serve", "--bogus-flag", "1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

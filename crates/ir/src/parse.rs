@@ -737,6 +737,18 @@ impl Parser {
 /// assert_eq!(result.stats.loads, 100);
 /// ```
 pub fn parse(src: &str) -> PResult<Program> {
+    let prog = parse_unvalidated(src)?;
+    crate::validate::validate(&prog)
+        .map_err(|e| ParseError { line: 0, message: format!("validation failed: {e:?}") })?;
+    Ok(prog)
+}
+
+/// As [`parse`], but without the final [`crate::validate::validate`] pass.
+///
+/// Callers that need to tell *syntax* errors apart from *structural*
+/// defects — the CLI's distinct exit codes, the server's structured error
+/// payloads — parse with this and run validation themselves.
+pub fn parse_unvalidated(src: &str) -> PResult<Program> {
     let toks = lex(src)?;
     let mut p = Parser {
         toks,
@@ -799,8 +811,6 @@ pub fn parse(src: &str) -> PResult<Program> {
             Some(t) => return p.err(format!("expected declaration or `for`, found {t:?}")),
         }
     }
-    crate::validate::validate(&p.prog)
-        .map_err(|e| ParseError { line: 0, message: format!("validation failed: {e:?}") })?;
     Ok(p.prog)
 }
 

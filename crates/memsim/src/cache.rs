@@ -361,15 +361,19 @@ impl Cache {
     /// Marks every dirty line clean and returns their byte addresses —
     /// the writebacks a full flush would issue.  Counted in
     /// [`LevelStats::writebacks`].
+    ///
+    /// The stored tag is already the full line address (identity is exact
+    /// regardless of the index mapping — see `Cache::set_and_tag`), so a
+    /// drained victim's address is `tag << line_shift`, exactly as for
+    /// [`Cache::access_line`] eviction writebacks.
     pub fn drain_dirty(&mut self) -> Vec<u64> {
-        let sets = self.cfg.sets();
         let mut out = Vec::new();
-        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+        for set in self.sets.iter_mut() {
             for l in set.iter_mut() {
                 if l.valid && l.dirty {
                     l.dirty = false;
                     self.stats.writebacks += 1;
-                    out.push((l.tag * sets + set_idx as u64) * self.cfg.line);
+                    out.push(l.tag << self.line_shift);
                 }
             }
         }
@@ -546,6 +550,79 @@ mod tests {
                 assert_eq!(tag, line_addr, "tag stays the full line address");
             }
         }
+    }
+
+    /// Dirties a set of lines, drains, and checks the drained addresses are
+    /// exactly the dirtied lines' addresses (the regression the old
+    /// `(tag * sets + set_idx) * line` reconstruction failed for any
+    /// geometry where the identity mapping and the index mapping differ).
+    fn drain_matches_dirtied(cfg: CacheConfig, line_addrs: &[u64]) {
+        let line = cfg.line;
+        let mut c = Cache::new(cfg);
+        let mut expect: Vec<u64> = Vec::new();
+        for &la in line_addrs {
+            match c.access_line(la * line, true, true) {
+                LineOutcome::Miss { writeback_of, .. } => {
+                    // A dirty victim evicted on the way in is no longer
+                    // resident, so it must not reappear in the drain.
+                    if let Some(v) = writeback_of {
+                        expect.retain(|&a| a != v);
+                    }
+                }
+                LineOutcome::Hit => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            if !expect.contains(&(la * line)) {
+                expect.push(la * line);
+            }
+        }
+        let mut drained = c.drain_dirty();
+        drained.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(drained, expect);
+        // Everything is clean now: a second drain is empty.
+        assert!(c.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn drain_dirty_returns_the_dirtied_addresses_page_shuffled() {
+        // Shuffled indexing scatters lines across sets, but tags stay the
+        // full line address — drained addresses must match what was written.
+        let cfg = CacheConfig::write_back("sh", 4096, 32, 2).with_page_shuffle(256);
+        let addrs: Vec<u64> = (0..40u64).map(|k| k.wrapping_mul(0x9E37_79B9) % 512).collect();
+        drain_matches_dirtied(cfg, &addrs);
+    }
+
+    #[test]
+    fn drain_dirty_returns_the_dirtied_addresses_non_pow2_sets() {
+        // 3 sets (96 B / 32 B, direct-mapped): the modulo index fallback.
+        drain_matches_dirtied(CacheConfig::write_back("odd", 96, 32, 1), &[0, 1, 2, 3, 7, 11]);
+    }
+
+    #[test]
+    fn drain_dirty_matches_eviction_writeback_addresses() {
+        // The same dirty line, written back two ways — by eviction and by
+        // drain — must report the same victim address.
+        let cfg = CacheConfig::write_back("t", 128, 32, 2).with_page_shuffle(64);
+        let mut by_evict = Cache::new(cfg.clone());
+        by_evict.access_line(5 * 32, true, true);
+        // Evict line 5 by filling its set with conflicting lines.
+        let mut evicted = None;
+        for k in 0..64u64 {
+            if k == 5 {
+                continue;
+            }
+            if let LineOutcome::Miss { writeback_of: Some(a), .. } =
+                by_evict.access_line(k * 32, false, false)
+            {
+                evicted = Some(a);
+                break;
+            }
+        }
+        let mut by_drain = Cache::new(cfg);
+        by_drain.access_line(5 * 32, true, true);
+        assert_eq!(by_drain.drain_dirty(), vec![5 * 32]);
+        assert_eq!(evicted.expect("line 5 evicted"), 5 * 32);
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! The analysis entry points shared by `mbbc` and the network service.
+//!
+//! Each function takes a *parsed* program plus [`Options`] and produces an
+//! [`Analysis`]: the exact deterministic text `mbbc` prints (minus the
+//! nondeterministic `simulation:` timing line, which the CLI appends
+//! itself) and the same facts as structured JSON for the `mbb-serve/1`
+//! protocol.  Keeping one producer for both surfaces is what makes the
+//! server's byte-identical-to-the-CLI guarantee checkable.
+
+use std::fmt::Write as _;
+
+use mbb_bench::json::Json;
+use mbb_core::advisor::{advise as core_advise, ArrayFinding};
+use mbb_core::balance::{measure_program_balance, ratios, time_program};
+use mbb_core::pipeline::{optimize as run_pipeline, verify_equivalent, OptimizeOptions};
+use mbb_core::regroup::regroup_all;
+use mbb_ir::{parse, pretty, Program};
+use mbb_memsim::machine::MachineModel;
+use mbb_memsim::timing::Bottleneck;
+
+use crate::error::{ErrorKind, ServeError};
+
+/// Options shared by the analysis commands.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// The machine model to measure against.
+    pub machine: MachineModel,
+    /// Pipeline configuration (optimize only).
+    pub pipeline: OptimizeOptions,
+    /// Also apply inter-array data regrouping after the pipeline.
+    pub regroup: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            machine: MachineModel::origin2000(),
+            pipeline: OptimizeOptions::default(),
+            regroup: false,
+        }
+    }
+}
+
+/// One analysis result: human text plus the same facts as JSON.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Deterministic report text, exactly as `mbbc` prints it (without
+    /// the trailing `simulation:` timing line).
+    pub text: String,
+    /// The structured equivalent, embedded in `mbb-serve/1` responses.
+    pub data: Json,
+}
+
+/// Parses a machine name: `origin` (default), `exemplar`, or
+/// `origin/N` for the cache-scaled variant.
+pub fn machine_by_name(name: &str) -> Result<MachineModel, ServeError> {
+    if let Some(rest) = name.strip_prefix("origin/") {
+        let n: u64 = rest
+            .parse()
+            .map_err(|_| ServeError::new(ErrorKind::BadRequest, format!("bad scale `{rest}`")))?;
+        return Ok(MachineModel::origin2000().scaled(n));
+    }
+    match name {
+        "origin" | "origin2000" => Ok(MachineModel::origin2000()),
+        "exemplar" | "pa8000" => Ok(MachineModel::exemplar()),
+        other => Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("unknown machine `{other}` (try origin, exemplar, origin/64)"),
+        )),
+    }
+}
+
+/// Parses and validates source text, classifying syntax errors as
+/// [`ErrorKind::Parse`] and structural defects as [`ErrorKind::Validate`].
+pub fn load(src: &str) -> Result<Program, ServeError> {
+    let prog = parse::parse_unvalidated(src)
+        .map_err(|e| ServeError::new(ErrorKind::Parse, e.to_string()))?;
+    mbb_ir::validate::validate(&prog)
+        .map_err(|e| ServeError::new(ErrorKind::Validate, format!("validation failed: {e}")))?;
+    Ok(prog)
+}
+
+fn run_error(e: impl ToString) -> ServeError {
+    ServeError::new(ErrorKind::Run, e.to_string())
+}
+
+/// Channel display names for a machine with `n` supply channels: the
+/// register channel first, `Mem` last, `Lk↔Lk+1` between.
+fn channel_names(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|k| {
+            if k == 0 {
+                "Reg↔L1".to_string()
+            } else if k + 1 == n {
+                "Mem".to_string()
+            } else {
+                format!("L{}↔L{}", k, k + 1)
+            }
+        })
+        .collect()
+}
+
+/// The `report` analysis: §2 program balance, ratios, utilisation bound
+/// and predicted time on the chosen machine.
+pub fn report(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    let b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
+    let r = ratios(&b, &opts.machine);
+    let t = time_program(p, &opts.machine).map_err(run_error)?;
+    let supply = opts.machine.balance();
+    let names = channel_names(supply.len());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
+    let _ = writeln!(out, "  flops: {}", b.flops);
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>12} {:>12} {:>8}",
+        "channel", "demand B/f", "supply B/f", "ratio"
+    );
+    for (k, name) in names.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>12.2} {:>12.2} {:>7.1}×",
+            name, b.bytes_per_flop[k], supply[k], r.ratios[k]
+        );
+    }
+    let _ = writeln!(out, "  CPU utilisation bound: {:.0}%", r.cpu_utilization_bound * 100.0);
+    let bottleneck = match t.bottleneck {
+        Bottleneck::Compute => "compute".to_string(),
+        Bottleneck::Channel(k) => names[k].clone(),
+    };
+    let _ = writeln!(out, "  predicted time: {:.4} s (bottleneck: {bottleneck})", t.time_s);
+
+    let channels = Json::arr(names.iter().enumerate().map(|(k, name)| {
+        Json::obj([
+            ("name", Json::str(name.clone())),
+            ("demand_bytes_per_flop", Json::num(b.bytes_per_flop[k])),
+            ("supply_bytes_per_flop", Json::num(supply[k])),
+            ("ratio", Json::num(r.ratios[k])),
+        ])
+    }));
+    let data = Json::obj([
+        ("program", Json::str(p.name.clone())),
+        ("machine", Json::str(opts.machine.name.clone())),
+        ("flops", Json::UInt(b.flops)),
+        ("channels", channels),
+        ("cpu_utilization_bound", Json::num(r.cpu_utilization_bound)),
+        ("predicted_time_s", Json::num(t.time_s)),
+        ("bottleneck", Json::str(bottleneck)),
+    ]);
+    Ok(Analysis { text: out, data })
+}
+
+/// The `advise` analysis: the §4 bandwidth-tuning report.
+pub fn advise(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    let a = core_advise(p, &opts.machine).map_err(run_error)?;
+    let findings = Json::arr(a.arrays.iter().map(|f| match f {
+        ArrayFinding::Contractible { array, from_bytes, to_bytes } => Json::obj([
+            ("kind", Json::str("contractible")),
+            ("array", Json::str(array.clone())),
+            ("from_bytes", Json::UInt(*from_bytes as u64)),
+            ("to_bytes", Json::UInt(*to_bytes as u64)),
+        ]),
+        ArrayFinding::ContractionBlocked { array, blocker } => Json::obj([
+            ("kind", Json::str("contraction-blocked")),
+            ("array", Json::str(array.clone())),
+            ("blocker", Json::str(format!("{blocker:?}"))),
+        ]),
+        ArrayFinding::StoresEliminable { array } => Json::obj([
+            ("kind", Json::str("stores-eliminable")),
+            ("array", Json::str(array.clone())),
+        ]),
+        ArrayFinding::StoresBlocked { array, blocker } => Json::obj([
+            ("kind", Json::str("stores-blocked")),
+            ("array", Json::str(array.clone())),
+            ("blocker", Json::str(format!("{blocker:?}"))),
+        ]),
+    }));
+    let regroup = Json::arr(
+        a.regroup_groups.iter().map(|g| Json::arr(g.iter().map(|s| Json::str(s.clone())))),
+    );
+    let interchanges = Json::arr(a.interchanges.iter().map(|(nest, perm, before, after)| {
+        Json::obj([
+            ("nest", Json::str(nest.clone())),
+            ("permutation", Json::arr(perm.iter().map(|&k| Json::UInt(k as u64)))),
+            ("memory_balance_before", Json::num(*before)),
+            ("memory_balance_after", Json::num(*after)),
+        ])
+    }));
+    let data = Json::obj([
+        ("program", Json::str(a.program.clone())),
+        ("machine", Json::str(a.machine.clone())),
+        ("bottleneck", Json::str(a.bottleneck.clone())),
+        ("max_ratio", Json::num(a.max_ratio)),
+        ("cpu_utilization_bound", Json::num(a.cpu_utilization_bound)),
+        (
+            "fusion_array_loads",
+            Json::obj([
+                ("before", Json::UInt(a.fusion_arrays.0)),
+                ("after", Json::UInt(a.fusion_arrays.1)),
+            ]),
+        ),
+        ("findings", findings),
+        ("regroup_groups", regroup),
+        ("interchanges", interchanges),
+    ]);
+    Ok(Analysis { text: a.to_string(), data })
+}
+
+/// The `optimize` analysis; returns the report and the optimised source
+/// (itself parseable) separately, so the CLI can honour `--emit`.
+pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), ServeError> {
+    let before_t = time_program(p, &opts.machine).map_err(run_error)?;
+    let before_b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
+
+    let mut outcome = run_pipeline(p, opts.pipeline);
+    let mut regroup_actions = Vec::new();
+    if opts.regroup {
+        let (next, actions) = regroup_all(&outcome.program);
+        outcome.program = next;
+        regroup_actions = actions;
+    }
+    verify_equivalent(p, &outcome.program, 1e-9).map_err(|d| {
+        ServeError::new(
+            ErrorKind::Run,
+            format!("internal error: transformation changed behaviour: {d}"),
+        )
+    })?;
+
+    let after_t = time_program(&outcome.program, &opts.machine).map_err(run_error)?;
+    let after_b = measure_program_balance(&outcome.program, &opts.machine).map_err(run_error)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
+    if let Some(part) = &outcome.partitioning {
+        let _ = writeln!(
+            out,
+            "  fusion: {} nests -> {} partitions (array loads {} -> {})",
+            p.nests.len(),
+            part.groups.len(),
+            outcome.arrays_cost_before,
+            outcome.arrays_cost_after
+        );
+    }
+    for a in &outcome.shrink_actions {
+        let _ = writeln!(out, "  storage: {a:?}");
+    }
+    for s in &outcome.store_eliminations {
+        let _ = writeln!(
+            out,
+            "  store elimination: `{}` ({} store(s) removed)",
+            s.array, s.stores_removed
+        );
+    }
+    for a in &regroup_actions {
+        let _ = writeln!(out, "  regrouped: {{{}}} -> `{}`", a.members.join(", "), a.grouped);
+    }
+    let _ = writeln!(
+        out,
+        "  storage bytes:    {} -> {}",
+        outcome.storage_before, outcome.storage_after
+    );
+    let _ = writeln!(
+        out,
+        "  memory traffic:   {} -> {} bytes",
+        before_b.report.mem_bytes(),
+        after_b.report.mem_bytes()
+    );
+    let _ = writeln!(
+        out,
+        "  memory balance:   {:.2} -> {:.2} bytes/flop",
+        before_b.memory(),
+        after_b.memory()
+    );
+    let _ = writeln!(
+        out,
+        "  predicted time:   {:.4} s -> {:.4} s ({:.2}× speedup)",
+        before_t.time_s,
+        after_t.time_s,
+        before_t.time_s / after_t.time_s
+    );
+    let _ = writeln!(out, "  equivalence:      verified (interpreted both versions)");
+
+    let optimized = pretty::program(&outcome.program);
+    let fusion = match &outcome.partitioning {
+        Some(part) => Json::obj([
+            ("nests_before", Json::UInt(p.nests.len() as u64)),
+            ("partitions", Json::UInt(part.groups.len() as u64)),
+            ("array_loads_before", Json::UInt(outcome.arrays_cost_before)),
+            ("array_loads_after", Json::UInt(outcome.arrays_cost_after)),
+        ]),
+        None => Json::Null,
+    };
+    let data = Json::obj([
+        ("program", Json::str(p.name.clone())),
+        ("machine", Json::str(opts.machine.name.clone())),
+        ("fusion", fusion),
+        (
+            "storage_actions",
+            Json::arr(outcome.shrink_actions.iter().map(|a| Json::str(format!("{a:?}")))),
+        ),
+        (
+            "store_eliminations",
+            Json::arr(outcome.store_eliminations.iter().map(|s| {
+                Json::obj([
+                    ("array", Json::str(s.array.clone())),
+                    ("stores_removed", Json::UInt(s.stores_removed as u64)),
+                ])
+            })),
+        ),
+        (
+            "regrouped",
+            Json::arr(regroup_actions.iter().map(|a| {
+                Json::obj([
+                    ("members", Json::arr(a.members.iter().map(|m| Json::str(m.clone())))),
+                    ("grouped", Json::str(a.grouped.clone())),
+                ])
+            })),
+        ),
+        (
+            "storage_bytes",
+            Json::obj([
+                ("before", Json::UInt(outcome.storage_before as u64)),
+                ("after", Json::UInt(outcome.storage_after as u64)),
+            ]),
+        ),
+        (
+            "memory_traffic_bytes",
+            Json::obj([
+                ("before", Json::UInt(before_b.report.mem_bytes())),
+                ("after", Json::UInt(after_b.report.mem_bytes())),
+            ]),
+        ),
+        (
+            "memory_balance_bytes_per_flop",
+            Json::obj([
+                ("before", Json::num(before_b.memory())),
+                ("after", Json::num(after_b.memory())),
+            ]),
+        ),
+        (
+            "predicted_time_s",
+            Json::obj([
+                ("before", Json::num(before_t.time_s)),
+                ("after", Json::num(after_t.time_s)),
+            ]),
+        ),
+        ("speedup", Json::num(before_t.time_s / after_t.time_s)),
+        ("optimized_program", Json::str(optimized.clone())),
+    ]);
+    Ok((Analysis { text: out, data }, optimized))
+}
+
+/// The `trace-stats` analysis: execution counters plus the traffic the
+/// program's access trace induces on the machine's memory hierarchy.
+pub fn trace_stats(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    let mut h = opts.machine.hierarchy();
+    let r = mbb_ir::interp::run_traced(p, &mut h).map_err(run_error)?;
+    h.flush();
+    let traffic = h.report();
+    let names = channel_names(traffic.channel_bytes.len());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "trace of {} on {}", p.name, opts.machine.name);
+    let _ = writeln!(
+        out,
+        "  accesses: {} ({} loads, {} stores) over {} iterations, {} flops",
+        r.stats.loads + r.stats.stores,
+        r.stats.loads,
+        r.stats.stores,
+        r.stats.iterations,
+        r.stats.flops
+    );
+    for (k, name) in names.iter().enumerate() {
+        let _ = writeln!(out, "  {:<8} {:>14} bytes", name, traffic.channel_bytes[k]);
+    }
+    let _ = writeln!(
+        out,
+        "  memory: {} read + {} written bytes",
+        traffic.mem_read_bytes, traffic.mem_write_bytes
+    );
+    let _ = writeln!(out, "  tlb misses: {}", traffic.tlb_misses);
+
+    let data = Json::obj([
+        ("program", Json::str(p.name.clone())),
+        ("machine", Json::str(opts.machine.name.clone())),
+        ("loads", Json::UInt(r.stats.loads)),
+        ("stores", Json::UInt(r.stats.stores)),
+        ("iterations", Json::UInt(r.stats.iterations)),
+        ("flops", Json::UInt(r.stats.flops)),
+        (
+            "channels",
+            Json::arr(names.iter().enumerate().map(|(k, name)| {
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("bytes", Json::UInt(traffic.channel_bytes[k])),
+                ])
+            })),
+        ),
+        ("mem_read_bytes", Json::UInt(traffic.mem_read_bytes)),
+        ("mem_write_bytes", Json::UInt(traffic.mem_write_bytes)),
+        ("tlb_misses", Json::UInt(traffic.tlb_misses)),
+        ("level_misses", Json::arr(traffic.misses().into_iter().map(Json::UInt))),
+    ]);
+    Ok(Analysis { text: out, data })
+}
+
+/// The `machines` catalogue: every model name [`machine_by_name`] accepts.
+pub fn machines() -> Analysis {
+    let models = [("origin", MachineModel::origin2000()), ("exemplar", MachineModel::exemplar())];
+    let mut out = String::new();
+    let _ = writeln!(out, "machines:");
+    for (id, m) in &models {
+        let balance: Vec<String> = m.balance().iter().map(|b| format!("{b:.2}")).collect();
+        let _ = writeln!(
+            out,
+            "  {:<9} {} — peak {} Mflop/s, {} cache level(s), balance {} B/flop",
+            id,
+            m.name,
+            m.peak_mflops,
+            m.caches.len(),
+            balance.join("/")
+        );
+    }
+    let _ = writeln!(out, "  origin/N  Origin2000 with caches scaled down by N (§2.3 study)");
+
+    let data = Json::obj([
+        (
+            "machines",
+            Json::arr(models.iter().map(|(id, m)| {
+                Json::obj([
+                    ("id", Json::str(*id)),
+                    ("name", Json::str(m.name.clone())),
+                    ("peak_mflops", Json::num(m.peak_mflops)),
+                    ("bandwidth_mbs", Json::arr(m.bandwidth_mbs.iter().map(|&b| Json::num(b)))),
+                    (
+                        "balance_bytes_per_flop",
+                        Json::arr(m.balance().iter().map(|&b| Json::num(b))),
+                    ),
+                    (
+                        "caches",
+                        Json::arr(m.caches.iter().map(|c| {
+                            Json::obj([
+                                ("name", Json::str(c.name.clone())),
+                                ("size", Json::UInt(c.size)),
+                                ("line", Json::UInt(c.line)),
+                                ("assoc", Json::UInt(c.assoc as u64)),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
+        ),
+        ("scaled", Json::str("origin/N")),
+    ]);
+    Analysis { text: out, data }
+}
+
+/// The canonical cache-key form of a program: the pretty-printer's stable
+/// rendering of the parsed AST, so formatting differences (whitespace,
+/// comments) in request source collapse onto one cache entry.
+pub fn canonical_source(p: &Program) -> String {
+    pretty::program(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str =
+        "array a[256]\nscalar s = 0  // printed\nfor i = 0, 255\n  s = (s + a[i])\nend for\n";
+
+    #[test]
+    fn load_classifies_parse_and_validate_errors() {
+        let p = load("for i = 0, 3\n  bogus[i] = 1\nend for\n").unwrap_err();
+        assert_eq!(p.kind, ErrorKind::Parse);
+        assert!(p.message.contains("line 2"), "{p}");
+        // An inner loop rebinding `i` parses fine but fails validation.
+        let v =
+            load("array a[16]\nfor i = 0, 3\n  for i = 0, 3\n    a[i] = 1\n  end for\nend for\n")
+                .unwrap_err();
+        assert_eq!(v.kind, ErrorKind::Validate, "{v}");
+    }
+
+    #[test]
+    fn report_text_and_data_agree() {
+        let p = load(SRC).unwrap();
+        let a = report(&p, &Options::default()).unwrap();
+        assert!(a.text.contains("CPU utilisation bound"), "{}", a.text);
+        assert!(!a.text.contains("simulation:"), "{}", a.text);
+        let flops = a.data.get("flops").and_then(|j| j.as_f64()).unwrap();
+        assert!(a.text.contains(&format!("flops: {flops}")), "{}", a.text);
+        assert_eq!(a.data.get("machine").and_then(|j| j.as_str()), Some("Origin2000 (R10K)"));
+    }
+
+    #[test]
+    fn trace_stats_counts_match_the_interpreter() {
+        let p = load(SRC).unwrap();
+        let a = trace_stats(&p, &Options::default()).unwrap();
+        let r = mbb_ir::interp::run(&p).unwrap();
+        assert_eq!(a.data.get("loads").and_then(|j| j.as_f64()), Some(r.stats.loads as f64));
+        assert!(a.text.contains("tlb misses"), "{}", a.text);
+    }
+
+    #[test]
+    fn machines_lists_both_models() {
+        let a = machines();
+        assert!(a.text.contains("origin"), "{}", a.text);
+        assert!(a.text.contains("exemplar"), "{}", a.text);
+        assert_eq!(
+            a.data.get("machines").map(|m| match m {
+                Json::Arr(v) => v.len(),
+                _ => 0,
+            }),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn unknown_machine_is_a_bad_request() {
+        assert_eq!(machine_by_name("cray").unwrap_err().kind, ErrorKind::BadRequest);
+        assert!(machine_by_name("origin/64").is_ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! CI smoke driver for a running `mbbc serve` instance.
+//!
+//! ```text
+//! serve_smoke ADDR
+//! ```
+//!
+//! Drives one request of every kind through the blocking client, repeats
+//! one to assert a cache hit with bit-identical bytes, scrapes the
+//! metrics exposition, and shuts the server down via the admin request.
+//! Exits nonzero (printing what failed) on any deviation, so the CI job
+//! is a single process invocation.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mbb_bench::json::Json;
+use mbb_server::client::{expect_ok, Client};
+
+const PROGRAM: &str = "array res[4096]\narray data[4096]\nscalar sum = 0  // printed\nfor i = 0, 4095\n  res[i] = (res[i] + data[i])\nend for\nfor j = 0, 4095\n  sum = (sum + res[j])\nend for\n";
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("check failed: {what}"))
+    }
+}
+
+fn drive(addr: &str) -> Result<(), String> {
+    let mut c = Client::connect(addr, Duration::from_secs(60))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+
+    // One request of each analysis kind plus the catalogue.
+    let mut first_report = None;
+    for kind in ["report", "advise", "optimize", "trace-stats"] {
+        let resp = c.analyze(kind, PROGRAM, "origin").map_err(|e| format!("{kind}: {e}"))?;
+        expect_ok(&resp).map_err(|e| format!("{kind}: {e}"))?;
+        let text = resp
+            .get("result")
+            .and_then(|r| r.get("text"))
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| format!("{kind}: response without result.text"))?;
+        check(!text.is_empty(), "analysis text nonempty")?;
+        check(resp.get("cached") == Some(&Json::Bool(false)), "first request uncached")?;
+        if kind == "report" {
+            first_report = Some(resp.get("result").cloned());
+        }
+        println!("serve_smoke: {kind} ok ({} text bytes)", text.len());
+    }
+    let resp = c
+        .roundtrip(&mbb_server::client::request("machines", None, ""))
+        .map_err(|e| e.to_string())?;
+    expect_ok(&resp).map_err(|e| format!("machines: {e}"))?;
+    println!("serve_smoke: machines ok");
+
+    // Repeat: must be a cache hit with bit-identical result payload.
+    let again = c.analyze("report", PROGRAM, "origin").map_err(|e| format!("repeat: {e}"))?;
+    expect_ok(&again).map_err(|e| format!("repeat: {e}"))?;
+    check(again.get("cached") == Some(&Json::Bool(true)), "repeated request is a cache hit")?;
+    check(
+        again.get("result").cloned() == first_report.flatten(),
+        "cache hit is bit-identical to the original result",
+    )?;
+    println!("serve_smoke: repeat is a cache hit");
+
+    // A distinct-exit-code probe: a syntax error must come back as code
+    // `parse` / exit_code 3 without closing the connection.
+    let bad = c
+        .analyze("report", "for i = 0, 3\n  bogus[i] = 1\nend for\n", "origin")
+        .map_err(|e| format!("bad program: {e}"))?;
+    let code =
+        bad.get("error").and_then(|e| e.get("code")).and_then(|x| x.as_str()).unwrap_or("<none>");
+    check(code == "parse", "syntax error surfaces as code=parse")?;
+    println!("serve_smoke: parse error classified");
+
+    // Scrape metrics and sanity-check the counters we just generated.
+    let metrics = c.metrics_text().map_err(|e| format!("metrics: {e}"))?;
+    for needle in [
+        "mbb_serve_requests_total{kind=\"report\"} 3",
+        "mbb_serve_requests_total{kind=\"optimize\"} 1",
+        "mbb_serve_errors_total{code=\"parse\"} 1",
+        "mbb_serve_cache_hits_total 1",
+        "mbb_serve_request_cpu_seconds_count",
+    ] {
+        check(metrics.contains(needle), &format!("metrics contain `{needle}`"))
+            .map_err(|e| format!("{e}\n--- scrape ---\n{metrics}"))?;
+    }
+    println!("serve_smoke: metrics scrape ok");
+
+    c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    println!("serve_smoke: shutdown acknowledged");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: serve_smoke ADDR");
+        return ExitCode::from(2);
+    };
+    match drive(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

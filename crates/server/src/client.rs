@@ -1,0 +1,140 @@
+//! A small blocking client for the `mbb-serve/1` protocol.
+//!
+//! Used by the integration tests and the CI smoke driver; also a
+//! reference implementation for anyone scripting against the server: one
+//! compact JSON line out, one line back.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mbb_bench::json::Json;
+
+use crate::error::{ErrorKind, ServeError};
+use crate::protocol::SCHEMA;
+
+/// A connected client. One request is in flight at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects with a read/write timeout (pass what you would wait for
+    /// the slowest analysis; the smoke driver uses 30 s).
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Sends one raw line (newline appended) and reads one line back.
+    pub fn roundtrip_raw(&mut self, line: &str) -> Result<String, ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(ServeError::new(ErrorKind::Io, "server closed the connection"));
+        }
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        Ok(resp)
+    }
+
+    /// Sends a request document and returns the parsed response envelope
+    /// (which may be an `ok:false` error payload — inspect it).
+    pub fn roundtrip(&mut self, req: &Json) -> Result<Json, ServeError> {
+        let resp = self.roundtrip_raw(&req.render_compact())?;
+        Json::parse(&resp)
+            .map_err(|e| ServeError::new(ErrorKind::Io, format!("bad response: {e}: {resp}")))
+    }
+
+    /// Builds and sends an analysis request; `machine = ""` omits the
+    /// field (server default).
+    pub fn analyze(
+        &mut self,
+        kind: &str,
+        program: &str,
+        machine: &str,
+    ) -> Result<Json, ServeError> {
+        self.roundtrip(&request(kind, Some(program), machine))
+    }
+
+    /// Scrapes the Prometheus metrics text.
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        let resp = self.roundtrip(&request("metrics", None, ""))?;
+        expect_ok(&resp)?;
+        resp.get("result")
+            .and_then(|r| r.get("text"))
+            .and_then(|t| t.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::new(ErrorKind::Io, "metrics response without text"))
+    }
+
+    /// Requests a graceful drain.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        let resp = self.roundtrip(&request("shutdown", None, ""))?;
+        expect_ok(&resp)
+    }
+}
+
+/// Builds a request envelope.
+pub fn request(kind: &str, program: Option<&str>, machine: &str) -> Json {
+    let mut pairs = vec![("schema", Json::str(SCHEMA)), ("kind", Json::str(kind))];
+    if let Some(p) = program {
+        pairs.push(("program", Json::str(p)));
+    }
+    if !machine.is_empty() {
+        pairs.push(("machine", Json::str(machine)));
+    }
+    Json::obj(pairs)
+}
+
+/// Fails with the server's error payload when `resp` is not `ok:true`.
+pub fn expect_ok(resp: &Json) -> Result<(), ServeError> {
+    if resp.get("ok") == Some(&Json::Bool(true)) {
+        return Ok(());
+    }
+    let (kind, message) = match resp.get("error") {
+        Some(e) => (
+            e.get("code")
+                .and_then(|c| c.as_str())
+                .and_then(|code| ErrorKind::ALL.into_iter().find(|k| k.code() == code))
+                .unwrap_or(ErrorKind::Run),
+            e.get("message").and_then(|m| m.as_str()).unwrap_or("unknown error").to_string(),
+        ),
+        None => (ErrorKind::Io, format!("malformed response: {resp:?}")),
+    };
+    Err(ServeError::new(kind, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_matches_the_protocol() {
+        let r = request("report", Some("x"), "origin");
+        let line = r.render_compact();
+        let back = crate::protocol::parse_request(&line).unwrap();
+        assert_eq!(back.kind, crate::protocol::Kind::Report);
+        assert_eq!(back.machine, "origin");
+    }
+
+    #[test]
+    fn expect_ok_extracts_the_error_kind() {
+        let resp = Json::parse(&crate::protocol::error_response(&ServeError::new(
+            ErrorKind::Validate,
+            "dup",
+        )))
+        .unwrap();
+        let e = expect_ok(&resp).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Validate);
+        assert_eq!(e.message, "dup");
+    }
+}

@@ -1,0 +1,138 @@
+//! The service's error taxonomy.
+//!
+//! One enum covers both consumers of the analysis pipeline: `mbbc` maps
+//! each kind to a distinct process exit code (so shell scripts can tell a
+//! syntax error from a missing file), and `mbb-server` maps the same kinds
+//! to stable `code` strings in structured error payloads.  Keeping them in
+//! one place guarantees the two surfaces never drift apart.
+
+use std::fmt;
+
+/// What went wrong, at the granularity callers can act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The program source did not lex or parse.
+    Parse,
+    /// The program parsed but failed structural validation.
+    Validate,
+    /// An operating-system I/O failure (file, socket).
+    Io,
+    /// The analysis itself failed (interpreter fault, internal error).
+    Run,
+    /// The request was not a well-formed `mbb-serve/1` envelope.
+    BadRequest,
+    /// The request line exceeded the server's size limit.
+    TooLarge,
+    /// The server's accept queue was full; retry later.
+    Busy,
+}
+
+impl ErrorKind {
+    /// The stable wire identifier used in error payloads and in the
+    /// `mbb_serve_errors_total{code=…}` metric.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Validate => "validate",
+            ErrorKind::Io => "io",
+            ErrorKind::Run => "run",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::TooLarge => "too-large",
+            ErrorKind::Busy => "busy",
+        }
+    }
+
+    /// The process exit code `mbbc` uses for this kind.  Codes 3–5 are
+    /// the analysis failures a batch driver wants to distinguish; 2 is
+    /// reserved for usage errors (matching the CLI's argument parsing);
+    /// everything else is the generic failure 1.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Parse => 3,
+            ErrorKind::Validate => 4,
+            ErrorKind::Io => 5,
+            ErrorKind::BadRequest | ErrorKind::TooLarge => 2,
+            ErrorKind::Run | ErrorKind::Busy => 1,
+        }
+    }
+
+    /// Every kind, for metrics pre-registration.
+    pub const ALL: [ErrorKind; 7] = [
+        ErrorKind::Parse,
+        ErrorKind::Validate,
+        ErrorKind::Io,
+        ErrorKind::Run,
+        ErrorKind::BadRequest,
+        ErrorKind::TooLarge,
+        ErrorKind::Busy,
+    ];
+
+    /// Index into [`ErrorKind::ALL`]-shaped counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ErrorKind::Parse => 0,
+            ErrorKind::Validate => 1,
+            ErrorKind::Io => 2,
+            ErrorKind::Run => 3,
+            ErrorKind::BadRequest => 4,
+            ErrorKind::TooLarge => 5,
+            ErrorKind::Busy => 6,
+        }
+    }
+}
+
+/// A classified failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// The classification.
+    pub kind: ErrorKind,
+    /// What happened, suitable for printing after `mbbc: `.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A new error of `kind`.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServeError {
+        ServeError { kind, message: message.into() }
+    }
+
+    /// The canonical overload response.
+    pub fn busy() -> ServeError {
+        ServeError::new(ErrorKind::Busy, "server busy: accept queue full, retry later")
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::new(ErrorKind::Io, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_for_the_cli_triplet() {
+        let codes =
+            [ErrorKind::Parse, ErrorKind::Validate, ErrorKind::Io].map(ErrorKind::exit_code);
+        assert_eq!(codes, [3, 4, 5]);
+        // None collide with success (0), generic failure (1) or usage (2).
+        assert!(codes.iter().all(|&c| c > 2));
+    }
+
+    #[test]
+    fn indices_match_all_ordering() {
+        for (k, kind) in ErrorKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), k);
+        }
+    }
+}

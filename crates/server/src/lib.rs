@@ -1,0 +1,31 @@
+//! `mbb-server` — the concurrent bandwidth-analysis service.
+//!
+//! Exposes the whole pipeline — §2 balance reports, §4 advice, the §3
+//! optimisation pipeline, trace statistics and the machine catalogue —
+//! over a newline-delimited JSON protocol (`mbb-serve/1`, see
+//! [`protocol`]), with:
+//!
+//! * a bounded worker pool and explicit accept-queue depth, shedding
+//!   load with structured busy responses instead of hanging ([`server`]);
+//! * a sharded content-addressed result cache with single-flight
+//!   computes, so identical requests simulate once and return
+//!   bit-identical bytes ([`cache`]);
+//! * live counters and log-2 latency histograms in Prometheus text
+//!   exposition format ([`metrics`]);
+//! * graceful drain on a `shutdown` admin request or idle timeout.
+//!
+//! The analysis entry points themselves live in [`analysis`] and are
+//! shared with `mbbc` (which also fronts this crate as `mbbc serve`), so
+//! the service's responses are byte-identical to the CLI's deterministic
+//! output.  [`client`] is a blocking reference client.
+
+pub mod analysis;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use error::{ErrorKind, ServeError};
+pub use server::{serve, Config, Handle};

@@ -1,0 +1,233 @@
+//! Lock-free service metrics with Prometheus text exposition.
+//!
+//! Everything is a plain atomic: request counters per kind, error counters
+//! per [`ErrorKind`], queue/worker gauges, and a log-2-bucketed histogram
+//! of per-request on-CPU time (the runner [`mbb_bench::runner::Meter`]'s
+//! `busy()` reading, so background load on the host does not inflate the
+//! latencies).  `render()` emits the Prometheus text exposition format the
+//! `metrics` request returns — scrape-ready, no client library needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::ResultCache;
+use crate::error::ErrorKind;
+use crate::protocol::Kind;
+
+/// Histogram buckets: powers of two from 2¹⁰ ns (≈1 µs) to 2³⁴ ns
+/// (≈17 s), plus +Inf.  Analysis requests span microseconds (cache hits)
+/// to seconds (large optimize runs), so log-2 spacing keeps every decade
+/// resolvable in a fixed 25 buckets.
+const BUCKET_LO: u32 = 10;
+const BUCKET_HI: u32 = 34;
+const BUCKETS: usize = (BUCKET_HI - BUCKET_LO + 1) as usize;
+
+/// A log-2 latency histogram.
+#[derive(Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    inf: AtomicU64,
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        for (k, c) in self.counts.iter().enumerate() {
+            if ns <= 1u64 << (BUCKET_LO + k as u32) {
+                c.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.inf.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// All service counters, shared by workers and the metrics endpoint.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; Kind::ALL.len()],
+    errors: [AtomicU64; ErrorKind::ALL.len()],
+    /// Connections shed with a busy response before queueing.
+    pub busy_total: AtomicU64,
+    /// Connections accepted (including shed ones).
+    pub connections_total: AtomicU64,
+    /// Connections currently waiting in the accept queue.
+    pub queue_depth: AtomicU64,
+    /// Workers currently handling a connection.
+    pub workers_busy: AtomicU64,
+    /// Per-request on-CPU time.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Counts one request of `kind`.
+    pub fn count_request(&self, kind: Kind) {
+        self.requests[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one error response of `kind`.
+    pub fn count_error(&self, kind: ErrorKind) {
+        self.errors[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests over all kinds.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Requests of one kind.
+    pub fn requests_of(&self, kind: Kind) -> u64 {
+        self.requests[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Errors of one kind.
+    pub fn errors_of(&self, kind: ErrorKind) -> u64 {
+        self.errors[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition (metric names documented in
+    /// `EXPERIMENTS.md`).  Cache counters ride along from `cache` so one
+    /// scrape shows the whole service.
+    pub fn render(&self, cache: &ResultCache) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::with_capacity(2048);
+
+        let _ = writeln!(o, "# HELP mbb_serve_requests_total Requests received, by kind.");
+        let _ = writeln!(o, "# TYPE mbb_serve_requests_total counter");
+        for kind in Kind::ALL {
+            let _ = writeln!(
+                o,
+                "mbb_serve_requests_total{{kind=\"{}\"}} {}",
+                kind.as_str(),
+                self.requests_of(kind)
+            );
+        }
+
+        let _ = writeln!(o, "# HELP mbb_serve_errors_total Error responses, by code.");
+        let _ = writeln!(o, "# TYPE mbb_serve_errors_total counter");
+        for kind in ErrorKind::ALL {
+            let _ = writeln!(
+                o,
+                "mbb_serve_errors_total{{code=\"{}\"}} {}",
+                kind.code(),
+                self.errors_of(kind)
+            );
+        }
+
+        let _ = writeln!(o, "# HELP mbb_serve_busy_total Connections shed with a busy response.");
+        let _ = writeln!(o, "# TYPE mbb_serve_busy_total counter");
+        let _ = writeln!(o, "mbb_serve_busy_total {}", self.busy_total.load(Ordering::Relaxed));
+
+        let _ = writeln!(o, "# HELP mbb_serve_connections_total Connections accepted.");
+        let _ = writeln!(o, "# TYPE mbb_serve_connections_total counter");
+        let _ = writeln!(
+            o,
+            "mbb_serve_connections_total {}",
+            self.connections_total.load(Ordering::Relaxed)
+        );
+
+        let cs = cache.stats();
+        let _ = writeln!(o, "# HELP mbb_serve_cache_hits_total Result-cache hits.");
+        let _ = writeln!(o, "# TYPE mbb_serve_cache_hits_total counter");
+        let _ = writeln!(o, "mbb_serve_cache_hits_total {}", cs.hits);
+        let _ = writeln!(o, "# HELP mbb_serve_cache_misses_total Result-cache misses.");
+        let _ = writeln!(o, "# TYPE mbb_serve_cache_misses_total counter");
+        let _ = writeln!(o, "mbb_serve_cache_misses_total {}", cs.misses);
+        let _ = writeln!(o, "# HELP mbb_serve_cache_entries Live result-cache entries.");
+        let _ = writeln!(o, "# TYPE mbb_serve_cache_entries gauge");
+        let _ = writeln!(o, "mbb_serve_cache_entries {}", cs.entries);
+        let _ = writeln!(o, "# HELP mbb_serve_cache_bytes Result-cache bytes in use.");
+        let _ = writeln!(o, "# TYPE mbb_serve_cache_bytes gauge");
+        let _ = writeln!(o, "mbb_serve_cache_bytes {}", cs.bytes);
+
+        let _ = writeln!(o, "# HELP mbb_serve_queue_depth Connections waiting for a worker.");
+        let _ = writeln!(o, "# TYPE mbb_serve_queue_depth gauge");
+        let _ = writeln!(o, "mbb_serve_queue_depth {}", self.queue_depth.load(Ordering::Relaxed));
+
+        let _ = writeln!(o, "# HELP mbb_serve_workers_busy Workers handling a connection.");
+        let _ = writeln!(o, "# TYPE mbb_serve_workers_busy gauge");
+        let _ = writeln!(o, "mbb_serve_workers_busy {}", self.workers_busy.load(Ordering::Relaxed));
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_request_cpu_seconds On-CPU time per request (log-2 buckets)."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_request_cpu_seconds histogram");
+        let mut cumulative = 0u64;
+        for (k, c) in self.latency.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            let le = (1u64 << (BUCKET_LO + k as u32)) as f64 / 1e9;
+            let _ =
+                writeln!(o, "mbb_serve_request_cpu_seconds_bucket{{le=\"{le:e}\"}} {cumulative}");
+        }
+        cumulative += self.latency.inf.load(Ordering::Relaxed);
+        let _ = writeln!(o, "mbb_serve_request_cpu_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            o,
+            "mbb_serve_request_cpu_seconds_sum {}",
+            self.latency.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+        );
+        let _ = writeln!(o, "mbb_serve_request_cpu_seconds_count {}", self.latency.count());
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_complete() {
+        let h = Histogram::default();
+        h.observe(Duration::from_nanos(500)); // below first bucket edge
+        h.observe(Duration::from_micros(100));
+        h.observe(Duration::from_millis(10));
+        h.observe(Duration::from_secs(100)); // beyond the last edge → +Inf
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.inf.load(Ordering::Relaxed), 1);
+        let bucketed: u64 = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucketed, 3);
+    }
+
+    #[test]
+    fn render_exposes_every_metric_family() {
+        let m = Metrics::default();
+        let c = ResultCache::new(1024, 1);
+        m.count_request(Kind::Report);
+        m.count_error(ErrorKind::Parse);
+        m.latency.observe(Duration::from_micros(3));
+        let text = m.render(&c);
+        for family in [
+            "mbb_serve_requests_total{kind=\"report\"} 1",
+            "mbb_serve_errors_total{code=\"parse\"} 1",
+            "mbb_serve_busy_total 0",
+            "mbb_serve_cache_hits_total 0",
+            "mbb_serve_cache_misses_total 0",
+            "mbb_serve_cache_entries 0",
+            "mbb_serve_cache_bytes 0",
+            "mbb_serve_queue_depth 0",
+            "mbb_serve_workers_busy 0",
+            "mbb_serve_request_cpu_seconds_count 1",
+            "mbb_serve_request_cpu_seconds_bucket{le=\"+Inf\"} 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // Histogram buckets must be monotonically nondecreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("mbb_serve_request_cpu_seconds_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The `mbb-serve/1` wire protocol.
+//!
+//! Newline-delimited JSON over TCP: each request is one compact JSON
+//! object on one line, each response one line back.  Requests carry the
+//! schema tag, a request kind, and for the analysis kinds a `.loop`
+//! program source plus an optional machine name and option flags:
+//!
+//! ```json
+//! {"schema":"mbb-serve/1","kind":"report","program":"array a[8]\n…","machine":"origin"}
+//! ```
+//!
+//! Responses echo the schema and kind and carry either `result` (the same
+//! facts `mbbc` prints, structured) or `error`:
+//!
+//! ```json
+//! {"schema":"mbb-serve/1","ok":true,"kind":"report","cached":false,"result":{…}}
+//! {"schema":"mbb-serve/1","ok":false,"error":{"code":"parse","exit_code":3,"message":"…"}}
+//! ```
+//!
+//! The `result` bytes of a cache hit are exactly the bytes the original
+//! miss produced: the envelope is assembled by string concatenation
+//! around the cached compact rendering, never re-serialised.
+
+use mbb_bench::json::Json;
+use mbb_core::pipeline::FusionStrategy;
+
+use crate::analysis::{machine_by_name, Options};
+use crate::error::{ErrorKind, ServeError};
+
+/// The protocol schema identifier.
+pub const SCHEMA: &str = "mbb-serve/1";
+
+/// Request kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// §2 balance report.
+    Report,
+    /// §4 tuning advice.
+    Advise,
+    /// The full §3 optimisation pipeline.
+    Optimize,
+    /// Trace-level counters on the machine's hierarchy.
+    TraceStats,
+    /// The machine-model catalogue.
+    Machines,
+    /// Prometheus metrics scrape.
+    Metrics,
+    /// Admin: stop accepting, drain, exit.
+    Shutdown,
+}
+
+impl Kind {
+    /// Every kind, in wire order.
+    pub const ALL: [Kind; 7] = [
+        Kind::Report,
+        Kind::Advise,
+        Kind::Optimize,
+        Kind::TraceStats,
+        Kind::Machines,
+        Kind::Metrics,
+        Kind::Shutdown,
+    ];
+
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Report => "report",
+            Kind::Advise => "advise",
+            Kind::Optimize => "optimize",
+            Kind::TraceStats => "trace-stats",
+            Kind::Machines => "machines",
+            Kind::Metrics => "metrics",
+            Kind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Index into [`Kind::ALL`]-shaped counter arrays.
+    pub fn index(self) -> usize {
+        Kind::ALL.iter().position(|&k| k == self).expect("kind listed in ALL")
+    }
+
+    /// Parses a wire name.
+    pub fn lookup(s: &str) -> Option<Kind> {
+        Kind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// Whether this kind analyses a program (and is therefore cacheable).
+    pub fn takes_program(self) -> bool {
+        matches!(self, Kind::Report | Kind::Advise | Kind::Optimize | Kind::TraceStats)
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// What to do.
+    pub kind: Kind,
+    /// `.loop` source, for the analysis kinds.
+    pub program: Option<String>,
+    /// Machine-model name (default `origin`).
+    pub machine: String,
+    /// Pipeline flags.
+    pub flags: Flags,
+}
+
+/// Optimisation flags carried by a request (a subset of `mbbc`'s options).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Fusion strategy override: `greedy` (default), `none`, `bisection`,
+    /// `exhaustive`.
+    pub fusion: FusionStrategy,
+    /// Normalise before fusing.
+    pub normalize: bool,
+    /// Disable array shrinking.
+    pub no_shrink: bool,
+    /// Disable store elimination.
+    pub no_store_elim: bool,
+    /// Apply inter-array regrouping after the pipeline.
+    pub regroup: bool,
+}
+
+impl Flags {
+    /// A canonical, order-stable form for cache keys.
+    pub fn key(&self) -> String {
+        format!(
+            "fusion={:?};normalize={};no_shrink={};no_store_elim={};regroup={}",
+            self.fusion, self.normalize, self.no_shrink, self.no_store_elim, self.regroup
+        )
+    }
+
+    /// Materialises [`Options`] for the analysis layer.
+    pub fn to_options(self, machine: &str) -> Result<Options, ServeError> {
+        let mut opts = Options { machine: machine_by_name(machine)?, ..Options::default() };
+        opts.pipeline.fusion = self.fusion;
+        opts.pipeline.normalize = self.normalize;
+        opts.pipeline.shrink = !self.no_shrink;
+        opts.pipeline.eliminate_stores = !self.no_store_elim;
+        opts.regroup = self.regroup;
+        Ok(opts)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorKind::BadRequest, msg)
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(bad(format!("`options.{key}` must be a boolean"))),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let doc = Json::parse(line).map_err(|e| bad(format!("request is not valid JSON: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(bad(format!("unsupported schema `{other}` (want {SCHEMA})"))),
+        None => return Err(bad(format!("missing `schema` (want {SCHEMA})"))),
+    }
+    let kind_name =
+        doc.get("kind").and_then(|s| s.as_str()).ok_or_else(|| bad("missing `kind`"))?;
+    let kind = Kind::lookup(kind_name).ok_or_else(|| bad(format!("unknown kind `{kind_name}`")))?;
+
+    let program = match doc.get("program") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(bad("`program` must be a string")),
+    };
+    if kind.takes_program() && program.is_none() {
+        return Err(bad(format!("kind `{kind_name}` requires `program`")));
+    }
+
+    let machine = match doc.get("machine") {
+        None | Some(Json::Null) => "origin".to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => return Err(bad("`machine` must be a string")),
+    };
+
+    let mut flags = Flags::default();
+    if let Some(options) = doc.get("options") {
+        if !matches!(options, Json::Obj(_) | Json::Null) {
+            return Err(bad("`options` must be an object"));
+        }
+        flags.fusion = match options.get("fusion").and_then(|s| s.as_str()) {
+            None => FusionStrategy::Greedy,
+            Some("greedy") => FusionStrategy::Greedy,
+            Some("none") => FusionStrategy::None,
+            Some("bisection") => FusionStrategy::Bisection,
+            Some("exhaustive") => FusionStrategy::Exhaustive,
+            Some(other) => return Err(bad(format!("unknown fusion strategy `{other}`"))),
+        };
+        flags.normalize = get_bool(options, "normalize")?;
+        flags.no_shrink = get_bool(options, "no_shrink")?;
+        flags.no_store_elim = get_bool(options, "no_store_elim")?;
+        flags.regroup = get_bool(options, "regroup")?;
+    }
+
+    Ok(Request { kind, program, machine, flags })
+}
+
+/// Assembles a success response line (no trailing newline).  `result` is
+/// an already-compact JSON rendering, spliced in verbatim so cache hits
+/// return bit-identical bytes.
+pub fn ok_response(kind: Kind, cached: bool, result: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"ok\":true,\"kind\":\"{}\",\"cached\":{cached},\"result\":{result}}}",
+        kind.as_str()
+    )
+}
+
+/// Assembles an error response line (no trailing newline).
+pub fn error_response(err: &ServeError) -> String {
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str(err.kind.code())),
+                ("exit_code", Json::UInt(err.kind.exit_code() as u64)),
+                ("message", Json::str(err.message.clone())),
+            ]),
+        ),
+    ])
+    .render_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: &str, extra: &str) -> String {
+        format!("{{\"schema\":\"mbb-serve/1\",\"kind\":\"{kind}\"{extra}}}")
+    }
+
+    #[test]
+    fn parses_a_minimal_report_request() {
+        let r = parse_request(&req("report", ",\"program\":\"scalar s // printed\\n\"")).unwrap();
+        assert_eq!(r.kind, Kind::Report);
+        assert_eq!(r.machine, "origin");
+        assert_eq!(r.flags, Flags::default());
+        assert!(r.program.unwrap().contains("scalar"));
+    }
+
+    #[test]
+    fn parses_options_and_machine() {
+        let r = parse_request(&req(
+            "optimize",
+            ",\"program\":\"x\",\"machine\":\"exemplar\",\"options\":{\"fusion\":\"none\",\"regroup\":true}",
+        ))
+        .unwrap();
+        assert_eq!(r.machine, "exemplar");
+        assert_eq!(r.flags.fusion, FusionStrategy::None);
+        assert!(r.flags.regroup);
+        assert!(!r.flags.no_shrink);
+    }
+
+    #[test]
+    fn rejects_bad_envelopes_with_bad_request() {
+        for line in [
+            "not json",
+            "[1,2]",
+            "{\"kind\":\"report\"}",
+            "{\"schema\":\"mbb-serve/2\",\"kind\":\"report\"}",
+            &req("report", ""),                     // missing program
+            &req("teleport", ",\"program\":\"x\""), // unknown kind
+            &req("report", ",\"program\":42"),      // wrong type
+            &req("report", ",\"program\":\"x\",\"options\":{\"fusion\":\"psychic\"}"),
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{line} -> {e}");
+        }
+    }
+
+    #[test]
+    fn kinds_without_programs_parse_bare() {
+        for kind in ["machines", "metrics", "shutdown"] {
+            let r = parse_request(&req(kind, "")).unwrap();
+            assert!(!r.kind.takes_program());
+            assert!(r.program.is_none());
+        }
+    }
+
+    #[test]
+    fn responses_are_single_lines_that_parse_back() {
+        let ok = ok_response(Kind::Report, true, "{\"flops\":1}");
+        assert!(!ok.contains('\n'));
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("result").and_then(|r| r.get("flops")), Some(&Json::UInt(1)));
+
+        let err = error_response(&ServeError::new(ErrorKind::Parse, "line 2: nope\n\"quoted\""));
+        assert!(!err.contains('\n'));
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let e = doc.get("error").unwrap();
+        assert_eq!(e.get("code").and_then(|c| c.as_str()), Some("parse"));
+        assert_eq!(e.get("exit_code"), Some(&Json::UInt(3)));
+    }
+
+    #[test]
+    fn flag_keys_are_distinct_per_configuration() {
+        let a = Flags::default().key();
+        let b = Flags { regroup: true, ..Flags::default() }.key();
+        let c = Flags { fusion: FusionStrategy::None, ..Flags::default() }.key();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

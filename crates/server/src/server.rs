@@ -1,0 +1,466 @@
+//! The concurrent analysis service.
+//!
+//! Architecture (std only — no async runtime):
+//!
+//! * one acceptor thread runs a nonblocking `accept` poll loop so it can
+//!   also watch the shutdown flag and the idle deadline;
+//! * accepted connections go into a bounded queue; when the queue is
+//!   full the connection is *shed* immediately with a structured busy
+//!   response (the 429 of this protocol) rather than left to time out;
+//! * a fixed pool of scoped worker threads pops connections and speaks
+//!   newline-delimited `mbb-serve/1` on each, one request at a time,
+//!   with per-read timeouts and a request-size limit;
+//! * a `shutdown` admin request (or the idle timeout) flips one flag:
+//!   the acceptor stops accepting, workers finish the queued
+//!   connections' current requests, and [`serve`] returns.
+//!
+//! Analysis results flow through the sharded content-addressed
+//! [`ResultCache`], so identical requests — concurrent or repeated —
+//! simulate once and return bit-identical bytes.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mbb_bench::json::Json;
+
+use crate::analysis;
+use crate::cache::{fnv1a, ResultCache};
+use crate::error::{ErrorKind, ServeError};
+use crate::metrics::Metrics;
+use crate::protocol::{self, Kind};
+
+/// Server configuration (see `mbbc serve` for the CLI spelling).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address; port 0 picks a free port (reported via `on_ready`).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Result-cache capacity in bytes (0 disables storage).
+    pub cache_bytes: u64,
+    /// Accepted connections allowed to wait for a worker before new ones
+    /// are shed with a busy response.
+    pub queue_depth: usize,
+    /// Per-connection read (and write) timeout.
+    pub read_timeout: Duration,
+    /// Maximum request-line length in bytes.
+    pub max_request_bytes: usize,
+    /// Exit after this long with no connections and no work (`None` =
+    /// serve until a `shutdown` request).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            cache_bytes: 32 << 20,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(10),
+            max_request_bytes: 1 << 20,
+            idle_timeout: None,
+        }
+    }
+}
+
+struct Shared {
+    cfg: Config,
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    cache: ResultCache,
+}
+
+/// A handle to a running server: metrics access and remote shutdown.
+/// Handed to the `on_ready` callback; integration tests keep it to poll
+/// gauges deterministically instead of racing the request path.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// The live metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The live result cache (for its counters).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// Initiates the same graceful drain as a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Runs the service until shut down.  `on_ready` receives the bound
+/// address (resolving port 0) and a [`Handle`] once the listener exists —
+/// after it returns, connections are being accepted.
+pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    // One shard per worker (rounded up to a power of two) keeps lock
+    // contention off the fast path without over-allocating.
+    let shards = workers.next_power_of_two().min(64);
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        metrics: Metrics::default(),
+        cache: ResultCache::new(cfg.cache_bytes, shards),
+        cfg,
+    });
+    on_ready(addr, Handle { shared: Arc::clone(&shared) });
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || worker(&shared));
+        }
+        let mut last_activity = Instant::now();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    last_activity = Instant::now();
+                    shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                    let mut q = shared.queue.lock().unwrap();
+                    if q.len() >= shared.cfg.queue_depth {
+                        drop(q);
+                        shed(stream, &shared);
+                    } else {
+                        q.push_back(stream);
+                        shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
+                        drop(q);
+                        shared.cv.notify_one();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Some(idle) = shared.cfg.idle_timeout {
+                        let quiet = shared.metrics.workers_busy.load(Ordering::Relaxed) == 0
+                            && shared.queue.lock().unwrap().is_empty();
+                        if quiet && last_activity.elapsed() >= idle {
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                            continue;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        // Wake every worker so it can observe the flag and drain out.
+        shared.cv.notify_all();
+    });
+    Ok(())
+}
+
+/// Sheds a connection with the structured busy response.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.busy_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.count_error(ErrorKind::Busy);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut line = protocol::error_response(&ServeError::busy());
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// Worker loop: pop a connection, serve it, repeat; exit once shutdown is
+/// flagged *and* the queue is drained.
+fn worker(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared.cv.wait_timeout(q, Duration::from_millis(100)).unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+        handle_conn(stream, shared);
+        shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+enum Line {
+    /// A complete request line (without the newline).
+    Full(Vec<u8>),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the size limit; the framing is lost.
+    TooLarge,
+    /// Read failure (including timeout).
+    Gone,
+}
+
+/// Reads one newline-terminated line, bounded by `max` bytes.
+fn read_line_limited(reader: &mut BufReader<TcpStream>, max: usize) -> Line {
+    let mut buf = Vec::new();
+    loop {
+        let (found, used) = {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Line::Gone,
+            };
+            if chunk.is_empty() {
+                // EOF; a partial trailing line is discarded.
+                return Line::Eof;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&chunk[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    buf.extend_from_slice(chunk);
+                    (false, chunk.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > max {
+            return Line::TooLarge;
+        }
+        if found {
+            return Line::Full(buf);
+        }
+    }
+}
+
+/// Serves one connection: request lines in, response lines out, until
+/// EOF, an unrecoverable framing error, a timeout, or shutdown.
+fn handle_conn(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
+    let Ok(clone) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(clone);
+    let mut writer = stream;
+    loop {
+        match read_line_limited(&mut reader, shared.cfg.max_request_bytes) {
+            Line::Eof | Line::Gone => return,
+            Line::TooLarge => {
+                let e = ServeError::new(
+                    ErrorKind::TooLarge,
+                    format!("request exceeds {} bytes", shared.cfg.max_request_bytes),
+                );
+                shared.metrics.count_error(e.kind);
+                let mut resp = protocol::error_response(&e);
+                resp.push('\n');
+                let _ = writer.write_all(resp.as_bytes());
+                return; // cannot resynchronise the line framing
+            }
+            Line::Full(line) => {
+                if line.is_empty() {
+                    continue; // tolerate keep-alive blank lines
+                }
+                let (mut resp, drain) = process_line(&line, shared);
+                resp.push('\n');
+                if writer.write_all(resp.as_bytes()).is_err() {
+                    return;
+                }
+                if drain {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.cv.notify_all();
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // finish this request, then close the door
+                }
+            }
+        }
+    }
+}
+
+/// Processes one request line; returns the response line (no newline)
+/// and whether a graceful drain was requested.
+fn process_line(line: &[u8], shared: &Shared) -> (String, bool) {
+    let meter = mbb_bench::runner::Meter::start();
+    let out = respond(line, shared);
+    shared.metrics.latency.observe(meter.finish().busy());
+    match out {
+        Ok((resp, drain)) => (resp, drain),
+        Err(e) => {
+            shared.metrics.count_error(e.kind);
+            (protocol::error_response(&e), false)
+        }
+    }
+}
+
+fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ServeError::new(ErrorKind::BadRequest, "request is not UTF-8"))?;
+    let req = protocol::parse_request(text)?;
+    shared.metrics.count_request(req.kind);
+    match req.kind {
+        Kind::Metrics => {
+            let result = Json::obj([("text", Json::str(shared.metrics.render(&shared.cache)))])
+                .render_compact();
+            Ok((protocol::ok_response(Kind::Metrics, false, &result), false))
+        }
+        Kind::Shutdown => {
+            let result = Json::obj([("draining", Json::Bool(true))]).render_compact();
+            Ok((protocol::ok_response(Kind::Shutdown, false, &result), true))
+        }
+        Kind::Machines => {
+            let a = analysis::machines();
+            let result =
+                Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact();
+            Ok((protocol::ok_response(Kind::Machines, false, &result), false))
+        }
+        kind => {
+            let src = req.program.as_deref().expect("enforced by parse_request");
+            let opts = req.flags.to_options(&req.machine)?;
+            let prog = analysis::load(src)?;
+            // Key on the *resolved* machine name (aliases collapse, scaled
+            // variants stay distinct) and the canonical pretty-printed
+            // program (formatting collapses).
+            let canon = analysis::canonical_source(&prog);
+            let key = fnv1a(
+                format!("{}\0{}\0{}\0{canon}", kind.as_str(), opts.machine.name, req.flags.key())
+                    .as_bytes(),
+            );
+            let (val, hit) = shared.cache.get_or_compute(key, || {
+                let a = match kind {
+                    Kind::Report => analysis::report(&prog, &opts)?,
+                    Kind::Advise => analysis::advise(&prog, &opts)?,
+                    Kind::TraceStats => analysis::trace_stats(&prog, &opts)?,
+                    Kind::Optimize => analysis::optimize(&prog, &opts)?.0,
+                    _ => unreachable!("non-program kinds handled above"),
+                };
+                Ok(Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact())
+            })?;
+            Ok((protocol::ok_response(kind, hit, &val), false))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process(shared: &Shared, line: &str) -> Json {
+        let (resp, _) = process_line(line.as_bytes(), shared);
+        Json::parse(&resp).expect("response is valid JSON")
+    }
+
+    fn test_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            cache: ResultCache::new(1 << 20, 2),
+            cfg: Config::default(),
+        })
+    }
+
+    const REQ: &str = "{\"schema\":\"mbb-serve/1\",\"kind\":\"report\",\"program\":\"array a[64]\\nscalar s = 0  // printed\\nfor i = 0, 63\\n  s = (s + a[i])\\nend for\\n\"}";
+
+    #[test]
+    fn report_request_round_trips_and_caches() {
+        let shared = test_shared();
+        let first = process(&shared, REQ);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let text = first.get("result").and_then(|r| r.get("text")).and_then(|t| t.as_str());
+        assert!(text.unwrap().contains("CPU utilisation bound"));
+
+        let second = process(&shared, REQ);
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("result"), second.get("result"), "hit must equal miss");
+        assert_eq!(shared.cache.stats().hits, 1);
+        assert_eq!(shared.metrics.requests_of(Kind::Report), 2);
+    }
+
+    #[test]
+    fn formatting_differences_share_a_cache_entry() {
+        let shared = test_shared();
+        process(&shared, REQ);
+        // Same program, different whitespace and a comment.
+        let noisy = REQ.replace("array a[64]\\n", "array   a[64]   // demand\\n\\n");
+        let resp = process(&shared, &noisy);
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(true)), "{resp:?}");
+    }
+
+    #[test]
+    fn parse_and_validate_errors_carry_distinct_codes() {
+        let shared = test_shared();
+        let bad_syntax = "{\"schema\":\"mbb-serve/1\",\"kind\":\"report\",\"program\":\"for i = 0, 3\\n  bogus[i] = 1\\nend for\\n\"}";
+        let e = process(&shared, bad_syntax);
+        let code = e.get("error").and_then(|x| x.get("code")).and_then(|c| c.as_str());
+        assert_eq!(code, Some("parse"));
+
+        let dup = "{\"schema\":\"mbb-serve/1\",\"kind\":\"report\",\"program\":\"array a[16]\\nfor i = 0, 3\\n  for i = 0, 3\\n    a[i] = 1\\n  end for\\nend for\\n\"}";
+        let e = process(&shared, dup);
+        let err = e.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(|c| c.as_str()), Some("validate"));
+        assert_eq!(err.get("exit_code"), Some(&Json::UInt(4)));
+        assert_eq!(shared.metrics.errors_of(ErrorKind::Parse), 1);
+        assert_eq!(shared.metrics.errors_of(ErrorKind::Validate), 1);
+        // Failed analyses must not occupy cache entries.
+        assert_eq!(shared.cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn metrics_request_reports_the_traffic_so_far() {
+        let shared = test_shared();
+        process(&shared, REQ);
+        let m = process(&shared, "{\"schema\":\"mbb-serve/1\",\"kind\":\"metrics\"}");
+        let text = m
+            .get("result")
+            .and_then(|r| r.get("text"))
+            .and_then(|t| t.as_str())
+            .expect("metrics text");
+        assert!(text.contains("mbb_serve_requests_total{kind=\"report\"} 1"), "{text}");
+        assert!(text.contains("mbb_serve_cache_misses_total 1"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_request_flags_a_drain() {
+        let shared = test_shared();
+        let (resp, drain) =
+            process_line(b"{\"schema\":\"mbb-serve/1\",\"kind\":\"shutdown\"}", &shared);
+        assert!(drain);
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("result").and_then(|r| r.get("draining")), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn machine_scaling_does_not_collide_in_the_cache() {
+        let shared = test_shared();
+        let scaled =
+            REQ.replace("\"kind\":\"report\"", "\"kind\":\"report\",\"machine\":\"origin/64\"");
+        process(&shared, REQ);
+        let resp = process(&shared, &scaled);
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)), "{resp:?}");
+        // But the alias `origin2000` collapses onto `origin`.
+        let alias =
+            REQ.replace("\"kind\":\"report\"", "\"kind\":\"report\",\"machine\":\"origin2000\"");
+        let resp = process(&shared, &alias);
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(true)), "{resp:?}");
+    }
+}

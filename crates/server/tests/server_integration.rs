@@ -1,0 +1,247 @@
+//! End-to-end tests against a live in-process server: real TCP sockets,
+//! real worker pool, real cache.  `serve` runs on a helper thread and
+//! hands back its bound address and [`Handle`] through `on_ready`; the
+//! handle's direct metrics access lets the backpressure test observe
+//! queue saturation deterministically instead of racing the request path.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use mbb_bench::json::Json;
+use mbb_server::analysis;
+use mbb_server::client::{expect_ok, Client};
+use mbb_server::server::{serve, Config, Handle};
+
+const SUM: &str = "program sum\narray a[512]\nscalar s = 0  // printed\nfor i = 0, 511\n  s = (s + a[i])\nend for\n";
+const FIG7: &str = "program fig7\narray res[512]\narray data[512]\nscalar sum = 0  // printed\nfor i = 0, 511\n  res[i] = (res[i] + data[i])\nend for\nfor j = 0, 511\n  sum = (sum + res[j])\nend for\n";
+const SAXPY: &str = "program saxpy\narray x[512]\narray y[512]\nscalar s = 0  // printed\nfor i = 0, 511\n  y[i] = (y[i] + (2 * x[i]))\nend for\nfor j = 0, 511\n  s = (s + y[j])\nend for\n";
+
+/// Starts a server; returns its address, handle, and the join guard.
+fn start(cfg: Config) -> (SocketAddr, Handle, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel();
+    let thread = std::thread::spawn(move || {
+        serve(cfg, move |addr, handle| tx.send((addr, handle)).unwrap()).unwrap();
+    });
+    let (addr, handle) = rx.recv_timeout(Duration::from_secs(10)).expect("server came up");
+    (addr, handle, thread)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(addr, Duration::from_secs(60)).expect("connect")
+}
+
+/// The serial ground truth for one request: the deterministic text and
+/// data the analysis layer produces (the same producer `mbbc` prints
+/// from, minus its `simulation:` timing line).
+fn serial(kind: &str, program: &str, machine: &str) -> Json {
+    let opts = analysis::Options {
+        machine: analysis::machine_by_name(machine).unwrap(),
+        ..Default::default()
+    };
+    let p = analysis::load(program).unwrap();
+    let a = match kind {
+        "report" => analysis::report(&p, &opts).unwrap(),
+        "advise" => analysis::advise(&p, &opts).unwrap(),
+        "optimize" => analysis::optimize(&p, &opts).unwrap().0,
+        "trace-stats" => analysis::trace_stats(&p, &opts).unwrap(),
+        other => panic!("unknown kind {other}"),
+    };
+    Json::obj([("text", Json::str(a.text)), ("data", a.data)])
+}
+
+#[test]
+fn concurrent_mixed_clients_match_serial_output_byte_for_byte() {
+    let (addr, handle, thread) = start(Config { workers: 4, ..Config::default() });
+
+    // The mixed workload: every (kind, program, machine) pairing, with
+    // the serial expectation computed once up front.
+    let mut matrix = Vec::new();
+    for kind in ["report", "advise", "optimize", "trace-stats"] {
+        for program in [SUM, FIG7, SAXPY] {
+            for machine in ["origin", "exemplar"] {
+                matrix.push((kind, program, machine));
+            }
+        }
+    }
+    let expected: Vec<Json> = matrix.iter().map(|(k, p, m)| serial(k, p, m)).collect();
+
+    // 8 clients, each walking the whole matrix from a different offset so
+    // identical requests collide in flight: 8 × 24 = 192 requests over 24
+    // distinct keys.
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let matrix = &matrix;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut c = connect(addr);
+                for k in 0..matrix.len() {
+                    let idx = (k + t * 3) % matrix.len();
+                    let (kind, program, machine) = matrix[idx];
+                    let resp = c.analyze(kind, program, machine).unwrap();
+                    expect_ok(&resp).unwrap();
+                    // The compact rendering of the parsed response equals
+                    // the compact rendering of the serial ground truth ⇔
+                    // the payload bytes are identical (the parse is exact).
+                    assert_eq!(
+                        resp.get("result").unwrap().render_compact(),
+                        expected[idx].render_compact(),
+                        "{kind} diverged from serial output"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = handle.cache().stats();
+    assert_eq!(stats.hits + stats.misses, 192, "{stats:?}");
+    assert_eq!(stats.misses, 24, "every distinct request simulates exactly once: {stats:?}");
+    assert_eq!(handle.metrics().requests_total(), 192);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn repeated_request_is_a_hit_with_bit_identical_bytes() {
+    let (addr, handle, thread) = start(Config { workers: 2, ..Config::default() });
+    let mut c = connect(addr);
+
+    let first = c
+        .roundtrip_raw(
+            &mbb_server::client::request("report", Some(FIG7), "origin").render_compact(),
+        )
+        .unwrap();
+    let second = c
+        .roundtrip_raw(
+            &mbb_server::client::request("report", Some(FIG7), "origin").render_compact(),
+        )
+        .unwrap();
+    // Identical raw bytes except the cached flag flips false → true.
+    assert_eq!(first.replace("\"cached\":false", "\"cached\":true"), second);
+    let doc = Json::parse(&second).unwrap();
+    assert_eq!(doc.get("cached"), Some(&Json::Bool(true)));
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn all_duplicate_workload_exceeds_ninety_percent_hit_rate() {
+    let (addr, handle, thread) = start(Config { workers: 4, ..Config::default() });
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(move || {
+                let mut c = connect(addr);
+                for _ in 0..13 {
+                    let resp = c.analyze("report", SUM, "origin").unwrap();
+                    expect_ok(&resp).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = handle.cache().stats();
+    let total = stats.hits + stats.misses;
+    assert_eq!(total, 8 * 13);
+    let rate = stats.hits as f64 / total as f64;
+    assert!(rate >= 0.90, "hit rate {rate:.3} below 90%: {stats:?}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn queue_saturation_sheds_with_busy_responses_and_never_hangs() {
+    let (addr, handle, thread) = start(Config {
+        workers: 1,
+        queue_depth: 2,
+        read_timeout: Duration::from_secs(30),
+        ..Config::default()
+    });
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let wait_for = |what: &str, cond: &dyn Fn() -> bool| {
+        while !cond() {
+            assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    let m = handle.metrics();
+
+    // Occupy the only worker with a connection that sends nothing…
+    let _worker_hog = TcpStream::connect(addr).unwrap();
+    wait_for("the worker to pick up the idle connection", &|| {
+        m.workers_busy.load(std::sync::atomic::Ordering::Relaxed) == 1
+    });
+    // …then fill the accept queue with two more idle connections.
+    let _queued_a = TcpStream::connect(addr).unwrap();
+    let _queued_b = TcpStream::connect(addr).unwrap();
+    wait_for("the accept queue to fill", &|| {
+        m.queue_depth.load(std::sync::atomic::Ordering::Relaxed) == 2
+    });
+
+    // Every further connection must be shed promptly with a structured
+    // busy response — a read, not a hang.
+    for k in 0..3 {
+        let shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut line = String::new();
+        BufReader::new(shed).read_line(&mut line).unwrap();
+        let doc = Json::parse(line.trim_end()).unwrap_or_else(|e| panic!("shed {k}: {e}: {line}"));
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)), "{line}");
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(|c| c.as_str()), Some("busy"), "{line}");
+    }
+    assert_eq!(m.busy_total.load(std::sync::atomic::Ordering::Relaxed), 3);
+
+    // Releasing the hog lets the queue drain and new requests succeed.
+    drop(_worker_hog);
+    drop(_queued_a);
+    drop(_queued_b);
+    wait_for("the queue to drain", &|| {
+        m.queue_depth.load(std::sync::atomic::Ordering::Relaxed) == 0
+    });
+    let mut c = connect(addr);
+    let resp = c.analyze("report", SUM, "origin").unwrap();
+    expect_ok(&resp).unwrap();
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn shutdown_request_drains_and_serve_returns() {
+    let (addr, _handle, thread) = start(Config { workers: 2, ..Config::default() });
+    let mut c = connect(addr);
+    expect_ok(&c.analyze("report", SUM, "origin").unwrap()).unwrap();
+    c.shutdown().unwrap();
+    thread.join().unwrap();
+    // The port is released: a fresh connect must fail (or be refused on
+    // first use).
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            let _ = s.write_all(b"{\"schema\":\"mbb-serve/1\",\"kind\":\"machines\"}\n");
+            let mut buf = String::new();
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            BufReader::new(s).read_line(&mut buf).map(|n| n == 0).unwrap_or(true)
+        }
+    };
+    assert!(refused, "server socket still serving after drain");
+}
+
+#[test]
+fn idle_timeout_shuts_the_server_down_on_its_own() {
+    let (addr, _handle, thread) = start(Config {
+        workers: 1,
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..Config::default()
+    });
+    let mut c = connect(addr);
+    expect_ok(&c.analyze("report", SUM, "origin").unwrap()).unwrap();
+    drop(c);
+    thread.join().unwrap(); // returns without any shutdown request
+}
