@@ -7,6 +7,7 @@
 //!                    [--no-store-elim] [--emit]
 //! mbbc serve         [--addr HOST:PORT] [--workers N] [--cache-mb M]
 //!                    [--queue-depth D] [--idle-timeout SECS]
+//!                    [--request-budget STEPS] [--deadline-ms MS]
 //! ```
 //!
 //! `FILE` is a loop program in the paper's pseudo-code (grammar:
@@ -42,7 +43,9 @@ fn usage() -> &'static str {
        --workers N        worker threads (default 4)\n\
        --cache-mb M       result-cache capacity (default 32)\n\
        --queue-depth D    accept-queue bound before shedding (default 64)\n\
-       --idle-timeout S   exit after S seconds without traffic\n"
+       --idle-timeout S   exit after S seconds without traffic\n\
+       --request-budget STEPS   cap interpreter steps per request (default 2^32)\n\
+       --deadline-ms MS         wall-clock cap per request (default none)\n"
 }
 
 fn read_source(path: &str) -> Result<String, ServeError> {
@@ -70,6 +73,17 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         let numeric = || {
             value.parse::<u64>().map_err(|_| format!("mbbc: {flag} wants a number, got `{value}`"))
         };
+        // Budget axes reject 0 outright: a zero budget would fail every
+        // request, which is never what the operator meant.
+        let positive = || {
+            numeric().and_then(|n| {
+                if n == 0 {
+                    Err(format!("mbbc: {flag} wants a positive value, got `{value}`"))
+                } else {
+                    Ok(n)
+                }
+            })
+        };
         let outcome = match flag {
             "--addr" => {
                 cfg.addr = value.clone();
@@ -79,6 +93,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "--cache-mb" => numeric().map(|n| cfg.cache_bytes = n << 20),
             "--queue-depth" => numeric().map(|n| cfg.queue_depth = (n as usize).max(1)),
             "--idle-timeout" => numeric().map(|n| cfg.idle_timeout = Some(Duration::from_secs(n))),
+            "--request-budget" => positive().map(|n| cfg.request_max_steps = Some(n)),
+            "--deadline-ms" => {
+                positive().map(|n| cfg.request_deadline = Some(Duration::from_millis(n)))
+            }
             other => {
                 eprintln!("mbbc: unknown serve option `{other}`\n{}", usage());
                 return ExitCode::from(2);

@@ -105,6 +105,44 @@ fn serve_option_errors_exit_2() {
 }
 
 #[test]
+fn serve_budget_flags_reject_zero_and_garbage() {
+    for (flag, value) in [
+        ("--request-budget", "0"),
+        ("--request-budget", "lots"),
+        ("--deadline-ms", "0"),
+        ("--deadline-ms", "-5"),
+    ] {
+        let out = mbbc().args(["serve", flag, value]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} {value} should be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{flag} {value}: {stderr}");
+    }
+}
+
+#[test]
+fn serve_accepts_budget_flags_and_drains_on_idle() {
+    // Ephemeral port + 1 s idle timeout: the server must come up with the
+    // budget caps applied and exit 0 once the idle clock fires.
+    let out = mbbc()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--idle-timeout",
+            "1",
+            "--request-budget",
+            "4096",
+            "--deadline-ms",
+            "2000",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("listening on"), "{stdout}");
+}
+
+#[test]
 fn trace_emits_dinero_lines() {
     let p = write_temp("trace");
     let out = mbbc().args(["trace", p.to_str().unwrap()]).output().unwrap();

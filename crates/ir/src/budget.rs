@@ -1,0 +1,239 @@
+//! Execution budgets: step quotas and wall deadlines for interpretation.
+//!
+//! A [`Budget`] bounds how much work one logical unit of analysis — a
+//! request in `mbb-server`, a command in `mbbc` — may spend interpreting
+//! programs, so a pathological input (a `10⁹`-iteration loop nest) returns
+//! a structured error instead of occupying a worker forever.
+//!
+//! The budget is carried in a thread-local stack rather than threaded
+//! through every signature between the service and the interpreter: an
+//! analysis entry point [`install`](Budget::install)s its budget once and
+//! *every* interpreter run on that thread — balance measurement, timing,
+//! the equivalence verification inside `optimize` — charges against the
+//! same allowance until the returned guard drops.  This mirrors the
+//! thread-local event odometer in `mbb-memsim::events`.
+//!
+//! Cost model: one *step* is one innermost-loop iteration, the unit every
+//! access event and flop hangs off.  The interpreter charges the budget
+//! once per block of [`CHECK_BLOCK`] steps — not per event — so the hot
+//! path pays one decrement-and-branch per iteration and a quota/deadline
+//! check only every 1024 iterations.  Enforcement therefore has block
+//! granularity: a program can overrun its quota by at most one block
+//! before the error surfaces.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Steps charged per budget check.  The interpreter accumulates this many
+/// innermost iterations locally before consulting the thread-local state,
+/// keeping quota enforcement off the per-event hot path.
+pub const CHECK_BLOCK: u64 = 1024;
+
+/// Resource limits for one logical unit of interpreter work.
+///
+/// `Default` is unlimited on both axes, so existing callers that never
+/// install a budget are unaffected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum innermost-loop iterations, summed over every interpreter
+    /// run under this budget (`None` = unlimited).
+    pub max_steps: Option<u64>,
+    /// Wall-clock allowance measured from [`Budget::install`]
+    /// (`None` = no deadline).
+    pub wall: Option<Duration>,
+}
+
+impl Budget {
+    /// A budget with no limits (the default).
+    pub const UNLIMITED: Budget = Budget { max_steps: None, wall: None };
+
+    /// True when neither axis is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none() && self.wall.is_none()
+    }
+
+    /// Installs this budget on the current thread until the guard drops.
+    /// Budgets nest: an inner install shadows the outer one, which resumes
+    /// (with its clock still running) when the inner guard drops.
+    pub fn install(&self) -> BudgetGuard {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().push(State {
+                remaining: self.max_steps.unwrap_or(u64::MAX),
+                limited: self.max_steps.is_some(),
+                max_steps: self.max_steps,
+                deadline: self.wall.map(|w| Instant::now() + w),
+                wall: self.wall,
+                spent: false,
+            });
+        });
+        BudgetGuard { _not_send: PhantomData }
+    }
+}
+
+/// Why a budget stopped execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The step quota ran out.
+    Steps {
+        /// The installed quota.
+        limit: u64,
+    },
+    /// The wall deadline passed.
+    Wall {
+        /// The installed allowance.
+        limit: Duration,
+    },
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Steps { limit } => {
+                write!(f, "execution budget exceeded: step quota of {limit} exhausted")
+            }
+            BudgetExceeded::Wall { limit } => {
+                write!(f, "execution budget exceeded: deadline of {limit:?} passed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+struct State {
+    remaining: u64,
+    limited: bool,
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    wall: Option<Duration>,
+    spent: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<State>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls the budget when dropped.  Deliberately `!Send`: the budget
+/// lives on the installing thread only.
+pub struct BudgetGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// True when a budget with at least one limit is installed on this thread.
+/// The interpreter uses this to skip budget bookkeeping entirely on
+/// unbudgeted runs.
+pub fn is_active() -> bool {
+    CURRENT.with(|stack| {
+        stack.borrow().last().map(|s| s.limited || s.deadline.is_some()).unwrap_or(false)
+    })
+}
+
+/// Charges `steps` against the innermost installed budget and checks the
+/// wall deadline.  `charge(0)` is a pure deadline check, usable between
+/// pipeline stages.  Without an installed budget this is a no-op.
+pub fn charge(steps: u64) -> Result<(), BudgetExceeded> {
+    CURRENT.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let Some(s) = stack.last_mut() else { return Ok(()) };
+        if s.limited {
+            if s.remaining < steps {
+                s.remaining = 0;
+                s.spent = true;
+                return Err(BudgetExceeded::Steps { limit: s.max_steps.unwrap_or(0) });
+            }
+            s.remaining -= steps;
+        }
+        if let Some(deadline) = s.deadline {
+            if Instant::now() >= deadline {
+                s.spent = true;
+                return Err(BudgetExceeded::Wall { limit: s.wall.unwrap_or_default() });
+            }
+        }
+        Ok(())
+    })
+}
+
+/// True when the innermost installed budget has already been exceeded.
+/// Callers that only see a stringly-typed failure (e.g. the equivalence
+/// verifier's diff message) use this to classify it as a budget stop.
+pub fn exhausted() -> bool {
+    CURRENT.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let Some(s) = stack.last_mut() else { return false };
+        if s.spent {
+            return true;
+        }
+        if let Some(deadline) = s.deadline {
+            if Instant::now() >= deadline {
+                s.spent = true;
+                return true;
+            }
+        }
+        false
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_charges_are_free() {
+        assert!(!is_active());
+        assert!(charge(u64::MAX).is_ok());
+        assert!(!exhausted());
+    }
+
+    #[test]
+    fn step_quota_trips_once_spent() {
+        let b = Budget { max_steps: Some(2 * CHECK_BLOCK), wall: None };
+        let _g = b.install();
+        assert!(is_active());
+        assert!(charge(CHECK_BLOCK).is_ok());
+        assert!(charge(CHECK_BLOCK).is_ok());
+        let err = charge(CHECK_BLOCK).unwrap_err();
+        assert_eq!(err, BudgetExceeded::Steps { limit: 2 * CHECK_BLOCK });
+        assert!(exhausted());
+    }
+
+    #[test]
+    fn zero_charge_checks_only_the_deadline() {
+        let b = Budget { max_steps: None, wall: Some(Duration::ZERO) };
+        let _g = b.install();
+        assert!(matches!(charge(0), Err(BudgetExceeded::Wall { .. })));
+        assert!(exhausted());
+    }
+
+    #[test]
+    fn guard_uninstalls_and_budgets_nest() {
+        let outer = Budget { max_steps: Some(10), wall: None };
+        let _o = outer.install();
+        {
+            let inner = Budget::UNLIMITED.install();
+            assert!(!is_active(), "unlimited inner budget shadows the outer");
+            assert!(charge(1_000_000).is_ok());
+            drop(inner);
+        }
+        assert!(is_active());
+        assert!(charge(100).is_err(), "outer quota resumes after inner drops");
+        drop(_o);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn unlimited_is_unlimited() {
+        assert!(Budget::UNLIMITED.is_unlimited());
+        assert!(Budget::default().is_unlimited());
+        assert!(!Budget { max_steps: Some(1), wall: None }.is_unlimited());
+    }
+}

@@ -173,6 +173,14 @@ pub enum InterpError {
         /// Number of dimensions declared.
         want: usize,
     },
+    /// The installed execution budget ran out (see [`crate::budget`]).
+    Budget(crate::budget::BudgetExceeded),
+}
+
+impl From<crate::budget::BudgetExceeded> for InterpError {
+    fn from(e: crate::budget::BudgetExceeded) -> InterpError {
+        InterpError::Budget(e)
+    }
 }
 
 impl fmt::Display for InterpError {
@@ -185,6 +193,7 @@ impl fmt::Display for InterpError {
             InterpError::RankMismatch { array, got, want } => {
                 write!(f, "rank mismatch on {array}: {got} subscripts, {want} dims")
             }
+            InterpError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
@@ -254,6 +263,10 @@ pub struct Interpreter<'p> {
     scalars: Vec<f64>,
     vars: Vec<i64>,
     stats: ExecStats,
+    /// Innermost iterations left before the next budget check.  `u64::MAX`
+    /// when no budget is installed, so unbudgeted runs pay only a
+    /// decrement-and-branch per iteration.
+    fuel: u64,
 }
 
 impl<'p> Interpreter<'p> {
@@ -293,6 +306,7 @@ impl<'p> Interpreter<'p> {
             scalars,
             vars: vec![0; prog.vars.len()],
             stats: ExecStats::default(),
+            fuel: u64::MAX,
         }
     }
 
@@ -314,6 +328,9 @@ impl<'p> Interpreter<'p> {
     /// sink observes the same events in the same order as it would one at
     /// a time, so results are identical to the unbatched path.
     pub fn run(mut self, sink: &mut dyn AccessSink) -> Result<RunResult, InterpError> {
+        if crate::budget::is_active() {
+            self.fuel = crate::budget::CHECK_BLOCK;
+        }
         let mut buffered = Buffered::new(sink);
         for nest in &self.prog.nests {
             self.run_nest(nest, &mut buffered)?;
@@ -362,6 +379,14 @@ impl<'p> Interpreter<'p> {
     ) -> Result<(), InterpError> {
         if level == nest.loops.len() {
             self.stats.iterations += 1;
+            // Budget enforcement has block granularity: the installed
+            // budget is charged once per CHECK_BLOCK iterations, never per
+            // access event (see `crate::budget`).
+            self.fuel -= 1;
+            if self.fuel == 0 {
+                crate::budget::charge(crate::budget::CHECK_BLOCK)?;
+                self.fuel = crate::budget::CHECK_BLOCK;
+            }
             for stmt in &nest.body {
                 self.exec_stmt(stmt, sink)?;
             }

@@ -25,6 +25,7 @@
 //! paper's legality arguments hold, and the restriction is what lets every
 //! analysis in this workspace be exact rather than heuristic.
 
+pub mod budget;
 pub mod builder;
 pub mod deps;
 pub mod expr;
@@ -37,6 +38,7 @@ pub mod ranges;
 pub mod trace;
 pub mod validate;
 
+pub use budget::{Budget, BudgetExceeded};
 pub use builder::ProgramBuilder;
 pub use expr::{Affine, BinOp, CmpOp, Cond, Expr, Ref, UnOp};
 pub use interp::{

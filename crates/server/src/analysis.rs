@@ -14,6 +14,7 @@ use mbb_core::advisor::{advise as core_advise, ArrayFinding};
 use mbb_core::balance::{measure_program_balance, ratios, time_program};
 use mbb_core::pipeline::{optimize as run_pipeline, verify_equivalent, OptimizeOptions};
 use mbb_core::regroup::regroup_all;
+use mbb_ir::budget::Budget;
 use mbb_ir::{parse, pretty, Program};
 use mbb_memsim::machine::MachineModel;
 use mbb_memsim::timing::Bottleneck;
@@ -29,6 +30,11 @@ pub struct Options {
     pub pipeline: OptimizeOptions,
     /// Also apply inter-array data regrouping after the pipeline.
     pub regroup: bool,
+    /// Execution budget for every interpreter run this analysis performs
+    /// (default unlimited).  Installed at each entry point, so balance
+    /// measurement, timing, tracing, and the equivalence verification all
+    /// charge one shared allowance.
+    pub budget: Budget,
 }
 
 impl Default for Options {
@@ -37,6 +43,7 @@ impl Default for Options {
             machine: MachineModel::origin2000(),
             pipeline: OptimizeOptions::default(),
             regroup: false,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -80,8 +87,22 @@ pub fn load(src: &str) -> Result<Program, ServeError> {
     Ok(prog)
 }
 
+/// Classifies an interpreter-level failure.  A failure observed after the
+/// installed budget has been spent is a budget stop — even when the error
+/// reaches us stringly-typed (e.g. through the equivalence verifier's
+/// diff message) — and maps to [`ErrorKind::DeadlineExceeded`];
+/// everything else is a [`ErrorKind::Run`] failure.
 fn run_error(e: impl ToString) -> ServeError {
-    ServeError::new(ErrorKind::Run, e.to_string())
+    let kind =
+        if mbb_ir::budget::exhausted() { ErrorKind::DeadlineExceeded } else { ErrorKind::Run };
+    ServeError::new(kind, e.to_string())
+}
+
+/// A pure deadline check between pipeline stages, so an `optimize` whose
+/// wall allowance expires inside a (non-interpreting) transformation stops
+/// at the next stage boundary rather than running the next simulation.
+fn check_deadline() -> Result<(), ServeError> {
+    mbb_ir::budget::charge(0).map_err(run_error)
 }
 
 /// Channel display names for a machine with `n` supply channels: the
@@ -103,6 +124,7 @@ fn channel_names(n: usize) -> Vec<String> {
 /// The `report` analysis: §2 program balance, ratios, utilisation bound
 /// and predicted time on the chosen machine.
 pub fn report(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    let _budget = opts.budget.install();
     let b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
     let r = ratios(&b, &opts.machine);
     let t = time_program(p, &opts.machine).map_err(run_error)?;
@@ -153,6 +175,7 @@ pub fn report(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
 
 /// The `advise` analysis: the §4 bandwidth-tuning report.
 pub fn advise(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    let _budget = opts.budget.install();
     let a = core_advise(p, &opts.machine).map_err(run_error)?;
     let findings = Json::arr(a.arrays.iter().map(|f| match f {
         ArrayFinding::Contractible { array, from_bytes, to_bytes } => Json::obj([
@@ -210,9 +233,11 @@ pub fn advise(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
 /// The `optimize` analysis; returns the report and the optimised source
 /// (itself parseable) separately, so the CLI can honour `--emit`.
 pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), ServeError> {
+    let _budget = opts.budget.install();
     let before_t = time_program(p, &opts.machine).map_err(run_error)?;
     let before_b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
 
+    check_deadline()?;
     let mut outcome = run_pipeline(p, opts.pipeline);
     let mut regroup_actions = Vec::new();
     if opts.regroup {
@@ -220,11 +245,11 @@ pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), Serve
         outcome.program = next;
         regroup_actions = actions;
     }
+    check_deadline()?;
     verify_equivalent(p, &outcome.program, 1e-9).map_err(|d| {
-        ServeError::new(
-            ErrorKind::Run,
-            format!("internal error: transformation changed behaviour: {d}"),
-        )
+        let kind =
+            if mbb_ir::budget::exhausted() { ErrorKind::DeadlineExceeded } else { ErrorKind::Run };
+        ServeError::new(kind, format!("internal error: transformation changed behaviour: {d}"))
     })?;
 
     let after_t = time_program(&outcome.program, &opts.machine).map_err(run_error)?;
@@ -354,6 +379,7 @@ pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), Serve
 /// The `trace-stats` analysis: execution counters plus the traffic the
 /// program's access trace induces on the machine's memory hierarchy.
 pub fn trace_stats(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    let _budget = opts.budget.install();
     let mut h = opts.machine.hierarchy();
     let r = mbb_ir::interp::run_traced(p, &mut h).map_err(run_error)?;
     h.flush();
@@ -520,5 +546,41 @@ mod tests {
     fn unknown_machine_is_a_bad_request() {
         assert_eq!(machine_by_name("cray").unwrap_err().kind, ErrorKind::BadRequest);
         assert!(machine_by_name("origin/64").is_ok());
+    }
+
+    /// ~80k innermost iterations: far beyond a 4096-step quota but quick
+    /// to run unbudgeted.
+    const BIG: &str = "program big\narray a[8]\nscalar s = 0  // printed\nfor i = 0, 9999\n  for j = 0, 7\n    s = (s + a[j])\n  end for\nend for\n";
+
+    #[test]
+    fn step_quota_stops_report_with_deadline_exceeded() {
+        let p = load(BIG).unwrap();
+        let opts =
+            Options { budget: Budget { max_steps: Some(4096), wall: None }, ..Options::default() };
+        let e = report(&p, &opts).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::DeadlineExceeded, "{e}");
+        assert!(e.message.contains("budget"), "{e}");
+        // The guard uninstalled: an unbudgeted run on the same thread works.
+        assert!(report(&p, &Options::default()).is_ok());
+    }
+
+    #[test]
+    fn step_quota_stops_optimize_with_deadline_exceeded() {
+        let p = load(BIG).unwrap();
+        let opts =
+            Options { budget: Budget { max_steps: Some(4096), wall: None }, ..Options::default() };
+        let e = optimize(&p, &opts).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::DeadlineExceeded, "{e}");
+    }
+
+    #[test]
+    fn expired_wall_deadline_stops_trace_stats() {
+        let p = load(BIG).unwrap();
+        let opts = Options {
+            budget: Budget { max_steps: None, wall: Some(std::time::Duration::ZERO) },
+            ..Options::default()
+        };
+        let e = trace_stats(&p, &opts).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::DeadlineExceeded, "{e}");
     }
 }

@@ -23,7 +23,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::error::ServeError;
+use crate::error::{ErrorKind, ServeError};
+use crate::faults::{self, Site};
+use crate::sync::{lock, wait};
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -130,7 +132,7 @@ impl ResultCache {
         let shard = self.shard(key);
         loop {
             let flight = {
-                let mut s = shard.lock().unwrap();
+                let mut s = lock(shard);
                 if s.entries.contains_key(&key) {
                     s.clock += 1;
                     let stamp = s.clock;
@@ -151,12 +153,12 @@ impl ResultCache {
             };
             // Another thread is computing this key: wait for it, then loop
             // to read the entry (or take over leadership if it failed).
-            let mut done = flight.done.lock().unwrap();
+            let mut done = lock(&flight.done);
             while !*done {
-                done = flight.cv.wait(done).unwrap();
+                done = wait(&flight.cv, done);
             }
             drop(done);
-            let mut s = shard.lock().unwrap();
+            let mut s = lock(shard);
             if s.entries.contains_key(&key) {
                 s.clock += 1;
                 let stamp = s.clock;
@@ -171,16 +173,34 @@ impl ResultCache {
     }
 
     /// Leader path: compute outside the shard lock, publish, wake waiters.
+    ///
+    /// The compute runs under `catch_unwind`: if it panics, the in-flight
+    /// entry is still removed and the waiters still woken (they retry as
+    /// new leaders) before the panic resumes — otherwise one panicking
+    /// compute would wedge every concurrent request for the same key.
     fn lead(
         &self,
         key: u64,
         compute: impl FnOnce() -> Result<String, ServeError>,
     ) -> Result<(Arc<String>, bool), ServeError> {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = compute();
+        let result = if faults::fire(Site::CacheCompute) {
+            Ok(Err(ServeError::new(ErrorKind::Internal, "injected fault: cache compute failed")))
+        } else {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
+        };
         let shard = self.shard(key);
-        let mut s = shard.lock().unwrap();
+        let mut s = lock(shard);
         let flight = s.inflight.remove(&key).expect("leader owns the flight");
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                drop(s);
+                *lock(&flight.done) = true;
+                flight.cv.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        };
         let out = match result {
             Ok(text) => {
                 let val = Arc::new(text);
@@ -201,7 +221,7 @@ impl ResultCache {
             Err(e) => Err(e),
         };
         drop(s);
-        *flight.done.lock().unwrap() = true;
+        *lock(&flight.done) = true;
         flight.cv.notify_all();
         out
     }
@@ -322,6 +342,35 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn panicking_compute_does_not_wedge_waiters() {
+        let c = Arc::new(ResultCache::new(1 << 20, 1));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let c = Arc::clone(&c);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    c.get_or_compute(11, || {
+                        gate.wait(); // waiter is queued behind this flight
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("compute exploded");
+                    })
+                }));
+                assert!(r.is_err(), "the panic must propagate to the leader");
+            })
+        };
+        gate.wait();
+        // This call joins the in-flight compute; when the leader panics it
+        // must wake up, retry as the new leader, and succeed.
+        let (v, _) = c.get_or_compute(11, || Ok("recovered".into())).unwrap();
+        assert_eq!(*v, "recovered");
+        leader.join().unwrap();
+        // No stale flight remains: a fresh request is an ordinary hit.
+        let (_, hit) = c.get_or_compute(11, || panic!("must not recompute")).unwrap();
+        assert!(hit);
     }
 
     #[test]

@@ -5,12 +5,13 @@
 //! compact JSON line out, one line back.
 
 use std::io::{BufRead, BufReader, Write as _};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use mbb_bench::json::Json;
 
 use crate::error::{ErrorKind, ServeError};
+use crate::faults::{self, Site};
 use crate::protocol::SCHEMA;
 
 /// A connected client. One request is in flight at a time.
@@ -95,6 +96,162 @@ pub fn request(kind: &str, program: Option<&str>, machine: &str) -> Json {
     Json::obj(pairs)
 }
 
+/// Builds a request envelope carrying a `budget` object (`0` omits an
+/// axis — the server's own caps still apply).
+pub fn request_with_budget(
+    kind: &str,
+    program: Option<&str>,
+    machine: &str,
+    max_steps: u64,
+    deadline_ms: u64,
+) -> Json {
+    let Json::Obj(mut pairs) = request(kind, program, machine) else {
+        unreachable!("request() builds an object")
+    };
+    let mut budget = Vec::new();
+    if max_steps > 0 {
+        budget.push(("max_steps".to_string(), Json::UInt(max_steps)));
+    }
+    if deadline_ms > 0 {
+        budget.push(("deadline_ms".to_string(), Json::UInt(deadline_ms)));
+    }
+    pairs.push(("budget".to_string(), Json::Obj(budget)));
+    Json::Obj(pairs)
+}
+
+/// Retry tuning for [`RetryClient`]: bounded exponential backoff with
+/// seeded jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed: same seed, same backoff schedule (deterministic for
+    /// chaos replay).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `attempt` (0-based):
+    /// `min(cap, base·2^attempt)` scaled by a jitter factor in
+    /// `[0.5, 1.0)` drawn from the seed, so synchronised clients fan out
+    /// instead of retrying in lockstep.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16)).min(self.cap);
+        let r = splitmix64(self.seed.wrapping_add(0x9E37).wrapping_mul(attempt as u64 + 1));
+        let jitter = 0.5 + (r % 1024) as f64 / 2048.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// True for error codes worth retrying: overload shedding and transport
+/// or internal failures that a fresh connection may clear.
+fn retryable(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Busy | ErrorKind::Io | ErrorKind::Internal)
+}
+
+/// A [`Client`] wrapper that reconnects and retries transient failures —
+/// `busy` shedding, dropped connections, short responses, caught-panic
+/// `internal` errors — under a bounded [`RetryPolicy`].  Definitive
+/// responses (parse/validate errors, deadline overruns, results) are
+/// returned as-is on the first attempt that yields one.
+pub struct RetryClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+}
+
+impl RetryClient {
+    /// A retrying client for `addr`; connections are opened lazily and
+    /// re-opened after transport failures.
+    pub fn new(addr: SocketAddr, timeout: Duration, policy: RetryPolicy) -> RetryClient {
+        RetryClient { addr, timeout, policy, conn: None }
+    }
+
+    /// Sends `req`, retrying transient failures; returns the last error
+    /// once the attempt budget is spent.
+    pub fn call(&mut self, req: &Json) -> Result<Json, ServeError> {
+        let mut last = ServeError::new(ErrorKind::Io, "no attempts made");
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+            }
+            match self.attempt(req) {
+                Ok(resp) => {
+                    let code = resp
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(|c| c.as_str())
+                        .and_then(|code| ErrorKind::ALL.into_iter().find(|k| k.code() == code));
+                    match code {
+                        Some(kind) if retryable(kind) => {
+                            last = ServeError::new(
+                                kind,
+                                resp.get("error")
+                                    .and_then(|e| e.get("message"))
+                                    .and_then(|m| m.as_str())
+                                    .unwrap_or("retryable error")
+                                    .to_string(),
+                            );
+                            // A shed connection is closed server-side
+                            // right after the busy line; reconnect rather
+                            // than burn the next attempt discovering that.
+                            self.conn = None;
+                        }
+                        _ => return Ok(resp),
+                    }
+                }
+                Err(e) if retryable(e.kind) => {
+                    self.conn = None; // transport failure: reconnect
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn attempt(&mut self, req: &Json) -> Result<Json, ServeError> {
+        if self.conn.is_none() {
+            if faults::fire(Site::ClientConnect) {
+                return Err(ServeError::new(
+                    ErrorKind::Io,
+                    "injected fault: client connect failed",
+                ));
+            }
+            self.conn = Some(Client::connect(self.addr, self.timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        let out = conn.roundtrip(req);
+        if out.is_err() {
+            self.conn = None; // the stream state is unknown; drop it
+        }
+        out
+    }
+}
+
 /// Fails with the server's error payload when `resp` is not `ok:true`.
 pub fn expect_ok(resp: &Json) -> Result<(), ServeError> {
     if resp.get("ok") == Some(&Json::Bool(true)) {
@@ -124,6 +281,38 @@ mod tests {
         let back = crate::protocol::parse_request(&line).unwrap();
         assert_eq!(back.kind, crate::protocol::Kind::Report);
         assert_eq!(back.machine, "origin");
+    }
+
+    #[test]
+    fn request_with_budget_round_trips_through_the_parser() {
+        let r = request_with_budget("optimize", Some("x"), "origin", 4096, 250);
+        let back = crate::protocol::parse_request(&r.render_compact()).unwrap();
+        assert_eq!(back.budget.max_steps, Some(4096));
+        assert_eq!(back.budget.deadline_ms, Some(250));
+        // Zero omits the axis instead of sending an invalid value.
+        let r = request_with_budget("report", Some("x"), "", 0, 100);
+        let back = crate::protocol::parse_request(&r.render_compact()).unwrap();
+        assert_eq!(back.budget.max_steps, None);
+        assert_eq!(back.budget.deadline_ms, Some(100));
+    }
+
+    #[test]
+    fn backoff_is_bounded_jittered_and_seed_deterministic() {
+        let p = RetryPolicy { seed: 42, ..RetryPolicy::default() };
+        for attempt in 0..10 {
+            let d = p.backoff(attempt);
+            assert!(d <= p.cap, "attempt {attempt}: {d:?} over cap");
+            assert!(d >= p.base / 2, "attempt {attempt}: {d:?} under half the base");
+            assert_eq!(d, p.backoff(attempt), "same seed must replay the same schedule");
+        }
+        // Exponential growth up to the cap: attempt 2 waits longer than
+        // attempt 0 even at the bottom of the jitter range.
+        assert!(p.backoff(2) > p.backoff(0).mul_f64(1.9), "{:?} {:?}", p.backoff(2), p.backoff(0));
+        let q = RetryPolicy { seed: 43, ..p };
+        assert!(
+            (0..10).any(|a| q.backoff(a) != p.backoff(a)),
+            "different seeds should jitter differently"
+        );
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub enum ErrorKind {
     TooLarge,
     /// The server's accept queue was full; retry later.
     Busy,
+    /// The request's execution budget (step quota or wall deadline) ran
+    /// out before the analysis finished.
+    DeadlineExceeded,
+    /// An unexpected internal failure (a caught handler panic, a wedged
+    /// cache computation).  The request may succeed on retry.
+    Internal,
 }
 
 impl ErrorKind {
@@ -39,25 +45,29 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad-request",
             ErrorKind::TooLarge => "too-large",
             ErrorKind::Busy => "busy",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Internal => "internal",
         }
     }
 
     /// The process exit code `mbbc` uses for this kind.  Codes 3–5 are
-    /// the analysis failures a batch driver wants to distinguish; 2 is
-    /// reserved for usage errors (matching the CLI's argument parsing);
-    /// everything else is the generic failure 1.
+    /// the analysis failures a batch driver wants to distinguish; 6 marks
+    /// a budget stop (retryable with a bigger budget); 2 is reserved for
+    /// usage errors (matching the CLI's argument parsing); everything
+    /// else is the generic failure 1.
     pub fn exit_code(self) -> u8 {
         match self {
             ErrorKind::Parse => 3,
             ErrorKind::Validate => 4,
             ErrorKind::Io => 5,
+            ErrorKind::DeadlineExceeded => 6,
             ErrorKind::BadRequest | ErrorKind::TooLarge => 2,
-            ErrorKind::Run | ErrorKind::Busy => 1,
+            ErrorKind::Run | ErrorKind::Busy | ErrorKind::Internal => 1,
         }
     }
 
     /// Every kind, for metrics pre-registration.
-    pub const ALL: [ErrorKind; 7] = [
+    pub const ALL: [ErrorKind; 9] = [
         ErrorKind::Parse,
         ErrorKind::Validate,
         ErrorKind::Io,
@@ -65,6 +75,8 @@ impl ErrorKind {
         ErrorKind::BadRequest,
         ErrorKind::TooLarge,
         ErrorKind::Busy,
+        ErrorKind::DeadlineExceeded,
+        ErrorKind::Internal,
     ];
 
     /// Index into [`ErrorKind::ALL`]-shaped counter arrays.
@@ -77,6 +89,8 @@ impl ErrorKind {
             ErrorKind::BadRequest => 4,
             ErrorKind::TooLarge => 5,
             ErrorKind::Busy => 6,
+            ErrorKind::DeadlineExceeded => 7,
+            ErrorKind::Internal => 8,
         }
     }
 }

@@ -18,14 +18,25 @@
 //! shared with `mbbc` (which also fronts this crate as `mbbc serve`), so
 //! the service's responses are byte-identical to the CLI's deterministic
 //! output.  [`client`] is a blocking reference client.
+//!
+//! Robustness: every request runs under an optional execution [budget]
+//! (step quota + wall deadline, structured `deadline_exceeded` on
+//! overrun), handler panics are caught and answered with a structured
+//! `internal` error instead of killing the worker, and the [`faults`]
+//! module (behind the default `faults` feature) injects deterministic,
+//! seeded failures for the chaos test suite.
+//!
+//! [budget]: mbb_ir::budget
 
 pub mod analysis;
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+mod sync;
 
 pub use error::{ErrorKind, ServeError};
 pub use server::{serve, Config, Handle};

@@ -65,6 +65,12 @@ pub struct Metrics {
     pub queue_depth: AtomicU64,
     /// Workers currently handling a connection.
     pub workers_busy: AtomicU64,
+    /// Handler panics caught and answered with a structured `internal`
+    /// error.
+    pub panics_total: AtomicU64,
+    /// Worker loops restarted after a connection-level panic escaped the
+    /// per-request isolation.
+    pub worker_respawns_total: AtomicU64,
     /// Per-request on-CPU time.
     pub latency: Histogram,
 }
@@ -158,6 +164,21 @@ impl Metrics {
         let _ = writeln!(o, "# TYPE mbb_serve_workers_busy gauge");
         let _ = writeln!(o, "mbb_serve_workers_busy {}", self.workers_busy.load(Ordering::Relaxed));
 
+        let _ = writeln!(o, "# HELP mbb_serve_panics_total Handler panics caught per request.");
+        let _ = writeln!(o, "# TYPE mbb_serve_panics_total counter");
+        let _ = writeln!(o, "mbb_serve_panics_total {}", self.panics_total.load(Ordering::Relaxed));
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_worker_respawns_total Worker loops restarted after a panic."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_worker_respawns_total counter");
+        let _ = writeln!(
+            o,
+            "mbb_serve_worker_respawns_total {}",
+            self.worker_respawns_total.load(Ordering::Relaxed)
+        );
+
         let _ = writeln!(
             o,
             "# HELP mbb_serve_request_cpu_seconds On-CPU time per request (log-2 buckets)."
@@ -217,6 +238,8 @@ mod tests {
             "mbb_serve_cache_bytes 0",
             "mbb_serve_queue_depth 0",
             "mbb_serve_workers_busy 0",
+            "mbb_serve_panics_total 0",
+            "mbb_serve_worker_respawns_total 0",
             "mbb_serve_request_cpu_seconds_count 1",
             "mbb_serve_request_cpu_seconds_bucket{le=\"+Inf\"} 1",
         ] {

@@ -21,6 +21,8 @@
 //! miss produced: the envelope is assembled by string concatenation
 //! around the cached compact rendering, never re-serialised.
 
+use std::io::BufRead;
+
 use mbb_bench::json::Json;
 use mbb_core::pipeline::FusionStrategy;
 
@@ -101,6 +103,23 @@ pub struct Request {
     pub machine: String,
     /// Pipeline flags.
     pub flags: Flags,
+    /// Client-requested execution budget (tightened by the server's own
+    /// per-request caps; a client can never loosen them).
+    pub budget: RequestBudget,
+}
+
+/// The optional `budget` object of a request envelope:
+/// `{"budget":{"max_steps":N,"deadline_ms":M}}`.  Deliberately *not*
+/// part of the cache key — analysis results do not depend on the budget
+/// that produced them, so a tight-budget hit may be served from a
+/// previous unconstrained miss.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestBudget {
+    /// Maximum innermost-loop iterations across the request's
+    /// interpreter runs.
+    pub max_steps: Option<u64>,
+    /// Wall-clock allowance in milliseconds.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Optimisation flags carried by a request (a subset of `mbbc`'s options).
@@ -149,6 +168,17 @@ fn get_bool(obj: &Json, key: &str) -> Result<bool, ServeError> {
         None | Some(Json::Null) => Ok(false),
         Some(Json::Bool(b)) => Ok(*b),
         Some(_) => Err(bad(format!("`options.{key}` must be a boolean"))),
+    }
+}
+
+fn get_quota(obj: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::UInt(n)) if *n > 0 => Ok(Some(*n)),
+        Some(Json::Num(x)) if *x >= 1.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+            Ok(Some(*x as u64))
+        }
+        Some(_) => Err(bad(format!("`budget.{key}` must be a positive integer"))),
     }
 }
 
@@ -201,7 +231,67 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         flags.regroup = get_bool(options, "regroup")?;
     }
 
-    Ok(Request { kind, program, machine, flags })
+    let mut budget = RequestBudget::default();
+    match doc.get("budget") {
+        None | Some(Json::Null) => {}
+        Some(b @ Json::Obj(_)) => {
+            budget.max_steps = get_quota(b, "max_steps")?;
+            budget.deadline_ms = get_quota(b, "deadline_ms")?;
+        }
+        Some(_) => return Err(bad("`budget` must be an object")),
+    }
+
+    Ok(Request { kind, program, machine, flags, budget })
+}
+
+/// The outcome of reading one length-bounded request line.
+pub enum Line {
+    /// A complete request line (without the newline).
+    Full(Vec<u8>),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the size limit; the framing is lost.
+    TooLarge,
+    /// Read failure (including timeout).
+    Gone,
+}
+
+/// Reads one newline-terminated line from `reader`, bounded by `max`
+/// bytes.  This is the server's framing primitive; it never blocks past
+/// the reader's own timeout and never allocates more than `max` bytes
+/// (plus one buffered chunk) regardless of input.
+pub fn read_line_limited<R: BufRead + ?Sized>(reader: &mut R, max: usize) -> Line {
+    let mut buf = Vec::new();
+    loop {
+        let (found, used) = {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Line::Gone,
+            };
+            if chunk.is_empty() {
+                // EOF; a partial trailing line is discarded.
+                return Line::Eof;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&chunk[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    buf.extend_from_slice(chunk);
+                    (false, chunk.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > max {
+            return Line::TooLarge;
+        }
+        if found {
+            return Line::Full(buf);
+        }
+    }
 }
 
 /// Assembles a success response line (no trailing newline).  `result` is
@@ -303,6 +393,43 @@ mod tests {
         let e = doc.get("error").unwrap();
         assert_eq!(e.get("code").and_then(|c| c.as_str()), Some("parse"));
         assert_eq!(e.get("exit_code"), Some(&Json::UInt(3)));
+    }
+
+    #[test]
+    fn budget_envelope_parses_and_rejects_nonpositive_values() {
+        let r = parse_request(&req(
+            "report",
+            ",\"program\":\"x\",\"budget\":{\"max_steps\":4096,\"deadline_ms\":250}",
+        ))
+        .unwrap();
+        assert_eq!(r.budget, RequestBudget { max_steps: Some(4096), deadline_ms: Some(250) });
+
+        let r = parse_request(&req("report", ",\"program\":\"x\"")).unwrap();
+        assert_eq!(r.budget, RequestBudget::default());
+
+        for bad in [
+            ",\"program\":\"x\",\"budget\":7",
+            ",\"program\":\"x\",\"budget\":{\"max_steps\":0}",
+            ",\"program\":\"x\",\"budget\":{\"deadline_ms\":-5}",
+            ",\"program\":\"x\",\"budget\":{\"max_steps\":\"lots\"}",
+            ",\"program\":\"x\",\"budget\":{\"deadline_ms\":1.5}",
+        ] {
+            let e = parse_request(&req("report", bad)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad} -> {e}");
+        }
+    }
+
+    #[test]
+    fn read_line_limited_frames_and_classifies() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"first\nsecond\npartial".to_vec());
+        assert!(matches!(read_line_limited(&mut r, 64), Line::Full(b) if b == b"first"));
+        assert!(matches!(read_line_limited(&mut r, 64), Line::Full(b) if b == b"second"));
+        // A trailing line without its newline is EOF, not a frame.
+        assert!(matches!(read_line_limited(&mut r, 64), Line::Eof));
+
+        let mut r = Cursor::new(vec![b'x'; 100]);
+        assert!(matches!(read_line_limited(&mut r, 10), Line::TooLarge));
     }
 
     #[test]

@@ -19,19 +19,22 @@
 //! simulate once and return bit-identical bytes.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mbb_bench::json::Json;
+use mbb_ir::budget::Budget;
 
 use crate::analysis;
 use crate::cache::{fnv1a, ResultCache};
 use crate::error::{ErrorKind, ServeError};
+use crate::faults::{self, Site};
 use crate::metrics::Metrics;
-use crate::protocol::{self, Kind};
+use crate::protocol::{self, Kind, Line, RequestBudget};
+use crate::sync::{lock, wait_timeout};
 
 /// Server configuration (see `mbbc serve` for the CLI spelling).
 #[derive(Clone, Debug)]
@@ -52,6 +55,14 @@ pub struct Config {
     /// Exit after this long with no connections and no work (`None` =
     /// serve until a `shutdown` request).
     pub idle_timeout: Option<Duration>,
+    /// Step-quota cap per request: the most innermost-loop iterations one
+    /// request's analysis may interpret (`None` = unlimited).  A request
+    /// envelope's own `budget.max_steps` can tighten this, never loosen
+    /// it.  Overruns get a structured `deadline_exceeded` error.
+    pub request_max_steps: Option<u64>,
+    /// Wall-deadline cap per request, with the same tighten-only
+    /// interaction with the envelope's `budget.deadline_ms`.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for Config {
@@ -64,8 +75,27 @@ impl Default for Config {
             read_timeout: Duration::from_secs(10),
             max_request_bytes: 1 << 20,
             idle_timeout: None,
+            // ~4.3G innermost iterations: far above every paper workload,
+            // but a guaranteed stop for an effectively unbounded nest.
+            request_max_steps: Some(1 << 32),
+            request_deadline: None,
         }
     }
+}
+
+/// The budget a request actually runs under: per axis, the tighter of the
+/// server's cap and the client's ask.
+fn effective_budget(cfg: &Config, req: RequestBudget) -> Budget {
+    let max_steps = match (cfg.request_max_steps, req.max_steps) {
+        (Some(cap), Some(ask)) => Some(cap.min(ask)),
+        (cap, ask) => cap.or(ask),
+    };
+    let ask_wall = req.deadline_ms.map(Duration::from_millis);
+    let wall = match (cfg.request_deadline, ask_wall) {
+        (Some(cap), Some(ask)) => Some(cap.min(ask)),
+        (cap, ask) => cap.or(ask),
+    };
+    Budget { max_steps, wall }
 }
 
 struct Shared {
@@ -138,7 +168,7 @@ pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io:
                 Ok((stream, _)) => {
                     last_activity = Instant::now();
                     shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
-                    let mut q = shared.queue.lock().unwrap();
+                    let mut q = lock(&shared.queue);
                     if q.len() >= shared.cfg.queue_depth {
                         drop(q);
                         shed(stream, &shared);
@@ -152,7 +182,7 @@ pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io:
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if let Some(idle) = shared.cfg.idle_timeout {
                         let quiet = shared.metrics.workers_busy.load(Ordering::Relaxed) == 0
-                            && shared.queue.lock().unwrap().is_empty();
+                            && lock(&shared.queue).is_empty();
                         if quiet && last_activity.elapsed() >= idle {
                             shared.shutdown.store(true, Ordering::SeqCst);
                             continue;
@@ -182,10 +212,15 @@ fn shed(mut stream: TcpStream, shared: &Shared) {
 
 /// Worker loop: pop a connection, serve it, repeat; exit once shutdown is
 /// flagged *and* the queue is drained.
+///
+/// Per-request panics are already caught in [`process_line`]; if one
+/// still escapes `handle_conn` (a connection-level failure outside a
+/// request), the worker counts a respawn and continues in place rather
+/// than unwinding out of the pool — the loop *is* the respawned worker.
 fn worker(shared: &Shared) {
     loop {
         let stream = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock(&shared.queue);
             loop {
                 if let Some(s) = q.pop_front() {
                     shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
@@ -194,59 +229,16 @@ fn worker(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (guard, _) = shared.cv.wait_timeout(q, Duration::from_millis(100)).unwrap();
-                q = guard;
+                q = wait_timeout(&shared.cv, q, Duration::from_millis(100));
             }
         };
         let Some(stream) = stream else { return };
         shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
-        handle_conn(stream, shared);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_conn(stream, shared)));
         shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-enum Line {
-    /// A complete request line (without the newline).
-    Full(Vec<u8>),
-    /// Clean end of stream.
-    Eof,
-    /// The line exceeded the size limit; the framing is lost.
-    TooLarge,
-    /// Read failure (including timeout).
-    Gone,
-}
-
-/// Reads one newline-terminated line, bounded by `max` bytes.
-fn read_line_limited(reader: &mut BufReader<TcpStream>, max: usize) -> Line {
-    let mut buf = Vec::new();
-    loop {
-        let (found, used) = {
-            let chunk = match reader.fill_buf() {
-                Ok(c) => c,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return Line::Gone,
-            };
-            if chunk.is_empty() {
-                // EOF; a partial trailing line is discarded.
-                return Line::Eof;
-            }
-            match chunk.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    buf.extend_from_slice(&chunk[..pos]);
-                    (true, pos + 1)
-                }
-                None => {
-                    buf.extend_from_slice(chunk);
-                    (false, chunk.len())
-                }
-            }
-        };
-        reader.consume(used);
-        if buf.len() > max {
-            return Line::TooLarge;
-        }
-        if found {
-            return Line::Full(buf);
+        if outcome.is_err() {
+            shared.metrics.worker_respawns_total.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -261,7 +253,10 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(clone);
     let mut writer = stream;
     loop {
-        match read_line_limited(&mut reader, shared.cfg.max_request_bytes) {
+        if faults::fire(Site::ConnRead) {
+            return; // injected fault: connection dropped mid-stream
+        }
+        match protocol::read_line_limited(&mut reader, shared.cfg.max_request_bytes) {
             Line::Eof | Line::Gone => return,
             Line::TooLarge => {
                 let e = ServeError::new(
@@ -280,6 +275,13 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
                 }
                 let (mut resp, drain) = process_line(&line, shared);
                 resp.push('\n');
+                if faults::fire(Site::ConnWriteShort) {
+                    // Injected fault: half a response, then a dropped
+                    // connection.  The newline never arrives, so a client
+                    // can not mistake the prefix for a frame.
+                    let _ = writer.write_all(&resp.as_bytes()[..resp.len() / 2]);
+                    return;
+                }
                 if writer.write_all(resp.as_bytes()).is_err() {
                     return;
                 }
@@ -297,13 +299,25 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
 
 /// Processes one request line; returns the response line (no newline)
 /// and whether a graceful drain was requested.
+///
+/// This is the panic-isolation boundary: a panic anywhere in request
+/// handling — a transform bug, a poisoned invariant, an injected fault —
+/// is caught here and answered with a structured `internal` error, so the
+/// connection and worker keep serving.
 fn process_line(line: &[u8], shared: &Shared) -> (String, bool) {
     let meter = mbb_bench::runner::Meter::start();
-    let out = respond(line, shared);
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(line, shared)));
     shared.metrics.latency.observe(meter.finish().busy());
     match out {
-        Ok((resp, drain)) => (resp, drain),
-        Err(e) => {
+        Ok(Ok((resp, drain))) => (resp, drain),
+        Ok(Err(e)) => {
+            shared.metrics.count_error(e.kind);
+            (protocol::error_response(&e), false)
+        }
+        Err(_panic) => {
+            shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+            let e =
+                ServeError::new(ErrorKind::Internal, "internal error: request handler panicked");
             shared.metrics.count_error(e.kind);
             (protocol::error_response(&e), false)
         }
@@ -311,6 +325,14 @@ fn process_line(line: &[u8], shared: &Shared) -> (String, bool) {
 }
 
 fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
+    if faults::fire(Site::HandlerDelay) {
+        if let Some(d) = faults::handler_delay() {
+            std::thread::sleep(d);
+        }
+    }
+    if faults::fire(Site::HandlerPanic) {
+        panic!("{}", faults::PANIC_PAYLOAD);
+    }
     let text = std::str::from_utf8(line)
         .map_err(|_| ServeError::new(ErrorKind::BadRequest, "request is not UTF-8"))?;
     let req = protocol::parse_request(text)?;
@@ -333,7 +355,8 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
         }
         kind => {
             let src = req.program.as_deref().expect("enforced by parse_request");
-            let opts = req.flags.to_options(&req.machine)?;
+            let mut opts = req.flags.to_options(&req.machine)?;
+            opts.budget = effective_budget(&shared.cfg, req.budget);
             let prog = analysis::load(src)?;
             // Key on the *resolved* machine name (aliases collapse, scaled
             // variants stay distinct) and the canonical pretty-printed
@@ -447,6 +470,103 @@ mod tests {
         assert!(drain);
         let doc = Json::parse(&resp).unwrap();
         assert_eq!(doc.get("result").and_then(|r| r.get("draining")), Some(&Json::Bool(true)));
+    }
+
+    /// ~2.6M innermost iterations: quick unbudgeted, far over any small
+    /// step quota.
+    const BIG_REQ: &str = "{\"schema\":\"mbb-serve/1\",\"kind\":\"optimize\",\"program\":\"array a[8]\\nscalar s = 0  // printed\\nfor i = 0, 327679\\n  for j = 0, 7\\n    s = (s + a[j])\\n  end for\\nend for\\n\"}";
+
+    fn error_code(resp: &Json) -> Option<String> {
+        resp.get("error").and_then(|e| e.get("code")).and_then(|c| c.as_str()).map(str::to_string)
+    }
+
+    #[test]
+    fn config_step_cap_turns_unbounded_optimize_into_deadline_exceeded() {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            cache: ResultCache::new(1 << 20, 2),
+            cfg: Config { request_max_steps: Some(4096), ..Config::default() },
+        });
+        let resp = process(&shared, BIG_REQ);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
+        assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"), "{resp:?}");
+        assert_eq!(shared.metrics.errors_of(ErrorKind::DeadlineExceeded), 1);
+        // Budget errors are not cached, and the worker serves normal
+        // requests afterwards.
+        assert_eq!(shared.cache.stats().entries, 0);
+        let ok = process(&shared, REQ);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)), "{ok:?}");
+    }
+
+    #[test]
+    fn envelope_budget_tightens_but_cannot_loosen_the_config_cap() {
+        let shared = test_shared(); // default cap: 2^32 steps
+        let tight = BIG_REQ.replace(
+            "\"kind\":\"optimize\"",
+            "\"kind\":\"optimize\",\"budget\":{\"max_steps\":4096}",
+        );
+        let resp = process(&shared, &tight);
+        assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"), "{resp:?}");
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            cache: ResultCache::new(1 << 20, 2),
+            cfg: Config { request_max_steps: Some(4096), ..Config::default() },
+        });
+        let loose = BIG_REQ.replace(
+            "\"kind\":\"optimize\"",
+            "\"kind\":\"optimize\",\"budget\":{\"max_steps\":99999999999}",
+        );
+        let resp = process(&shared, &loose);
+        assert_eq!(
+            error_code(&resp).as_deref(),
+            Some("deadline_exceeded"),
+            "a client ask must not loosen the server cap: {resp:?}"
+        );
+    }
+
+    #[test]
+    fn effective_budget_takes_the_tighter_axis() {
+        let cfg = Config {
+            request_max_steps: Some(1000),
+            request_deadline: Some(Duration::from_millis(50)),
+            ..Config::default()
+        };
+        let b =
+            effective_budget(&cfg, RequestBudget { max_steps: Some(2000), deadline_ms: Some(10) });
+        assert_eq!(b.max_steps, Some(1000));
+        assert_eq!(b.wall, Some(Duration::from_millis(10)));
+        let b = effective_budget(&cfg, RequestBudget::default());
+        assert_eq!(b.max_steps, Some(1000));
+        assert_eq!(b.wall, Some(Duration::from_millis(50)));
+        let none = Config { request_max_steps: None, request_deadline: None, ..Config::default() };
+        assert!(effective_budget(&none, RequestBudget::default()).is_unlimited());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_handler_panic_yields_internal_error_and_counts() {
+        let _t = crate::faults::TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let shared = test_shared();
+        let resp = {
+            let _g = crate::faults::install(
+                crate::faults::FaultPlan::new(3).rate(Site::HandlerPanic, 1024),
+            );
+            process(&shared, REQ)
+        };
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
+        assert_eq!(error_code(&resp).as_deref(), Some("internal"), "{resp:?}");
+        assert_eq!(shared.metrics.panics_total.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.metrics.errors_of(ErrorKind::Internal), 1);
+        // Disarmed again: the same request now succeeds on the same state.
+        let ok = process(&shared, REQ);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)), "{ok:?}");
     }
 
     #[test]

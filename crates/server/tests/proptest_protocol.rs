@@ -1,0 +1,146 @@
+//! Property tests for the `mbb-serve/1` framing and envelope parsing.
+//!
+//! Both functions sit directly on the network boundary, so they must be
+//! *total* over untrusted input: [`read_line_limited`] has to terminate
+//! with the right classification on any byte stream (including pathological
+//! chunking), and [`parse_request`] has to return a structured
+//! `bad-request` error — never panic or hang — on anything that is not a
+//! well-formed envelope.
+
+use std::io::{BufReader, Cursor};
+
+use mbb_server::client::request;
+use mbb_server::protocol::{parse_request, read_line_limited, Line};
+use mbb_server::ErrorKind;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Bytes with newlines common enough that multi-line framings appear.
+fn arb_stream() -> impl Strategy<Value = Vec<u8>> {
+    vec(
+        prop_oneof![
+            Just(b'\n'),
+            Just(b'\n'),
+            Just(b'{'),
+            Just(b'}'),
+            Just(b'"'),
+            Just(b'\\'),
+            Just(b'\r'),
+            Just(0u8),
+            Just(0xFFu8),
+            0u8..=255u8,
+        ],
+        0..64,
+    )
+}
+
+/// The specified framing of `read_line_limited`, derived independently:
+/// each `\n`-terminated line yields `Full` when it fits in `max` and
+/// `TooLarge` otherwise (losing the rest of the stream).  A trailing
+/// unterminated fragment is `Eof` when it fits — but `TooLarge` when it
+/// does not, since the bound is enforced per buffered chunk, before EOF
+/// can be observed.
+fn expected_frames(stream: &[u8], max: usize) -> Vec<Result<Vec<u8>, ()>> {
+    let mut out = Vec::new();
+    let mut rest = stream;
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let line = &rest[..pos];
+        if line.len() > max {
+            out.push(Err(()));
+            return out; // framing is lost; the reader stops here
+        }
+        out.push(Ok(line.to_vec()));
+        rest = &rest[pos + 1..];
+    }
+    if rest.len() > max {
+        out.push(Err(()));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn framing_matches_the_specification_on_any_stream(
+        stream in arb_stream(),
+        max in 0usize..32,
+        chunk in 1usize..9,
+    ) {
+        // A tiny BufReader capacity forces the continuation path: lines
+        // arrive split across many fill_buf chunks.
+        let mut reader = BufReader::with_capacity(chunk, Cursor::new(stream.clone()));
+        for want in expected_frames(&stream, max) {
+            match (read_line_limited(&mut reader, max), want) {
+                (Line::Full(got), Ok(want)) => prop_assert_eq!(got, want),
+                (Line::TooLarge, Err(())) => return Ok(()), // framing lost: done
+                (got, want) => prop_assert!(
+                    false,
+                    "misframed {:?} with max {}: wanted {:?}, got {}",
+                    stream,
+                    max,
+                    want,
+                    match got {
+                        Line::Full(b) => format!("Full({b:?})"),
+                        Line::Eof => "Eof".into(),
+                        Line::TooLarge => "TooLarge".into(),
+                        Line::Gone => "Gone".into(),
+                    }
+                ),
+            }
+        }
+        prop_assert!(matches!(read_line_limited(&mut reader, max), Line::Eof));
+    }
+
+    #[test]
+    fn arbitrary_garbage_parses_to_a_structured_bad_request(stream in arb_stream()) {
+        let text = String::from_utf8_lossy(&stream);
+        if let Err(e) = parse_request(&text) {
+            prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+            prop_assert!(!e.message.is_empty());
+        }
+        // (The astronomically unlikely Ok — garbage that happens to be a
+        // valid envelope — is fine; the property is "no panic, structured
+        // error".)
+    }
+
+    #[test]
+    fn truncated_valid_requests_never_panic(cut in 0usize..200) {
+        let full = request("optimize", Some("array a[8]\nfor i = 0, 7\n  a[i] = 1\nend for\n"), "origin")
+            .render_compact();
+        let cut = cut.min(full.len());
+        if !full.is_char_boundary(cut) {
+            return Ok(());
+        }
+        let truncated = &full[..cut];
+        if truncated.len() < full.len() {
+            let e = parse_request(truncated).unwrap_err();
+            prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+        } else {
+            prop_assert!(parse_request(truncated).is_ok());
+        }
+    }
+
+    #[test]
+    fn interleaved_garbage_fields_never_break_the_parser(
+        key in vec(prop_oneof![Just('a'), Just('"'), Just('\\'), Just('{'), Just('0')], 0..8),
+        num in 0u64..1_000_000,
+    ) {
+        let key: String = key.into_iter().collect();
+        let line = format!(
+            "{{\"schema\":\"mbb-serve/1\",\"kind\":\"machines\",\"{}\":{num},\"budget\":{{\"max_steps\":{num}}}}}",
+            key.escape_default()
+        );
+        match parse_request(&line) {
+            Ok(r) => {
+                // Unknown fields are ignored; the budget must have parsed.
+                prop_assert_eq!(r.budget.max_steps, if num > 0 { Some(num) } else { None });
+            }
+            Err(e) => {
+                // num == 0 makes the budget invalid; anything else that
+                // fails must still be a structured bad-request.
+                prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+            }
+        }
+    }
+}

@@ -212,6 +212,61 @@ fn queue_saturation_sheds_with_busy_responses_and_never_hangs() {
     thread.join().unwrap();
 }
 
+/// ~2.6M innermost iterations: effectively unbounded next to a 4096-step
+/// quota, but quick enough to finish if a budget bug ever lets it run.
+const HUGE: &str = "program huge\narray a[8]\nscalar s = 0  // printed\nfor i = 0, 327679\n  for j = 0, 7\n    s = (s + a[j])\n  end for\nend for\n";
+
+#[test]
+fn unbounded_optimize_gets_deadline_exceeded_and_the_worker_survives() {
+    let (addr, handle, thread) = start(Config {
+        workers: 1, // the budgeted request and the follow-ups share one worker
+        request_max_steps: Some(4096),
+        ..Config::default()
+    });
+    let mut c = connect(addr);
+
+    let resp = c.analyze("optimize", HUGE, "origin").unwrap();
+    let err = expect_ok(&resp).unwrap_err();
+    assert_eq!(err.kind, mbb_server::ErrorKind::DeadlineExceeded, "{resp:?}");
+
+    // Same connection, same (only) worker: normal service continues.
+    for _ in 0..3 {
+        let resp = c.analyze("report", SUM, "origin").unwrap();
+        expect_ok(&resp).unwrap();
+    }
+    // The failed analysis occupies no cache entry.
+    assert_eq!(handle.cache().stats().entries, 1, "only the report result is cached");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn request_envelope_budget_and_wall_deadline_trip_per_request() {
+    let (addr, handle, thread) = start(Config { workers: 2, ..Config::default() });
+    let mut c = connect(addr);
+
+    // A per-request step quota trips even though the server cap is loose.
+    let req = mbb_server::client::request_with_budget("report", Some(HUGE), "origin", 4096, 0);
+    let resp = c.roundtrip(&req).unwrap();
+    let err = expect_ok(&resp).unwrap_err();
+    assert_eq!(err.kind, mbb_server::ErrorKind::DeadlineExceeded, "{resp:?}");
+
+    // A 1 ms wall deadline cannot cover millions of iterations either.
+    let req = mbb_server::client::request_with_budget("trace-stats", Some(HUGE), "origin", 0, 1);
+    let resp = c.roundtrip(&req).unwrap();
+    let err = expect_ok(&resp).unwrap_err();
+    assert_eq!(err.kind, mbb_server::ErrorKind::DeadlineExceeded, "{resp:?}");
+
+    // The same program without a budget envelope completes (server default
+    // cap is far above 2.6M steps) — budgets are per request, not sticky.
+    let resp = c.analyze("report", HUGE, "origin").unwrap();
+    expect_ok(&resp).unwrap();
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
 #[test]
 fn shutdown_request_drains_and_serve_returns() {
     let (addr, _handle, thread) = start(Config { workers: 2, ..Config::default() });
