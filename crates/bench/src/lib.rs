@@ -10,6 +10,7 @@
 //! simulator's perf-regression gate (`repro gate`), defending the hot
 //! path every experiment runs on.
 
+pub mod chrometrace;
 pub mod experiments;
 pub mod json;
 pub mod perfgate;

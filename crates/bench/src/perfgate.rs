@@ -237,6 +237,9 @@ fn sweep_kernel(n: usize, angles: usize) {
 
 /// Runs the whole gate suite.
 pub fn run_gate(sizes: &GateSizes, mode: &'static str, reps: u32) -> GateReport {
+    // The gate certifies the *untraced* hot path; a collector left live by
+    // a caller would silently measure tracing overhead instead.
+    assert!(!mbb_obs::timing_enabled(), "perf gate must run with tracing disabled");
     let kernels = vec![
         measure("triad", reps, || triad_kernel(sizes.triad_n)),
         measure("fft", reps, || fft_kernel(sizes.fft_n)),

@@ -248,17 +248,11 @@ pub fn strip_timing(doc: &mut Json) {
 // Wall-clock + event metering for one-off runs (`mbbc report`)
 // ---------------------------------------------------------------------------
 
-/// Time this thread has spent on-CPU, from the scheduler's own accounting
-/// (`/proc/thread-self/schedstat`, nanosecond resolution).  Unlike
-/// wall-clock it does not count time stolen by other processes, which is
-/// what makes the perf gate usable on busy shared runners.  `None` where
-/// the kernel or platform doesn't expose it.
+/// Time this thread has spent on-CPU, from the scheduler's own accounting.
+/// The reader itself lives in `mbb-obs` (span CPU attribution uses the
+/// same clock); the perf gate and `Meter` read it through this alias.
 fn thread_on_cpu() -> Option<Duration> {
-    let text = std::fs::read_to_string("/proc/thread-self/schedstat")
-        .or_else(|_| std::fs::read_to_string("/proc/self/schedstat"))
-        .ok()?;
-    let ns: u64 = text.split_whitespace().next()?.parse().ok()?;
-    Some(Duration::from_nanos(ns))
+    mbb_obs::thread_on_cpu()
 }
 
 /// Meters wall-clock and simulated events over a region of the current

@@ -118,6 +118,74 @@ pub fn cmd_trace_stats(src: &str, opts: &Options) -> Result<String, ServeError> 
     Ok(out)
 }
 
+/// A profiled analysis run: the report text with per-nest attribution
+/// tables appended, plus the labeled span profiles (one per timeline
+/// track) for `--trace-out` export.
+pub struct Profiled {
+    pub text: String,
+    pub profiles: Vec<(String, mbb_obs::Profile)>,
+}
+
+/// Renders one per-nest attribution table, or an honest placeholder when
+/// the profile carries no interpreter run under `phase`.
+fn nest_section(title: &str, profile: &mbb_obs::Profile, phase: Option<&str>) -> String {
+    match mbb_core::profile::nest_table_under(profile, phase) {
+        Some(table) => format!("{title}\n{}", mbb_core::profile::render(&table)),
+        None => format!("{title}\n  (no interpreter run profiled)\n"),
+    }
+}
+
+/// The `report --profile` command: the ordinary report followed by the
+/// per-nest bandwidth attribution of the measurement run.
+pub fn cmd_report_profiled(src: &str, opts: &Options) -> Result<Profiled, ServeError> {
+    let p = load(src)?;
+    let opts = Options { profile: true, ..opts.clone() };
+    let a = analysis::report(&p, &opts)?;
+    let profile = a.profile.expect("profile requested");
+    let mut text = a.text;
+    let _ = write!(text, "\n{}", nest_section("per-nest attribution:", &profile, None));
+    Ok(Profiled { text, profiles: vec![("report".to_string(), profile)] })
+}
+
+/// The `trace-stats --profile` command.
+pub fn cmd_trace_stats_profiled(src: &str, opts: &Options) -> Result<Profiled, ServeError> {
+    let p = load(src)?;
+    let opts = Options { profile: true, ..opts.clone() };
+    let a = analysis::trace_stats(&p, &opts)?;
+    let profile = a.profile.expect("profile requested");
+    let mut text = a.text;
+    let _ = write!(text, "\n{}", nest_section("per-nest attribution:", &profile, None));
+    Ok(Profiled { text, profiles: vec![("trace-stats".to_string(), profile)] })
+}
+
+/// The `advise --profile` command.
+pub fn cmd_advise_profiled(src: &str, opts: &Options) -> Result<Profiled, ServeError> {
+    let p = load(src)?;
+    let opts = Options { profile: true, ..opts.clone() };
+    let a = analysis::advise(&p, &opts)?;
+    let profile = a.profile.expect("profile requested");
+    let mut text = a.text;
+    let _ = write!(text, "\n{}", nest_section("per-nest attribution:", &profile, None));
+    Ok(Profiled { text, profiles: vec![("advise".to_string(), profile)] })
+}
+
+/// The `optimize --profile` command; returns the profiled report (with
+/// *before* and *after* attribution tables) and the optimised source.
+pub fn cmd_optimize_profiled(src: &str, opts: &Options) -> Result<(Profiled, String), ServeError> {
+    let p = load(src)?;
+    let opts = Options { profile: true, ..opts.clone() };
+    let (a, optimized) = analysis::optimize(&p, &opts)?;
+    let profile = a.profile.expect("profile requested");
+    let mut text = a.text;
+    let _ = write!(
+        text,
+        "\n{}\n{}",
+        nest_section("per-nest attribution (before):", &profile, Some("before")),
+        nest_section("per-nest attribution (after):", &profile, Some("after")),
+    );
+    Ok((Profiled { text, profiles: vec![("optimize".to_string(), profile)] }, optimized))
+}
+
 /// The `optimize` command; returns `(report, optimized_source)`.
 pub fn cmd_optimize(src: &str, opts: &Options) -> Result<(String, String), ServeError> {
     let p = load(src)?;
@@ -185,6 +253,33 @@ program fig7
         let rp = mbb_ir::interp::run(&p).unwrap();
         let rq = mbb_ir::interp::run(&q).unwrap();
         assert!(rp.observation.approx_eq(&rq.observation, 1e-9));
+    }
+
+    #[test]
+    fn profiled_report_appends_a_nest_table_that_sums_to_the_report() {
+        let out = cmd_report_profiled(SRC, &Options::default()).unwrap();
+        assert!(out.text.contains("per-nest attribution:"), "{}", out.text);
+        // Both loop nests appear as rows, plus the total row.
+        assert!(out.text.contains("nest:"), "{}", out.text);
+        assert!(out.text.contains("total"), "{}", out.text);
+        assert_eq!(out.profiles.len(), 1);
+        let (label, profile) = &out.profiles[0];
+        assert_eq!(label, "report");
+
+        // The table's totals are exactly the whole-program measurement.
+        let table = mbb_core::profile::nest_table(profile).expect("table");
+        let p = load(SRC).unwrap();
+        let a = mbb_server::analysis::report(&p, &Options::default()).unwrap();
+        let flops = a.data.get("flops").and_then(|j| j.as_f64()).unwrap();
+        assert_eq!(table.flops as f64, flops);
+    }
+
+    #[test]
+    fn profiled_optimize_shows_before_and_after_tables() {
+        let (out, optimized) = cmd_optimize_profiled(SRC, &Options::default()).unwrap();
+        assert!(out.text.contains("per-nest attribution (before):"), "{}", out.text);
+        assert!(out.text.contains("per-nest attribution (after):"), "{}", out.text);
+        assert!(load(&optimized).is_ok());
     }
 
     #[test]

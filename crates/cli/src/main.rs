@@ -23,8 +23,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use mbb_cli::{
-    cmd_advise, cmd_optimize, cmd_report, cmd_run, cmd_trace_stats, machine_by_name, ErrorKind,
-    Options, ServeError,
+    cmd_advise, cmd_advise_profiled, cmd_optimize, cmd_optimize_profiled, cmd_report,
+    cmd_report_profiled, cmd_run, cmd_trace_stats, cmd_trace_stats_profiled, machine_by_name,
+    ErrorKind, Options, Profiled, ServeError,
 };
 use mbb_core::pipeline::FusionStrategy;
 
@@ -38,6 +39,8 @@ fn usage() -> &'static str {
        --normalize                           expand + distribute before fusing\n\
        --regroup                             interleave co-accessed arrays\n\
        --emit                                print the optimised program\n\
+       --profile                             append per-loop-nest bandwidth attribution\n\
+       --trace-out FILE                      write a Chrome trace-event JSON profile\n\
      server options:\n\
        --addr HOST:PORT   bind address (default 127.0.0.1:7455; port 0 = pick)\n\
        --workers N        worker threads (default 4)\n\
@@ -146,9 +149,22 @@ fn main() -> ExitCode {
 
     let mut opts = Options::default();
     let mut emit = false;
+    let mut profile = false;
+    let mut trace_out: Option<String> = None;
     let mut k = 2;
     while k < args.len() {
         match args[k].as_str() {
+            "--profile" => profile = true,
+            "--trace-out" => {
+                k += 1;
+                match args.get(k) {
+                    Some(path) => trace_out = Some(path.clone()),
+                    None => {
+                        eprintln!("mbbc: --trace-out needs a file path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--machine" => {
                 k += 1;
                 match args.get(k).map(|m| machine_by_name(m)) {
@@ -179,21 +195,53 @@ fn main() -> ExitCode {
         k += 1;
     }
 
-    let result = read_source(file).and_then(|src| match cmd.as_str() {
-        "run" => cmd_run(&src),
-        "trace" => mbb_cli::cmd_trace(&src),
-        "graph" => mbb_cli::cmd_graph(&src),
-        "report" => cmd_report(&src, &opts),
-        "advise" => cmd_advise(&src, &opts),
-        "trace-stats" => cmd_trace_stats(&src, &opts),
-        "optimize" | "optimise" => cmd_optimize(&src, &opts).map(|(report, program)| {
-            if emit {
-                format!("{report}\n{program}")
-            } else {
-                report
+    let want_profile = profile || trace_out.is_some();
+    let result = read_source(file).and_then(|src| {
+        if !want_profile {
+            return match cmd.as_str() {
+                "run" => cmd_run(&src),
+                "trace" => mbb_cli::cmd_trace(&src),
+                "graph" => mbb_cli::cmd_graph(&src),
+                "report" => cmd_report(&src, &opts),
+                "advise" => cmd_advise(&src, &opts),
+                "trace-stats" => cmd_trace_stats(&src, &opts),
+                "optimize" | "optimise" => cmd_optimize(&src, &opts).map(|(report, program)| {
+                    if emit {
+                        format!("{report}\n{program}")
+                    } else {
+                        report
+                    }
+                }),
+                other => unreachable!("command `{other}` validated above"),
+            };
+        }
+        let profiled: Profiled = match cmd.as_str() {
+            "report" => cmd_report_profiled(&src, &opts)?,
+            "advise" => cmd_advise_profiled(&src, &opts)?,
+            "trace-stats" => cmd_trace_stats_profiled(&src, &opts)?,
+            "optimize" | "optimise" => {
+                let (p, program) = cmd_optimize_profiled(&src, &opts)?;
+                if emit {
+                    Profiled { text: format!("{}\n{program}", p.text), profiles: p.profiles }
+                } else {
+                    p
+                }
             }
-        }),
-        other => unreachable!("command `{other}` validated above"),
+            other => {
+                return Err(ServeError::new(
+                    ErrorKind::BadRequest,
+                    format!("--profile/--trace-out do not apply to `{other}`"),
+                ))
+            }
+        };
+        if let Some(path) = &trace_out {
+            let tracks: Vec<(&str, &mbb_obs::Profile)> =
+                profiled.profiles.iter().map(|(label, p)| (label.as_str(), p)).collect();
+            let doc = mbb_bench::chrometrace::chrome_trace(&tracks);
+            std::fs::write(path, doc.render())
+                .map_err(|e| ServeError::new(ErrorKind::Io, format!("{path}: {e}")))?;
+        }
+        Ok(profiled.text)
     });
 
     match result {

@@ -114,8 +114,18 @@ pub fn measure_program_balance_with_layout(
     layout: LayoutOpts,
 ) -> Result<ProgramBalance, InterpError> {
     let mut h = machine.hierarchy();
-    let run = Interpreter::with_layout(prog, layout).run(&mut h)?;
-    h.flush();
+    let run = {
+        // The "interp" span covers the whole interpretation; inside it the
+        // interpreter opens one "nest:<name>" span per loop nest, so the
+        // nest spans plus the sibling "flush" below partition this run's
+        // traffic exactly (see `crate::profile`).
+        let _s = mbb_obs::span!("interp");
+        Interpreter::with_layout(prog, layout).run(&mut h)?
+    };
+    {
+        let _s = mbb_obs::span!("flush");
+        h.flush();
+    }
     Ok(balance_from_report(&prog.name, h.report(), run.stats.flops))
 }
 
@@ -129,10 +139,17 @@ pub fn measure_native_balance(
     let mut h = machine.hierarchy();
     // Native kernels emit one event at a time; batch them on the way in.
     let flops = {
+        let _s = mbb_obs::span!("native");
         let mut buffered = Buffered::new(&mut h);
-        kernel(&mut buffered)
+        let flops = kernel(&mut buffered);
+        drop(buffered);
+        mbb_obs::add_flops(flops);
+        flops
     };
-    h.flush();
+    {
+        let _s = mbb_obs::span!("flush");
+        h.flush();
+    }
     balance_from_report(name, h.report(), flops)
 }
 

@@ -31,6 +31,7 @@ pub mod expand;
 pub mod fusion;
 pub mod interchange;
 pub mod pipeline;
+pub mod profile;
 pub mod regroup;
 pub mod storage;
 pub mod stores;

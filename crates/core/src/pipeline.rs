@@ -138,6 +138,7 @@ pub fn optimize(prog: &Program, opts: OptimizeOptions) -> OptimizeOutcome {
     let storage_before = prog.storage_bytes();
     let normalized;
     let prog = if opts.normalize {
+        let _s = mbb_obs::span!("normalize");
         normalized = normalize(prog);
         &normalized
     } else {
@@ -149,6 +150,7 @@ pub fn optimize(prog: &Program, opts: OptimizeOptions) -> OptimizeOutcome {
     let (mut cur, partitioning, fused_cost) = match opts.fusion {
         FusionStrategy::None => (prog.clone(), None, unfused_cost),
         strategy => {
+            let _s = mbb_obs::span!("fuse");
             let p = match strategy {
                 FusionStrategy::Greedy => greedy_fusion(&graph),
                 FusionStrategy::Bisection => crate::fusion::recursive_bisection_fusion(&graph),
@@ -167,6 +169,7 @@ pub fn optimize(prog: &Program, opts: OptimizeOptions) -> OptimizeOutcome {
     };
 
     let shrink_actions = if opts.shrink {
+        let _s = mbb_obs::span!("shrink");
         let (next, actions) = shrink_storage(&cur);
         cur = next;
         actions
@@ -175,6 +178,7 @@ pub fn optimize(prog: &Program, opts: OptimizeOptions) -> OptimizeOutcome {
     };
 
     let store_eliminations = if opts.eliminate_stores {
+        let _s = mbb_obs::span!("store-elim");
         let (next, reports) = eliminate_all_stores(&cur);
         cur = next;
         reports
@@ -198,6 +202,7 @@ pub fn optimize(prog: &Program, opts: OptimizeOptions) -> OptimizeOutcome {
 /// tolerance (fusion may reassociate reductions).  Returns the first
 /// mismatch description, if any.
 pub fn verify_equivalent(a: &Program, b: &Program, rel_tol: f64) -> Result<(), String> {
+    let _s = mbb_obs::span!("verify");
     let ra = interp::run(a).map_err(|e| format!("original failed: {e}"))?;
     let rb = interp::run(b).map_err(|e| format!("optimised failed: {e}"))?;
     match ra.observation.diff(&rb.observation, rel_tol) {

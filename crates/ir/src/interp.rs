@@ -332,8 +332,23 @@ impl<'p> Interpreter<'p> {
             self.fuel = crate::budget::CHECK_BLOCK;
         }
         let mut buffered = Buffered::new(sink);
-        for nest in &self.prog.nests {
-            self.run_nest(nest, &mut buffered)?;
+        if mbb_obs::timing_enabled() {
+            // Per-nest attribution: each nest gets a span, and the batch
+            // buffer is flushed at every nest boundary so its accesses are
+            // simulated — and therefore counted — inside the right span.
+            // Flops are attributed by diffing the run's own counter.
+            for nest in &self.prog.nests {
+                let _span = mbb_obs::span!("nest:{}", nest.name);
+                let flops_before = self.stats.flops;
+                let result = self.run_nest(nest, &mut buffered);
+                buffered.flush();
+                mbb_obs::add_flops(self.stats.flops - flops_before);
+                result?;
+            }
+        } else {
+            for nest in &self.prog.nests {
+                self.run_nest(nest, &mut buffered)?;
+            }
         }
         buffered.flush();
         let observation = self.observe();

@@ -28,11 +28,23 @@ pub(crate) fn record() {
 #[inline]
 pub(crate) fn record_n(n: u64) {
     SIM_EVENTS.with(|c| c.set(c.get().wrapping_add(n)));
+    // Mirror into the span-attribution odometer; inert (one relaxed
+    // load) unless an mbb-obs Full collector is live.
+    mbb_obs::tick_accesses(n);
 }
 
 /// Total simulated access events observed on this thread so far.
 pub fn so_far() -> u64 {
     SIM_EVENTS.with(Cell::get)
+}
+
+/// A snapshot of this thread's full simulation odometer — the events
+/// counter above plus the per-level byte/miss/writeback counters the
+/// hierarchy ticks into `mbb-obs`.  Span attribution diffs two of these;
+/// exposed here so callers that already depend on `mbb-memsim` need not
+/// name the obs crate for a plain reading.
+pub fn snapshot() -> mbb_obs::Counters {
+    mbb_obs::snapshot()
 }
 
 #[cfg(test)]

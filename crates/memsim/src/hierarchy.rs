@@ -74,6 +74,7 @@ impl TlbSim {
             return;
         }
         self.misses += 1;
+        mbb_obs::tick_tlb_miss();
         if self.entries.len() == self.capacity {
             self.entries.pop();
         }
@@ -159,6 +160,7 @@ impl Hierarchy {
         for level in 0..self.levels.len() {
             let line = self.levels[level].line_size();
             for victim in self.levels[level].drain_dirty() {
+                mbb_obs::tick_writeback(level);
                 self.do_access(level + 1, victim, line, true, true);
             }
         }
@@ -189,6 +191,7 @@ impl Hierarchy {
         let is_write = a.kind == AccessKind::Write;
         if !self.levels.is_empty() && self.levels[0].covers_one_line(a.addr, size) {
             self.entry_bytes[0] += size;
+            mbb_obs::tick_channel_bytes(0, size);
             let line = self.levels[0].line_size();
             let line_base = a.addr & !(line - 1);
             let covers_line = a.addr == line_base && size == line;
@@ -215,7 +218,9 @@ impl Hierarchy {
         match outcome {
             LineOutcome::Hit => {}
             LineOutcome::Miss { writeback_of, fetched } => {
+                mbb_obs::tick_miss(level);
                 if let Some(victim) = writeback_of {
+                    mbb_obs::tick_writeback(level);
                     self.do_access(level + 1, victim, line, true, true);
                 }
                 if fetched {
@@ -228,13 +233,17 @@ impl Hierarchy {
                     let target = line_base + k * line;
                     if let Some(victim) = self.levels[level].prefetch_line(target) {
                         if let Some(v) = victim {
+                            mbb_obs::tick_writeback(level);
                             self.do_access(level + 1, v, line, true, true);
                         }
                         self.do_access(level + 1, target, line, false, false);
                     }
                 }
             }
-            LineOutcome::WroteThrough { .. } => {
+            LineOutcome::WroteThrough { hit } => {
+                if !hit {
+                    mbb_obs::tick_miss(level);
+                }
                 // Forward the store itself; no allocation here.
                 self.do_access(level + 1, a, seg_size, true, false);
             }
@@ -243,12 +252,15 @@ impl Hierarchy {
 
     fn do_access(&mut self, level: usize, addr: u64, size: u64, is_write: bool, full_line: bool) {
         self.entry_bytes[level] += size;
+        mbb_obs::tick_channel_bytes(level, size);
         if level == self.levels.len() {
             // Memory: infinite, just account.
             if is_write {
                 self.mem_write_bytes += size;
+                mbb_obs::tick_mem_write(size);
             } else {
                 self.mem_read_bytes += size;
+                mbb_obs::tick_mem_read(size);
             }
             return;
         }

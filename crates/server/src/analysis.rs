@@ -35,6 +35,11 @@ pub struct Options {
     /// measurement, timing, tracing, and the equivalence verification all
     /// charge one shared allowance.
     pub budget: Budget,
+    /// Collect a span profile of this analysis: per-phase wall/CPU time
+    /// and per-loop-nest attributed traffic.  Off by default — profiled
+    /// runs pay for the odometer, and their results are per-execution
+    /// facts, so the server skips the cache for them.
+    pub profile: bool,
 }
 
 impl Default for Options {
@@ -44,6 +49,7 @@ impl Default for Options {
             pipeline: OptimizeOptions::default(),
             regroup: false,
             budget: Budget::UNLIMITED,
+            profile: false,
         }
     }
 }
@@ -56,6 +62,105 @@ pub struct Analysis {
     pub text: String,
     /// The structured equivalent, embedded in `mbb-serve/1` responses.
     pub data: Json,
+    /// The span profile, when [`Options::profile`] was set.
+    pub profile: Option<mbb_obs::Profile>,
+}
+
+impl Analysis {
+    fn new(text: String, data: Json) -> Analysis {
+        Analysis { text, data, profile: None }
+    }
+}
+
+/// Runs `f` under a [`Mode::Full`](mbb_obs::Mode::Full) collector when
+/// `enabled`, attaching the finished profile to the result.
+fn profiled<T>(
+    enabled: bool,
+    f: impl FnOnce() -> Result<T, ServeError>,
+    attach: impl FnOnce(&mut T, mbb_obs::Profile),
+) -> Result<T, ServeError> {
+    if !enabled {
+        return f();
+    }
+    let c = mbb_obs::collect(mbb_obs::Mode::Full);
+    let mut out = f()?;
+    attach(&mut out, c.finish());
+    Ok(out)
+}
+
+/// Serialises a profile for the response envelope / `--profile` output:
+/// whole-run timing, every span with its attributed counters, and the
+/// extracted per-nest balance table(s) when the profile contains an
+/// interpretation.
+pub fn profile_json(p: &mbb_obs::Profile) -> Json {
+    let span_json = |s: &mbb_obs::SpanRecord| {
+        let channels = s.delta.channels_used();
+        let mut pairs = vec![
+            ("name".to_string(), Json::str(s.name.clone())),
+            ("depth".to_string(), Json::UInt(s.depth as u64)),
+            ("wall_ns".to_string(), Json::UInt(s.wall_ns)),
+        ];
+        if let Some(p) = s.parent {
+            pairs.push(("parent".into(), Json::UInt(p as u64)));
+        }
+        if let Some(cpu) = s.cpu_ns {
+            pairs.push(("cpu_ns".into(), Json::UInt(cpu)));
+        }
+        if s.delta.accesses > 0 {
+            pairs.push(("accesses".into(), Json::UInt(s.delta.accesses)));
+        }
+        if s.delta.flops > 0 {
+            pairs.push(("flops".into(), Json::UInt(s.delta.flops)));
+        }
+        if channels > 0 {
+            pairs.push((
+                "channel_bytes".into(),
+                Json::arr((0..channels).map(|k| Json::UInt(s.delta.channel_bytes[k]))),
+            ));
+        }
+        Json::Obj(pairs)
+    };
+    let mut pairs = vec![
+        ("wall_ns".to_string(), Json::UInt(p.wall_ns)),
+        ("spans".to_string(), Json::arr(p.spans.iter().map(span_json))),
+    ];
+    if let Some(cpu) = p.cpu_ns {
+        pairs.insert(1, ("cpu_ns".into(), Json::UInt(cpu)));
+    }
+    let table_json = |t: &mbb_core::profile::NestTable| {
+        Json::obj([
+            (
+                "rows",
+                Json::arr(t.rows.iter().map(|r| {
+                    Json::obj([
+                        ("name", Json::str(r.name.clone())),
+                        ("flops", Json::UInt(r.flops)),
+                        (
+                            "channel_bytes",
+                            Json::arr(
+                                (0..t.channels).map(|k| Json::UInt(r.delta.channel_bytes[k])),
+                            ),
+                        ),
+                    ])
+                })),
+            ),
+            ("flops", Json::UInt(t.flops)),
+            (
+                "total_channel_bytes",
+                Json::arr((0..t.channels).map(|k| Json::UInt(t.total.channel_bytes[k]))),
+            ),
+        ])
+    };
+    // One table for single-measurement analyses; before/after for optimize.
+    if let Some(t) = mbb_core::profile::nest_table_under(p, Some("before")) {
+        pairs.push(("nest_table_before".into(), table_json(&t)));
+        if let Some(t) = mbb_core::profile::nest_table_under(p, Some("after")) {
+            pairs.push(("nest_table_after".into(), table_json(&t)));
+        }
+    } else if let Some(t) = mbb_core::profile::nest_table(p) {
+        pairs.push(("nest_table".into(), table_json(&t)));
+    }
+    Json::Obj(pairs)
 }
 
 /// Parses a machine name: `origin` (default), `exemplar`, or
@@ -124,10 +229,24 @@ fn channel_names(n: usize) -> Vec<String> {
 /// The `report` analysis: §2 program balance, ratios, utilisation bound
 /// and predicted time on the chosen machine.
 pub fn report(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    profiled(opts.profile, || report_inner(p, opts), |a, pr| a.profile = Some(pr))
+}
+
+fn report_inner(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
     let _budget = opts.budget.install();
-    let b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
+    // The "measure" phase runs first, so the profile's *first* "interp"
+    // span — the one `nest_table` extracts — is the measurement whose
+    // totals equal the printed report exactly.  `time_program` re-runs the
+    // interpreter under its own phase span.
+    let b = {
+        let _s = mbb_obs::span!("measure");
+        measure_program_balance(p, &opts.machine).map_err(run_error)?
+    };
     let r = ratios(&b, &opts.machine);
-    let t = time_program(p, &opts.machine).map_err(run_error)?;
+    let t = {
+        let _s = mbb_obs::span!("timing");
+        time_program(p, &opts.machine).map_err(run_error)?
+    };
     let supply = opts.machine.balance();
     let names = channel_names(supply.len());
 
@@ -170,11 +289,15 @@ pub fn report(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
         ("predicted_time_s", Json::num(t.time_s)),
         ("bottleneck", Json::str(bottleneck)),
     ]);
-    Ok(Analysis { text: out, data })
+    Ok(Analysis::new(out, data))
 }
 
 /// The `advise` analysis: the §4 bandwidth-tuning report.
 pub fn advise(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    profiled(opts.profile, || advise_inner(p, opts), |a, pr| a.profile = Some(pr))
+}
+
+fn advise_inner(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
     let _budget = opts.budget.install();
     let a = core_advise(p, &opts.machine).map_err(run_error)?;
     let findings = Json::arr(a.arrays.iter().map(|f| match f {
@@ -227,18 +350,32 @@ pub fn advise(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
         ("regroup_groups", regroup),
         ("interchanges", interchanges),
     ]);
-    Ok(Analysis { text: a.to_string(), data })
+    Ok(Analysis::new(a.to_string(), data))
 }
 
 /// The `optimize` analysis; returns the report and the optimised source
 /// (itself parseable) separately, so the CLI can honour `--emit`.
 pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), ServeError> {
+    profiled(opts.profile, || optimize_inner(p, opts), |(a, _), pr| a.profile = Some(pr))
+}
+
+fn optimize_inner(p: &Program, opts: &Options) -> Result<(Analysis, String), ServeError> {
     let _budget = opts.budget.install();
-    let before_t = time_program(p, &opts.machine).map_err(run_error)?;
-    let before_b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
+    // Phase spans: `nest_table_under(profile, "before"/"after")` pulls the
+    // per-nest tables out of these two measurement phases; the pipeline
+    // opens its own stage spans (fuse/shrink/store-elim/verify) inside.
+    let (before_t, before_b) = {
+        let _s = mbb_obs::span!("before");
+        let t = time_program(p, &opts.machine).map_err(run_error)?;
+        let b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
+        (t, b)
+    };
 
     check_deadline()?;
-    let mut outcome = run_pipeline(p, opts.pipeline);
+    let mut outcome = {
+        let _s = mbb_obs::span!("pipeline");
+        run_pipeline(p, opts.pipeline)
+    };
     let mut regroup_actions = Vec::new();
     if opts.regroup {
         let (next, actions) = regroup_all(&outcome.program);
@@ -252,8 +389,12 @@ pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), Serve
         ServeError::new(kind, format!("internal error: transformation changed behaviour: {d}"))
     })?;
 
-    let after_t = time_program(&outcome.program, &opts.machine).map_err(run_error)?;
-    let after_b = measure_program_balance(&outcome.program, &opts.machine).map_err(run_error)?;
+    let (after_t, after_b) = {
+        let _s = mbb_obs::span!("after");
+        let t = time_program(&outcome.program, &opts.machine).map_err(run_error)?;
+        let b = measure_program_balance(&outcome.program, &opts.machine).map_err(run_error)?;
+        (t, b)
+    };
 
     let mut out = String::new();
     let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
@@ -373,16 +514,26 @@ pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), Serve
         ("speedup", Json::num(before_t.time_s / after_t.time_s)),
         ("optimized_program", Json::str(optimized.clone())),
     ]);
-    Ok((Analysis { text: out, data }, optimized))
+    Ok((Analysis::new(out, data), optimized))
 }
 
 /// The `trace-stats` analysis: execution counters plus the traffic the
 /// program's access trace induces on the machine's memory hierarchy.
 pub fn trace_stats(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
+    profiled(opts.profile, || trace_stats_inner(p, opts), |a, pr| a.profile = Some(pr))
+}
+
+fn trace_stats_inner(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
     let _budget = opts.budget.install();
     let mut h = opts.machine.hierarchy();
-    let r = mbb_ir::interp::run_traced(p, &mut h).map_err(run_error)?;
-    h.flush();
+    let r = {
+        let _s = mbb_obs::span!("interp");
+        mbb_ir::interp::run_traced(p, &mut h).map_err(run_error)?
+    };
+    {
+        let _s = mbb_obs::span!("flush");
+        h.flush();
+    }
     let traffic = h.report();
     let names = channel_names(traffic.channel_bytes.len());
 
@@ -428,7 +579,7 @@ pub fn trace_stats(p: &Program, opts: &Options) -> Result<Analysis, ServeError> 
         ("tlb_misses", Json::UInt(traffic.tlb_misses)),
         ("level_misses", Json::arr(traffic.misses().into_iter().map(Json::UInt))),
     ]);
-    Ok(Analysis { text: out, data })
+    Ok(Analysis::new(out, data))
 }
 
 /// The `machines` catalogue: every model name [`machine_by_name`] accepts.
@@ -479,7 +630,7 @@ pub fn machines() -> Analysis {
         ),
         ("scaled", Json::str("origin/N")),
     ]);
-    Analysis { text: out, data }
+    Analysis::new(out, data)
 }
 
 /// The canonical cache-key form of a program: the pretty-printer's stable
@@ -517,6 +668,27 @@ mod tests {
         let flops = a.data.get("flops").and_then(|j| j.as_f64()).unwrap();
         assert!(a.text.contains(&format!("flops: {flops}")), "{}", a.text);
         assert_eq!(a.data.get("machine").and_then(|j| j.as_str()), Some("Origin2000 (R10K)"));
+    }
+
+    #[test]
+    fn profile_is_attached_only_on_request_and_sums_to_the_report() {
+        let p = load(SRC).unwrap();
+        let plain = report(&p, &Options::default()).unwrap();
+        assert!(plain.profile.is_none(), "unprofiled analyses must stay lean");
+
+        let opts = Options { profile: true, ..Options::default() };
+        let a = report(&p, &opts).unwrap();
+        let prof = a.profile.as_ref().expect("profile requested");
+        assert!(prof.spans.iter().any(|s| s.name == "measure"));
+        assert!(prof.spans.iter().any(|s| s.name.starts_with("nest:")));
+
+        // The per-nest table's totals are the whole-program report, exactly.
+        let table = mbb_core::profile::nest_table(prof).expect("nest table");
+        let flops = a.data.get("flops").and_then(|j| j.as_f64()).unwrap();
+        assert_eq!(table.flops as f64, flops);
+        let doc = profile_json(prof);
+        assert!(doc.get("nest_table").is_some());
+        assert_eq!(doc.get("wall_ns").and_then(|j| j.as_f64()), Some(prof.wall_ns as f64));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! latencies).  `render()` emits the Prometheus text exposition format the
 //! `metrics` request returns — scrape-ready, no client library needed.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::cache::ResultCache;
@@ -73,6 +75,11 @@ pub struct Metrics {
     pub worker_respawns_total: AtomicU64,
     /// Per-request on-CPU time.
     pub latency: Histogram,
+    /// Wall-clock per analysis phase (span name → seconds sum, count),
+    /// fed by profiled requests.  A `Mutex` rather than atomics: only
+    /// profiled requests touch it, and those already paid for a full
+    /// odometer collection.
+    phase_seconds: Mutex<BTreeMap<String, (f64, u64)>>,
 }
 
 impl Metrics {
@@ -99,6 +106,26 @@ impl Metrics {
     /// Errors of one kind.
     pub fn errors_of(&self, kind: ErrorKind) -> u64 {
         self.errors[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records the phase timings of one profiled request.  Per-nest spans
+    /// (`nest:<name>`) are skipped: nest names are client-controlled and
+    /// would make the label set unbounded.
+    pub fn record_phases(&self, profile: &mbb_obs::Profile) {
+        let mut map = self.phase_seconds.lock().unwrap_or_else(|e| e.into_inner());
+        for s in &profile.spans {
+            if s.name.starts_with("nest:") {
+                continue;
+            }
+            let entry = map.entry(s.name.clone()).or_insert((0.0, 0));
+            entry.0 += s.wall_ns as f64 / 1e9;
+            entry.1 += 1;
+        }
+    }
+
+    /// Cumulative seconds and observations for one span name (testing).
+    pub fn phase_of(&self, span: &str) -> Option<(f64, u64)> {
+        self.phase_seconds.lock().unwrap_or_else(|e| e.into_inner()).get(span).copied()
     }
 
     /// Renders the Prometheus text exposition (metric names documented in
@@ -199,6 +226,17 @@ impl Metrics {
             self.latency.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
         );
         let _ = writeln!(o, "mbb_serve_request_cpu_seconds_count {}", self.latency.count());
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_phase_seconds Wall-clock per analysis phase (profiled requests)."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_phase_seconds summary");
+        let phases = self.phase_seconds.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, (sum, count)) in phases.iter() {
+            let _ = writeln!(o, "mbb_serve_phase_seconds_sum{{span=\"{name}\"}} {sum}");
+            let _ = writeln!(o, "mbb_serve_phase_seconds_count{{span=\"{name}\"}} {count}");
+        }
         o
     }
 }
@@ -227,8 +265,39 @@ mod tests {
         m.count_request(Kind::Report);
         m.count_error(ErrorKind::Parse);
         m.latency.observe(Duration::from_micros(3));
+        let profile = mbb_obs::Profile {
+            spans: vec![
+                mbb_obs::SpanRecord {
+                    name: "measure".into(),
+                    parent: None,
+                    depth: 0,
+                    start_ns: 0,
+                    wall_ns: 2_000_000_000,
+                    cpu_ns: None,
+                    delta: mbb_obs::Counters::default(),
+                },
+                mbb_obs::SpanRecord {
+                    name: "nest:evil{label}".into(),
+                    parent: Some(0),
+                    depth: 1,
+                    start_ns: 0,
+                    wall_ns: 1,
+                    cpu_ns: None,
+                    delta: mbb_obs::Counters::default(),
+                },
+            ],
+            wall_ns: 2_000_000_000,
+            cpu_ns: None,
+        };
+        m.record_phases(&profile);
         let text = m.render(&c);
+        assert!(
+            !text.contains("nest:evil"),
+            "client-named nest spans must not become metric labels:\n{text}"
+        );
         for family in [
+            "mbb_serve_phase_seconds_sum{span=\"measure\"} 2",
+            "mbb_serve_phase_seconds_count{span=\"measure\"} 1",
             "mbb_serve_requests_total{kind=\"report\"} 1",
             "mbb_serve_errors_total{code=\"parse\"} 1",
             "mbb_serve_busy_total 0",

@@ -106,6 +106,12 @@ pub struct Request {
     /// Client-requested execution budget (tightened by the server's own
     /// per-request caps; a client can never loosen them).
     pub budget: RequestBudget,
+    /// Opt-in span profile: the response gains a `"profile"` object with
+    /// per-phase timing and per-nest attributed traffic.  Like the budget,
+    /// deliberately *not* part of the cache key — but unlike the budget,
+    /// a profiled request also *bypasses* the cache, because its payload
+    /// describes one concrete execution.
+    pub profile: bool,
 }
 
 /// The optional `budget` object of a request envelope:
@@ -241,7 +247,13 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         Some(_) => return Err(bad("`budget` must be an object")),
     }
 
-    Ok(Request { kind, program, machine, flags, budget })
+    let profile = match doc.get("profile") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad("`profile` must be a boolean")),
+    };
+
+    Ok(Request { kind, program, machine, flags, budget, profile })
 }
 
 /// The outcome of reading one length-bounded request line.
@@ -417,6 +429,16 @@ mod tests {
             let e = parse_request(&req("report", bad)).unwrap_err();
             assert_eq!(e.kind, ErrorKind::BadRequest, "{bad} -> {e}");
         }
+    }
+
+    #[test]
+    fn profile_flag_parses_and_rejects_non_booleans() {
+        let r = parse_request(&req("report", ",\"program\":\"x\",\"profile\":true")).unwrap();
+        assert!(r.profile);
+        let r = parse_request(&req("report", ",\"program\":\"x\"")).unwrap();
+        assert!(!r.profile);
+        let e = parse_request(&req("report", ",\"program\":\"x\",\"profile\":1")).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
     }
 
     #[test]

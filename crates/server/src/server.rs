@@ -357,7 +357,31 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
             let src = req.program.as_deref().expect("enforced by parse_request");
             let mut opts = req.flags.to_options(&req.machine)?;
             opts.budget = effective_budget(&shared.cfg, req.budget);
+            opts.profile = req.profile;
             let prog = analysis::load(src)?;
+            let compute = || -> Result<analysis::Analysis, ServeError> {
+                let a = match kind {
+                    Kind::Report => analysis::report(&prog, &opts)?,
+                    Kind::Advise => analysis::advise(&prog, &opts)?,
+                    Kind::TraceStats => analysis::trace_stats(&prog, &opts)?,
+                    Kind::Optimize => analysis::optimize(&prog, &opts)?.0,
+                    _ => unreachable!("non-program kinds handled above"),
+                };
+                Ok(a)
+            };
+            if req.profile {
+                // Profiles describe *this* execution (wall/CPU time), so a
+                // profiled request bypasses the cache in both directions:
+                // it neither reads a cached result nor stores one.
+                let a = compute()?;
+                let mut pairs = vec![("text", Json::str(a.text)), ("data", a.data)];
+                if let Some(p) = &a.profile {
+                    shared.metrics.record_phases(p);
+                    pairs.push(("profile", analysis::profile_json(p)));
+                }
+                let val = Json::obj(pairs).render_compact();
+                return Ok((protocol::ok_response(kind, false, &val), false));
+            }
             // Key on the *resolved* machine name (aliases collapse, scaled
             // variants stay distinct) and the canonical pretty-printed
             // program (formatting collapses).
@@ -367,13 +391,7 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
                     .as_bytes(),
             );
             let (val, hit) = shared.cache.get_or_compute(key, || {
-                let a = match kind {
-                    Kind::Report => analysis::report(&prog, &opts)?,
-                    Kind::Advise => analysis::advise(&prog, &opts)?,
-                    Kind::TraceStats => analysis::trace_stats(&prog, &opts)?,
-                    Kind::Optimize => analysis::optimize(&prog, &opts)?.0,
-                    _ => unreachable!("non-program kinds handled above"),
-                };
+                let a = compute()?;
                 Ok(Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact())
             })?;
             Ok((protocol::ok_response(kind, hit, &val), false))
@@ -567,6 +585,57 @@ mod tests {
         // Disarmed again: the same request now succeeds on the same state.
         let ok = process(&shared, REQ);
         assert_eq!(ok.get("ok"), Some(&Json::Bool(true)), "{ok:?}");
+    }
+
+    #[test]
+    fn profiled_requests_carry_spans_and_bypass_the_cache() {
+        let shared = test_shared();
+        let profiled = REQ.replace("\"kind\":\"report\"", "\"kind\":\"report\",\"profile\":true");
+
+        // Warm the cache with the plain request first.
+        let plain = process(&shared, REQ);
+        assert_eq!(plain.get("cached"), Some(&Json::Bool(false)));
+
+        let resp = process(&shared, &profiled);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        // Same program + machine, but per-execution data: no cache read...
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)), "{resp:?}");
+        let result = resp.get("result").expect("result object");
+        let profile = result.get("profile").expect("profile object in result");
+        let Some(Json::Arr(spans)) = profile.get("spans") else {
+            panic!("profile.spans array missing: {profile:?}");
+        };
+        let names: Vec<&str> =
+            spans.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"measure"), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("nest:")), "{names:?}");
+        assert!(profile.get("nest_table").is_some(), "{profile:?}");
+        // ...and the analysis text/data agree with the unprofiled answer.
+        assert_eq!(result.get("text"), plain.get("result").and_then(|r| r.get("text")));
+        assert_eq!(result.get("data"), plain.get("result").and_then(|r| r.get("data")));
+        // ...and no cache write either: still just the plain entry.
+        assert_eq!(shared.cache.stats().entries, 1);
+        assert_eq!(shared.cache.stats().hits, 0);
+
+        // Phase timings landed in the metrics (bounded span names only).
+        let (_, count) = shared.metrics.phase_of("measure").expect("measure phase recorded");
+        assert_eq!(count, 1);
+
+        // A later plain request still hits the warm entry.
+        let again = process(&shared, REQ);
+        assert_eq!(again.get("cached"), Some(&Json::Bool(true)), "{again:?}");
+    }
+
+    #[test]
+    fn profiled_optimize_reports_before_and_after_tables() {
+        let shared = test_shared();
+        let req = REQ.replace("\"kind\":\"report\"", "\"kind\":\"optimize\",\"profile\":true");
+        let resp = process(&shared, &req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let profile = resp.get("result").and_then(|r| r.get("profile")).expect("profile in result");
+        assert!(profile.get("nest_table_before").is_some(), "{profile:?}");
+        assert!(profile.get("nest_table_after").is_some(), "{profile:?}");
+        assert_eq!(shared.cache.stats().entries, 0, "profiled runs must not populate the cache");
     }
 
     #[test]

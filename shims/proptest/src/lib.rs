@@ -9,9 +9,14 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking.**  A failing case panics immediately; the generated
-//!   arguments are printed (via `Debug`) together with the case number so
-//!   the failure is reproducible from the fixed per-test seed.
+//! * **Minimal shrinking.**  When a case fails, the runner asks the
+//!   strategy for simpler candidates — integers halve toward the range's
+//!   low end, vectors truncate toward their minimum size (then shrink
+//!   elements in place), tuples shrink one component at a time — and
+//!   greedily adopts any candidate that still fails, up to a fixed
+//!   attempt budget.  Mapped, flat-mapped, boxed, and union strategies
+//!   do not shrink (the transformation is not invertible); their failing
+//!   value is reported as generated.
 //! * **Deterministic seeding.**  Each test derives its RNG seed from the
 //!   test name (FNV-1a), so runs are reproducible without a persistence
 //!   file; `.proptest-regressions` files are ignored.
@@ -73,6 +78,13 @@ pub trait Strategy: Clone {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates for a failing value, most aggressive first.
+    /// The default is no shrinking; overrides must only return values the
+    /// strategy itself could have generated.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -232,6 +244,9 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int(*v as i128, self.start as i128).iter().map(|&x| x as $t).collect()
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -241,24 +256,64 @@ macro_rules! impl_range_strategy {
                 let span = (hi as i128 - lo as i128) as u128 + 1;
                 (lo as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int(*v as i128, *self.start() as i128).iter().map(|&x| x as $t).collect()
+            }
         }
     )*};
 }
 
+/// Integer shrink candidates: the range's low end, then repeated halvings
+/// of the distance back toward the failing value.  Every candidate lies
+/// in `[lo, v)`, so it stays inside the originating range.
+fn shrink_int(v: i128, lo: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v <= lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let cand = v - delta;
+        if cand != lo && out.last() != Some(&cand) {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out
+}
+
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-// Tuples of strategies generate tuples of values.
+// Tuples of strategies generate tuples of values.  The component values
+// must be `Clone` so a failing tuple can shrink one coordinate at a time
+// while holding the others fixed.
 macro_rules! impl_tuple_strategy {
     ($($s:ident . $idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
+impl_tuple_strategy!(A.0);
 impl_tuple_strategy!(A.0, B.1);
 impl_tuple_strategy!(A.0, B.1, C.2);
 impl_tuple_strategy!(A.0, B.1, C.2, D.3);
@@ -363,11 +418,41 @@ pub mod collection {
         VecStrategy { elem, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Truncate toward the minimum permitted size, most aggressive
+            // prefix first, so a minimal failing vector is as short as the
+            // property (and the size range) allows.
+            let min = self.size.lo;
+            if v.len() > min {
+                out.push(v[..min].to_vec());
+                let half = min + (v.len() - min) / 2;
+                if half != min && half != v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                if v.len() - 1 != min && v.len() - 1 != half {
+                    out.push(v[..v.len() - 1].to_vec());
+                }
+            }
+            // Then simplify elements in place (a couple of candidates per
+            // slot keeps the search budget bounded).
+            for k in 0..v.len() {
+                for cand in self.elem.shrink(&v[k]).into_iter().take(2) {
+                    let mut w = v.clone();
+                    w[k] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 
@@ -459,6 +544,93 @@ where
     );
 }
 
+/// Shrink attempts per failure: plenty for halve/truncate chains, small
+/// enough that a failing CI run is not noticeably slower.
+const SHRINK_BUDGET: usize = 512;
+
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(Box<dyn std::any::Any + Send>),
+}
+
+fn run_one<T, F>(f: &mut F, v: T) -> Outcome
+where
+    F: FnMut(T) -> Result<(), Rejected>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(Rejected)) => Outcome::Reject,
+        Err(payload) => Outcome::Fail(payload),
+    }
+}
+
+/// Drives one property test with shrinking: draws values from `strat`
+/// until `cases` are accepted; on a failure, greedily adopts any
+/// shrink candidate that still fails (a rejected or passing candidate
+/// keeps the current value) until no candidate fails or the attempt
+/// budget runs out, then reports the minimal case and re-raises the
+/// panic.
+pub fn run_shrinking<S, F>(cases: u32, name: &str, strat: &S, mut f: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), Rejected>,
+{
+    let mut rng = TestRng::new(seed_of(name));
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let budget = cases.saturating_mul(20).max(64);
+    while accepted < cases && attempts < budget {
+        attempts += 1;
+        let v = strat.generate(&mut rng);
+        match run_one(&mut f, v.clone()) {
+            Outcome::Pass => accepted += 1,
+            Outcome::Reject => {}
+            Outcome::Fail(payload) => {
+                eprintln!(
+                    "proptest(shim) {name}: case #{attempts} failed: args = {v:?}; shrinking…"
+                );
+                // The candidate runs below re-panic on purpose; silence
+                // the hook so the search does not spray hundreds of
+                // expected panic messages over the real failure.
+                let prev_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                let mut cur = v;
+                let mut cur_payload = payload;
+                let mut left = SHRINK_BUDGET;
+                'search: loop {
+                    for cand in strat.shrink(&cur) {
+                        if left == 0 {
+                            break 'search;
+                        }
+                        left -= 1;
+                        if let Outcome::Fail(p) = run_one(&mut f, cand.clone()) {
+                            cur = cand;
+                            cur_payload = p;
+                            continue 'search; // simpler and still failing
+                        }
+                        // Pass or Reject: not a counterexample, try the
+                        // next candidate at this level.
+                    }
+                    break; // no candidate fails — `cur` is minimal
+                }
+                std::panic::set_hook(prev_hook);
+                eprintln!(
+                    "proptest(shim) {name}: minimal failing case ({} shrink runs): args = {cur:?}",
+                    SHRINK_BUDGET - left
+                );
+                std::panic::resume_unwind(cur_payload);
+            }
+        }
+    }
+    assert!(
+        accepted >= cases,
+        "proptest(shim) {name}: only {accepted}/{cases} cases accepted in {attempts} attempts \
+         (prop_assume! rejects too much)"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Macros
 // ---------------------------------------------------------------------------
@@ -474,31 +646,19 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
-                let mut __case: u64 = 0;
-                $crate::run_cases(__cfg.cases, stringify!($name), |__rng| {
-                    __case += 1;
-                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
-                    let __repr = format!("{:?}", ($(&$arg,)+));
-                    let __out = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(
-                            || -> ::std::result::Result<(), $crate::Rejected> {
-                                $body
-                                #[allow(unreachable_code)]
-                                ::std::result::Result::Ok(())
-                            },
-                        ),
-                    );
-                    match __out {
-                        ::std::result::Result::Ok(r) => r,
-                        ::std::result::Result::Err(payload) => {
-                            eprintln!(
-                                "proptest(shim) {}: failing case #{}: args = {}",
-                                stringify!($name), __case, __repr
-                            );
-                            ::std::panic::resume_unwind(payload)
-                        }
-                    }
-                });
+                // One tuple strategy over all arguments, so the runner
+                // can shrink a failing case one argument at a time.
+                let __strat = ($(($strat),)+);
+                $crate::run_shrinking(
+                    __cfg.cases,
+                    stringify!($name),
+                    &__strat,
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::Rejected> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )+
     };
@@ -592,6 +752,81 @@ mod tests {
         fn default_config_form_works(b in crate::bool::ANY) {
             prop_assert!(matches!(b, true | false));
         }
+    }
+
+    #[test]
+    fn integer_shrink_halves_toward_the_low_end() {
+        let s = 0i64..100;
+        let cands = s.shrink(&80);
+        assert_eq!(cands.first(), Some(&0), "most aggressive candidate first");
+        assert!(cands.windows(2).all(|w| w[0] < w[1] || w[0] == 0), "{cands:?}");
+        assert!(cands.iter().all(|&c| (0..80).contains(&c)), "{cands:?}");
+        assert!(s.shrink(&0).is_empty(), "the low end is already minimal");
+
+        let inc = 5u8..=9;
+        let cands = inc.shrink(&9);
+        assert!(cands.contains(&5) && cands.iter().all(|&c| (5..9).contains(&c)), "{cands:?}");
+    }
+
+    #[test]
+    fn vec_shrink_truncates_then_simplifies_elements() {
+        let s = crate::collection::vec(0u32..10, 1..=6);
+        let v = vec![7, 3, 9, 5];
+        let cands = s.shrink(&v);
+        assert_eq!(cands[0], vec![7], "minimum-size prefix first");
+        assert!(cands.iter().any(|c| c.len() == 3), "one-shorter prefix offered");
+        // Element-wise candidates keep the length but lower a slot.
+        assert!(cands.iter().any(|c| c.len() == 4 && c[0] < 7 && c[1..] == v[1..]), "{cands:?}");
+        // All candidates remain generable: size in 1..=6, elements < 10.
+        assert!(cands.iter().all(|c| (1..=6).contains(&c.len()) && c.iter().all(|&x| x < 10)));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (0u8..10, 0u8..10);
+        for cand in s.shrink(&(4, 6)) {
+            let changed = usize::from(cand.0 != 4) + usize::from(cand.1 != 6);
+            assert_eq!(changed, 1, "exactly one coordinate moves: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn a_failing_property_reports_the_minimal_case() {
+        // The property "x < 17" fails for x in 17..100; the minimal
+        // counterexample is exactly 17, and halving search must find it.
+        let caught = std::panic::catch_unwind(|| {
+            let strat = (0u32..100,);
+            crate::run_shrinking(64, "shrink_to_boundary", &strat, |(x,)| {
+                assert!(x < 17, "boundary crossed at {x}");
+                Ok(())
+            });
+        });
+        let payload = caught.expect_err("the property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| payload.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+        assert!(msg.contains("boundary crossed at 17"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn shrinking_respects_prop_assume_rejections() {
+        // Rejected candidates must not be adopted: the property fails for
+        // even x ≥ 30 but *rejects* odd values, so the reported minimum
+        // is the smallest even failing value, never an odd one.
+        let caught = std::panic::catch_unwind(|| {
+            let strat = (0u32..100,);
+            crate::run_shrinking(64, "shrink_with_assume", &strat, |(x,)| {
+                if x % 2 == 1 {
+                    return Err(crate::Rejected);
+                }
+                assert!(x < 30, "even failure at {x}");
+                Ok(())
+            });
+        });
+        let payload = caught.expect_err("the property must fail");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("even failure at 30"), "{msg}");
     }
 
     #[test]
