@@ -33,10 +33,27 @@ use mbb_bench::perfgate;
 use mbb_bench::runner::{self, Ctx, Job};
 
 fn usage() -> ! {
-    eprintln!("usage: repro [all|SELECTOR ...] [--quick] [--jobs N] [--json PATH] [--list]");
+    eprintln!(
+        "usage: repro [all|SELECTOR ...] [--quick] [--jobs N] [--json PATH] [--list] [--engine E]"
+    );
     eprintln!("       repro gate [--quick] [--reps N] [--out DIR] [--baseline PATH]");
-    eprintln!("                  [--tolerance F] [--write-baseline]");
+    eprintln!("                  [--tolerance F] [--write-baseline] [--engine E]");
+    eprintln!("       E = auto|runs|scalar (interpreter engine, default auto)");
     exit(2)
+}
+
+fn parse_engine(value: Option<String>) -> mbb_ir::Engine {
+    let Some(e) = value.as_deref().map(str::parse) else {
+        eprintln!("error: --engine needs a value (auto|runs|scalar)");
+        usage()
+    };
+    match e {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage()
+        }
+    }
 }
 
 fn gate_main(args: impl Iterator<Item = String>) -> ! {
@@ -81,6 +98,7 @@ fn gate_main(args: impl Iterator<Item = String>) -> ! {
                 tolerance = t;
             }
             "--write-baseline" => write_baseline = true,
+            "--engine" => mbb_ir::runs::set_default(parse_engine(args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown gate argument `{other}`");
@@ -189,6 +207,10 @@ fn main() {
                 }
                 return;
             }
+            // Process-wide so the worker pool inherits it.  The tables must
+            // come out byte-identical either way — that invariant is what
+            // the differential-oracle CI lane diffs.
+            "--engine" => mbb_ir::runs::set_default(parse_engine(args.next())),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag `{other}`");

@@ -10,14 +10,22 @@
 //! [`SCHEMA`] = `mbb-bench-gate/1`), and compares the run against a
 //! committed `bench/baseline.json` with a configurable tolerance.
 //!
-//! The three kernels cover the distinct hot-path regimes:
+//! The three kernels cover the distinct hot-path regimes.  Since the run
+//! fast path landed ([`mbb_ir::runs`] + `Hierarchy::access_runs`), all
+//! three are calibrated to the *hit-dominated steady state* — resident
+//! working sets walked for many passes — because that is the regime the
+//! symbolic per-line walk accelerates and therefore the regime a
+//! regression would silently tax; the cold first pass still exercises the
+//! miss/writeback walk on every line:
 //!
-//! * **STREAM triad** — out-of-cache stride-1 streaming: miss/writeback
-//!   heavy, exercises the full hierarchy walk on every line;
-//! * **FFT** — in-L2 butterflies: L1-missy with high reuse, exercises the
-//!   hit path and the TLB under a non-affine access pattern;
-//! * **Sweep3D slice** — interpreter-driven wavefront: exercises the
-//!   IR interpreter's emission path into the hierarchy, hit-dominated.
+//! * **STREAM triad** — three L1-resident streams emitted directly as
+//!   [`mbb_ir::trace::RunRef`] bundles: pure sink-side run throughput,
+//!   no value work;
+//! * **FFT** — repeated in-L1 transforms: the butterfly stages emit runs,
+//!   the bit-reversal stays per-element (non-affine), covering both entry
+//!   paths and the TLB;
+//! * **Sweep3D slice** — interpreter-driven wavefront: exercises the run
+//!   *compiler* (`mbb_ir::runs`) end to end, value loop included.
 //!
 //! Wall-clock on shared CI runners is noisy, so each kernel takes the best
 //! of `reps` repetitions and the comparison tolerance defaults to
@@ -28,7 +36,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use mbb_ir::interp::Interpreter;
-use mbb_ir::trace::Buffered;
+use mbb_ir::trace::{AccessKind, AccessSink, Buffered};
 use mbb_memsim::arena::{Arena, TracedArray};
 use mbb_memsim::machine::MachineModel;
 
@@ -40,35 +48,66 @@ use crate::table::{f, Table};
 pub const SCHEMA: &str = "mbb-bench-gate/1";
 
 /// Default regression tolerance: fail when a kernel's events/second drops
-/// below `(1 - tolerance)` × baseline.  0.5 tolerates a 2× slowdown from
-/// runner noise and CPU heterogeneity; real hot-path regressions that
-/// matter (a reintroduced per-event allocation, a lost fast path) cost
-/// more than that.
-pub const DEFAULT_TOLERANCE: f64 = 0.5;
+/// below `(1 - tolerance)` × baseline.  0.3 tolerates the ~1.4× spread we
+/// see from runner noise and CPU heterogeneity while still catching the
+/// regressions that matter — losing the run fast path costs an order of
+/// magnitude, a reintroduced per-event allocation a large integer factor.
+/// (The pre-runs-engine gate used 0.5; the fast path widened the gap
+/// between noise and a real regression enough to tighten it.)
+pub const DEFAULT_TOLERANCE: f64 = 0.3;
 
 /// Workload sizes for one gate run.
+///
+/// The `*_n` sizes pick L1-resident working sets (Origin2000 L1 = 32 KB)
+/// and the pass counts provide the steady-state repetitions; scaling a
+/// mode means more passes over the *same* working set, never a larger
+/// set — growing `n` past residency would silently change the regime the
+/// gate certifies.
 #[derive(Clone, Copy, Debug)]
 pub struct GateSizes {
-    /// STREAM triad elements per array (sized out-of-cache).
+    /// STREAM triad elements per array (3 arrays; 512 → 12 KB total,
+    /// comfortably L1-resident).
     pub triad_n: usize,
-    /// FFT points (power of two, sized in-L2 / out-of-L1).
+    /// Triad passes over the resident arrays (events = 3·n·passes).
+    pub triad_passes: usize,
+    /// FFT points (power of two; data + twiddles = 32·n bytes).
     pub fft_n: usize,
-    /// Sweep3D grid edge.
+    /// Full transforms per measurement (identical addresses each pass, so
+    /// passes after the first run warm).
+    pub fft_passes: usize,
+    /// Sweep3D grid edge (kept small enough for the flux slab to stay
+    /// resident).
     pub sweep_n: usize,
-    /// Sweep3D angles per octant.
+    /// Sweep3D angles per octant (the pass knob for this kernel: each
+    /// angle re-walks the same grid).
     pub sweep_angles: usize,
 }
 
 impl GateSizes {
-    /// CI-sized run: a few hundred thousand events per kernel, finishing
-    /// in well under a second per repetition on any machine.
+    /// CI-sized run: a few million events per kernel, so each metered
+    /// region spans many ticks of the ~4 ms on-CPU clock and finishes in
+    /// well under a second per repetition on any machine.
     pub fn quick() -> Self {
-        GateSizes { triad_n: 1 << 18, fft_n: 1 << 13, sweep_n: 16, sweep_angles: 2 }
+        GateSizes {
+            triad_n: 1 << 9,
+            triad_passes: 8192,
+            fft_n: 1 << 10,
+            fft_passes: 64,
+            sweep_n: 8,
+            sweep_angles: 32,
+        }
     }
 
-    /// Local-measurement run (~10× quick) for refreshing baselines.
+    /// Local-measurement run (~4× quick) for refreshing baselines.
     pub fn full() -> Self {
-        GateSizes { triad_n: 1 << 20, fft_n: 1 << 15, sweep_n: 24, sweep_angles: 3 }
+        GateSizes {
+            triad_n: 1 << 9,
+            triad_passes: 32768,
+            fft_n: 1 << 10,
+            fft_passes: 256,
+            sweep_n: 8,
+            sweep_angles: 128,
+        }
     }
 }
 
@@ -171,7 +210,13 @@ impl GateReport {
 /// Runs one kernel `reps` times under the [`Meter`], keeping the fastest
 /// repetition.  Panics if the simulation is non-deterministic (different
 /// event counts between repetitions).
-fn measure(name: &'static str, reps: u32, kernel: impl Fn()) -> KernelMeasure {
+///
+/// The kernel is `FnMut` so expensive fixtures (the hierarchy — ~1.5 ms
+/// to construct — arenas, IR programs) can be built once outside the
+/// metered region and captured; the event count per repetition is
+/// unaffected because events are counted on the producer side, whatever
+/// the cache state.
+fn measure(name: &'static str, reps: u32, mut kernel: impl FnMut()) -> KernelMeasure {
     assert!(reps >= 1, "need at least one repetition");
     let mut best: Option<KernelMeasure> = None;
     for _ in 0..reps {
@@ -181,7 +226,11 @@ fn measure(name: &'static str, reps: u32, kernel: impl Fn()) -> KernelMeasure {
         if let Some(b) = &best {
             assert_eq!(b.events, m.events, "gate kernel `{name}` must be deterministic");
         }
-        let t = m.busy();
+        // The on-CPU clock ticks at scheduler granularity (ms); a region
+        // faster than one tick reads zero, which would divide into a
+        // bogus 0 ev/s — fall back to wall-clock there.
+        let busy = m.busy();
+        let t = if busy.is_zero() { m.wall } else { busy };
         if best.as_ref().is_none_or(|b| t < b.wall) {
             best = Some(KernelMeasure { name, events: m.events, wall: t });
         }
@@ -189,63 +238,75 @@ fn measure(name: &'static str, reps: u32, kernel: impl Fn()) -> KernelMeasure {
     best.expect("reps >= 1")
 }
 
-/// STREAM triad (`a[i] = b[i] + s·c[i]`) on the Origin2000, sized
-/// out-of-cache: the miss/writeback-heavy regime.
-fn triad_kernel(n: usize) {
-    let machine = MachineModel::origin2000();
-    let mut h = machine.hierarchy();
-    let mut arena = Arena::new();
-    let mut a = TracedArray::zeroed(&mut arena, n);
-    let b = TracedArray::from_fn(&mut arena, n, |i| i as f64);
-    let c = TracedArray::from_fn(&mut arena, n, |i| 0.5 * i as f64);
-    let s = 3.0;
-    {
-        let mut buffered = Buffered::new(&mut h);
-        let sink = &mut buffered;
-        for i in 0..n {
-            let v = b.get(i, sink) + s * c.get(i, sink);
-            a.set(i, v, sink);
-        }
-    }
-    h.flush();
-    std::hint::black_box(h.report());
-}
-
-/// Traced FFT on the Origin2000, sized in-L2: the hit-path regime with a
-/// non-affine pattern.
-fn fft_kernel(n: usize) {
-    let machine = MachineModel::origin2000();
-    let mut h = machine.hierarchy();
-    {
-        let mut buffered = Buffered::new(&mut h);
-        std::hint::black_box(mbb_workloads::fft::fft_traced(n, &mut buffered));
-    }
-    h.flush();
-    std::hint::black_box(h.report());
-}
-
-/// A Sweep3D slice through the IR interpreter on the Origin2000: the
-/// interpreter-emission regime.
-fn sweep_kernel(n: usize, angles: usize) {
-    let prog = mbb_workloads::sweep3d::sweep3d(n, angles);
-    let machine = MachineModel::origin2000();
-    let mut h = machine.hierarchy();
-    Interpreter::new(&prog).run(&mut h).expect("sweep3d interprets");
-    h.flush();
-    std::hint::black_box(h.report());
-}
-
 /// Runs the whole gate suite.
+///
+/// Each kernel's fixtures (hierarchy, arenas, IR program) are built once
+/// and reused across repetitions; the metered region is the simulation
+/// itself.  Repetitions after the first therefore run against warm cache
+/// state — exactly the steady-state regime the gate certifies, and
+/// `measure`'s determinism assert still holds because event counts are
+/// producer-side.
 pub fn run_gate(sizes: &GateSizes, mode: &'static str, reps: u32) -> GateReport {
     // The gate certifies the *untraced* hot path; a collector left live by
     // a caller would silently measure tracing overhead instead.
     assert!(!mbb_obs::timing_enabled(), "perf gate must run with tracing disabled");
-    let kernels = vec![
-        measure("triad", reps, || triad_kernel(sizes.triad_n)),
-        measure("fft", reps, || fft_kernel(sizes.fft_n)),
-        measure("sweep3d", reps, || sweep_kernel(sizes.sweep_n, sizes.sweep_angles)),
-    ];
-    GateReport { mode, reps, kernels }
+    let machine = MachineModel::origin2000();
+
+    // STREAM triad (`a[i] = b[i] + s·c[i]`) access pattern, L1-resident
+    // and emitted straight as [`mbb_ir::trace::RunRef`] bundles: pure
+    // run-simulation throughput (the gate certifies the simulator, so the
+    // kernel arithmetic is deliberately absent — it would only dilute the
+    // measurement).
+    let triad = {
+        let mut h = machine.hierarchy();
+        let mut arena = Arena::new();
+        let a = TracedArray::zeroed(&mut arena, sizes.triad_n);
+        let b = TracedArray::from_fn(&mut arena, sizes.triad_n, |i| i as f64);
+        let c = TracedArray::from_fn(&mut arena, sizes.triad_n, |i| 0.5 * i as f64);
+        let refs = [
+            b.run_ref(0, 1, AccessKind::Read),
+            c.run_ref(0, 1, AccessKind::Read),
+            a.run_ref(0, 1, AccessKind::Write),
+        ];
+        let (n, passes) = (sizes.triad_n as u64, sizes.triad_passes);
+        measure("triad", reps, move || {
+            for _ in 0..passes {
+                h.access_runs(&refs, n);
+            }
+            h.flush();
+            std::hint::black_box(h.report());
+        })
+    };
+
+    // Traced FFT: runs from the butterfly stages, per-element emission
+    // from the bit-reversal, repeated over identical addresses so passes
+    // after the first hit warm lines and pages.
+    let fft = {
+        let mut h = machine.hierarchy();
+        let (n, passes) = (sizes.fft_n, sizes.fft_passes);
+        measure("fft", reps, move || {
+            for _ in 0..passes {
+                let mut buffered = Buffered::new(&mut h);
+                std::hint::black_box(mbb_workloads::fft::fft_traced(n, &mut buffered));
+            }
+            h.flush();
+            std::hint::black_box(h.report());
+        })
+    };
+
+    // A Sweep3D slice through the IR interpreter: exercises the run
+    // compiler end to end, value loop included.
+    let sweep = {
+        let mut h = machine.hierarchy();
+        let prog = mbb_workloads::sweep3d::sweep3d(sizes.sweep_n, sizes.sweep_angles);
+        measure("sweep3d", reps, move || {
+            Interpreter::new(&prog).run(&mut h).expect("sweep3d interprets");
+            h.flush();
+            std::hint::black_box(h.report());
+        })
+    };
+
+    GateReport { mode, reps, kernels: vec![triad, fft, sweep] }
 }
 
 /// One kernel that fell below tolerance.
@@ -369,7 +430,14 @@ mod tests {
     use super::*;
 
     fn tiny_sizes() -> GateSizes {
-        GateSizes { triad_n: 2048, fft_n: 256, sweep_n: 4, sweep_angles: 1 }
+        GateSizes {
+            triad_n: 512,
+            triad_passes: 4,
+            fft_n: 256,
+            fft_passes: 2,
+            sweep_n: 4,
+            sweep_angles: 1,
+        }
     }
 
     #[test]
@@ -396,12 +464,14 @@ mod tests {
     fn detects_injected_synthetic_regression() {
         let report = run_gate(&tiny_sizes(), "quick", 1);
         let current = report.to_json();
-        // Forge a baseline claiming 10× the measured throughput: with a
-        // 50% tolerance the "regressed" current run must trip the gate.
+        // Forge a baseline claiming 10× the measured throughput plus a
+        // constant (so even a kernel whose tiny test run was too fast for
+        // the on-CPU clock, measuring 0 ev/s, still regresses): with a
+        // 30% tolerance the "regressed" current run must trip the gate.
         let mut baseline = current.clone();
         let scale = |v: &mut Json| {
             if let Some(x) = v.as_f64() {
-                *v = Json::num(x * 10.0);
+                *v = Json::num(x * 10.0 + 1e6);
             }
         };
         scale(baseline.get_mut("events_per_sec").unwrap());

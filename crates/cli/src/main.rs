@@ -34,6 +34,7 @@ fn usage() -> &'static str {
      \x20      mbbc serve [server options]\n\
      options:\n\
        --machine origin|exemplar|origin/N   machine model (default origin)\n\
+       --engine auto|runs|scalar             interpreter engine (default auto)\n\
        --no-fuse | --no-shrink | --no-store-elim   disable a pipeline stage\n\
        --exhaustive | --bisection            alternative fusion strategies\n\
        --normalize                           expand + distribute before fusing\n\
@@ -179,6 +180,20 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--engine" => {
+                k += 1;
+                match args.get(k).map(|e| e.parse::<mbb_ir::Engine>()) {
+                    Some(Ok(e)) => opts.engine = e,
+                    Some(Err(e)) => {
+                        eprintln!("mbbc: {e}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("mbbc: --engine needs a value");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--no-fuse" => opts.pipeline.fusion = FusionStrategy::None,
             "--normalize" | "--normalise" => opts.pipeline.normalize = true,
             "--bisection" => opts.pipeline.fusion = FusionStrategy::Bisection,
@@ -194,6 +209,10 @@ fn main() -> ExitCode {
         }
         k += 1;
     }
+
+    // `run`/`trace`/`graph` interpret outside the Options-driven analysis
+    // layer; setting the process default covers them too.
+    mbb_ir::runs::set_default(opts.engine);
 
     let want_profile = profile || trace_out.is_some();
     let result = read_source(file).and_then(|src| {

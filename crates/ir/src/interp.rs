@@ -245,7 +245,7 @@ pub fn section_linear(orig_dims: &[usize], dim: usize, index: usize, k: usize) -
 }
 
 /// Hashes a subscript vector into the 64-bit key used by [`input_value`].
-fn input_key(subs: &[i64]) -> u64 {
+pub(crate) fn input_key(subs: &[i64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &s in subs {
         h ^= s as u64;
@@ -255,18 +255,22 @@ fn input_key(subs: &[i64]) -> u64 {
 }
 
 /// Interpreter state for one run of one program.
+///
+/// Fields are crate-visible: the run-compiled executor (see
+/// [`crate::runs`]) drives the same storage, counters and fuel, falling
+/// back to [`Interpreter::run_nest`] for nests it cannot lower.
 pub struct Interpreter<'p> {
-    prog: &'p Program,
+    pub(crate) prog: &'p Program,
     layout: LayoutOpts,
-    bases: Vec<u64>,
-    arrays: Vec<Vec<f64>>,
-    scalars: Vec<f64>,
-    vars: Vec<i64>,
-    stats: ExecStats,
+    pub(crate) bases: Vec<u64>,
+    pub(crate) arrays: Vec<Vec<f64>>,
+    pub(crate) scalars: Vec<f64>,
+    pub(crate) vars: Vec<i64>,
+    pub(crate) stats: ExecStats,
     /// Innermost iterations left before the next budget check.  `u64::MAX`
     /// when no budget is installed, so unbudgeted runs pay only a
     /// decrement-and-branch per iteration.
-    fuel: u64,
+    pub(crate) fuel: u64,
 }
 
 impl<'p> Interpreter<'p> {
@@ -328,6 +332,9 @@ impl<'p> Interpreter<'p> {
     /// sink observes the same events in the same order as it would one at
     /// a time, so results are identical to the unbatched path.
     pub fn run(mut self, sink: &mut dyn AccessSink) -> Result<RunResult, InterpError> {
+        if crate::runs::current() != crate::runs::Engine::Scalar {
+            return crate::runs::run_compiled(self, sink);
+        }
         if crate::budget::is_active() {
             self.fuel = crate::budget::CHECK_BLOCK;
         }
@@ -355,7 +362,7 @@ impl<'p> Interpreter<'p> {
         Ok(RunResult { stats: self.stats, observation })
     }
 
-    fn observe(&self) -> Observation {
+    pub(crate) fn observe(&self) -> Observation {
         let scalars = self
             .prog
             .scalars
@@ -378,7 +385,7 @@ impl<'p> Interpreter<'p> {
     // The interpreter internals are generic over the sink so the per-event
     // call is monomorphised (and inlined, for `Buffered`) instead of a
     // virtual dispatch per array element.
-    fn run_nest<S: AccessSink + ?Sized>(
+    pub(crate) fn run_nest<S: AccessSink + ?Sized>(
         &mut self,
         nest: &LoopNest,
         sink: &mut S,
@@ -422,7 +429,7 @@ impl<'p> Interpreter<'p> {
         Ok(())
     }
 
-    fn eval_affine_vars(&self, a: &crate::expr::Affine) -> i64 {
+    pub(crate) fn eval_affine_vars(&self, a: &crate::expr::Affine) -> i64 {
         a.constant + a.terms.iter().map(|&(v, c)| c * self.vars[v.0 as usize]).sum::<i64>()
     }
 

@@ -35,6 +35,7 @@ pub mod parse;
 pub mod pretty;
 pub mod program;
 pub mod ranges;
+pub mod runs;
 pub mod trace;
 pub mod validate;
 
@@ -49,7 +50,8 @@ pub use parse::{parse, ParseError};
 pub use program::{
     ArrayDecl, ArrayId, Init, Loop, LoopNest, Program, ScalarDecl, ScalarId, SourceId, Stmt, VarId,
 };
-pub use trace::{Access, AccessKind, AccessSink, CountingSink, NullSink, TeeSink, VecSink};
+pub use runs::Engine;
+pub use trace::{Access, AccessKind, AccessSink, CountingSink, NullSink, RunRef, TeeSink, VecSink};
 pub use validate::{validate, ValidateError};
 
 // The parallel experiment runner (`mbb-bench`) executes whole simulations

@@ -40,6 +40,39 @@ impl Access {
     }
 }
 
+/// One strided access stream inside a run: the accesses
+/// `{base + k·stride : 0 ≤ k < count}` of a fixed size and kind, where
+/// `count` is supplied by [`AccessSink::access_runs`] for the whole group
+/// of interleaved streams.
+///
+/// This is the compiled form of an affine array reference inside an
+/// innermost loop: the producer resolves the subscript expressions once
+/// and the consumer advances per cache line instead of per element.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunRef {
+    /// Byte address of iteration 0's access.
+    pub base: u64,
+    /// Byte distance between consecutive iterations' accesses (may be
+    /// negative or zero).
+    pub stride: i64,
+    /// Access width in bytes.
+    pub size: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl RunRef {
+    /// The concrete access this stream makes at iteration `k`.
+    #[inline]
+    pub fn at(&self, k: u64) -> Access {
+        Access {
+            addr: self.base.wrapping_add(self.stride.wrapping_mul(k as i64) as u64),
+            size: self.size,
+            kind: self.kind,
+        }
+    }
+}
+
 /// Consumes a stream of memory accesses.
 ///
 /// Sinks are driven *on-line* — traces for out-of-cache workloads run to
@@ -60,6 +93,31 @@ pub trait AccessSink {
             self.access(a);
         }
     }
+
+    /// Records `count` iterations of a single strided stream.
+    ///
+    /// Equivalent to `access(r.at(k))` for `k` in `0..count`; the default
+    /// delegates to [`AccessSink::access_runs`] with a one-stream group.
+    fn access_run(&mut self, r: RunRef, count: u64) {
+        self.access_runs(std::slice::from_ref(&r), count);
+    }
+
+    /// Records `count` interleaved iterations of a group of strided
+    /// streams: iteration `k` performs `refs[0].at(k)`, `refs[1].at(k)`, …
+    /// in order, then iteration `k+1` follows.
+    ///
+    /// The interleaving is part of the contract — feeding each stream
+    /// separately would reorder the trace and change conflict behaviour in
+    /// a set-associative sink.  Semantically identical to the element-wise
+    /// expansion the default performs; simulators override it to advance
+    /// per cache line instead of per element.
+    fn access_runs(&mut self, refs: &[RunRef], count: u64) {
+        for k in 0..count {
+            for r in refs {
+                self.access(r.at(k));
+            }
+        }
+    }
 }
 
 /// A sink that discards every access (for pure flop counting).
@@ -70,6 +128,8 @@ impl AccessSink for NullSink {
     fn access(&mut self, _a: Access) {}
 
     fn access_block(&mut self, _block: &[Access]) {}
+
+    fn access_runs(&mut self, _refs: &[RunRef], _count: u64) {}
 }
 
 /// A sink that counts accesses and bytes by kind.
@@ -113,6 +173,21 @@ impl AccessSink for CountingSink {
             AccessKind::Write => {
                 self.writes += 1;
                 self.bytes_written += u64::from(a.size);
+            }
+        }
+    }
+
+    fn access_runs(&mut self, refs: &[RunRef], count: u64) {
+        for r in refs {
+            match r.kind {
+                AccessKind::Read => {
+                    self.reads += count;
+                    self.bytes_read += count * u64::from(r.size);
+                }
+                AccessKind::Write => {
+                    self.writes += count;
+                    self.bytes_written += count * u64::from(r.size);
+                }
             }
         }
     }
@@ -160,6 +235,11 @@ impl<'a, A: AccessSink, B: AccessSink> AccessSink for TeeSink<'a, A, B> {
         self.a.access_block(block);
         self.b.access_block(block);
     }
+
+    fn access_runs(&mut self, refs: &[RunRef], count: u64) {
+        self.a.access_runs(refs, count);
+        self.b.access_runs(refs, count);
+    }
 }
 
 impl<S: AccessSink + ?Sized> AccessSink for &mut S {
@@ -170,6 +250,41 @@ impl<S: AccessSink + ?Sized> AccessSink for &mut S {
     fn access_block(&mut self, block: &[Access]) {
         (**self).access_block(block)
     }
+
+    fn access_runs(&mut self, refs: &[RunRef], count: u64) {
+        (**self).access_runs(refs, count)
+    }
+}
+
+/// Adapter that strips the run fast path off a sink: runs passed through a
+/// `Scalarize` reach the inner sink as element-wise [`AccessSink::access`]
+/// calls (the trait-default expansion), never as [`AccessSink::access_runs`].
+///
+/// This is how `engine=scalar` turns a run-emitting producer back into the
+/// oracle element walk without touching the producer: wrap the sink, and
+/// the simulator under test sees the identical event stream one access at
+/// a time.
+pub struct Scalarize<'a, S: AccessSink + ?Sized> {
+    inner: &'a mut S,
+}
+
+impl<'a, S: AccessSink + ?Sized> Scalarize<'a, S> {
+    /// Wraps `sink`.
+    pub fn new(sink: &'a mut S) -> Self {
+        Scalarize { inner: sink }
+    }
+}
+
+impl<S: AccessSink + ?Sized> AccessSink for Scalarize<'_, S> {
+    fn access(&mut self, a: Access) {
+        self.inner.access(a);
+    }
+
+    fn access_block(&mut self, block: &[Access]) {
+        self.inner.access_block(block);
+    }
+    // access_run / access_runs deliberately NOT overridden: the trait
+    // default expands them through `self.access`, which forwards.
 }
 
 /// Batches accesses on the producer side and forwards them to the inner
@@ -229,6 +344,14 @@ impl<S: AccessSink + ?Sized> AccessSink for Buffered<'_, S> {
         // caller's block straight through (no point re-buffering a batch).
         self.flush();
         self.sink.access_block(block);
+    }
+
+    fn access_runs(&mut self, refs: &[RunRef], count: u64) {
+        // Same ordering rule as `access_block`: anything buffered precedes
+        // the run, and the run itself goes straight to the inner sink so
+        // its fast path is preserved.
+        self.flush();
+        self.sink.access_runs(refs, count);
     }
 }
 
@@ -316,5 +439,84 @@ mod tests {
         }
         assert_eq!(c.reads, 1);
         assert_eq!(v.events.len(), 1);
+    }
+
+    #[test]
+    fn run_ref_walks_its_stride() {
+        let r = RunRef { base: 64, stride: -16, size: 8, kind: AccessKind::Write };
+        assert_eq!(r.at(0), Access::write(64, 8));
+        assert_eq!(r.at(2), Access::write(32, 8));
+    }
+
+    #[test]
+    fn run_expansion_interleaves_streams() {
+        let refs = [
+            RunRef { base: 0, stride: 8, size: 8, kind: AccessKind::Read },
+            RunRef { base: 1024, stride: 8, size: 8, kind: AccessKind::Write },
+        ];
+        let mut v = VecSink::new();
+        v.access_runs(&refs, 3);
+        let addrs: Vec<(u64, AccessKind)> = v.events.iter().map(|a| (a.addr, a.kind)).collect();
+        assert_eq!(
+            addrs,
+            [
+                (0, AccessKind::Read),
+                (1024, AccessKind::Write),
+                (8, AccessKind::Read),
+                (1032, AccessKind::Write),
+                (16, AccessKind::Read),
+                (1040, AccessKind::Write),
+            ]
+        );
+    }
+
+    #[test]
+    fn counting_sink_bulk_matches_expansion() {
+        let refs = [
+            RunRef { base: 0, stride: 8, size: 8, kind: AccessKind::Read },
+            RunRef { base: 512, stride: -8, size: 4, kind: AccessKind::Write },
+        ];
+        let mut bulk = CountingSink::new();
+        bulk.access_runs(&refs, 17);
+        let mut scalar = CountingSink::new();
+        for k in 0..17 {
+            for r in &refs {
+                scalar.access(r.at(k));
+            }
+        }
+        assert_eq!(bulk, scalar);
+    }
+
+    #[test]
+    fn buffered_flushes_before_forwarding_runs() {
+        let mut v = VecSink::new();
+        {
+            let mut b = Buffered::with_capacity(&mut v, 8);
+            b.access(Access::read(0, 8));
+            b.access_run(RunRef { base: 8, stride: 8, size: 8, kind: AccessKind::Read }, 2);
+            b.access(Access::read(24, 8));
+        }
+        let addrs: Vec<u64> = v.events.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, [0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn scalarize_expands_runs_elementwise() {
+        // A sink that panics on the run path proves Scalarize strips it.
+        struct NoRuns(VecSink);
+        impl AccessSink for NoRuns {
+            fn access(&mut self, a: Access) {
+                self.0.access(a);
+            }
+            fn access_runs(&mut self, _refs: &[RunRef], _count: u64) {
+                panic!("run fast path must not be reachable through Scalarize");
+            }
+        }
+        let mut inner = NoRuns(VecSink::new());
+        {
+            let mut s = Scalarize::new(&mut inner);
+            s.access_run(RunRef { base: 0, stride: 8, size: 8, kind: AccessKind::Read }, 3);
+        }
+        assert_eq!(inner.0.events.len(), 3);
     }
 }

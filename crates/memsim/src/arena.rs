@@ -7,7 +7,7 @@
 //! every `get`/`set` performs the real computation *and* reports the access
 //! to a sink.
 
-use mbb_ir::trace::{Access, AccessSink};
+use mbb_ir::trace::{Access, AccessKind, AccessSink, RunRef};
 
 /// Assigns non-overlapping base addresses to buffers.
 #[derive(Clone, Debug)]
@@ -104,6 +104,19 @@ impl TracedArray {
     /// Direct untraced view (for checking results, not for kernels).
     pub fn values(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Direct untraced mutable view, for kernels that emit their access
+    /// stream separately as runs (see [`TracedArray::run_ref`]) and do the
+    /// arithmetic on the raw cells.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// A run descriptor over this buffer for [`AccessSink::access_runs`]:
+    /// the walk starts at cell `i` and advances `step` cells per iteration.
+    pub fn run_ref(&self, i: usize, step: i64, kind: AccessKind) -> RunRef {
+        RunRef { base: self.base + (i as u64) * 8, stride: step * 8, size: 8, kind }
     }
 }
 

@@ -221,30 +221,51 @@ impl Cache {
         self.stats = LevelStats::default();
     }
 
+    /// The shuffled frame base (in line-address units, page-aligned) of a
+    /// shuffle page.  Deterministic SplitMix64 of the page number stands
+    /// in for the OS's random physical page placement.  A pure function of
+    /// `page_num`, so callers walking a run may cache it per page and skip
+    /// the hash for every line inside ([`Cache::probe_indexed`]).
+    #[inline]
+    pub(crate) fn frame_of_page(&self, page_num: u64) -> u64 {
+        let shift = self.shuffle_shift.expect("frame_of_page needs a shuffled index");
+        let mut z = page_num.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) << shift
+    }
+
+    /// Shuffle granularity as `log2(lines per page)` (`None` = identity
+    /// index mapping).
+    #[inline]
+    pub(crate) fn shuffle_lines_shift(&self) -> Option<u32> {
+        self.shuffle_shift
+    }
+
+    /// Set index for a (possibly shuffled) index address.
+    #[inline]
+    fn index_of(&self, index_addr: u64) -> usize {
+        let set = match self.set_mask {
+            Some(mask) => index_addr & mask,
+            None => index_addr % self.set_count,
+        };
+        set as usize
+    }
+
     #[inline]
     fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
         let index_addr = match self.shuffle_shift {
             None => line_addr,
             Some(shift) => {
-                // Deterministic SplitMix64 of the page number stands in for
-                // the OS's random physical page placement.  Lines per page
-                // is a power of two, so the original divide / modulo /
-                // multiply are exactly these shifts and the mask.
-                let page_num = line_addr >> shift;
+                // Lines per page is a power of two, so the original divide
+                // / modulo / multiply are exactly these shifts and masks.
                 let offset = line_addr & ((1u64 << shift) - 1);
-                let mut z = page_num.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                ((z ^ (z >> 31)) << shift).wrapping_add(offset)
+                self.frame_of_page(line_addr >> shift).wrapping_add(offset)
             }
         };
         // The tag is the full (virtual) line address, so identity is exact
         // regardless of the index mapping.
-        let set = match self.set_mask {
-            Some(mask) => index_addr & mask,
-            None => index_addr % self.set_count,
-        };
-        (set as usize, line_addr)
+        (self.index_of(index_addr), line_addr)
     }
 
     #[inline]
@@ -262,7 +283,13 @@ impl Cache {
     /// (the fast-path precondition — straddlers take the split loop).
     #[inline]
     pub(crate) fn covers_one_line(&self, addr: u64, size: u64) -> bool {
-        size != 0 && (addr >> self.line_shift) == ((addr + size - 1) >> self.line_shift)
+        // `checked_add`: an access wrapping past the top of the address
+        // space never fits one line — it takes the splitting slow path,
+        // which truncates at the boundary.
+        size != 0
+            && addr
+                .checked_add(size - 1)
+                .is_some_and(|last| (addr >> self.line_shift) == (last >> self.line_shift))
     }
 
     /// Accesses one whole line containing `addr`.
@@ -323,6 +350,45 @@ impl Cache {
         set[victim_way] = Line { tag, dirty: is_write, valid: true };
         Self::touch_mru(order, victim_way as u8);
         LineOutcome::Miss { writeback_of, fetched }
+    }
+
+    /// Pure residency probe for the run fast path: returns the `(set, way)`
+    /// of `line_addr`'s line when resident, with **no** state or counter
+    /// change either way.  A resident line's way is stable for as long as
+    /// no install happens in its set ([`Cache::touch_mru`] permutes the LRU
+    /// order vector, not the line array), so the caller may cache the
+    /// coordinates across pure-hit windows and feed them back to
+    /// [`Cache::apply_touch`].
+    ///
+    /// `index_addr` is precomputed by the caller: it must equal
+    /// `frame_of_page(line_addr >> shift) + (line_addr & mask)` under a
+    /// shuffled mapping, or `line_addr` under the identity one.  Lets the
+    /// run walk pay the page hash once per shuffle page instead of once
+    /// per line.
+    #[inline]
+    pub(crate) fn probe_indexed(&self, index_addr: u64, line_addr: u64) -> Option<(u32, u8)> {
+        let set_idx = self.index_of(index_addr);
+        self.sets[set_idx]
+            .iter()
+            .position(|l| l.valid && l.tag == line_addr)
+            .map(|way| (set_idx as u32, way as u8))
+    }
+
+    /// Applies the state transition of a hit — dirty bit on writes, MRU
+    /// touch — to coordinates previously returned by [`Cache::probe`],
+    /// without updating counters (the run walk bulk-adds those per window).
+    ///
+    /// Callers must not use this for writes to a write-through level: a
+    /// write-through hit also forwards bytes below, which a silent touch
+    /// cannot express.  The run walk excludes that configuration up front.
+    #[inline]
+    pub(crate) fn apply_touch(&mut self, set_idx: u32, way: u8, is_write: bool) {
+        let s = set_idx as usize;
+        if is_write {
+            debug_assert_eq!(self.cfg.policy, WritePolicy::WriteBack);
+            self.sets[s][way as usize].dirty = true;
+        }
+        Self::touch_mru(&mut self.lru[s], way);
     }
 
     /// Line size in bytes.
@@ -623,6 +689,26 @@ mod tests {
         by_drain.access_line(5 * 32, true, true);
         assert_eq!(by_drain.drain_dirty(), vec![5 * 32]);
         assert_eq!(evicted.expect("line 5 evicted"), 5 * 32);
+    }
+
+    #[test]
+    fn probe_and_apply_touch_mirror_hit_state_without_counters() {
+        let mut c = tiny();
+        // `tiny()` has no shuffled index, so the index address is the line
+        // address itself (here: line 0 for both byte 0 and byte 8).
+        assert_eq!(c.probe_indexed(0, 0), None, "cold probe misses and mutates nothing");
+        assert!(matches!(c.access_line(0, false, false), LineOutcome::Miss { .. }));
+        let stats_before = c.stats;
+        let (set, way) = c.probe_indexed(0, 0).expect("resident after the fill");
+        // An applied write touch dirties the line and refreshes MRU, silently.
+        c.apply_touch(set, way, true);
+        assert_eq!(c.stats, stats_before, "probe + touch leave counters untouched");
+        // The dirty bit really stuck: evicting line 0 writes it back.
+        c.access_line(64, false, false);
+        match c.access_line(128, false, false) {
+            LineOutcome::Miss { writeback_of: Some(a), .. } => assert_eq!(a, 0),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
     }
 
     #[test]

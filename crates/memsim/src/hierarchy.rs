@@ -7,9 +7,9 @@
 //! registers↔L1, L1↔L2, …, last-level↔memory — from which program balance
 //! is a division away.
 
-use mbb_ir::trace::{Access, AccessKind, AccessSink};
+use mbb_ir::trace::{Access, AccessKind, AccessSink, RunRef};
 
-use crate::cache::{Cache, CacheConfig, LevelStats, LineOutcome};
+use crate::cache::{Cache, CacheConfig, LevelStats, LineOutcome, WritePolicy};
 
 /// Bytes and events observed on every channel of one simulated run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -60,6 +60,26 @@ struct TlbSim {
 }
 
 impl TlbSim {
+    /// Pure residency check: is the page containing `addr` mapped?  No
+    /// state or counter change either way.
+    #[inline]
+    fn probe(&self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        self.entries.contains(&page)
+    }
+
+    /// MRU touch of a page known to be resident (hit-path state transition
+    /// of [`TlbSim::access`], which has no counters to update).
+    #[inline]
+    fn touch(&mut self, addr: u64) {
+        let page = addr >> self.page_shift;
+        if self.entries.first() == Some(&page) {
+            return;
+        }
+        let pos = self.entries.iter().position(|&p| p == page).expect("touched page resident");
+        self.entries[..=pos].rotate_right(1);
+    }
+
     #[inline]
     fn access(&mut self, addr: u64) {
         let page = addr >> self.page_shift;
@@ -230,7 +250,8 @@ impl Hierarchy {
                 // fills consume downstream bandwidth like any fetch.
                 let depth = self.levels[level].config().prefetch_next;
                 for k in 1..=u64::from(depth) {
-                    let target = line_base + k * line;
+                    // No lines exist past the top of the address space.
+                    let Some(target) = line_base.checked_add(k * line) else { break };
                     if let Some(victim) = self.levels[level].prefetch_line(target) {
                         if let Some(v) = victim {
                             mbb_obs::tick_writeback(level);
@@ -268,11 +289,14 @@ impl Hierarchy {
         // Split the access at line boundaries (rare for aligned f64 cells,
         // but kept general).  Line sizes are powers of two, so rounding
         // down is a mask.
+        // Saturate at the top of the address space: an access that would
+        // wrap is truncated there (and `checked_add` below keeps the last
+        // line's segment from wrapping `seg_end` back to zero).
         let mut a = addr;
-        let end = addr + size;
+        let end = addr.saturating_add(size);
         while a < end {
             let line_base = a & !(line - 1);
-            let seg_end = (line_base + line).min(end);
+            let seg_end = line_base.checked_add(line).map_or(end, |next| next.min(end));
             let seg_size = seg_end - a;
             let covers_line = full_line || (a == line_base && seg_size == line);
             let outcome = self.levels[level].access_line(a, is_write, covers_line);
@@ -280,6 +304,327 @@ impl Hierarchy {
             a = seg_end;
         }
     }
+
+    /// True when every ref of a run bundle qualifies for the symbolic
+    /// window walk.  Any violation sends the whole bundle down the exact
+    /// element-by-element path instead (same results, element speed).
+    ///
+    /// The conditions, each load-bearing for exactness:
+    /// - a cache level exists (the walk reasons in L1 lines);
+    /// - when a TLB is modelled, its page covers at least one L1 line, so
+    ///   a window that stays in one line also stays in one page;
+    /// - no write ref meets a write-through L1: a write-through hit
+    ///   forwards bytes below, which a hit-only touch cannot express;
+    /// - no access in the run wraps the 64-bit address space (the window
+    ///   algebra is monotone in the address);
+    /// - no access ever straddles an L1 line.  Offsets visited by a
+    ///   stride-`s` run all lie in one residue class mod `g = gcd(s mod L,
+    ///   L)`, whose worst case is `L − g + (o₀ mod g)`; the access fits
+    ///   every line iff `(o₀ mod g) + size ≤ g` (constant-offset runs need
+    ///   only `o₀ + size ≤ L`).
+    fn run_fast_eligible(&self, refs: &[RunRef], count: u64) -> bool {
+        if self.levels.is_empty() {
+            return false;
+        }
+        let l = self.levels[0].line_size();
+        if let Some(t) = &self.tlb {
+            if (1u64 << t.page_shift) < l {
+                return false;
+            }
+        }
+        let write_through = self.levels[0].config().policy == WritePolicy::WriteThrough;
+        for r in refs {
+            let size = u64::from(r.size);
+            if size == 0 || size > l {
+                return false;
+            }
+            if r.kind == AccessKind::Write && write_through {
+                return false;
+            }
+            let first = r.base as i128;
+            let last = first + r.stride as i128 * (count - 1) as i128;
+            let (lo, hi) = if first <= last { (first, last) } else { (last, first) };
+            if lo < 0 || hi + size as i128 > u64::MAX as i128 + 1 {
+                return false;
+            }
+            let sm = r.stride.rem_euclid(l as i64) as u64;
+            let o0 = r.base & (l - 1);
+            let fits = if sm == 0 {
+                o0 + size <= l
+            } else {
+                let g = gcd(sm, l);
+                (o0 % g) + size <= g
+            };
+            if !fits {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Services a run bundle: the symbolic window walk when eligible, the
+    /// exact element walk otherwise.
+    ///
+    /// The window walk partitions `0..count` into maximal *windows* —
+    /// iteration spans in which no ref's line address changes.  Within a
+    /// window every iteration performs the identical touch cycle over the
+    /// same lines and pages, and a touch cycle is idempotent on MRU state:
+    /// one application reaches the fixed point (each line ordered by its
+    /// last touch in the cycle), repeats are no-ops.  So when every line
+    /// and page of the window is resident, the walk applies the cycle
+    /// *once* and bulk-adds `window × per-iteration` hit counters — no
+    /// per-element work at all.  Pure-hit windows evict and install
+    /// nothing, so residency observed at the window head holds throughout.
+    ///
+    /// The residency check is two-phase: first a pure probe of every
+    /// distinct line (and its page), then — only if all are resident — the
+    /// state application.  A failed probe therefore leaves *no* partial
+    /// state, and the window is replayed through [`Hierarchy::access_one`]
+    /// element by element, which handles misses, evictions, prefetches and
+    /// TLB fills exactly as the scalar engine would.
+    fn run_walk(&mut self, refs: &[RunRef], count: u64) {
+        if refs.is_empty() || count == 0 {
+            return;
+        }
+        if !self.run_fast_eligible(refs, count) {
+            for k in 0..count {
+                for r in refs {
+                    self.access_one(r.at(k));
+                }
+            }
+            return;
+        }
+
+        let line_sz = self.levels[0].line_size();
+        let lmask = line_sz - 1;
+        let line_shift = line_sz.trailing_zeros();
+
+        // Refs that provably share a line at *every* iteration collapse
+        // into one probe.  A ref joins a group iff it has the group's
+        // stride and sits at a non-negative offset `d` from the leader
+        // with `max_off + d + size ≤ L` (`max_off` being the leader's
+        // worst-case line offset over all iterations) — then it lives in
+        // the leader's line at every k.  Refs not grouped together may
+        // still alias a line at *some* iterations; that is harmless: the
+        // touch cycle below orders groups by last member position, so an
+        // aliased line's final MRU position is set by whichever group
+        // touches it last, exactly as in the scalar cycle.
+        struct Group {
+            base: u64,
+            stride: i64,
+            is_write: bool,
+            /// Last member's position in access order (touch-cycle order).
+            last: usize,
+            max_off: u64,
+            /// Leader address at the current window head.
+            cur_addr: u64,
+            /// Cached L1 coordinates of the current line: valid while the
+            /// line address is unchanged and only pure-hit windows have
+            /// run since the probe (those install and evict nothing, and
+            /// MRU touches permute the order vector, not the ways).
+            line: u64,
+            set_idx: u32,
+            way: u8,
+            cache_ok: bool,
+            /// Current TLB page, and whether it is known resident with the
+            /// window touch cycle already applied (see `tlb_cycle_ok`).
+            page: u64,
+            tlb_ok: bool,
+            /// Cached shuffled frame of the current L1 index page.  The
+            /// frame is a pure function of the page number, so this cache
+            /// never invalidates — it is refreshed only when the line
+            /// crosses into another shuffle page.
+            ipage: u64,
+            iframe: u64,
+            frame_ok: bool,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for (j, r) in refs.iter().enumerate() {
+            let size = u64::from(r.size);
+            let joined = groups.iter_mut().any(|g| {
+                let d = r.base.wrapping_sub(g.base);
+                if g.stride == r.stride && r.base >= g.base && g.max_off + d + size <= line_sz {
+                    g.is_write |= r.kind == AccessKind::Write;
+                    g.last = j;
+                    true
+                } else {
+                    false
+                }
+            });
+            if !joined {
+                let sm = r.stride.rem_euclid(line_sz as i64) as u64;
+                let o0 = r.base & lmask;
+                let max_off = if sm == 0 {
+                    o0
+                } else {
+                    let g = gcd(sm, line_sz);
+                    line_sz - g + (o0 % g)
+                };
+                groups.push(Group {
+                    base: r.base,
+                    stride: r.stride,
+                    is_write: r.kind == AccessKind::Write,
+                    last: j,
+                    max_off,
+                    cur_addr: 0,
+                    line: 0,
+                    set_idx: 0,
+                    way: 0,
+                    cache_ok: false,
+                    page: 0,
+                    tlb_ok: false,
+                    ipage: 0,
+                    iframe: 0,
+                    frame_ok: false,
+                });
+            }
+        }
+        groups.sort_by_key(|g| g.last);
+
+        let total_reads = refs.iter().filter(|r| r.kind == AccessKind::Read).count() as u64;
+        let total_writes = refs.len() as u64 - total_reads;
+        let bytes_per_iter: u64 = refs.iter().map(|r| u64::from(r.size)).sum();
+
+        let page_shift = self.tlb.as_ref().map(|t| t.page_shift);
+        let shuffle_shift = self.levels[0].shuffle_lines_shift();
+        // True while the TLB's MRU order sits at the fixed point of the
+        // current touch cycle: every group's page unchanged since the
+        // cycle was last applied, and no scalar replay in between.  The
+        // cycle is idempotent (each page ends ordered by its last touch),
+        // so re-applying it would be a no-op — skip it entirely.
+        let mut tlb_cycle_ok = false;
+
+        let mut bulk_iters: u64 = 0;
+        let mut k: u64 = 0;
+        while k < count {
+            let remaining = count - k;
+            // Window = the largest span in which no group leaves its line.
+            let mut w = remaining;
+            for g in groups.iter_mut() {
+                let addr = g.base.wrapping_add(g.stride.wrapping_mul(k as i64) as u64);
+                g.cur_addr = addr;
+                let la = addr >> line_shift;
+                if g.cache_ok && la != g.line {
+                    g.cache_ok = false;
+                }
+                g.line = la;
+                if let Some(ps) = page_shift {
+                    let page = addr >> ps;
+                    if !g.tlb_ok || page != g.page {
+                        g.page = page;
+                        g.tlb_ok = false;
+                        tlb_cycle_ok = false;
+                    }
+                }
+                let delta = match g.stride {
+                    0 => remaining,
+                    s if s > 0 => {
+                        let o = addr & lmask;
+                        (line_sz - o).div_ceil(s as u64)
+                    }
+                    s => {
+                        let o = addr & lmask;
+                        o / s.unsigned_abs() + 1
+                    }
+                };
+                w = w.min(delta);
+            }
+
+            // Phase 1: pure probes — no state change on any outcome.  A
+            // page already probed keeps its residency across pure-hit
+            // windows (those install and evict nothing), so only groups
+            // whose page changed probe the TLB again.
+            let mut all_hit = true;
+            for g in groups.iter_mut() {
+                if !g.tlb_ok {
+                    if let Some(t) = &self.tlb {
+                        if !t.probe(g.cur_addr) {
+                            all_hit = false;
+                            break;
+                        }
+                    }
+                }
+                if g.cache_ok {
+                    continue;
+                }
+                // The shuffled frame is a pure function of the index page,
+                // so the hash is paid once per page, not once per line.
+                let index_addr = match shuffle_shift {
+                    None => g.line,
+                    Some(shift) => {
+                        let ipage = g.line >> shift;
+                        if !g.frame_ok || ipage != g.ipage {
+                            g.ipage = ipage;
+                            g.iframe = self.levels[0].frame_of_page(ipage);
+                            g.frame_ok = true;
+                        }
+                        g.iframe.wrapping_add(g.line & ((1u64 << shift) - 1))
+                    }
+                };
+                match self.levels[0].probe_indexed(index_addr, g.line) {
+                    Some((set_idx, way)) => {
+                        g.set_idx = set_idx;
+                        g.way = way;
+                        g.cache_ok = true;
+                    }
+                    None => {
+                        all_hit = false;
+                        break;
+                    }
+                }
+            }
+
+            if all_hit {
+                // Phase 2: one touch cycle, in last-member order — the
+                // fixed point of the window's per-iteration cycle.  The
+                // TLB half is skipped while already at its fixed point.
+                if !tlb_cycle_ok {
+                    if let Some(t) = &mut self.tlb {
+                        for g in groups.iter_mut() {
+                            t.touch(g.cur_addr);
+                            g.tlb_ok = true;
+                        }
+                    }
+                    tlb_cycle_ok = true;
+                }
+                for g in groups.iter() {
+                    self.levels[0].apply_touch(g.set_idx, g.way, g.is_write);
+                }
+                bulk_iters += w;
+            } else {
+                // Exact replay of the whole window; it may evict and
+                // install (including TLB fills), so every cached
+                // coordinate is stale after it.
+                for i in k..k + w {
+                    for r in refs {
+                        self.access_one(r.at(i));
+                    }
+                }
+                for g in groups.iter_mut() {
+                    g.cache_ok = false;
+                    g.tlb_ok = false;
+                }
+                tlb_cycle_ok = false;
+            }
+            k += w;
+        }
+
+        if bulk_iters > 0 {
+            let stats = &mut self.levels[0].stats;
+            stats.read_hits = stats.read_hits.wrapping_add(bulk_iters.wrapping_mul(total_reads));
+            stats.write_hits = stats.write_hits.wrapping_add(bulk_iters.wrapping_mul(total_writes));
+            let bytes = bulk_iters.wrapping_mul(bytes_per_iter);
+            self.entry_bytes[0] += bytes;
+            mbb_obs::tick_channel_bytes(0, bytes);
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl AccessSink for Hierarchy {
@@ -295,6 +640,11 @@ impl AccessSink for Hierarchy {
         for &a in block {
             self.access_one(a);
         }
+    }
+
+    fn access_runs(&mut self, refs: &[RunRef], count: u64) {
+        crate::events::record_n(count.wrapping_mul(refs.len() as u64));
+        self.run_walk(refs, count);
     }
 }
 
@@ -448,6 +798,209 @@ mod tests {
         let block: Vec<Access> = (0..64u64).map(|k| Access::read(k * 8, 8)).collect();
         h.access_block(&block);
         assert_eq!(crate::events::so_far() - before, 64);
+    }
+}
+
+#[cfg(test)]
+mod run_tests {
+    use super::*;
+    use mbb_ir::trace::{Access, RunRef};
+
+    /// Feeds the same run bundle through the symbolic walk and through the
+    /// scalar expansion into twin hierarchies; reports must be identical.
+    fn assert_runs_match(mk: impl Fn() -> Hierarchy, refs: &[RunRef], count: u64) {
+        let mut fast = mk();
+        fast.access_runs(refs, count);
+        let mut scalar = mk();
+        for k in 0..count {
+            for r in refs {
+                scalar.access(r.at(k));
+            }
+        }
+        assert_eq!(fast.report(), scalar.report());
+        // And after a full flush (drains dirty lines both sides).
+        fast.flush();
+        scalar.flush();
+        assert_eq!(fast.report(), scalar.report());
+    }
+
+    fn two_level() -> Hierarchy {
+        Hierarchy::new(vec![
+            CacheConfig::write_back("L1", 256, 32, 2),
+            CacheConfig::write_back("L2", 1024, 64, 2),
+        ])
+    }
+
+    fn rr(base: u64, stride: i64, kind: AccessKind) -> RunRef {
+        RunRef { base, stride, size: 8, kind }
+    }
+
+    #[test]
+    fn streaming_triad_matches_scalar() {
+        let refs = [
+            rr(0, 8, AccessKind::Read),
+            rr(8192, 8, AccessKind::Read),
+            rr(16384, 8, AccessKind::Write),
+        ];
+        assert_runs_match(two_level, &refs, 512);
+    }
+
+    #[test]
+    fn resident_rerun_is_hit_dominated_and_exact() {
+        // Second pass over a 128-byte footprint: everything resident.
+        let refs = [rr(0, 8, AccessKind::Read), rr(64, 8, AccessKind::Write)];
+        let mut fast = two_level();
+        fast.access_runs(&refs, 8);
+        fast.access_runs(&refs, 8);
+        let mut scalar = two_level();
+        for _ in 0..2 {
+            for k in 0..8 {
+                for r in &refs {
+                    scalar.access(r.at(k));
+                }
+            }
+        }
+        assert_eq!(fast.report(), scalar.report());
+        assert!(fast.report().level_stats[0].read_hits > 0);
+    }
+
+    #[test]
+    fn negative_and_zero_strides_match() {
+        let refs = [
+            rr(4096, -8, AccessKind::Read),
+            rr(120, 0, AccessKind::Read), // loop-invariant cell
+            rr(8192, -24, AccessKind::Write),
+        ];
+        assert_runs_match(two_level, &refs, 300);
+    }
+
+    #[test]
+    fn shared_line_groups_match() {
+        // Adjacent same-line refs (interleaved re/im pairs) collapse into
+        // one probe group; an aliasing read of the same cells rides along.
+        let refs = [
+            rr(0, 16, AccessKind::Read),
+            rr(8, 16, AccessKind::Read),
+            rr(1024, 16, AccessKind::Write),
+            rr(1032, 16, AccessKind::Write),
+            rr(0, 16, AccessKind::Write), // aliases group 0, different group order
+        ];
+        assert_runs_match(two_level, &refs, 256);
+    }
+
+    #[test]
+    fn straddling_ref_falls_back_exactly() {
+        // A misaligned 8-byte stride-12 ref straddles lines: whole bundle
+        // takes the element walk, still byte-identical.
+        let refs = [rr(0, 8, AccessKind::Read), rr(28, 12, AccessKind::Write)];
+        assert_runs_match(two_level, &refs, 200);
+    }
+
+    #[test]
+    fn write_through_l1_falls_back_exactly() {
+        let mk = || {
+            Hierarchy::new(vec![
+                CacheConfig {
+                    name: "wt".into(),
+                    size: 256,
+                    line: 32,
+                    assoc: 2,
+                    policy: WritePolicy::WriteThrough,
+                    prefetch_next: 0,
+                    page_shuffle: None,
+                },
+                CacheConfig::write_back("L2", 1024, 64, 2),
+            ])
+        };
+        let refs = [rr(0, 8, AccessKind::Read), rr(512, 8, AccessKind::Write)];
+        assert_runs_match(mk, &refs, 256);
+        // Read-only bundles stay on the fast path under write-through.
+        assert_runs_match(mk, &[rr(0, 8, AccessKind::Read)], 256);
+    }
+
+    #[test]
+    fn tlb_and_page_shuffle_match() {
+        let mk = || {
+            Hierarchy::new(vec![
+                CacheConfig::write_back("L1", 512, 32, 2).with_page_shuffle(256),
+                CacheConfig::write_back("L2", 4096, 128, 2),
+            ])
+            .with_tlb(4, 1024)
+        };
+        let refs = [
+            rr(0, 8, AccessKind::Read),
+            rr(1 << 16, 8, AccessKind::Write),
+            rr(1 << 20, 40, AccessKind::Read),
+        ];
+        assert_runs_match(mk, &refs, 600);
+    }
+
+    #[test]
+    fn prefetching_level_matches() {
+        let mk =
+            || Hierarchy::new(vec![CacheConfig::write_back("L1", 256, 32, 2).with_prefetch(1)]);
+        let refs = [rr(0, 8, AccessKind::Read), rr(4096, 64, AccessKind::Write)];
+        assert_runs_match(mk, &refs, 400);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_stream_matches() {
+        // Two streams one cache-size apart thrash a direct-mapped L1;
+        // the interleaved order is what makes them conflict, so this
+        // guards the walk's order preservation.
+        let mk = || Hierarchy::new(vec![CacheConfig::write_back("L1", 256, 32, 1)]);
+        let refs = [rr(0, 8, AccessKind::Read), rr(256, 8, AccessKind::Read)];
+        assert_runs_match(mk, &refs, 128);
+    }
+
+    #[test]
+    fn odd_set_count_matches() {
+        let mk = || Hierarchy::new(vec![CacheConfig::write_back("odd", 96, 32, 1)]);
+        let refs = [rr(0, 8, AccessKind::Read), rr(96, 8, AccessKind::Write)];
+        assert_runs_match(mk, &refs, 120);
+    }
+
+    #[test]
+    fn run_walk_ticks_the_odometer_once_per_event() {
+        let before = crate::events::so_far();
+        let mut h = two_level();
+        h.access_runs(
+            &[
+                RunRef { base: 0, stride: 8, size: 8, kind: AccessKind::Read },
+                RunRef { base: 4096, stride: 8, size: 8, kind: AccessKind::Write },
+            ],
+            64,
+        );
+        assert_eq!(crate::events::so_far() - before, 128);
+    }
+
+    #[test]
+    fn empty_and_zero_size_runs_match() {
+        assert_runs_match(two_level, &[], 100);
+        assert_runs_match(two_level, &[rr(0, 8, AccessKind::Read)], 0);
+        // Zero-size accesses take the element walk (TLB-only traffic).
+        let refs = [RunRef { base: 0, stride: 8, size: 0, kind: AccessKind::Read }];
+        assert_runs_match(|| two_level().with_tlb(4, 256), &refs, 50);
+    }
+
+    /// Accesses touching the last line of the 64-bit address space must
+    /// terminate (they are truncated at the top, never wrapped back to
+    /// address zero), and a negative-stride run that wraps below zero
+    /// produces exactly such addresses — the fallback must survive them.
+    /// Regression: `do_access`'s segment split once wrapped `seg_end` to
+    /// zero here and restarted the walk from the bottom of memory.
+    #[test]
+    fn top_of_address_space_terminates_and_matches() {
+        let mut h = two_level();
+        // Straddles the top: 4 bytes exist, 4 would wrap.
+        h.access(Access { addr: u64::MAX - 3, size: 8, kind: AccessKind::Read });
+        h.access(Access { addr: u64::MAX, size: 8, kind: AccessKind::Write });
+        std::hint::black_box(h.report());
+
+        // base 0, stride −40: iteration 1 lands at 0xFFFF_FFFF_FFFF_FFD8.
+        let refs = [RunRef { base: 0, stride: -40, size: 1, kind: AccessKind::Read }];
+        assert_runs_match(two_level, &refs, 200);
+        assert_runs_match(|| two_level().with_tlb(4, 256), &refs, 200);
     }
 }
 

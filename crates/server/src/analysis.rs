@@ -40,6 +40,12 @@ pub struct Options {
     /// runs pay for the odometer, and their results are per-execution
     /// facts, so the server skips the cache for them.
     pub profile: bool,
+    /// Which interpreter engine executes every run this analysis performs
+    /// (default [`Engine::Auto`]).  The engines are observably identical —
+    /// that invariant is CI-enforced — so the server deliberately leaves
+    /// the engine *out* of its result-cache key: a `runs` request may be
+    /// served from a cached `scalar` result and vice versa.
+    pub engine: mbb_ir::Engine,
 }
 
 impl Default for Options {
@@ -50,6 +56,7 @@ impl Default for Options {
             regroup: false,
             budget: Budget::UNLIMITED,
             profile: false,
+            engine: mbb_ir::Engine::Auto,
         }
     }
 }
@@ -234,6 +241,7 @@ pub fn report(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
 
 fn report_inner(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
     let _budget = opts.budget.install();
+    let _engine = mbb_ir::runs::install(opts.engine);
     // The "measure" phase runs first, so the profile's *first* "interp"
     // span — the one `nest_table` extracts — is the measurement whose
     // totals equal the printed report exactly.  `time_program` re-runs the
@@ -299,6 +307,7 @@ pub fn advise(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
 
 fn advise_inner(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
     let _budget = opts.budget.install();
+    let _engine = mbb_ir::runs::install(opts.engine);
     let a = core_advise(p, &opts.machine).map_err(run_error)?;
     let findings = Json::arr(a.arrays.iter().map(|f| match f {
         ArrayFinding::Contractible { array, from_bytes, to_bytes } => Json::obj([
@@ -361,6 +370,7 @@ pub fn optimize(p: &Program, opts: &Options) -> Result<(Analysis, String), Serve
 
 fn optimize_inner(p: &Program, opts: &Options) -> Result<(Analysis, String), ServeError> {
     let _budget = opts.budget.install();
+    let _engine = mbb_ir::runs::install(opts.engine);
     // Phase spans: `nest_table_under(profile, "before"/"after")` pulls the
     // per-nest tables out of these two measurement phases; the pipeline
     // opens its own stage spans (fuse/shrink/store-elim/verify) inside.
@@ -525,6 +535,7 @@ pub fn trace_stats(p: &Program, opts: &Options) -> Result<Analysis, ServeError> 
 
 fn trace_stats_inner(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
     let _budget = opts.budget.install();
+    let _engine = mbb_ir::runs::install(opts.engine);
     let mut h = opts.machine.hierarchy();
     let r = {
         let _s = mbb_obs::span!("interp");
@@ -723,6 +734,18 @@ mod tests {
     /// ~80k innermost iterations: far beyond a 4096-step quota but quick
     /// to run unbudgeted.
     const BIG: &str = "program big\narray a[8]\nscalar s = 0  // printed\nfor i = 0, 9999\n  for j = 0, 7\n    s = (s + a[j])\n  end for\nend for\n";
+
+    #[test]
+    fn analyses_are_engine_invariant() {
+        let p = load(SRC).unwrap();
+        let per_engine = |e| {
+            let opts = Options { engine: e, ..Options::default() };
+            let a = report(&p, &opts).unwrap();
+            let t = trace_stats(&p, &opts).unwrap();
+            (a.text, t.text)
+        };
+        assert_eq!(per_engine(mbb_ir::Engine::Runs), per_engine(mbb_ir::Engine::Scalar));
+    }
 
     #[test]
     fn step_quota_stops_report_with_deadline_exceeded() {

@@ -112,6 +112,12 @@ pub struct Request {
     /// a profiled request also *bypasses* the cache, because its payload
     /// describes one concrete execution.
     pub profile: bool,
+    /// Interpreter engine (`"auto"` default, `"runs"`, `"scalar"`).  Also
+    /// *not* part of the cache key: the engines produce byte-identical
+    /// results (the differential-oracle CI lane enforces this), so a
+    /// request pinned to one engine may be served from a result the other
+    /// engine computed.
+    pub engine: mbb_ir::Engine,
 }
 
 /// The optional `budget` object of a request envelope:
@@ -253,7 +259,13 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         Some(_) => return Err(bad("`profile` must be a boolean")),
     };
 
-    Ok(Request { kind, program, machine, flags, budget, profile })
+    let engine = match doc.get("engine") {
+        None | Some(Json::Null) => mbb_ir::Engine::Auto,
+        Some(Json::Str(s)) => s.parse().map_err(bad)?,
+        Some(_) => return Err(bad("`engine` must be a string")),
+    };
+
+    Ok(Request { kind, program, machine, flags, budget, profile, engine })
 }
 
 /// The outcome of reading one length-bounded request line.
@@ -439,6 +451,20 @@ mod tests {
         assert!(!r.profile);
         let e = parse_request(&req("report", ",\"program\":\"x\",\"profile\":1")).unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn engine_field_parses_and_rejects_unknown_names() {
+        let r = parse_request(&req("report", ",\"program\":\"x\",\"engine\":\"scalar\"")).unwrap();
+        assert_eq!(r.engine, mbb_ir::Engine::Scalar);
+        let r = parse_request(&req("report", ",\"program\":\"x\"")).unwrap();
+        assert_eq!(r.engine, mbb_ir::Engine::Auto);
+        for bad in [",\"program\":\"x\",\"engine\":\"warp\"", ",\"program\":\"x\",\"engine\":9"] {
+            let e = parse_request(&req("report", bad)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad} -> {e}");
+        }
+        // The engine is deliberately absent from the cache key.
+        assert!(!Flags::default().key().contains("engine"));
     }
 
     #[test]

@@ -358,6 +358,7 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
             let mut opts = req.flags.to_options(&req.machine)?;
             opts.budget = effective_budget(&shared.cfg, req.budget);
             opts.profile = req.profile;
+            opts.engine = req.engine;
             let prog = analysis::load(src)?;
             let compute = || -> Result<analysis::Analysis, ServeError> {
                 let a = match kind {

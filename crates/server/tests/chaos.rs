@@ -76,6 +76,14 @@ fn scrape_counter(text: &str, name: &str) -> u64 {
         .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
 }
 
+/// Pins a request to one interpreter engine (the field the differential
+/// oracle lane varies; absent means `auto`).
+fn with_engine(req: Json, engine: &str) -> Json {
+    let Json::Obj(mut pairs) = req else { unreachable!("request() builds an object") };
+    pairs.push(("engine".to_string(), Json::str(engine)));
+    Json::Obj(pairs)
+}
+
 /// What one worker thread observed.
 #[derive(Default)]
 struct Observed {
@@ -83,7 +91,9 @@ struct Observed {
     results: Vec<(String, String)>,
     successes: u64,
     failures: u64,
-    deadline_exceeded: u64,
+    /// `deadline_exceeded` trips from the tight-budget probes, split by
+    /// the engine the probe was pinned to: `[runs, scalar]`.
+    deadline_exceeded: [u64; 2],
 }
 
 fn drive_thread(addr: SocketAddr, seed: u64, t: usize) -> Observed {
@@ -107,6 +117,8 @@ fn drive_thread(addr: SocketAddr, seed: u64, t: usize) -> Observed {
     let mut rc = RetryClient::new(addr, Duration::from_secs(10), policy);
     let mut obs = Observed::default();
     for i in 0..REQUESTS_PER_THREAD {
+        // Which engine this iteration's budget probe (if any) pins.
+        let mut probe_engine = None;
         let (req, key) = match i % 10 {
             7 => (client::request("metrics", None, ""), None),
             8 => {
@@ -114,7 +126,21 @@ fn drive_thread(addr: SocketAddr, seed: u64, t: usize) -> Observed {
                 // bad-request envelope, never a hang or a panic.
                 (client::request("report", None, ""), None)
             }
-            9 => (client::request_with_budget("optimize", Some(HUGE), "origin", 4096, 0), None),
+            9 => {
+                // The tight-budget probe alternates engines so every storm
+                // exercises the step quota through both the symbolic run
+                // walk and the scalar element walk — the charge points
+                // must line up or one engine blows past its budget.
+                let engine = if (i / 10) % 2 == 0 { "runs" } else { "scalar" };
+                probe_engine = Some(engine);
+                (
+                    with_engine(
+                        client::request_with_budget("optimize", Some(HUGE), "origin", 4096, 0),
+                        engine,
+                    ),
+                    None,
+                )
+            }
             _ => {
                 let (kind, program, machine) = matrix[(i + t * 7) % matrix.len()];
                 (
@@ -146,7 +172,11 @@ fn drive_thread(addr: SocketAddr, seed: u64, t: usize) -> Observed {
                             .and_then(|c| c.as_str())
                             .unwrap_or_else(|| panic!("seed {seed:#x}: error without code"));
                         if code == "deadline_exceeded" {
-                            obs.deadline_exceeded += 1;
+                            let slot = match probe_engine {
+                                Some("scalar") => 1,
+                                _ => 0,
+                            };
+                            obs.deadline_exceeded[slot] += 1;
                         }
                         if i % 10 == 8 {
                             assert_eq!(code, "bad-request", "seed {seed:#x}: {resp:?}");
@@ -180,14 +210,15 @@ fn run_seed(seed: u64) {
     let mut merged: HashMap<String, String> = HashMap::new();
     let mut successes = 0u64;
     let mut failures = 0u64;
-    let mut deadline_exceeded = 0u64;
+    let mut deadline_exceeded = [0u64; 2];
     let threads: Vec<_> =
         (0..THREADS).map(|t| std::thread::spawn(move || drive_thread(addr, seed, t))).collect();
     for th in threads {
         let obs = th.join().expect("worker thread survived the storm");
         successes += obs.successes;
         failures += obs.failures;
-        deadline_exceeded += obs.deadline_exceeded;
+        deadline_exceeded[0] += obs.deadline_exceeded[0];
+        deadline_exceeded[1] += obs.deadline_exceeded[1];
         for (key, bytes) in obs.results {
             // Byte-identity: every success for a key — first miss, cache
             // hits, recomputes after injected failures — is identical.
@@ -205,8 +236,11 @@ fn run_seed(seed: u64) {
     assert_eq!(successes + failures, total, "seed {seed:#x}: requests lost");
     assert!(successes >= total / 2, "seed {seed:#x}: only {successes}/{total} requests succeeded");
     assert!(
-        deadline_exceeded > 0,
-        "seed {seed:#x}: the tight-budget probes never tripped deadline_exceeded"
+        deadline_exceeded[0] > 0 && deadline_exceeded[1] > 0,
+        "seed {seed:#x}: the tight-budget probes must trip deadline_exceeded under \
+         both engines (runs: {}, scalar: {})",
+        deadline_exceeded[0],
+        deadline_exceeded[1],
     );
     assert!(
         started.elapsed() < SEED_DEADLINE,
@@ -225,6 +259,60 @@ fn run_seed(seed: u64) {
     );
     let resp = clean.analyze("report", SUM, "origin").expect("post-storm request");
     expect_ok(&resp).unwrap_or_else(|e| panic!("seed {seed:#x}: post-storm request failed: {e}"));
+
+    handle.shutdown();
+    server.join().expect("server thread exits after drain");
+}
+
+/// Budget parity across engines, with no faults in the way: the same
+/// request pinned to `runs` and to `scalar` must produce the *same
+/// outcome* — the identical structured `deadline_exceeded` error under a
+/// tight step budget, and byte-identical results under a generous one.
+/// The step quota is charged at the same points in both engines
+/// (`mbb_ir::budget`), so a budget that stops one must stop the other.
+#[test]
+fn budget_outcomes_are_engine_invariant() {
+    quiet_injected_panics();
+    let (addr, handle, server) = start(Config { workers: 2, ..Config::default() });
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+
+    for kind in ["report", "optimize"] {
+        // Tight budget: HUGE runs ~2.6M steps, the quota allows 4096.
+        let mut outcomes = Vec::new();
+        for engine in ["runs", "scalar"] {
+            let req = with_engine(
+                client::request_with_budget(kind, Some(HUGE), "origin", 4096, 0),
+                engine,
+            );
+            let resp = client.roundtrip(&req).expect("tight-budget roundtrip");
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{kind}/{engine}: {resp:?}");
+            let code = resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str())
+                .unwrap_or_else(|| panic!("{kind}/{engine}: error without code: {resp:?}"))
+                .to_string();
+            outcomes.push(code);
+        }
+        assert_eq!(outcomes[0], "deadline_exceeded", "{kind}: runs engine outcome");
+        assert_eq!(outcomes[0], outcomes[1], "{kind}: engines disagree on the budget outcome");
+
+        // Generous budget: both engines succeed with identical bytes.
+        // (The cache would serve the second engine the first's result by
+        // design — byte-identity is exactly why the engine is excluded
+        // from the cache key — so this also guards that design choice.)
+        let mut results = Vec::new();
+        for engine in ["runs", "scalar"] {
+            let req = with_engine(
+                client::request_with_budget(kind, Some(SUM), "origin", 50_000_000, 0),
+                engine,
+            );
+            let resp = client.roundtrip(&req).expect("generous-budget roundtrip");
+            expect_ok(&resp).unwrap_or_else(|e| panic!("{kind}/{engine}: {e}"));
+            results.push(resp.get("result").expect("result payload").render_compact());
+        }
+        assert_eq!(results[0], results[1], "{kind}: result bytes diverged across engines");
+    }
 
     handle.shutdown();
     server.join().expect("server thread exits after drain");

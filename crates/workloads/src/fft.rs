@@ -6,8 +6,20 @@
 //! interpreter would, plus an exact flop count.  This is the `FFT` row of
 //! Figure 1.
 
-use mbb_ir::trace::AccessSink;
+use mbb_ir::trace::{AccessKind, AccessSink, RunRef, Scalarize};
 use mbb_memsim::arena::{Arena, TracedArray};
+
+/// Emits one run bundle, honouring the engine override: under the scalar
+/// oracle engine the runs are expanded element by element (the exact
+/// stream the pre-run code emitted), otherwise the sink sees the compiled
+/// [`RunRef`]s and may simulate them per cache line.
+fn emit_runs(sink: &mut (impl AccessSink + ?Sized), refs: &[RunRef], count: u64) {
+    if mbb_ir::runs::current() == mbb_ir::Engine::Scalar {
+        Scalarize::new(sink).access_runs(refs, count);
+    } else {
+        sink.access_runs(refs, count);
+    }
+}
 
 /// Result of one traced FFT run.
 #[derive(Clone, Debug)]
@@ -75,26 +87,48 @@ pub fn fft_traced(n: usize, sink: &mut (impl AccessSink + ?Sized)) -> FftRun {
         }
     }
 
-    // Butterfly stages.
+    // Butterfly stages.  Within one `(len, base)` block every reference
+    // advances by one complex element (two cells) per butterfly, so the
+    // ten accesses of the loop body compile to ten run descriptors; the
+    // iteration-major expansion order of `access_runs` is exactly the
+    // order the per-element loop used to emit.  The arithmetic runs on
+    // the raw cells — the trace it would have produced is the run bundle.
     let mut len = 2usize;
     while len <= n {
         let halflen = len / 2;
         let mut base = 0;
         while base < n {
+            let (pa0, pb0) = (2 * base, 2 * (base + halflen));
+            let tw0 = 2 * halflen; // stacked layout: sequential
+            let refs = [
+                tw.run_ref(tw0, 2, AccessKind::Read),
+                tw.run_ref(tw0 + 1, 2, AccessKind::Read),
+                d.run_ref(pa0, 2, AccessKind::Read),
+                d.run_ref(pa0 + 1, 2, AccessKind::Read),
+                d.run_ref(pb0, 2, AccessKind::Read),
+                d.run_ref(pb0 + 1, 2, AccessKind::Read),
+                d.run_ref(pa0, 2, AccessKind::Write),
+                d.run_ref(pa0 + 1, 2, AccessKind::Write),
+                d.run_ref(pb0, 2, AccessKind::Write),
+                d.run_ref(pb0 + 1, 2, AccessKind::Write),
+            ];
+            emit_runs(sink, &refs, halflen as u64);
+            let twv = tw.values();
             for k in 0..halflen {
-                let tw_idx = 2 * (halflen + k); // stacked layout: sequential
-                let (wr, wi) = (tw.get(tw_idx, sink), tw.get(tw_idx + 1, sink));
-                let (pa, pb) = (2 * (base + k), 2 * (base + k + halflen));
-                let (ar, ai) = (d.get(pa, sink), d.get(pa + 1, sink));
-                let (br, bi) = (d.get(pb, sink), d.get(pb + 1, sink));
+                let tw_idx = tw0 + 2 * k;
+                let (wr, wi) = (twv[tw_idx], twv[tw_idx + 1]);
+                let (pa, pb) = (pa0 + 2 * k, pb0 + 2 * k);
+                let dv = d.values_mut();
+                let (ar, ai) = (dv[pa], dv[pa + 1]);
+                let (br, bi) = (dv[pb], dv[pb + 1]);
                 // t = w · b  (4 mul + 2 add)
                 let tr = wr * br - wi * bi;
                 let ti = wr * bi + wi * br;
                 // a' = a + t, b' = a − t  (4 add)
-                d.set(pa, ar + tr, sink);
-                d.set(pa + 1, ai + ti, sink);
-                d.set(pb, ar - tr, sink);
-                d.set(pb + 1, ai - ti, sink);
+                dv[pa] = ar + tr;
+                dv[pa + 1] = ai + ti;
+                dv[pb] = ar - tr;
+                dv[pb + 1] = ai - ti;
                 flops += 10;
             }
             base += len;
@@ -174,5 +208,18 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
         let _ = fft_traced(100, &mut NullSink);
+    }
+
+    #[test]
+    fn fft_traffic_is_engine_invariant() {
+        let machine = mbb_memsim::machine::MachineModel::origin2000();
+        let per_engine = |e| {
+            let _g = mbb_ir::runs::install(e);
+            let mut h = machine.hierarchy();
+            let run = fft_traced(512, &mut h);
+            h.flush();
+            (h.report(), run.flops)
+        };
+        assert_eq!(per_engine(mbb_ir::Engine::Runs), per_engine(mbb_ir::Engine::Scalar));
     }
 }
