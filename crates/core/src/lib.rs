@@ -30,6 +30,7 @@ pub mod embed;
 pub mod expand;
 pub mod fusion;
 pub mod interchange;
+pub mod mutate;
 pub mod pipeline;
 pub mod profile;
 pub mod regroup;

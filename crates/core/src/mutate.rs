@@ -1,0 +1,196 @@
+//! Deliberate miscompilations for mutation-testing the fuzz harness.
+//!
+//! A differential fuzzer is only trustworthy if it demonstrably *fails*
+//! when the optimizer is wrong.  This module plants small, realistic
+//! optimizer bugs — an arithmetic flip, a lost store, ignored liveness
+//! metadata — so the `mbb-gen` CI lane can assert that each one is caught
+//! and shrunk to a minimal counterexample.  Nothing in the real pipeline
+//! calls [`apply`]; it exists purely to keep the harness honest.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mbb_ir::expr::{BinOp, Expr, Ref};
+use mbb_ir::program::{Program, Stmt};
+
+/// A planted optimizer bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Flips the first `+` in the program to a `-`: the classic wrong-code
+    /// miscompile.  Applied to the *optimized* program, so the differential
+    /// check sees original and "optimized" results diverge.
+    SwapAddSub,
+    /// Deletes the last store to an array element: models a transformation
+    /// that loses a write.  Applied to the optimized program.
+    DropStore,
+    /// Clears every array's `live_out` flag before optimization: models an
+    /// optimizer that ignores liveness metadata, licensing store
+    /// elimination and shrinking to destroy observable output.  Applied to
+    /// the optimizer's *input*.
+    IgnoreLiveOut,
+}
+
+impl Mutation {
+    /// Canonical lowercase name, as accepted by [`Mutation::from_str`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mutation::SwapAddSub => "swap-add-sub",
+            Mutation::DropStore => "drop-store",
+            Mutation::IgnoreLiveOut => "ignore-live-out",
+        }
+    }
+
+    /// True when the mutation is applied to the optimizer's input rather
+    /// than its output.
+    pub fn applies_before_optimize(self) -> bool {
+        matches!(self, Mutation::IgnoreLiveOut)
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Mutation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Mutation, String> {
+        match s {
+            "swap-add-sub" => Ok(Mutation::SwapAddSub),
+            "drop-store" => Ok(Mutation::DropStore),
+            "ignore-live-out" => Ok(Mutation::IgnoreLiveOut),
+            other => Err(format!(
+                "unknown mutation '{other}' (expected swap-add-sub, drop-store or ignore-live-out)"
+            )),
+        }
+    }
+}
+
+/// Applies the mutation in place.  Returns `false` when the program offers
+/// no site for it (no `+`, no array store), in which case the program is
+/// unchanged and the mutation is a no-op.
+pub fn apply(prog: &mut Program, m: Mutation) -> bool {
+    match m {
+        Mutation::SwapAddSub => swap_first_add(prog),
+        Mutation::DropStore => drop_last_store(prog),
+        Mutation::IgnoreLiveOut => {
+            let had = prog.arrays.iter().any(|a| a.live_out);
+            for a in &mut prog.arrays {
+                a.live_out = false;
+            }
+            had
+        }
+    }
+}
+
+fn swap_first_add(prog: &mut Program) -> bool {
+    fn in_expr(e: &mut Expr, done: &mut bool) {
+        if *done {
+            return;
+        }
+        match e {
+            Expr::Binary(op, l, r) => {
+                if *op == BinOp::Add {
+                    *op = BinOp::Sub;
+                    *done = true;
+                    return;
+                }
+                in_expr(l, done);
+                in_expr(r, done);
+            }
+            Expr::Unary(_, x) => in_expr(x, done),
+            Expr::Const(_) | Expr::Load(_) | Expr::Input(..) => {}
+        }
+    }
+    fn in_stmt(s: &mut Stmt, done: &mut bool) {
+        if *done {
+            return;
+        }
+        match s {
+            Stmt::Assign { rhs, .. } => in_expr(rhs, done),
+            Stmt::If { then_, else_, .. } => {
+                for st in then_.iter_mut().chain(else_.iter_mut()) {
+                    in_stmt(st, done);
+                }
+            }
+        }
+    }
+    let mut done = false;
+    for n in &mut prog.nests {
+        for s in &mut n.body {
+            in_stmt(s, &mut done);
+        }
+        if done {
+            break;
+        }
+    }
+    done
+}
+
+fn drop_last_store(prog: &mut Program) -> bool {
+    // Only top-level assignments are considered; removing a branch arm's
+    // store would be equally valid but top-level is where generated
+    // programs keep theirs.
+    for n in prog.nests.iter_mut().rev() {
+        for k in (0..n.body.len()).rev() {
+            if matches!(&n.body[k], Stmt::Assign { lhs: Ref::Element(..), .. }) {
+                n.body.remove(k);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::builder::*;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("m");
+        let x = b.array_in("x", &[8]);
+        let y = b.array_out("y", &[8]);
+        let i = b.var("i");
+        b.nest("w", &[(i, 0, 7)], vec![assign(y.at([v(i)]), ld(x.at([v(i)])) + lit(1.0))]);
+        b.finish()
+    }
+
+    #[test]
+    fn swap_changes_one_op() {
+        let mut p = sample();
+        assert!(apply(&mut p, Mutation::SwapAddSub));
+        let Stmt::Assign { rhs: Expr::Binary(op, ..), .. } = &p.nests[0].body[0] else {
+            panic!("unexpected shape");
+        };
+        assert_eq!(*op, BinOp::Sub);
+        // A second application finds no `+` left.
+        assert!(!apply(&mut p, Mutation::SwapAddSub));
+    }
+
+    #[test]
+    fn drop_store_removes_the_assignment() {
+        let mut p = sample();
+        assert!(apply(&mut p, Mutation::DropStore));
+        assert!(p.nests[0].body.is_empty());
+        assert!(!apply(&mut p, Mutation::DropStore));
+    }
+
+    #[test]
+    fn ignore_live_out_clears_flags() {
+        let mut p = sample();
+        assert!(apply(&mut p, Mutation::IgnoreLiveOut));
+        assert!(p.arrays.iter().all(|a| !a.live_out));
+        assert!(!apply(&mut p, Mutation::IgnoreLiveOut));
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for m in [Mutation::SwapAddSub, Mutation::DropStore, Mutation::IgnoreLiveOut] {
+            assert_eq!(m.as_str().parse::<Mutation>().unwrap(), m);
+        }
+        assert!("frobnicate".parse::<Mutation>().is_err());
+    }
+}

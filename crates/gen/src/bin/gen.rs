@@ -1,0 +1,320 @@
+//! `gen` — the mbb-gen command-line driver.
+//!
+//! ```text
+//! gen one    [--seed S] [--template T] [--scale X]
+//! gen corpus --count N [--seed S] [--dir PATH] [--scale X]
+//! gen fuzz   --iters N [--seed S] [--mutate M] [--scale X]
+//!            [--balance-slop F] [--artifact-dir PATH]
+//! gen sweep  --count N [--seed S] [--scale X | --full] [--json PATH]
+//! gen replay --family F --n N --k K --detail D [--mutate M] [--scale X]
+//! ```
+//!
+//! The fuzz seed resolves as `--seed`, else the `GEN_SEED` environment
+//! variable (the CI exploration lane sets it to the run id), else a fixed
+//! default — mirroring the chaos suite's seed discipline.  Exit codes:
+//! 0 success, 1 counterexample or failed replay, 2 usage.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mbb_core::mutate::Mutation;
+use mbb_gen::fuzz::{self, Config, Counterexample};
+use mbb_gen::sweep::{sweep, SweepConfig};
+use mbb_gen::templates::{self, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn usage() -> &'static str {
+    "usage: gen <one|corpus|fuzz|sweep|replay> [options]\n\
+     options:\n\
+       --seed S          base seed (fuzz also honours GEN_SEED; default fixed)\n\
+       --template T      template family: chain|stencil|reduce|rotate|triangle\n\
+       --count N         programs to generate (corpus, sweep)\n\
+       --iters N         fuzz iterations\n\
+       --scale X         extent multiplier (default 1)\n\
+       --full            sweep at full size (scale 64)\n\
+       --mutate M        plant an optimizer bug: swap-add-sub|drop-store|ignore-live-out\n\
+       --balance-slop F  allowed relative traffic growth (default 0.05)\n\
+       --artifact-dir D  where fuzz writes counterexamples (default target/tmp/gen-fuzz)\n\
+       --dir D           corpus output directory (default: print to stdout)\n\
+       --json PATH       sweep output file (default: print to stdout)\n\
+       --family F --n N --k K --detail D   exact replay coordinates\n"
+}
+
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut k = 0;
+        while k < raw.len() {
+            let flag = raw[k].as_str();
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected argument `{flag}`"));
+            }
+            if flag == "--full" {
+                flags.insert(flag.to_string(), String::new());
+                k += 1;
+                continue;
+            }
+            let Some(value) = raw.get(k + 1) else {
+                return Err(format!("{flag} needs a value"));
+            };
+            flags.insert(flag.to_string(), value.clone());
+            k += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    fn u64_or(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => parse_u64(v).ok_or_else(|| format!("{flag} wants a number, got `{v}`")),
+        }
+    }
+
+    fn u32_or(&self, flag: &str, default: u32) -> Result<u32, String> {
+        self.u64_or(flag, u64::from(default))
+            .and_then(|n| u32::try_from(n).map_err(|_| format!("{flag} value {n} is out of range")))
+    }
+}
+
+/// Accepts decimal and `0x…` hex (replay commands print detail in hex).
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn fuzz_seed(args: &Args) -> Result<u64, String> {
+    if let Some(v) = args.get("--seed") {
+        return parse_u64(v).ok_or_else(|| format!("--seed wants a number, got `{v}`"));
+    }
+    if let Ok(v) = std::env::var("GEN_SEED") {
+        return parse_u64(&v).ok_or_else(|| format!("GEN_SEED wants a number, got `{v}`"));
+    }
+    Ok(fuzz::DEFAULT_SEED)
+}
+
+fn config_from(args: &Args) -> Result<Config, String> {
+    let mut cfg = Config { scale: args.u32_or("--scale", 1)?, ..Config::default() };
+    if let Some(m) = args.get("--mutate") {
+        cfg.mutation = Some(m.parse::<Mutation>()?);
+    }
+    if let Some(v) = args.get("--balance-slop") {
+        cfg.balance_slop =
+            v.parse::<f64>().map_err(|_| format!("--balance-slop wants a float, got `{v}`"))?;
+    }
+    Ok(cfg)
+}
+
+fn params_from_seed(seed: u64, args: &Args) -> Result<Params, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = templates::sample_params(&mut rng);
+    if let Some(t) = args.get("--template") {
+        params.family = templates::family_index(t)
+            .ok_or_else(|| format!("unknown template `{t}` (see --help)"))?;
+    }
+    Ok(params)
+}
+
+fn cmd_one(args: &Args) -> Result<(), String> {
+    let seed = fuzz_seed(args)?;
+    let scale = args.u32_or("--scale", 1)?;
+    let params = params_from_seed(seed, args)?;
+    let prog = templates::generate(params, scale);
+    mbb_ir::validate(&prog).map_err(|e| format!("generator bug: {e}"))?;
+    println!("// replay: gen replay {}", params.replay_args());
+    print!("{}", mbb_ir::pretty::program(&prog));
+    Ok(())
+}
+
+fn cmd_corpus(args: &Args) -> Result<(), String> {
+    let seed = fuzz_seed(args)?;
+    let count = args.u32_or("--count", 10)?;
+    let scale = args.u32_or("--scale", 1)?;
+    let dir = args.get("--dir").map(PathBuf::from);
+    if let Some(d) = &dir {
+        std::fs::create_dir_all(d).map_err(|e| format!("{}: {e}", d.display()))?;
+    }
+    for k in 0..count {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (u64::from(k).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let params = templates::sample_params(&mut rng);
+        let prog = templates::generate(params, scale);
+        let text = format!(
+            "// generated by mbb-gen (seed {seed:#x}, index {k})\n// replay: gen replay {}\n{}",
+            params.replay_args(),
+            mbb_ir::pretty::program(&prog)
+        );
+        match &dir {
+            Some(d) => {
+                let path = d.join(format!("{}.loop", prog.name));
+                std::fs::write(&path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
+            None => println!("{text}"),
+        }
+    }
+    Ok(())
+}
+
+fn write_artifacts(dir: &Path, cex: &Counterexample) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("gen: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let program = dir.join("counterexample.loop");
+    let replay = dir.join("replay.txt");
+    let report = format!(
+        "mbb-gen fuzz counterexample\n\
+         kind:    {}\n\
+         detail:  {}\n\
+         found:   {}\n\
+         minimal: {}\n\
+         shrink steps: {}\n\
+         replay:  {}\n",
+        cex.minimal.kind,
+        cex.minimal.detail,
+        cex.found.params.replay_args(),
+        cex.minimal.params.replay_args(),
+        cex.shrink_steps,
+        cex.replay,
+    );
+    for (path, contents) in [(&program, &cex.program), (&replay, &report)] {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("gen: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("gen: wrote {}", path.display());
+        }
+    }
+}
+
+fn cmd_fuzz(args: &Args) -> Result<ExitCode, String> {
+    let seed = fuzz_seed(args)?;
+    let iters = args.u32_or("--iters", 100)?;
+    let cfg = config_from(args)?;
+    let artifact_dir = PathBuf::from(args.get("--artifact-dir").unwrap_or("target/tmp/gen-fuzz"));
+    println!(
+        "gen fuzz: {iters} iters, seed {seed:#x}, scale {}, mutation {}",
+        cfg.scale,
+        cfg.mutation.map_or("none".to_string(), |m| m.to_string()),
+    );
+    match fuzz::fuzz(seed, iters, &cfg, |iter, params| {
+        if iter % 50 == 0 && iter > 0 {
+            println!("gen fuzz: {iter}/{iters} cases green (at {})", params.program_name());
+        }
+    }) {
+        Ok(n) => {
+            println!("gen fuzz: all {n} cases green");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(cex) => {
+            println!("gen fuzz: FAILURE: {} — {}", cex.minimal.kind, cex.minimal.detail);
+            println!(
+                "gen fuzz: found at {}, shrunk {} steps to {}",
+                cex.found.params.replay_args(),
+                cex.shrink_steps,
+                cex.minimal.params.replay_args()
+            );
+            println!("gen fuzz: minimal program:\n{}", cex.program);
+            println!("gen fuzz: replay with: {}", cex.replay);
+            write_artifacts(&artifact_dir, &cex);
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let seed = fuzz_seed(args)?;
+    let count = args.u32_or("--count", 50)?;
+    let scale = if args.get("--full").is_some() { 64 } else { args.u32_or("--scale", 1)? };
+    let cfg = SweepConfig { count, seed, scale };
+    let doc = sweep(&cfg, |k, params| {
+        if k % 25 == 0 && k > 0 {
+            eprintln!("gen sweep: {k}/{count} ({})", params.program_name());
+        }
+    });
+    let rendered = doc.render();
+    match args.get("--json") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("gen sweep: wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
+    let family = match args.get("--family") {
+        None => return Err("replay needs --family".into()),
+        Some(name) => match templates::family_index(name) {
+            Some(f) => f,
+            None => parse_u64(name)
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| format!("unknown template `{name}`"))?,
+        },
+    };
+    let params = Params {
+        family,
+        n: args.u32_or("--n", *templates::N_RANGE.start())?,
+        k: args.u32_or("--k", *templates::K_RANGE.start())?,
+        detail: args.u64_or("--detail", 0)?,
+    };
+    let cfg = config_from(args)?;
+    println!("gen replay: {} (scale {})", params.replay_args(), cfg.scale);
+    match fuzz::check(params, &cfg) {
+        Ok(()) => {
+            println!("gen replay: case passes");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(f) => {
+            println!("gen replay: FAILURE: {} — {}", f.kind, f.detail);
+            print!("{}", mbb_ir::pretty::program(&templates::generate(params, cfg.scale)));
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first() else {
+        eprint!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(&raw[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gen: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "one" => cmd_one(&args).map(|()| ExitCode::SUCCESS),
+        "corpus" => cmd_corpus(&args).map(|()| ExitCode::SUCCESS),
+        "fuzz" => cmd_fuzz(&args),
+        "sweep" => cmd_sweep(&args).map(|()| ExitCode::SUCCESS),
+        "replay" => cmd_replay(&args),
+        other => {
+            eprintln!("gen: unknown command `{other}`\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("gen: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # mbb-gen — seeded workload generation and differential fuzzing
+//!
+//! The optimizer's properties (bandwidth-minimal fusion, storage
+//! reduction, store elimination) and the two execution engines (runs vs
+//! scalar oracle) were historically proven only on the paper's handful of
+//! figure programs.  This crate builds the *space* those properties live
+//! in: a template-driven generator over valid `.loop` programs
+//! ([`templates`]), a differential fuzz driver that cross-checks every
+//! generated program through parse/pretty, both engines, the optimizer
+//! and the balance model, shrinking failures to minimal counterexamples
+//! ([`mod@fuzz`]), and corpus-scale benchmark sweeps for the nightly
+//! ([`mod@sweep`]).
+//!
+//! The `gen` binary exposes all three:
+//!
+//! ```text
+//! gen one    --seed S [--template chain]     print one generated program
+//! gen corpus --count N [--dir D]             emit a program corpus
+//! gen fuzz   --iters N [--mutate M]          differential fuzz, shrink on failure
+//! gen sweep  --count N [--json F] [--full]   corpus benchmark sweep (mbb-gen-sweep/1)
+//! gen replay --family F --n N --k K --detail D   re-run one exact case
+//! ```
+//!
+//! Everything is seeded splitmix64: the same seed always reproduces the
+//! same programs, and every failure prints the exact replay command.
+
+pub mod fuzz;
+pub mod sweep;
+pub mod templates;
+
+pub use fuzz::{check, fuzz, Config, Counterexample, Failure, FailureKind};
+pub use sweep::{sweep, SweepConfig};
+pub use templates::{generate, Params};

@@ -1,0 +1,445 @@
+//! Template-driven generation of valid `.loop` programs.
+//!
+//! Each template family is a parameterized program shape chosen to stress
+//! a different part of the optimizer and the execution engines:
+//!
+//! | family | name       | stresses                                        |
+//! |-------:|------------|-------------------------------------------------|
+//! | 0      | `chain`    | fusable producer chains, contraction, store elim |
+//! | 1      | `stencil`  | rank-2 neighbour reuse, guarded stores           |
+//! | 2      | `reduce`   | load-heavy multi-rank reductions, fusion edges   |
+//! | 3      | `rotate`   | modular subscripts and external input streams    |
+//! | 4      | `triangle` | triangular bounds, negative steps, conditionals  |
+//!
+//! [`generate`] is a pure function of ([`Params`], scale): the same
+//! parameters always produce the same [`Program`], which is what makes
+//! shrinking and replay commands work.  Every emitted program passes
+//! `mbb_ir::validate` by construction — array extents are sized from the
+//! loop bounds so no subscript can leave its declared extent — and
+//! round-trips exactly through the pretty-printer and parser
+//! (`parse(pretty(p)) == p`): declarations come before first use, loop
+//! variables `i0, i1, …` are drawn from a shared pool in first-appearance
+//! order, and only parser-expressible constructs are emitted.
+
+use mbb_ir::builder::{
+    accumulate, assign, c, cmp, if_else, if_then, ld, lit, v, ProgramBuilder, RefBuild,
+};
+use mbb_ir::expr::{BinOp, CmpOp, Expr, Ref, Sub, UnOp};
+use mbb_ir::program::{Program, SourceId, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of template families.
+pub const FAMILY_COUNT: u8 = 5;
+
+/// Range of the base extent parameter `n`.
+pub const N_RANGE: core::ops::RangeInclusive<u32> = 4..=48;
+
+/// Range of the size/length parameter `k` (chain length, nest count).
+pub const K_RANGE: core::ops::RangeInclusive<u32> = 1..=6;
+
+/// Input streams use the same id range as the parser's `read()` sugar, far
+/// away from the array source ids the builder allocates.
+const INPUT_SOURCE: u32 = 0x5EAD_0000;
+
+/// The coordinates of one generated program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Template family, `0..FAMILY_COUNT`.
+    pub family: u8,
+    /// Base extent (array sizes and loop trip counts scale with it).
+    pub n: u32,
+    /// Chain length / nest count knob.
+    pub k: u32,
+    /// Seed for all remaining shape decisions (operator mix, guards,
+    /// subscript shifts, fusion-preventing edges).
+    pub detail: u64,
+}
+
+impl Params {
+    /// The family's template name.
+    pub fn family_name(self) -> &'static str {
+        family_name(self.family)
+    }
+
+    /// Identifier-safe program name encoding the parameters.
+    pub fn program_name(self) -> String {
+        format!("gen_{}_n{}_k{}_d{:x}", self.family_name(), self.n, self.k, self.detail)
+    }
+
+    /// The `gen replay` argument string reproducing exactly this program.
+    pub fn replay_args(self) -> String {
+        format!(
+            "--family {} --n {} --k {} --detail {:#x}",
+            self.family_name(),
+            self.n,
+            self.k,
+            self.detail
+        )
+    }
+}
+
+/// Template name for a family index (indexes wrap, so shrunk `family`
+/// values always name a template).
+pub fn family_name(family: u8) -> &'static str {
+    match family % FAMILY_COUNT {
+        0 => "chain",
+        1 => "stencil",
+        2 => "reduce",
+        3 => "rotate",
+        _ => "triangle",
+    }
+}
+
+/// Family index for a template name.
+pub fn family_index(name: &str) -> Option<u8> {
+    (0..FAMILY_COUNT).find(|&f| family_name(f) == name)
+}
+
+/// Samples parameters uniformly from the fuzz domain.
+pub fn sample_params(rng: &mut StdRng) -> Params {
+    Params {
+        family: rng.gen_range(0..FAMILY_COUNT),
+        n: rng.gen_range(N_RANGE),
+        k: rng.gen_range(K_RANGE),
+        detail: rng.next_u64(),
+    }
+}
+
+/// Generates the program for `params`, with extents multiplied by `scale`
+/// (1 = quick fuzz sizes; the nightly sweep passes larger factors).
+/// Extents are capped per rank so full-size rank-2/3 programs stay
+/// simulable.
+pub fn generate(params: Params, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(params.program_name());
+    let mut pool: Vec<VarId> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(
+        params.detail ^ (u64::from(params.family) << 56) ^ (u64::from(params.k) << 48),
+    );
+    match params.family % FAMILY_COUNT {
+        0 => chain(params, scale, &mut b, &mut pool, &mut rng),
+        1 => stencil(params, scale, &mut b, &mut pool, &mut rng),
+        2 => reduce(params, scale, &mut b, &mut pool, &mut rng),
+        3 => rotate(params, scale, &mut b, &mut pool),
+        _ => triangle(params, scale, &mut b, &mut pool, &mut rng),
+    }
+    b.finish()
+}
+
+/// Extends the shared loop-variable pool to `depth` and returns the prefix
+/// (outermost first).  Pool order is first-appearance order, so the parser
+/// interns the same `VarId`s when re-reading pretty output.
+fn vars(b: &mut ProgramBuilder, pool: &mut Vec<VarId>, depth: usize) -> Vec<VarId> {
+    while pool.len() < depth {
+        let k = pool.len();
+        pool.push(b.var(format!("i{k}")));
+    }
+    pool[..depth].to_vec()
+}
+
+fn extent(n: u32, scale: u32, cap: usize) -> usize {
+    ((u64::from(n) * u64::from(scale.max(1))).clamp(1, cap as u64)) as usize
+}
+
+fn extent1(n: u32, scale: u32) -> usize {
+    extent(n, scale, 1 << 18)
+}
+
+fn extent2(n: u32, scale: u32) -> usize {
+    extent(n, scale, 640)
+}
+
+fn extent3(n: u32, scale: u32) -> usize {
+    extent(n, scale, 40)
+}
+
+fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr::bin(op, l, r)
+}
+
+fn un(op: UnOp, x: Expr) -> Expr {
+    Expr::un(op, x)
+}
+
+/// `chain`: `k` fusable rank-1 producer nests threaded through scratch
+/// temporaries, a live-out consumer, and a final scalar reduction — the
+/// shape fusion, array contraction and store elimination all fire on.
+/// Nest count is `k + 2`, so the minimal parameters give a 3-nest program.
+fn chain(p: Params, scale: u32, b: &mut ProgramBuilder, pool: &mut Vec<VarId>, rng: &mut StdRng) {
+    let n = extent1(p.n, scale);
+    let hi = n as i64 - 1;
+    let x = b.array_in("x0", &[n]);
+    let ts: Vec<_> = (0..p.k).map(|j| b.array(format!("t{j}"), &[n])).collect();
+    let y = b.array_out("y0", &[n]);
+    let s = b.scalar_printed("s0", 0.0);
+    let i = vars(b, pool, 1)[0];
+
+    // The first link always contains a `+` — the site the swap-add-sub
+    // mutation canary flips, guaranteeing it reproduces at minimal params.
+    let c0 = f64::from(rng.gen_range(1..=3_i32));
+    b.nest(
+        "n0",
+        &[(i, 0, hi)],
+        vec![assign(ts[0].at([v(i)]), bin(BinOp::Add, ld(x.at([v(i)])), lit(c0)))],
+    );
+    for j in 1..p.k as usize {
+        let prev = ts[j - 1];
+        // A shifted read every so often lengthens the reuse distance
+        // without breaking conformability of the remaining bounds.
+        let (lo, sub) = if rng.gen_bool(0.3) { (1, v(i) - 1) } else { (0, v(i)) };
+        let from = ld(prev.at([sub]));
+        let rhs = match rng.gen_range(0..4_u32) {
+            0 => bin(BinOp::Mul, from, lit(0.5)),
+            1 => un(UnOp::F1, from),
+            2 => bin(BinOp::Max, from, ld(x.at([v(i)]))),
+            _ => bin(BinOp::Add, from, ld(x.at([v(i)]))),
+        };
+        b.nest(format!("n{j}"), &[(i, lo, hi)], vec![assign(ts[j].at([v(i)]), rhs)]);
+    }
+    let last = *ts.last().expect("k >= 1");
+    b.nest(
+        format!("n{}", p.k),
+        &[(i, 0, hi)],
+        vec![assign(y.at([v(i)]), bin(BinOp::G, ld(last.at([v(i)])), ld(x.at([v(i)]))))],
+    );
+    // Detail decides whether the reduction re-reads the live-out array or
+    // the last temporary (a load-mix variation store elimination sees).
+    let red = if rng.gen_bool(0.5) { y } else { last };
+    b.nest(format!("n{}", p.k + 1), &[(i, 0, hi)], vec![accumulate(s, ld(red.at([v(i)])))]);
+}
+
+/// `stencil`: a chain of `k` rank-2 five-point stencils over inset bounds,
+/// optionally guarded by an affine conditional, closed by a full-extent
+/// reduction.
+fn stencil(p: Params, scale: u32, b: &mut ProgramBuilder, pool: &mut Vec<VarId>, rng: &mut StdRng) {
+    let n = extent2(p.n.max(4), scale);
+    let hi = n as i64 - 2;
+    let a = b.array_in("x0", &[n, n]);
+    let bs: Vec<_> = (0..p.k)
+        .map(|j| {
+            if j + 1 == p.k {
+                b.array_out(format!("t{j}"), &[n, n])
+            } else {
+                b.array(format!("t{j}"), &[n, n])
+            }
+        })
+        .collect();
+    let s = b.scalar_printed("s0", 0.0);
+    let vs = vars(b, pool, 2);
+    let (r, col) = (vs[0], vs[1]);
+
+    let mut prev = a;
+    for (j, &cur) in bs.iter().enumerate() {
+        let five_point = bin(
+            BinOp::Div,
+            bin(
+                BinOp::Add,
+                bin(BinOp::Add, ld(prev.at([v(r) - 1, v(col)])), ld(prev.at([v(r) + 1, v(col)]))),
+                bin(BinOp::Add, ld(prev.at([v(r), v(col) - 1])), ld(prev.at([v(r), v(col) + 1]))),
+            ),
+            lit(4.0),
+        );
+        let store = assign(cur.at([v(r), v(col)]), five_point);
+        let body = match rng.gen_range(0..3_u32) {
+            // Unconditional stencil.
+            0 => vec![store],
+            // Guarded store: the lower triangle keeps its initial values.
+            1 => vec![if_then(cmp(v(r), CmpOp::Le, v(col)), vec![store])],
+            // Two-armed: the other triangle gets a cheap smoothing instead.
+            _ => vec![if_else(
+                cmp(v(r), CmpOp::Lt, v(col)),
+                vec![store],
+                vec![assign(cur.at([v(r), v(col)]), un(UnOp::F1, ld(prev.at([v(r), v(col)]))))],
+            )],
+        };
+        b.nest(format!("n{j}"), &[(r, 1, hi), (col, 1, hi)], body);
+        prev = cur;
+    }
+    let last = *bs.last().expect("k >= 1");
+    b.nest(
+        format!("n{}", p.k),
+        &[(r, 0, n as i64 - 1), (col, 0, n as i64 - 1)],
+        vec![accumulate(s, ld(last.at([v(r), v(col)])))],
+    );
+}
+
+/// `reduce`: `k` load-heavy reduction nests over hash-initialised arrays
+/// of mixed rank (1–3) and mixed operators, with occasional explicit
+/// fusion-preventing edges between neighbours.
+fn reduce(p: Params, scale: u32, b: &mut ProgramBuilder, pool: &mut Vec<VarId>, rng: &mut StdRng) {
+    // Decide every array's rank before declaring, so declarations still
+    // precede all nests in the emitted text.
+    let ranks: Vec<usize> = (0..p.k).map(|_| rng.gen_range(1..=3_usize)).collect();
+    let arrays: Vec<_> = ranks
+        .iter()
+        .enumerate()
+        .map(|(j, &rank)| {
+            let ext = match rank {
+                1 => extent1(p.n, scale),
+                2 => extent2(p.n, scale),
+                _ => extent3(p.n, scale),
+            };
+            b.array_in(format!("x{j}"), &vec![ext; rank])
+        })
+        .collect();
+    let scalars: Vec<_> = (0..p.k).map(|j| b.scalar_printed(format!("s{j}"), 0.0)).collect();
+
+    for (j, (&arr, &rank)) in arrays.iter().zip(&ranks).enumerate() {
+        let vs = vars(b, pool, rank);
+        let ext = match rank {
+            1 => extent1(p.n, scale),
+            2 => extent2(p.n, scale),
+            _ => extent3(p.n, scale),
+        };
+        let hi = ext as i64 - 1;
+        let loops: Vec<(VarId, i64, i64)> = vs.iter().map(|&vv| (vv, 0, hi)).collect();
+        let subs: Vec<_> = vs.iter().map(|&vv| v(vv)).collect();
+        let cell = ld(Ref::Element(arr, subs.into_iter().map(Sub::plain).collect()));
+        let term = match rng.gen_range(0..4_u32) {
+            0 => un(UnOp::Sqrt, un(UnOp::Abs, cell)),
+            1 => un(UnOp::F1, cell),
+            2 => bin(BinOp::Min, cell, lit(0.5)),
+            _ => bin(BinOp::Mul, cell, lit(0.25)),
+        };
+        b.nest(format!("n{j}"), &loops, vec![accumulate(scalars[j], term)]);
+        if j > 0 && rng.gen_bool(0.3) {
+            b.prevent_fusion(j - 1, j);
+        }
+    }
+}
+
+/// `rotate`: the Figure-6 shape — a rolling two-row buffer addressed with
+/// modular subscripts, fed by an external input stream, drained into a
+/// live-out array and a scalar.
+fn rotate(p: Params, scale: u32, b: &mut ProgramBuilder, pool: &mut Vec<VarId>) {
+    let n = extent1(p.n, scale);
+    let steps = i64::from(p.k) + 1;
+    let t = b.array_zero("t0", &[2, n]);
+    let y = b.array_out("y0", &[n]);
+    let s = b.scalar_printed("s0", 0.0);
+    let vs = vars(b, pool, 2);
+    let (step, col) = (vs[0], vs[1]);
+
+    let row = |a: mbb_ir::program::ArrayId, rsub, csub| {
+        Ref::Element(a, vec![Sub::modular(rsub, 2), Sub::plain(csub)])
+    };
+    b.nest(
+        "n0",
+        &[(step, 1, steps), (col, 0, n as i64 - 1)],
+        vec![assign(
+            row(t, v(step), v(col)),
+            bin(
+                BinOp::Add,
+                Expr::Input(SourceId(INPUT_SOURCE), vec![v(step), v(col)]),
+                ld(row(t, v(step) - 1, v(col))),
+            ),
+        )],
+    );
+    b.nest(
+        "n1",
+        &[(step, 0, n as i64 - 1)],
+        vec![assign(y.at([v(step)]), ld(row(t, c(steps), v(step))))],
+    );
+    b.nest("n2", &[(step, 0, n as i64 - 1)], vec![accumulate(s, ld(y.at([v(step)])))]);
+}
+
+/// `triangle`: triangular bounds (`hi` is an outer variable), a
+/// negative-step sweep, and conditional accumulation — the irregular
+/// shapes the storage transformations must refuse and the engines must
+/// still agree on.  `k` adds further triangular reductions.
+fn triangle(
+    p: Params,
+    scale: u32,
+    b: &mut ProgramBuilder,
+    pool: &mut Vec<VarId>,
+    rng: &mut StdRng,
+) {
+    use mbb_ir::program::Loop;
+    let n = extent2(p.n, scale);
+    let hi = n as i64 - 1;
+    let a = b.array_in("x0", &[n, n]);
+    let w = b.array_out("y0", &[n]);
+    let s = b.scalar_printed("s0", 0.0);
+    let vs = vars(b, pool, 2);
+    let (i0, i1) = (vs[0], vs[1]);
+
+    b.nest_general(
+        "n0",
+        vec![Loop::new(i0, 0, hi), Loop { var: i1, lo: c(0), hi: v(i0), step: 1 }],
+        vec![accumulate(s, ld(a.at([v(i0), v(i1)])))],
+    );
+    b.nest_general(
+        "n1",
+        vec![Loop { var: i0, lo: c(hi), hi: c(0), step: -1 }],
+        vec![assign(w.at([v(i0)]), un(UnOp::F1, ld(a.at([v(i0), v(i0)]))))],
+    );
+    let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne];
+    for j in 0..p.k as usize {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let pivot = rng.gen_range(0..=hi);
+        let body = vec![if_else(
+            cmp(v(i0), op, c(pivot)),
+            vec![accumulate(s, ld(w.at([v(i0)])))],
+            vec![accumulate(s, bin(BinOp::Mul, ld(w.at([v(i0)])), lit(0.5)))],
+        )];
+        b.nest(format!("n{}", j + 2), &[(i0, 0, hi)], body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_ir::validate;
+
+    fn all_params() -> Vec<Params> {
+        let mut out = Vec::new();
+        for family in 0..FAMILY_COUNT {
+            for (n, k, detail) in [(4, 1, 0), (17, 3, 0xDEAD_BEEF), (48, 6, u64::MAX)] {
+                out.push(Params { family, n, k, detail });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_family_validates() {
+        for p in all_params() {
+            let prog = generate(p, 1);
+            validate(&prog).unwrap_or_else(|e| panic!("{} invalid: {e}", p.program_name()));
+            assert!(!prog.nests.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for p in all_params() {
+            assert_eq!(generate(p, 1), generate(p, 1), "{}", p.program_name());
+        }
+    }
+
+    #[test]
+    fn scale_grows_extents_with_caps() {
+        let p = Params { family: 0, n: 48, k: 2, detail: 7 };
+        let small = generate(p, 1);
+        let big = generate(p, 64);
+        assert!(big.storage_bytes() > small.storage_bytes());
+        let cubes = Params { family: 2, n: 48, k: 6, detail: 7 };
+        let huge = generate(cubes, 1 << 20);
+        // Rank caps keep even absurd scales simulable.
+        assert!(huge.storage_bytes() < (1 << 32));
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in 0..FAMILY_COUNT {
+            assert_eq!(family_index(family_name(f)), Some(f));
+        }
+        assert_eq!(family_index("warp"), None);
+    }
+
+    #[test]
+    fn minimal_chain_is_three_nests() {
+        let p = Params { family: 0, n: *N_RANGE.start(), k: *K_RANGE.start(), detail: 0 };
+        assert_eq!(generate(p, 1).nests.len(), 3);
+    }
+}

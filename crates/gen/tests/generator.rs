@@ -1,0 +1,112 @@
+//! Integration tests for the generator and the differential fuzz driver.
+//!
+//! The round-trip property here is the satellite the parser/pretty surface
+//! changes exist for: `parse(pretty(p)) == p` *structurally* and `pretty`
+//! is a textual fixpoint, over generated programs covering syntax corners
+//! (modular subscripts, `input#N` streams, `prevent_fusion` directives,
+//! zero-init attributes, triangular bounds, negative steps) that the four
+//! example programs never exercise.  The mutation tests are the
+//! fuzzer-of-the-fuzzer: each planted optimizer bug must be caught and
+//! shrunk to a minimal replayable counterexample.
+
+use mbb_core::mutate::Mutation;
+use mbb_gen::fuzz::{self, Config, FailureKind};
+use mbb_gen::templates::{self, Params, FAMILY_COUNT};
+use mbb_ir::{parse, pretty, validate};
+use proptest::TestRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn parse_pretty_round_trip_property() {
+    // Deterministic per-test seed, in the proptest shim's idiom.
+    let base = proptest::seed_of("parse_pretty_round_trip_property");
+    let mut rng = TestRng::new(base);
+    for k in 0..150 {
+        let params = {
+            let mut srng = StdRng::seed_from_u64(rng.next_u64());
+            templates::sample_params(&mut srng)
+        };
+        let prog = templates::generate(params, 1);
+        validate(&prog)
+            .unwrap_or_else(|e| panic!("case {k}: {} invalid: {e}", params.replay_args()));
+        let text = pretty::program(&prog);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("case {k}: {} re-parse: {e}\n{text}", params.replay_args()));
+        assert_eq!(
+            reparsed,
+            prog,
+            "case {k}: parse(pretty(p)) != p for {}\n{text}",
+            params.replay_args()
+        );
+        assert_eq!(
+            pretty::program(&reparsed),
+            text,
+            "case {k}: pretty is not a fixpoint for {}",
+            params.replay_args()
+        );
+    }
+}
+
+#[test]
+fn every_family_round_trips_at_the_corners() {
+    for family in 0..FAMILY_COUNT {
+        for (n, k, detail) in [(4, 1, 0u64), (48, 6, u64::MAX), (11, 4, 0x1234_5678)] {
+            let params = Params { family, n, k, detail };
+            let prog = templates::generate(params, 1);
+            let text = pretty::program(&prog);
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", params.replay_args()));
+            assert_eq!(reparsed, prog, "{}\n{text}", params.replay_args());
+        }
+    }
+}
+
+#[test]
+fn fuzz_smoke_is_green() {
+    // A slice of the CI lane's fixed-seed run: every case through both
+    // engines, the optimizer and the balance model.
+    let result = fuzz::fuzz(fuzz::DEFAULT_SEED, 25, &Config::default(), |_, _| {});
+    if let Err(cex) = result {
+        panic!(
+            "fuzz found a real failure: {} — {}\nreplay: {}\n{}",
+            cex.minimal.kind, cex.minimal.detail, cex.replay, cex.program
+        );
+    }
+}
+
+/// The acceptance-criteria mutation test: a planted arithmetic miscompile
+/// must be caught and shrunk to a ≤3-nest program with a replay command.
+#[test]
+fn planted_swap_add_sub_is_caught_and_shrunk() {
+    let cfg = Config { mutation: Some(Mutation::SwapAddSub), ..Config::default() };
+    let cex = fuzz::fuzz(fuzz::DEFAULT_SEED, 50, &cfg, |_, _| {})
+        .expect_err("a planted + -> - miscompile must be caught");
+    assert_eq!(cex.minimal.kind, FailureKind::OptimizerDivergence, "{}", cex.minimal.detail);
+    let minimal = templates::generate(cex.minimal.params, cfg.scale);
+    assert!(
+        minimal.nests.len() <= 3,
+        "shrunk counterexample still has {} nests ({})",
+        minimal.nests.len(),
+        cex.minimal.params.replay_args()
+    );
+    assert!(cex.replay.contains("replay --family"), "replay command missing: {}", cex.replay);
+    assert!(cex.replay.contains("--mutate swap-add-sub"), "{}", cex.replay);
+    // The replay command's coordinates really do reproduce the failure.
+    assert!(fuzz::check(cex.minimal.params, &cfg).is_err());
+}
+
+#[test]
+fn planted_liveness_bug_is_caught() {
+    let cfg = Config { mutation: Some(Mutation::IgnoreLiveOut), ..Config::default() };
+    let cex = fuzz::fuzz(fuzz::DEFAULT_SEED, 50, &cfg, |_, _| {})
+        .expect_err("ignoring live-out metadata must be caught");
+    assert_eq!(cex.minimal.kind, FailureKind::OptimizerDivergence, "{}", cex.minimal.detail);
+}
+
+#[test]
+fn planted_dropped_store_is_caught() {
+    let cfg = Config { mutation: Some(Mutation::DropStore), ..Config::default() };
+    let cex = fuzz::fuzz(fuzz::DEFAULT_SEED, 50, &cfg, |_, _| {})
+        .expect_err("a dropped store must be caught");
+    assert_eq!(cex.minimal.kind, FailureKind::OptimizerDivergence, "{}", cex.minimal.detail);
+}

@@ -258,7 +258,7 @@ pub(crate) fn input_key(subs: &[i64]) -> u64 {
 ///
 /// Fields are crate-visible: the run-compiled executor (see
 /// [`crate::runs`]) drives the same storage, counters and fuel, falling
-/// back to [`Interpreter::run_nest`] for nests it cannot lower.
+/// back to `Interpreter::run_nest` for nests it cannot lower.
 pub struct Interpreter<'p> {
     pub(crate) prog: &'p Program,
     layout: LayoutOpts,

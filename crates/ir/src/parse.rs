@@ -271,10 +271,15 @@ impl Parser {
 
     // --- declarations ------------------------------------------------------
 
+    /// Collects the attribute words of the comment on the current line.
+    ///
+    /// Attributes combine inside one comment (`// live-out zero`), so
+    /// matching is per whitespace-separated word, mirroring what
+    /// [`crate::pretty::program`] emits.
     fn attrs_on_line(&mut self) -> Vec<String> {
         let mut attrs = Vec::new();
         while let Some(Tok::Attr(a)) = self.peek() {
-            attrs.push(a.clone());
+            attrs.extend(a.split_whitespace().map(str::to_string));
             self.pos += 1;
         }
         attrs

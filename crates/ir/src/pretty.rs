@@ -7,21 +7,31 @@
 use std::fmt::Write as _;
 
 use crate::expr::{Affine, BinOp, CmpOp, Cond, Expr, Ref, UnOp};
-use crate::program::{LoopNest, Program, Stmt};
+use crate::program::{Init, LoopNest, Program, Stmt};
 
 /// Renders a whole program.
+///
+/// The output is itself parseable, and for programs in the parser's image
+/// (plain `Hash`/`Zero` initialisers, `input#N` streams) the round trip is
+/// exact: `parse(program(p)) == p` structurally.  The `mbb-gen` property
+/// tests hold this invariant over generated programs.
 pub fn program(prog: &Program) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "program {}", prog.name);
     for a in &prog.arrays {
         let dims: Vec<String> = a.dims.iter().map(|d| d.to_string()).collect();
-        let _ = writeln!(
-            out,
-            "  array {}[{}]{}",
-            a.name,
-            dims.join(", "),
-            if a.live_out { "  // live-out" } else { "" }
-        );
+        // `// live-out zero` is one attribute comment; the parser matches
+        // attribute words, not whole comments.
+        let mut attrs = Vec::new();
+        if a.live_out {
+            attrs.push("live-out");
+        }
+        if a.init == Init::Zero {
+            attrs.push("zero");
+        }
+        let attr =
+            if attrs.is_empty() { String::new() } else { format!("  // {}", attrs.join(" ")) };
+        let _ = writeln!(out, "  array {}[{}]{}", a.name, dims.join(", "), attr);
     }
     for s in &prog.scalars {
         let _ = writeln!(
@@ -35,6 +45,9 @@ pub fn program(prog: &Program) -> String {
     for (k, n) in prog.nests.iter().enumerate() {
         let _ = writeln!(out, "  // nest {k}: {}", n.name);
         nest_into(prog, n, 1, &mut out);
+    }
+    for &(a, b) in &prog.fusion_preventing {
+        let _ = writeln!(out, "  prevent_fusion {a} {b}");
     }
     out
 }

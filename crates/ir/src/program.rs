@@ -59,7 +59,7 @@ pub enum Init {
 }
 
 /// A dense rectangular array of `f64` cells.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ArrayDecl {
     /// Human-readable name (unique within the program).
     pub name: String,
@@ -97,7 +97,7 @@ impl ArrayDecl {
 
 /// A named scalar. Scalars model register-resident values and generate no
 /// memory traffic.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ScalarDecl {
     /// Human-readable name (unique within the program).
     pub name: String,
@@ -112,7 +112,7 @@ pub struct ScalarDecl {
 ///
 /// Bounds may reference outer loop variables of the same nest (triangular
 /// nests), though the storage transformations require rectangular nests.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Loop {
     /// The loop variable, unique among this nest's levels.
     pub var: VarId,
@@ -158,7 +158,7 @@ impl Loop {
 }
 
 /// A statement inside a loop nest body.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Stmt {
     /// `lhs = rhs`.
     Assign {
@@ -227,7 +227,7 @@ impl Stmt {
 }
 
 /// A (possibly multi-level) rectangular loop nest with a straight-line body.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct LoopNest {
     /// Diagnostic name (e.g. `"init"`, `"compute"`).
     pub name: String,
@@ -269,7 +269,12 @@ impl LoopNest {
 /// ordering constraints from it, and every transformation must preserve the
 /// observable behaviour: final values of `printed` scalars and `live_out`
 /// arrays.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is structural and exact — two programs are equal only when
+/// every declaration, id assignment and statement matches.  The generator's
+/// round-trip property (`parse(pretty(p)) == p`, see `mbb-gen`) relies on
+/// this strictness.
+#[derive(Clone, PartialEq, Debug)]
 pub struct Program {
     /// Diagnostic name.
     pub name: String,

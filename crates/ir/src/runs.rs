@@ -12,7 +12,7 @@
 //!   in per-iteration access order), emitted per innermost execution via
 //!   [`AccessSink::access_runs`] so a simulating sink can advance per
 //!   cache line instead of per element; and
-//! * a postfix op sequence ([`VOp`]) for the value semantics, executed
+//! * a postfix op sequence (`VOp`) for the value semantics, executed
 //!   with running linear indices instead of per-iteration subscript
 //!   evaluation.
 //!

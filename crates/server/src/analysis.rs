@@ -41,7 +41,8 @@ pub struct Options {
     /// facts, so the server skips the cache for them.
     pub profile: bool,
     /// Which interpreter engine executes every run this analysis performs
-    /// (default [`Engine::Auto`]).  The engines are observably identical —
+    /// (default [`Engine::Auto`](mbb_ir::Engine::Auto)).  The engines are
+    /// observably identical —
     /// that invariant is CI-enforced — so the server deliberately leaves
     /// the engine *out* of its result-cache key: a `runs` request may be
     /// served from a cached `scalar` result and vice versa.
