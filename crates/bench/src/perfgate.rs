@@ -25,7 +25,12 @@
 //!   the bit-reversal stays per-element (non-affine), covering both entry
 //!   paths and the TLB;
 //! * **Sweep3D slice** — interpreter-driven wavefront: exercises the run
-//!   *compiler* (`mbb_ir::runs`) end to end, value loop included.
+//!   *compiler* (`mbb_ir::runs`) end to end, value loop included;
+//! * **Search** — the `mbb-search` beam search over a fixed fusable
+//!   chain with a fresh score cache per pass: candidate generation,
+//!   canonical hashing and per-candidate balance simulation all on the
+//!   metered path, so an autotuner slowdown fails CI like a simulator
+//!   slowdown does.
 //!
 //! Wall-clock on shared CI runners is noisy, so each kernel takes the best
 //! of `reps` repetitions and the comparison tolerance defaults to
@@ -81,6 +86,11 @@ pub struct GateSizes {
     /// Sweep3D angles per octant (the pass knob for this kernel: each
     /// angle re-walks the same grid).
     pub sweep_angles: usize,
+    /// Elements per array in the search kernel's fusable chain.
+    pub search_n: usize,
+    /// Full beam searches per measurement (each with a fresh score cache,
+    /// so every pass re-simulates every candidate).
+    pub search_passes: usize,
 }
 
 impl GateSizes {
@@ -95,6 +105,8 @@ impl GateSizes {
             fft_passes: 64,
             sweep_n: 8,
             sweep_angles: 32,
+            search_n: 1 << 11,
+            search_passes: 8,
         }
     }
 
@@ -107,6 +119,8 @@ impl GateSizes {
             fft_passes: 256,
             sweep_n: 8,
             sweep_angles: 128,
+            search_n: 1 << 11,
+            search_passes: 32,
         }
     }
 }
@@ -306,7 +320,45 @@ pub fn run_gate(sizes: &GateSizes, mode: &'static str, reps: u32) -> GateReport 
         })
     };
 
-    GateReport { mode, reps, kernels: vec![triad, fft, sweep] }
+    // The autotuner end to end over a fixed fusable chain.  A fresh
+    // score cache per pass keeps every candidate's simulation on the
+    // metered path (warm-cache passes would measure hashing alone) and
+    // makes the event count identical across passes and repetitions.
+    let search = {
+        let prog = search_chain(sizes.search_n);
+        let sopts = mbb_search::SearchOptions::default();
+        let passes = sizes.search_passes;
+        measure("search", reps, move || {
+            for _ in 0..passes {
+                let cache = mbb_search::ScoreCache::new(1 << 10, 1);
+                let out = mbb_search::search_with_cache(&prog, &sopts, &cache)
+                    .expect("gate search runs unbudgeted");
+                std::hint::black_box(out.trace.visited);
+            }
+        })
+    };
+
+    GateReport { mode, reps, kernels: vec![triad, fft, sweep, search] }
+}
+
+/// The search kernel's workload: a four-nest fusable producer chain with
+/// a live-out consumer and a scalar reduction — enough fusion partitions,
+/// interchange orders and storage moves to give the beam real work.
+fn search_chain(n: usize) -> mbb_ir::program::Program {
+    use mbb_ir::builder::{accumulate, assign, ld, lit, v, ProgramBuilder, RefBuild};
+    let mut b = ProgramBuilder::new("gate_search_chain");
+    let x = b.array_in("x", &[n]);
+    let t0 = b.array("t0", &[n]);
+    let t1 = b.array("t1", &[n]);
+    let y = b.array_out("y", &[n]);
+    let s = b.scalar_printed("s", 0.0);
+    let i = b.var("i");
+    let hi = n as i64 - 1;
+    b.nest("n0", &[(i, 0, hi)], vec![assign(t0.at([v(i)]), ld(x.at([v(i)])) + lit(1.0))]);
+    b.nest("n1", &[(i, 0, hi)], vec![assign(t1.at([v(i)]), ld(t0.at([v(i)])) * lit(0.5))]);
+    b.nest("n2", &[(i, 0, hi)], vec![assign(y.at([v(i)]), ld(t1.at([v(i)])) + ld(x.at([v(i)])))]);
+    b.nest("n3", &[(i, 0, hi)], vec![accumulate(s, ld(y.at([v(i)])))]);
+    b.finish()
 }
 
 /// One kernel that fell below tolerance.
@@ -437,6 +489,8 @@ mod tests {
             fft_passes: 2,
             sweep_n: 4,
             sweep_angles: 1,
+            search_n: 64,
+            search_passes: 1,
         }
     }
 
@@ -447,7 +501,7 @@ mod tests {
         validate(&doc).expect("schema-valid");
         let parsed = Json::parse(&doc.render()).expect("parses");
         validate(&parsed).expect("still valid after round-trip");
-        assert_eq!(report.kernels.len(), 3);
+        assert_eq!(report.kernels.len(), 4);
         for k in &report.kernels {
             assert!(k.events > 0, "kernel {} produced no events", k.name);
         }
@@ -481,7 +535,7 @@ mod tests {
             }
         }
         let regressions = compare(&current, &baseline, DEFAULT_TOLERANCE).expect("comparable");
-        assert_eq!(regressions.len(), 4, "3 kernels + total: {regressions:?}");
+        assert_eq!(regressions.len(), 5, "4 kernels + total: {regressions:?}");
         assert!(regressions.iter().any(|r| r.kernel == "total"));
         assert!(regressions[0].describe().contains("Mev/s"));
     }

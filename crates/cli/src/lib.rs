@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-pub use mbb_server::analysis::{machine_by_name, Options};
+pub use mbb_server::analysis::{machine_by_name, Options, SearchParams};
 pub use mbb_server::error::{ErrorKind, ServeError};
 
 use mbb_ir::Program;
@@ -184,6 +184,113 @@ pub fn cmd_optimize_profiled(src: &str, opts: &Options) -> Result<(Profiled, Str
         nest_section("per-nest attribution (after):", &profile, Some("after")),
     );
     Ok((Profiled { text, profiles: vec![("optimize".to_string(), profile)] }, optimized))
+}
+
+/// Appends the CLI-only per-execution lines to a search report: the
+/// score-cache delta (what *this* run hit and missed in the process-wide
+/// cache) and the `simulation:` timing line.  Both are execution facts,
+/// excluded from the deterministic analysis text for the same reason the
+/// server excludes them from responses.
+fn append_search_footer(
+    out: &mut String,
+    before: mbb_search::ScoreCacheStats,
+    sim: mbb_bench::runner::Measure,
+) {
+    let after = mbb_search::ScoreCache::global().stats();
+    let _ = writeln!(
+        out,
+        "  search cache: {} hit(s), {} miss(es)",
+        after.hits - before.hits,
+        after.misses - before.misses
+    );
+    let _ = writeln!(out, "  simulation: {}", sim.summary());
+}
+
+/// The `optimize --search` command; returns `(report, optimized_source)`.
+pub fn cmd_optimize_search(
+    src: &str,
+    opts: &Options,
+    sp: &SearchParams,
+) -> Result<(String, String), ServeError> {
+    let p = load(src)?;
+    let cache_before = mbb_search::ScoreCache::global().stats();
+    let meter = mbb_bench::runner::Meter::start();
+    let (a, optimized) = analysis::optimize_search(&p, opts, sp)?;
+    let mut out = a.text;
+    append_search_footer(&mut out, cache_before, meter.finish());
+    Ok((out, optimized))
+}
+
+/// The `optimize --search --profile` command: the search report with
+/// *before* and *after* attribution tables (the profile also carries the
+/// `search` and per-candidate `score:<spec>` spans for `--trace-out`).
+pub fn cmd_optimize_search_profiled(
+    src: &str,
+    opts: &Options,
+    sp: &SearchParams,
+) -> Result<(Profiled, String), ServeError> {
+    let p = load(src)?;
+    let opts = Options { profile: true, ..opts.clone() };
+    let (a, optimized) = analysis::optimize_search(&p, &opts, sp)?;
+    let profile = a.profile.expect("profile requested");
+    let mut text = a.text;
+    let _ = write!(
+        text,
+        "\n{}\n{}",
+        nest_section("per-nest attribution (before):", &profile, Some("before")),
+        nest_section("per-nest attribution (after):", &profile, Some("after")),
+    );
+    Ok((Profiled { text, profiles: vec![("optimize-search".to_string(), profile)] }, optimized))
+}
+
+/// The `optimize --pipeline SPEC` command: replay an explicit
+/// transformation sequence (e.g. the `winning sequence:` a search
+/// printed), verify equivalence, and report the balance change.  Returns
+/// `(report, optimized_source)`.
+pub fn cmd_optimize_pipeline(
+    src: &str,
+    opts: &Options,
+    spec: &str,
+) -> Result<(String, String), ServeError> {
+    let p = load(src)?;
+    let cand = mbb_search::Candidate::parse(spec)
+        .map_err(|e| ServeError::new(ErrorKind::BadRequest, format!("bad --pipeline spec: {e}")))?;
+    let meter = mbb_bench::runner::Meter::start();
+    let _budget = opts.budget.install();
+    let _engine = mbb_ir::runs::install(opts.engine);
+    let budget_err = |e: String| {
+        let kind =
+            if mbb_ir::budget::exhausted() { ErrorKind::DeadlineExceeded } else { ErrorKind::Run };
+        ServeError::new(kind, e)
+    };
+    let before = mbb_core::balance::measure_program_balance(&p, &opts.machine)
+        .map_err(|e| budget_err(e.to_string()))?;
+    let q = cand
+        .apply(&p)
+        .map_err(|e| ServeError::new(ErrorKind::Run, format!("pipeline spec failed: {e}")))?;
+    mbb_core::pipeline::verify_equivalent(&p, &q, 1e-9)
+        .map_err(|d| budget_err(format!("replayed pipeline changed behaviour: {d}")))?;
+    let after = mbb_core::balance::measure_program_balance(&q, &opts.machine)
+        .map_err(|e| budget_err(e.to_string()))?;
+    let sim = meter.finish();
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} on {}", p.name, opts.machine.name);
+    let _ = writeln!(out, "  pipeline:         {}", cand.spec());
+    let _ = writeln!(
+        out,
+        "  memory traffic:   {} -> {} bytes",
+        before.report.mem_bytes(),
+        after.report.mem_bytes()
+    );
+    let _ = writeln!(
+        out,
+        "  memory balance:   {:.2} -> {:.2} bytes/flop",
+        before.memory(),
+        after.memory()
+    );
+    let _ = writeln!(out, "  equivalence:      verified (interpreted both versions)");
+    let _ = writeln!(out, "  simulation: {}", sim.summary());
+    Ok((out, mbb_ir::pretty::program(&q)))
 }
 
 /// The `optimize` command; returns `(report, optimized_source)`.

@@ -23,9 +23,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use mbb_cli::{
-    cmd_advise, cmd_advise_profiled, cmd_optimize, cmd_optimize_profiled, cmd_report,
-    cmd_report_profiled, cmd_run, cmd_trace_stats, cmd_trace_stats_profiled, machine_by_name,
-    ErrorKind, Options, Profiled, ServeError,
+    cmd_advise, cmd_advise_profiled, cmd_optimize, cmd_optimize_pipeline, cmd_optimize_profiled,
+    cmd_optimize_search, cmd_optimize_search_profiled, cmd_report, cmd_report_profiled, cmd_run,
+    cmd_trace_stats, cmd_trace_stats_profiled, machine_by_name, ErrorKind, Options, Profiled,
+    SearchParams, ServeError,
 };
 use mbb_core::pipeline::FusionStrategy;
 
@@ -39,6 +40,11 @@ fn usage() -> &'static str {
        --exhaustive | --bisection            alternative fusion strategies\n\
        --normalize                           expand + distribute before fusing\n\
        --regroup                             interleave co-accessed arrays\n\
+       --search                              beam-search the transformation space\n\
+       --beam N | --search-steps K | --search-seed S   search shape (with --search)\n\
+       --pipeline SPEC                       replay an explicit sequence (e.g. a\n\
+     \x20                                      search's winning sequence)\n\
+       --deadline-ms MS                      wall-clock budget for the command\n\
        --emit                                print the optimised program\n\
        --profile                             append per-loop-nest bandwidth attribution\n\
        --trace-out FILE                      write a Chrome trace-event JSON profile\n\
@@ -152,10 +158,52 @@ fn main() -> ExitCode {
     let mut emit = false;
     let mut profile = false;
     let mut trace_out: Option<String> = None;
+    let mut search = false;
+    let mut sp = SearchParams::default();
+    let mut pipeline_spec: Option<String> = None;
+    // Small helper for flags that carry one parsed value.
+    macro_rules! take_value {
+        ($k:ident, $flag:expr, $parse:expr) => {{
+            $k += 1;
+            match args.get($k).map($parse) {
+                Some(Ok(v)) => v,
+                Some(Err(_)) => {
+                    eprintln!("mbbc: {} wants a number", $flag);
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("mbbc: {} needs a value", $flag);
+                    return ExitCode::from(2);
+                }
+            }
+        }};
+    }
     let mut k = 2;
     while k < args.len() {
         match args[k].as_str() {
             "--profile" => profile = true,
+            "--search" => search = true,
+            "--beam" => sp.beam = take_value!(k, "--beam", |v: &String| v.parse::<usize>()).max(1),
+            "--search-steps" => {
+                sp.steps = take_value!(k, "--search-steps", |v: &String| v.parse::<usize>())
+            }
+            "--search-seed" => {
+                sp.seed = take_value!(k, "--search-seed", |v: &String| v.parse::<u64>())
+            }
+            "--deadline-ms" => {
+                let ms = take_value!(k, "--deadline-ms", |v: &String| v.parse::<u64>());
+                opts.budget.wall = Some(Duration::from_millis(ms));
+            }
+            "--pipeline" => {
+                k += 1;
+                match args.get(k) {
+                    Some(spec) => pipeline_spec = Some(spec.clone()),
+                    None => {
+                        eprintln!("mbbc: --pipeline needs a spec (e.g. fuse=0.1;shrink)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--trace-out" => {
                 k += 1;
                 match args.get(k) {
@@ -210,6 +258,15 @@ fn main() -> ExitCode {
         k += 1;
     }
 
+    if (search || pipeline_spec.is_some()) && !matches!(cmd.as_str(), "optimize" | "optimise") {
+        eprintln!("mbbc: --search/--pipeline only apply to `optimize`\n{}", usage());
+        return ExitCode::from(2);
+    }
+    if search && pipeline_spec.is_some() {
+        eprintln!("mbbc: --search and --pipeline are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
     // `run`/`trace`/`graph` interpret outside the Options-driven analysis
     // layer; setting the process default covers them too.
     mbb_ir::runs::set_default(opts.engine);
@@ -224,13 +281,24 @@ fn main() -> ExitCode {
                 "report" => cmd_report(&src, &opts),
                 "advise" => cmd_advise(&src, &opts),
                 "trace-stats" => cmd_trace_stats(&src, &opts),
-                "optimize" | "optimise" => cmd_optimize(&src, &opts).map(|(report, program)| {
-                    if emit {
-                        format!("{report}\n{program}")
+                "optimize" | "optimise" => {
+                    let r = if search {
+                        cmd_optimize_search(&src, &opts, &sp)
+                    } else if let Some(spec) = &pipeline_spec {
+                        cmd_optimize_pipeline(&src, &opts, spec)
                     } else {
-                        report
-                    }
-                }),
+                        cmd_optimize(&src, &opts)
+                    };
+                    r.map(
+                        |(report, program)| {
+                            if emit {
+                                format!("{report}\n{program}")
+                            } else {
+                                report
+                            }
+                        },
+                    )
+                }
                 other => unreachable!("command `{other}` validated above"),
             };
         }
@@ -239,7 +307,17 @@ fn main() -> ExitCode {
             "advise" => cmd_advise_profiled(&src, &opts)?,
             "trace-stats" => cmd_trace_stats_profiled(&src, &opts)?,
             "optimize" | "optimise" => {
-                let (p, program) = cmd_optimize_profiled(&src, &opts)?;
+                if pipeline_spec.is_some() {
+                    return Err(ServeError::new(
+                        ErrorKind::BadRequest,
+                        "--profile/--trace-out do not apply to --pipeline replays",
+                    ));
+                }
+                let (p, program) = if search {
+                    cmd_optimize_search_profiled(&src, &opts, &sp)?
+                } else {
+                    cmd_optimize_profiled(&src, &opts)?
+                };
                 if emit {
                     Profiled { text: format!("{}\n{program}", p.text), profiles: p.profiles }
                 } else {

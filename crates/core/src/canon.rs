@@ -1,0 +1,77 @@
+//! The one canonicalizer every content-addressed cache keys through.
+//!
+//! Three layers hash programs: the server's result cache, the search
+//! crate's score cache, and (transitively) the CLI, which delegates to
+//! the server's analysis entry points.  Before this module each of them
+//! could reasonably have pretty-printed "its own way" — the latent
+//! ordering hazard being that two byte-different renderings of the same
+//! AST silently split one logical cache line into two, defeating the
+//! cross-search work sharing the caches exist for.  Every key is
+//! therefore built from exactly two functions here: [`program`] (the
+//! canonical text) and [`cache_key`] (the FNV-1a composition), and a
+//! workspace test pins the cli/server/search keys byte-for-byte.
+
+use mbb_ir::{pretty, Program};
+
+/// The canonical cache-key form of a program: the pretty-printer's stable
+/// rendering of the parsed AST.  Formatting differences in source text
+/// (whitespace, comments) collapse onto one canonical string, and the
+/// round-trip property (`parse(pretty(p)) == p`, fuzzed continuously)
+/// makes the rendering injective on validated programs.
+pub fn program(p: &Program) -> String {
+    pretty::program(p)
+}
+
+/// 64-bit FNV-1a over `bytes` — the workspace's one content-address hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Composes a cache key from its addressed parts: the request kind, the
+/// machine name, a stable flags rendering and the canonical program text,
+/// NUL-separated so no field can masquerade as a neighbour.
+pub fn cache_key(kind: &str, machine: &str, flags: &str, canon: &str) -> u64 {
+    fnv1a(format!("{kind}\0{machine}\0{flags}\0{canon}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors (64-bit).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn formatting_noise_collapses_onto_one_key() {
+        let a = mbb_ir::parse::parse("array a[8]\nfor i = 0, 7\n  a[i] = 1\nend for\n").unwrap();
+        let b = mbb_ir::parse::parse("array a[8]   \n\nfor i = 0, 7\n    a[ i ] = 1\nend for\n")
+            .unwrap();
+        assert_eq!(program(&a), program(&b));
+        assert_eq!(
+            cache_key("optimize", "m", "f", &program(&a)),
+            cache_key("optimize", "m", "f", &program(&b))
+        );
+    }
+
+    #[test]
+    fn every_key_part_is_significant() {
+        let base = cache_key("k", "m", "f", "p");
+        assert_ne!(base, cache_key("x", "m", "f", "p"));
+        assert_ne!(base, cache_key("k", "x", "f", "p"));
+        assert_ne!(base, cache_key("k", "m", "x", "p"));
+        assert_ne!(base, cache_key("k", "m", "f", "x"));
+        // NUL separation: shifting a byte across a field boundary must
+        // change the key.
+        assert_ne!(cache_key("ab", "c", "", ""), cache_key("a", "bc", "", ""));
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod advisor;
 pub mod balance;
+pub mod canon;
 pub mod distribute;
 pub mod embed;
 pub mod expand;

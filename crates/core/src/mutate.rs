@@ -13,6 +13,8 @@ use std::str::FromStr;
 use mbb_ir::expr::{BinOp, Expr, Ref};
 use mbb_ir::program::{Program, Stmt};
 
+use crate::balance::ProgramBalance;
+
 /// A planted optimizer bug.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Mutation {
@@ -28,6 +30,13 @@ pub enum Mutation {
     /// elimination and shrinking to destroy observable output.  Applied to
     /// the optimizer's *input*.
     IgnoreLiveOut,
+    /// Reverses the per-channel balance vector inside the *search scorer*
+    /// (see [`distort_balance`]): the autotuner then ranks candidates by
+    /// register-channel traffic while reporting it as the memory balance —
+    /// a scorer miscompile rather than a program miscompile.  [`apply`] is
+    /// a no-op for this variant; the search lane consults
+    /// [`Mutation::distorts_scorer`] and applies the distortion itself.
+    SwapBalanceChannels,
 }
 
 impl Mutation {
@@ -37,6 +46,7 @@ impl Mutation {
             Mutation::SwapAddSub => "swap-add-sub",
             Mutation::DropStore => "drop-store",
             Mutation::IgnoreLiveOut => "ignore-live-out",
+            Mutation::SwapBalanceChannels => "swap-balance-channels",
         }
     }
 
@@ -44,6 +54,12 @@ impl Mutation {
     /// than its output.
     pub fn applies_before_optimize(self) -> bool {
         matches!(self, Mutation::IgnoreLiveOut)
+    }
+
+    /// True when the mutation lives in the search scorer rather than in a
+    /// program transformation ([`apply`] is then a no-op).
+    pub fn distorts_scorer(self) -> bool {
+        matches!(self, Mutation::SwapBalanceChannels)
     }
 }
 
@@ -61,8 +77,10 @@ impl FromStr for Mutation {
             "swap-add-sub" => Ok(Mutation::SwapAddSub),
             "drop-store" => Ok(Mutation::DropStore),
             "ignore-live-out" => Ok(Mutation::IgnoreLiveOut),
+            "swap-balance-channels" => Ok(Mutation::SwapBalanceChannels),
             other => Err(format!(
-                "unknown mutation '{other}' (expected swap-add-sub, drop-store or ignore-live-out)"
+                "unknown mutation '{other}' (expected swap-add-sub, drop-store, \
+                 ignore-live-out or swap-balance-channels)"
             )),
         }
     }
@@ -82,6 +100,22 @@ pub fn apply(prog: &mut Program, m: Mutation) -> bool {
             }
             had
         }
+        // A scorer-level mutation: no program site to plant it in.
+        Mutation::SwapBalanceChannels => false,
+    }
+}
+
+/// Applies a scorer-level mutation to a measured balance in place.
+/// Returns `false` (leaving the balance untouched) for program-level
+/// mutations and for balances with fewer than two channels.
+pub fn distort_balance(b: &mut ProgramBalance, m: Mutation) -> bool {
+    match m {
+        Mutation::SwapBalanceChannels if b.bytes_per_flop.len() >= 2 => {
+            b.bytes_per_flop.reverse();
+            b.report.channel_bytes.reverse();
+            true
+        }
+        _ => false,
     }
 }
 
@@ -188,9 +222,34 @@ mod tests {
 
     #[test]
     fn parse_display_round_trip() {
-        for m in [Mutation::SwapAddSub, Mutation::DropStore, Mutation::IgnoreLiveOut] {
+        for m in [
+            Mutation::SwapAddSub,
+            Mutation::DropStore,
+            Mutation::IgnoreLiveOut,
+            Mutation::SwapBalanceChannels,
+        ] {
             assert_eq!(m.as_str().parse::<Mutation>().unwrap(), m);
         }
         assert!("frobnicate".parse::<Mutation>().is_err());
+    }
+
+    #[test]
+    fn swap_balance_channels_distorts_the_scorer_not_the_program() {
+        let mut p = sample();
+        let before = p.clone();
+        assert!(!apply(&mut p, Mutation::SwapBalanceChannels));
+        assert_eq!(p, before, "scorer mutation must leave the program alone");
+
+        let machine = mbb_memsim::machine::MachineModel::origin2000();
+        let mut b = crate::balance::measure_program_balance(&p, &machine).unwrap();
+        let honest = b.memory();
+        let register = b.bytes_per_flop[0];
+        assert!(distort_balance(&mut b, Mutation::SwapBalanceChannels));
+        assert_eq!(b.memory(), register, "memory slot now reads the register channel");
+        assert_eq!(b.bytes_per_flop[0], honest);
+        // Program-level mutations never touch a balance.
+        let copy = b.clone();
+        assert!(!distort_balance(&mut b, Mutation::SwapAddSub));
+        assert_eq!(b.bytes_per_flop, copy.bytes_per_flop);
     }
 }

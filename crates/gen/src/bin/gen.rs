@@ -6,6 +6,8 @@
 //! gen fuzz   --iters N [--seed S] [--mutate M] [--scale X]
 //!            [--balance-slop F] [--artifact-dir PATH]
 //! gen sweep  --count N [--seed S] [--scale X | --full] [--json PATH]
+//! gen search-sweep --count N [--seed S] [--beam B] [--steps K] [--jobs J]
+//!            [--scale X | --full] [--json PATH]
 //! gen replay --family F --n N --k K --detail D [--mutate M] [--scale X]
 //! ```
 //!
@@ -20,13 +22,14 @@ use std::process::ExitCode;
 
 use mbb_core::mutate::Mutation;
 use mbb_gen::fuzz::{self, Config, Counterexample};
+use mbb_gen::search_sweep::{search_sweep, SearchSweepConfig};
 use mbb_gen::sweep::{sweep, SweepConfig};
 use mbb_gen::templates::{self, Params};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage: gen <one|corpus|fuzz|sweep|replay> [options]\n\
+    "usage: gen <one|corpus|fuzz|sweep|search-sweep|replay> [options]\n\
      options:\n\
        --seed S          base seed (fuzz also honours GEN_SEED; default fixed)\n\
        --template T      template family: chain|stencil|reduce|rotate|triangle\n\
@@ -34,7 +37,11 @@ fn usage() -> &'static str {
        --iters N         fuzz iterations\n\
        --scale X         extent multiplier (default 1)\n\
        --full            sweep at full size (scale 64)\n\
-       --mutate M        plant an optimizer bug: swap-add-sub|drop-store|ignore-live-out\n\
+       --beam B          search-sweep beam width (default 4)\n\
+       --steps K         search-sweep expansion steps (default 5)\n\
+       --jobs J          search-sweep worker threads (default 1)\n\
+       --mutate M        plant an optimizer bug: swap-add-sub|drop-store|\n\
+                         ignore-live-out|swap-balance-channels\n\
        --balance-slop F  allowed relative traffic growth (default 0.05)\n\
        --artifact-dir D  where fuzz writes counterexamples (default target/tmp/gen-fuzz)\n\
        --dir D           corpus output directory (default: print to stdout)\n\
@@ -255,6 +262,41 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_search_sweep(args: &Args) -> Result<(), String> {
+    let seed = fuzz_seed(args)?;
+    let count = args.u32_or("--count", 50)?;
+    let scale = if args.get("--full").is_some() { 64 } else { args.u32_or("--scale", 1)? };
+    let cfg = SearchSweepConfig {
+        count,
+        seed,
+        scale,
+        beam: args.u32_or("--beam", mbb_search::engine::DEFAULT_BEAM as u32)?.max(1) as usize,
+        steps: args.u32_or("--steps", mbb_search::engine::DEFAULT_STEPS as u32)? as usize,
+        jobs: args.u32_or("--jobs", 1)?.max(1) as usize,
+    };
+    let doc = search_sweep(&cfg, |k, params| {
+        if k % 25 == 0 && k > 0 {
+            eprintln!("gen search-sweep: {k}/{count} ({})", params.program_name());
+        }
+    });
+    let rendered = doc.render();
+    match args.get("--json") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("gen search-sweep: wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    let never_worse = doc
+        .get("summary")
+        .and_then(|s| s.get("never_worse"))
+        .is_some_and(|v| v == &mbb_bench::json::Json::Bool(true));
+    if !never_worse {
+        return Err("search landed above its fixed-pipeline floor (see summary)".into());
+    }
+    Ok(())
+}
+
 fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
     let family = match args.get("--family") {
         None => return Err("replay needs --family".into()),
@@ -304,6 +346,7 @@ fn main() -> ExitCode {
         "corpus" => cmd_corpus(&args).map(|()| ExitCode::SUCCESS),
         "fuzz" => cmd_fuzz(&args),
         "sweep" => cmd_sweep(&args).map(|()| ExitCode::SUCCESS),
+        "search-sweep" => cmd_search_sweep(&args).map(|()| ExitCode::SUCCESS),
         "replay" => cmd_replay(&args),
         other => {
             eprintln!("gen: unknown command `{other}`\n{}", usage());

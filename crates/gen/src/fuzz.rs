@@ -10,7 +10,12 @@
 //!    observations, execution counters and simulated traffic;
 //! 4. `optimize` preserves observable behaviour (within a floating-point
 //!    tolerance for reassociated reductions) under *both* engines;
-//! 5. measured memory balance never regresses past a small slop.
+//! 5. measured memory balance never regresses past a small slop;
+//! 6. the `mbb-search` autotuner (small beam, hang-guarded by a wall
+//!    budget) returns an observably equivalent program, reports the
+//!    balance an independent re-measurement reproduces exactly, and never
+//!    lands above the fixed pipeline's balance — the lane that catches
+//!    scorer miscompiles such as `swap-balance-channels`.
 //!
 //! A failing case is shrunk with the proptest shim's integer-shrinking
 //! strategies ([`shrink`]): each round proposes smaller parameter tuples
@@ -20,14 +25,17 @@
 //! exact `gen replay` command.
 
 use std::fmt;
+use std::time::Duration;
 
 use mbb_core::balance::measure_program_balance;
 use mbb_core::mutate::{self, Mutation};
 use mbb_core::pipeline::{optimize, OptimizeOptions};
+use mbb_ir::budget::{self, Budget};
 use mbb_ir::program::Program;
 use mbb_ir::runs::{self, Engine};
 use mbb_ir::{parse, pretty, validate};
 use mbb_memsim::MachineModel;
+use mbb_search::SearchOptions;
 use proptest::Strategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,6 +85,13 @@ pub enum FailureKind {
     OptimizedEngineDivergence,
     /// Optimization increased memory traffic beyond the slop.
     BalanceRegression,
+    /// The search winner observably differs from the original program.
+    SearchDivergence,
+    /// The search reported a winning score an independent honest
+    /// re-measurement does not reproduce (a scorer miscompile).
+    SearchScoreMismatch,
+    /// The search winner's honest balance exceeds the fixed pipeline's.
+    SearchBalance,
     /// A program failed to execute at all.
     Runtime,
 }
@@ -90,6 +105,9 @@ impl fmt::Display for FailureKind {
             FailureKind::OptimizerDivergence => "optimized program diverges from original",
             FailureKind::OptimizedEngineDivergence => "runs vs scalar divergence (optimized)",
             FailureKind::BalanceRegression => "optimization regressed memory balance",
+            FailureKind::SearchDivergence => "search winner diverges from original",
+            FailureKind::SearchScoreMismatch => "search score disagrees with re-measurement",
+            FailureKind::SearchBalance => "search winner worse than fixed pipeline",
             FailureKind::Runtime => "program failed to execute",
         };
         f.write_str(s)
@@ -249,6 +267,69 @@ pub fn check(params: Params, cfg: &Config) -> Result<(), Failure> {
             format!("memory traffic {before} B -> {after} B (limit {limit:.0} B)"),
         ));
     }
+
+    // The autotuner, under a small beam and a wall budget that only exists
+    // as a hang-guard (budget stops are a skip, not a failure).  A scorer
+    // mutation is routed into the search's selection here — the cache
+    // itself stays honest — so a planted `swap-balance-channels` must be
+    // caught by the honesty and floor checks below.
+    let sopts = SearchOptions {
+        beam: 2,
+        steps: 2,
+        scorer_mutation: cfg.mutation.filter(|m| m.distorts_scorer()),
+        ..SearchOptions::default()
+    };
+    let outcome = {
+        let _hang_guard = Budget { max_steps: None, wall: Some(Duration::from_secs(30)) }.install();
+        match mbb_search::search(&prog, &sopts) {
+            Ok(o) => o,
+            // The guard fired: too slow to search at this size, not a bug.
+            Err(_) if budget::exhausted() => return Ok(()),
+            Err(e) => return Err(fail(params, FailureKind::Runtime, e.to_string())),
+        }
+    };
+
+    // The winner must observably match the original program under both
+    // engines...
+    for engine in [Engine::Scalar, Engine::Runs] {
+        let won = run_under(engine, &outcome.program)
+            .map_err(|e| fail(params, FailureKind::SearchDivergence, e))?;
+        if let Some(d) = orig.observation.diff(&won.observation, REL_TOL) {
+            return Err(fail(
+                params,
+                FailureKind::SearchDivergence,
+                format!("under {engine}: {d}"),
+            ));
+        }
+    }
+    // ... its reported balance must survive an independent honest
+    // re-measurement bit-for-bit (the scorer-miscompile detector) ...
+    let honest = traffic_under(Engine::Runs, &outcome.program, &machine)
+        .map_err(|e| fail(params, FailureKind::Runtime, e))?;
+    if honest.memory() != outcome.best_view.bytes_per_flop {
+        return Err(fail(
+            params,
+            FailureKind::SearchScoreMismatch,
+            format!(
+                "search reported {} bytes/flop for its winner; independent re-measurement \
+                 says {}",
+                outcome.best_view.bytes_per_flop,
+                honest.memory()
+            ),
+        ));
+    }
+    // ... and it may never land above the fixed pipeline it was seeded with.
+    let fixed = outcome.fixed_score.memory();
+    if honest.memory() > fixed {
+        return Err(fail(
+            params,
+            FailureKind::SearchBalance,
+            format!(
+                "search winner at {} bytes/flop is worse than the fixed pipeline's {fixed}",
+                honest.memory()
+            ),
+        ));
+    }
     Ok(())
 }
 
@@ -342,6 +423,24 @@ mod tests {
         let p = Params { family: 0, n: 8, k: 2, detail: 42 };
         assert!(check(p, &Config::default()).is_ok());
         assert!(check(p, &Config::default()).is_ok());
+    }
+
+    /// A scorer miscompile must be caught by the search stage on a
+    /// program with temporal reuse (the stencil family re-reads
+    /// neighbours, so cache hits split the register and memory channels
+    /// and the swapped balance becomes observable).
+    #[test]
+    fn swap_balance_channels_canary_is_caught_on_a_reuse_case() {
+        let p = Params { family: 1, n: 8, k: 1, detail: 0 };
+        assert!(check(p, &Config::default()).is_ok(), "case must be green without the mutation");
+        let cfg = Config { mutation: Some(Mutation::SwapBalanceChannels), ..Config::default() };
+        let f = check(p, &cfg).expect_err("planted scorer bug must be caught");
+        assert!(
+            matches!(f.kind, FailureKind::SearchScoreMismatch | FailureKind::SearchBalance),
+            "caught as {:?}: {}",
+            f.kind,
+            f.detail
+        );
     }
 
     #[test]

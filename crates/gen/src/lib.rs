@@ -8,16 +8,19 @@
 //! ([`templates`]), a differential fuzz driver that cross-checks every
 //! generated program through parse/pretty, both engines, the optimizer
 //! and the balance model, shrinking failures to minimal counterexamples
-//! ([`mod@fuzz`]), and corpus-scale benchmark sweeps for the nightly
-//! ([`mod@sweep`]).
+//! ([`mod@fuzz`]), corpus-scale benchmark sweeps for the nightly
+//! ([`mod@sweep`]), and autotuner sweeps pitting the `mbb-search` beam
+//! search against the fixed pipeline ([`mod@search_sweep`]).
 //!
-//! The `gen` binary exposes all three:
+//! The `gen` binary exposes all of them:
 //!
 //! ```text
 //! gen one    --seed S [--template chain]     print one generated program
 //! gen corpus --count N [--dir D]             emit a program corpus
 //! gen fuzz   --iters N [--mutate M]          differential fuzz, shrink on failure
 //! gen sweep  --count N [--json F] [--full]   corpus benchmark sweep (mbb-gen-sweep/1)
+//! gen search-sweep --count N [--beam B] [--steps K] [--jobs J]
+//!                                            autotuner sweep (mbb-search-sweep/1)
 //! gen replay --family F --n N --k K --detail D   re-run one exact case
 //! ```
 //!
@@ -25,9 +28,11 @@
 //! same programs, and every failure prints the exact replay command.
 
 pub mod fuzz;
+pub mod search_sweep;
 pub mod sweep;
 pub mod templates;
 
 pub use fuzz::{check, fuzz, Config, Counterexample, Failure, FailureKind};
+pub use search_sweep::{search_sweep, SearchSweepConfig};
 pub use sweep::{sweep, SweepConfig};
 pub use templates::{generate, Params};

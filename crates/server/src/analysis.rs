@@ -528,6 +528,187 @@ fn optimize_inner(p: &Program, opts: &Options) -> Result<(Analysis, String), Ser
     Ok((Analysis::new(out, data), optimized))
 }
 
+/// How an `optimize --search` run explores (see [`mbb_search::engine`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchParams {
+    /// Beam width.
+    pub beam: usize,
+    /// Expansion steps.
+    pub steps: usize,
+    /// Tie-breaking seed.
+    pub seed: u64,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            beam: mbb_search::engine::DEFAULT_BEAM,
+            steps: mbb_search::engine::DEFAULT_STEPS,
+            seed: mbb_search::engine::DEFAULT_SEED,
+        }
+    }
+}
+
+/// The `optimize --search` analysis: beam search over transformation
+/// sequences, scored by the balance model, seeded with the fixed pipeline
+/// so the winner is never worse than [`optimize`]'s result on the search
+/// objective.  Deterministic for fixed `(program, machine, beam, steps,
+/// seed)`: cache state and concurrency never change the text or data (the
+/// CLI appends its own per-execution `search cache:` line, exactly like
+/// the `simulation:` timing line).
+pub fn optimize_search(
+    p: &Program,
+    opts: &Options,
+    sp: &SearchParams,
+) -> Result<(Analysis, String), ServeError> {
+    profiled(opts.profile, || optimize_search_inner(p, opts, sp), |(a, _), pr| a.profile = Some(pr))
+}
+
+fn optimize_search_inner(
+    p: &Program,
+    opts: &Options,
+    sp: &SearchParams,
+) -> Result<(Analysis, String), ServeError> {
+    let _budget = opts.budget.install();
+    let _engine = mbb_ir::runs::install(opts.engine);
+    let (before_t, before_b) = {
+        let _s = mbb_obs::span!("before");
+        let t = time_program(p, &opts.machine).map_err(run_error)?;
+        let b = measure_program_balance(p, &opts.machine).map_err(run_error)?;
+        (t, b)
+    };
+
+    check_deadline()?;
+    // The search scores through the runs engine internally (its `search`
+    // and `score:<spec>` spans land in the profile); the surrounding
+    // measurements and the verification below honour `opts.engine`.
+    let sopts = mbb_search::SearchOptions {
+        machine: opts.machine.clone(),
+        beam: sp.beam,
+        steps: sp.steps,
+        seed: sp.seed,
+        pipeline: opts.pipeline,
+        scorer_mutation: None,
+    };
+    let out = mbb_search::search(p, &sopts).map_err(run_error)?;
+
+    let mut program = out.program.clone();
+    let mut regroup_actions = Vec::new();
+    if opts.regroup {
+        let (next, actions) = regroup_all(&program);
+        program = next;
+        regroup_actions = actions;
+    }
+    check_deadline()?;
+    verify_equivalent(p, &program, 1e-9).map_err(|d| {
+        let kind =
+            if mbb_ir::budget::exhausted() { ErrorKind::DeadlineExceeded } else { ErrorKind::Run };
+        ServeError::new(kind, format!("internal error: transformation changed behaviour: {d}"))
+    })?;
+
+    let (after_t, after_b) = {
+        let _s = mbb_obs::span!("after");
+        let t = time_program(&program, &opts.machine).map_err(run_error)?;
+        let b = measure_program_balance(&program, &opts.machine).map_err(run_error)?;
+        (t, b)
+    };
+
+    let t = &out.trace;
+    let mut text = String::new();
+    let _ = writeln!(text, "program {} on {}", p.name, opts.machine.name);
+    let _ = writeln!(
+        text,
+        "  search: beam {}, steps {} (ran {}), seed {:#010x}",
+        t.beam, t.steps, t.steps_run, t.seed
+    );
+    let _ = writeln!(text, "  candidates: {} scored, {} pruned", t.visited, t.pruned);
+    let _ = writeln!(text, "  fixed pipeline:   {}", t.fixed_spec);
+    let _ = writeln!(text, "  winning sequence: {}", t.best_spec);
+    let _ = writeln!(
+        text,
+        "  memory balance:   {:.2} -> {:.2} (fixed) vs {:.2} (search) bytes/flop",
+        before_b.memory(),
+        out.fixed_score.memory(),
+        out.best_score.memory()
+    );
+    let _ = writeln!(
+        text,
+        "  memory traffic:   {} -> {} bytes",
+        before_b.report.mem_bytes(),
+        after_b.report.mem_bytes()
+    );
+    for a in &regroup_actions {
+        let _ = writeln!(text, "  regrouped: {{{}}} -> `{}`", a.members.join(", "), a.grouped);
+    }
+    let _ = writeln!(
+        text,
+        "  predicted time:   {:.4} s -> {:.4} s ({:.2}× speedup)",
+        before_t.time_s,
+        after_t.time_s,
+        before_t.time_s / after_t.time_s
+    );
+    let _ = writeln!(
+        text,
+        "  search result:    {}",
+        if t.improved { "improved on the fixed pipeline" } else { "matched the fixed pipeline" }
+    );
+    let _ = writeln!(text, "  equivalence:      verified (interpreted both versions)");
+
+    let optimized = pretty::program(&program);
+    let data = Json::obj([
+        ("program", Json::str(p.name.clone())),
+        ("machine", Json::str(opts.machine.name.clone())),
+        (
+            "search",
+            Json::obj([
+                ("beam", Json::UInt(t.beam as u64)),
+                ("steps", Json::UInt(t.steps as u64)),
+                ("steps_run", Json::UInt(t.steps_run as u64)),
+                ("seed", Json::UInt(t.seed)),
+                ("visited", Json::UInt(t.visited)),
+                ("pruned", Json::UInt(t.pruned)),
+                ("best_spec", Json::str(t.best_spec.clone())),
+                ("fixed_spec", Json::str(t.fixed_spec.clone())),
+                ("improved", Json::Bool(t.improved)),
+            ]),
+        ),
+        (
+            "memory_balance_bytes_per_flop",
+            Json::obj([
+                ("before", Json::num(before_b.memory())),
+                ("fixed", Json::num(out.fixed_score.memory())),
+                ("best", Json::num(out.best_score.memory())),
+            ]),
+        ),
+        (
+            "memory_traffic_bytes",
+            Json::obj([
+                ("before", Json::UInt(before_b.report.mem_bytes())),
+                ("after", Json::UInt(after_b.report.mem_bytes())),
+            ]),
+        ),
+        (
+            "regrouped",
+            Json::arr(regroup_actions.iter().map(|a| {
+                Json::obj([
+                    ("members", Json::arr(a.members.iter().map(|m| Json::str(m.clone())))),
+                    ("grouped", Json::str(a.grouped.clone())),
+                ])
+            })),
+        ),
+        (
+            "predicted_time_s",
+            Json::obj([
+                ("before", Json::num(before_t.time_s)),
+                ("after", Json::num(after_t.time_s)),
+            ]),
+        ),
+        ("speedup", Json::num(before_t.time_s / after_t.time_s)),
+        ("optimized_program", Json::str(optimized.clone())),
+    ]);
+    Ok((Analysis::new(text, data), optimized))
+}
+
 /// The `trace-stats` analysis: execution counters plus the traffic the
 /// program's access trace induces on the machine's memory hierarchy.
 pub fn trace_stats(p: &Program, opts: &Options) -> Result<Analysis, ServeError> {
@@ -645,11 +826,13 @@ pub fn machines() -> Analysis {
     Analysis::new(out, data)
 }
 
-/// The canonical cache-key form of a program: the pretty-printer's stable
-/// rendering of the parsed AST, so formatting differences (whitespace,
-/// comments) in request source collapse onto one cache entry.
+/// The canonical cache-key form of a program: the shared canonicalizer's
+/// stable rendering of the parsed AST ([`mbb_core::canon::program`]), so
+/// formatting differences (whitespace, comments) in request source
+/// collapse onto one cache entry — and so this layer's keys agree
+/// byte-for-byte with the search score cache and the CLI.
 pub fn canonical_source(p: &Program) -> String {
-    pretty::program(p)
+    mbb_core::canon::program(p)
 }
 
 #[cfg(test)]

@@ -27,14 +27,12 @@ use crate::error::{ErrorKind, ServeError};
 use crate::faults::{self, Site};
 use crate::sync::{lock, wait};
 
-/// 64-bit FNV-1a over a byte string.
+/// 64-bit FNV-1a over a byte string.  Delegates to the shared
+/// [`mbb_core::canon`] definition so every content-addressed cache in the
+/// workspace (this result cache, the search score cache) hashes
+/// identically; kept as a re-export for existing callers.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    mbb_core::canon::fnv1a(bytes)
 }
 
 /// Per-entry bookkeeping overhead charged against the byte budget (key,

@@ -41,6 +41,9 @@ pub enum Kind {
     Advise,
     /// The full §3 optimisation pipeline.
     Optimize,
+    /// Beam search over the transformation space (never worse than the
+    /// fixed pipeline; see `mbb-search`).
+    OptimizeSearch,
     /// Trace-level counters on the machine's hierarchy.
     TraceStats,
     /// The machine-model catalogue.
@@ -53,10 +56,11 @@ pub enum Kind {
 
 impl Kind {
     /// Every kind, in wire order.
-    pub const ALL: [Kind; 7] = [
+    pub const ALL: [Kind; 8] = [
         Kind::Report,
         Kind::Advise,
         Kind::Optimize,
+        Kind::OptimizeSearch,
         Kind::TraceStats,
         Kind::Machines,
         Kind::Metrics,
@@ -69,6 +73,7 @@ impl Kind {
             Kind::Report => "report",
             Kind::Advise => "advise",
             Kind::Optimize => "optimize",
+            Kind::OptimizeSearch => "optimize-search",
             Kind::TraceStats => "trace-stats",
             Kind::Machines => "machines",
             Kind::Metrics => "metrics",
@@ -88,7 +93,10 @@ impl Kind {
 
     /// Whether this kind analyses a program (and is therefore cacheable).
     pub fn takes_program(self) -> bool {
-        matches!(self, Kind::Report | Kind::Advise | Kind::Optimize | Kind::TraceStats)
+        matches!(
+            self,
+            Kind::Report | Kind::Advise | Kind::Optimize | Kind::OptimizeSearch | Kind::TraceStats
+        )
     }
 }
 
@@ -148,14 +156,33 @@ pub struct Flags {
     pub no_store_elim: bool,
     /// Apply inter-array regrouping after the pipeline.
     pub regroup: bool,
+    /// Beam width for `optimize-search` (bounded by
+    /// [`MAX_SEARCH_BEAM`]; `None` = the search crate's default).
+    pub beam: Option<u32>,
+    /// Expansion steps for `optimize-search` (bounded by
+    /// [`MAX_SEARCH_STEPS`]; `None` = the search crate's default).
+    pub search_steps: Option<u32>,
 }
 
+/// Upper bound a request may set for the search beam width.
+pub const MAX_SEARCH_BEAM: u32 = 64;
+/// Upper bound a request may set for the search step count.
+pub const MAX_SEARCH_STEPS: u32 = 64;
+
 impl Flags {
-    /// A canonical, order-stable form for cache keys.
+    /// A canonical, order-stable form for cache keys.  Beam and step
+    /// counts are keyed on their *resolved* values, so a request that
+    /// spells out the defaults shares an entry with one that omits them.
     pub fn key(&self) -> String {
         format!(
-            "fusion={:?};normalize={};no_shrink={};no_store_elim={};regroup={}",
-            self.fusion, self.normalize, self.no_shrink, self.no_store_elim, self.regroup
+            "fusion={:?};normalize={};no_shrink={};no_store_elim={};regroup={};beam={};search_steps={}",
+            self.fusion,
+            self.normalize,
+            self.no_shrink,
+            self.no_store_elim,
+            self.regroup,
+            self.beam.map_or(mbb_search::engine::DEFAULT_BEAM, |b| b as usize),
+            self.search_steps.map_or(mbb_search::engine::DEFAULT_STEPS, |s| s as usize),
         )
     }
 
@@ -180,6 +207,17 @@ fn get_bool(obj: &Json, key: &str) -> Result<bool, ServeError> {
         None | Some(Json::Null) => Ok(false),
         Some(Json::Bool(b)) => Ok(*b),
         Some(_) => Err(bad(format!("`options.{key}` must be a boolean"))),
+    }
+}
+
+fn get_bounded(obj: &Json, key: &str, max: u32) -> Result<Option<u32>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::UInt(n)) if (1..=max as u64).contains(n) => Ok(Some(*n as u32)),
+        Some(Json::Num(x)) if *x >= 1.0 && x.fract() == 0.0 && *x <= max as f64 => {
+            Ok(Some(*x as u32))
+        }
+        Some(_) => Err(bad(format!("`options.{key}` must be an integer in 1..={max}"))),
     }
 }
 
@@ -241,6 +279,8 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         flags.no_shrink = get_bool(options, "no_shrink")?;
         flags.no_store_elim = get_bool(options, "no_store_elim")?;
         flags.regroup = get_bool(options, "regroup")?;
+        flags.beam = get_bounded(options, "beam", MAX_SEARCH_BEAM)?;
+        flags.search_steps = get_bounded(options, "search_steps", MAX_SEARCH_STEPS)?;
     }
 
     let mut budget = RequestBudget::default();

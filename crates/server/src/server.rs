@@ -29,7 +29,7 @@ use mbb_bench::json::Json;
 use mbb_ir::budget::Budget;
 
 use crate::analysis;
-use crate::cache::{fnv1a, ResultCache};
+use crate::cache::ResultCache;
 use crate::error::{ErrorKind, ServeError};
 use crate::faults::{self, Site};
 use crate::metrics::Metrics;
@@ -360,12 +360,27 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
             opts.profile = req.profile;
             opts.engine = req.engine;
             let prog = analysis::load(src)?;
+            // Search width/depth come from the flags (and are part of the
+            // cache key via `Flags::key`); the seed stays at the crate
+            // default so responses are a pure function of the request.
+            let sp = analysis::SearchParams {
+                beam: req
+                    .flags
+                    .beam
+                    .map_or_else(|| analysis::SearchParams::default().beam, |b| b as usize),
+                steps: req
+                    .flags
+                    .search_steps
+                    .map_or_else(|| analysis::SearchParams::default().steps, |s| s as usize),
+                ..analysis::SearchParams::default()
+            };
             let compute = || -> Result<analysis::Analysis, ServeError> {
                 let a = match kind {
                     Kind::Report => analysis::report(&prog, &opts)?,
                     Kind::Advise => analysis::advise(&prog, &opts)?,
                     Kind::TraceStats => analysis::trace_stats(&prog, &opts)?,
                     Kind::Optimize => analysis::optimize(&prog, &opts)?.0,
+                    Kind::OptimizeSearch => analysis::optimize_search(&prog, &opts, &sp)?.0,
                     _ => unreachable!("non-program kinds handled above"),
                 };
                 Ok(a)
@@ -387,9 +402,11 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
             // variants stay distinct) and the canonical pretty-printed
             // program (formatting collapses).
             let canon = analysis::canonical_source(&prog);
-            let key = fnv1a(
-                format!("{}\0{}\0{}\0{canon}", kind.as_str(), opts.machine.name, req.flags.key())
-                    .as_bytes(),
+            let key = mbb_core::canon::cache_key(
+                kind.as_str(),
+                &opts.machine.name,
+                &req.flags.key(),
+                &canon,
             );
             let (val, hit) = shared.cache.get_or_compute(key, || {
                 let a = compute()?;
@@ -652,5 +669,86 @@ mod tests {
             REQ.replace("\"kind\":\"report\"", "\"kind\":\"report\",\"machine\":\"origin2000\"");
         let resp = process(&shared, &alias);
         assert_eq!(resp.get("cached"), Some(&Json::Bool(true)), "{resp:?}");
+    }
+
+    /// Two fusable nests: a producer into `res` and a reduction over it.
+    const SEARCH_REQ: &str = "{\"schema\":\"mbb-serve/1\",\"kind\":\"optimize-search\",\"program\":\"array res[64]\\narray data[64]\\nscalar sum = 0  // printed\\nfor i = 0, 63\\n  res[i] = (res[i] + data[i])\\nend for\\nfor j = 0, 63\\n  sum = (sum + res[j])\\nend for\\n\",\"options\":{\"beam\":2,\"search_steps\":2}}";
+
+    #[test]
+    fn optimize_search_round_trips_and_repeats_byte_identically_from_cache() {
+        let shared = test_shared();
+        let (first_raw, _) = process_line(SEARCH_REQ.as_bytes(), &shared);
+        let first = Json::parse(&first_raw).expect("valid JSON");
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first:?}");
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let result = first.get("result").expect("result in response");
+        let text = result.get("text").and_then(|t| t.as_str()).expect("text in result");
+        assert!(text.contains("winning sequence:"), "{text}");
+        assert!(text.contains("equivalence:      verified"), "{text}");
+        let search = result.get("data").and_then(|d| d.get("search")).expect("search stats");
+        assert!(search.get("best_spec").is_some(), "{search:?}");
+        assert!(search.get("fixed_spec").is_some(), "{search:?}");
+
+        // A second identical request is a cache hit, and the response
+        // bytes differ from the miss only in the `cached` flag.
+        let (second_raw, _) = process_line(SEARCH_REQ.as_bytes(), &shared);
+        let second = Json::parse(&second_raw).expect("valid JSON");
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)), "{second:?}");
+        assert_eq!(
+            first_raw.replace("\"cached\":false", "\"cached\":true"),
+            second_raw,
+            "cache hit must replay the response byte-for-byte"
+        );
+        assert_eq!(shared.cache.stats().hits, 1);
+        assert_eq!(shared.metrics.requests_of(Kind::OptimizeSearch), 2);
+    }
+
+    #[test]
+    fn optimize_search_beam_variants_key_separately_but_defaults_collapse() {
+        let shared = test_shared();
+        process(&shared, SEARCH_REQ);
+        // Different beam: a different search, so a different cache entry.
+        let wider = SEARCH_REQ.replace("\"beam\":2", "\"beam\":3");
+        let resp = process(&shared, &wider);
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)), "{resp:?}");
+        // Spelling out the defaults collapses onto omitting them.
+        let spelled = SEARCH_REQ.replace(
+            "\"options\":{\"beam\":2,\"search_steps\":2}",
+            "\"options\":{\"beam\":4,\"search_steps\":5}",
+        );
+        let explicit = process(&shared, &spelled);
+        let implicit = process(
+            &shared,
+            &SEARCH_REQ.replace(",\"options\":{\"beam\":2,\"search_steps\":2}", ""),
+        );
+        assert_eq!(explicit.get("cached"), Some(&Json::Bool(false)), "{explicit:?}");
+        assert_eq!(implicit.get("cached"), Some(&Json::Bool(true)), "{implicit:?}");
+    }
+
+    #[test]
+    fn optimize_search_rejects_out_of_range_options() {
+        let shared = test_shared();
+        let huge = SEARCH_REQ.replace("\"beam\":2", "\"beam\":65");
+        let resp = process(&shared, &huge);
+        assert_eq!(error_code(&resp).as_deref(), Some("bad-request"), "{resp:?}");
+        let zero = SEARCH_REQ.replace("\"search_steps\":2", "\"search_steps\":0");
+        let resp = process(&shared, &zero);
+        assert_eq!(error_code(&resp).as_deref(), Some("bad-request"), "{resp:?}");
+    }
+
+    #[test]
+    fn optimize_search_honours_a_request_deadline() {
+        let shared = test_shared();
+        let big_search = BIG_REQ.replace(
+            "\"kind\":\"optimize\"",
+            "\"kind\":\"optimize-search\",\"budget\":{\"deadline_ms\":1}",
+        );
+        let resp = process(&shared, &big_search);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
+        let err = resp.get("error").expect("error payload");
+        assert_eq!(err.get("code").and_then(|c| c.as_str()), Some("deadline_exceeded"));
+        assert_eq!(err.get("exit_code"), Some(&Json::UInt(6)));
+        // Budget errors must not occupy cache entries.
+        assert_eq!(shared.cache.stats().entries, 0);
     }
 }

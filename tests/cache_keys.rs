@@ -1,0 +1,87 @@
+//! Canonical-hash agreement across the three cache-key producers.
+//!
+//! The server's result cache, the CLI (which reuses the server's
+//! analysis layer), and the search crate's score cache all key on
+//! `fnv1a(kind \0 machine \0 flags \0 canonical-program)`.  Historically
+//! the server carried its own private fnv1a and canonicalizer; they now
+//! delegate to `mbb_core::canon`, and this test pins the agreement
+//! byte-for-byte so the three can never drift apart again — a drift
+//! would silently split the caches (correct but slow) or, worse, collide
+//! keys across kinds.
+
+use mbb::ir::parse::parse;
+use mbb_core::canon;
+
+const PROGRAM: &str = "array a[64]\n\
+                       scalar s = 0  // printed\n\
+                       for i = 0, 63\n\
+                       \x20 s = (s + a[i])\n\
+                       end for\n";
+
+/// Same program modulo formatting: extra blanks, a comment, different
+/// indentation.
+const NOISY: &str = "array   a[64]   // demand\n\n\
+                     scalar s = 0  // printed\n\
+                     for i = 0, 63\n\
+                     \x20     s = (s + a[i])\n\
+                     end for\n";
+
+#[test]
+fn server_canonical_source_is_the_shared_canonicalizer() {
+    let p = parse(PROGRAM).unwrap();
+    assert_eq!(mbb_server::analysis::canonical_source(&p), canon::program(&p));
+}
+
+#[test]
+fn server_fnv1a_is_the_shared_fnv1a() {
+    for bytes in [&b""[..], b"a", b"report\0origin\0flags\0program"] {
+        assert_eq!(mbb_server::cache::fnv1a(bytes), canon::fnv1a(bytes));
+    }
+}
+
+#[test]
+fn cache_key_reproduces_the_server_key_layout_byte_for_byte() {
+    let p = parse(PROGRAM).unwrap();
+    let canon_text = canon::program(&p);
+    let flags = "fusion=Greedy;normalize=false";
+    let by_helper = canon::cache_key("report", "origin", flags, &canon_text);
+    let by_hand = canon::fnv1a(format!("report\0origin\0{flags}\0{canon_text}").as_bytes());
+    assert_eq!(by_helper, by_hand, "cache_key must be fnv1a over the historical layout");
+    // The same layout through the server's re-exported hash.
+    assert_eq!(
+        by_helper,
+        mbb_server::cache::fnv1a(format!("report\0origin\0{flags}\0{canon_text}").as_bytes())
+    );
+}
+
+#[test]
+fn search_score_keys_use_the_same_helper_as_the_server() {
+    let p = parse(PROGRAM).unwrap();
+    let canon_text = canon::program(&p);
+    // The search crate keys scores as (SCORE_KIND, machine, "", canon):
+    // identical inputs must give identical keys whichever crate computes
+    // them.
+    let search_key = canon::cache_key(mbb_search::engine::SCORE_KIND, "origin", "", &canon_text);
+    let server_style = mbb_server::cache::fnv1a(
+        format!("{}\0origin\0\0{canon_text}", mbb_search::engine::SCORE_KIND).as_bytes(),
+    );
+    assert_eq!(search_key, server_style);
+}
+
+#[test]
+fn formatting_noise_collapses_to_one_key() {
+    let p = parse(PROGRAM).unwrap();
+    let q = parse(NOISY).unwrap();
+    assert_eq!(canon::program(&p), canon::program(&q), "canonical text must ignore formatting");
+    assert_eq!(
+        canon::cache_key("optimize-search", "origin", "beam=4", &canon::program(&p)),
+        canon::cache_key("optimize-search", "origin", "beam=4", &canon::program(&q)),
+    );
+    // Distinct kinds, machines or flags must not collide on the same
+    // program.
+    let c = canon::program(&p);
+    let base = canon::cache_key("optimize", "origin", "f", &c);
+    assert_ne!(base, canon::cache_key("optimize-search", "origin", "f", &c));
+    assert_ne!(base, canon::cache_key("optimize", "origin/64", "f", &c));
+    assert_ne!(base, canon::cache_key("optimize", "origin", "g", &c));
+}
