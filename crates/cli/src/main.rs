@@ -8,6 +8,8 @@
 //! mbbc serve         [--addr HOST:PORT] [--workers N] [--cache-mb M]
 //!                    [--queue-depth D] [--idle-timeout SECS]
 //!                    [--request-budget STEPS] [--deadline-ms MS]
+//!                    [--admission on|off] [--brownout on|off]
+//!                    [--class-weights A,R,O,S]
 //! ```
 //!
 //! `FILE` is a loop program in the paper's pseudo-code (grammar:
@@ -55,7 +57,11 @@ fn usage() -> &'static str {
        --queue-depth D    accept-queue bound before shedding (default 64)\n\
        --idle-timeout S   exit after S seconds without traffic\n\
        --request-budget STEPS   cap interpreter steps per request (default 2^32)\n\
-       --deadline-ms MS         wall-clock cap per request (default none)\n"
+       --deadline-ms MS         wall-clock cap per request (default none)\n\
+       --admission on|off       cost-based admission control (default on)\n\
+       --brownout on|off        brown-out degradation controller (default on)\n\
+       --class-weights A,R,O,S  per-class queue thresholds, percent (default\n\
+     \x20                        100,90,60,30: admin,report,optimize,search)\n"
 }
 
 fn read_source(path: &str) -> Result<String, ServeError> {
@@ -69,6 +75,33 @@ fn read_source(path: &str) -> Result<String, ServeError> {
         std::fs::read_to_string(path)
             .map_err(|e| ServeError::new(ErrorKind::Io, format!("{path}: {e}")))
     }
+}
+
+fn onoff(flag: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("mbbc: {flag} wants on|off, got `{other}`")),
+    }
+}
+
+/// Parses `--class-weights A,R,O,S`: four comma-separated percentages in
+/// 1..=100, ordered admin, report, optimize, search.
+fn class_weights(value: &str) -> Result<[u8; 4], String> {
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "mbbc: --class-weights wants 4 comma-separated percentages \
+             (admin,report,optimize,search), got `{value}`"
+        ));
+    }
+    let mut w = [0u8; 4];
+    for (slot, part) in w.iter_mut().zip(parts) {
+        *slot = part.trim().parse::<u8>().ok().filter(|&n| (1..=100).contains(&n)).ok_or_else(
+            || format!("mbbc: --class-weights wants percentages in 1..=100, got `{part}`"),
+        )?;
+    }
+    Ok(w)
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {
@@ -107,6 +140,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "--deadline-ms" => {
                 positive().map(|n| cfg.request_deadline = Some(Duration::from_millis(n)))
             }
+            "--admission" => onoff(flag, value).map(|b| cfg.admission = b),
+            "--brownout" => onoff(flag, value).map(|b| cfg.brownout = b),
+            "--class-weights" => class_weights(value).map(|w| cfg.class_weights = w),
             other => {
                 eprintln!("mbbc: unknown serve option `{other}`\n{}", usage());
                 return ExitCode::from(2);

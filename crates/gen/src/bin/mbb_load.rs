@@ -1,0 +1,278 @@
+//! `mbb-load` — seeded capacity-storm driver for `mbbc serve`.
+//!
+//! ```text
+//! mbb-load --addr HOST:PORT [options]          storm an already-running server
+//! mbb-load --spawn [--workers N] [--queue-depth N] [options]
+//!                                              spawn an in-process server first
+//! options:
+//!   --seed S          storm seed (also honours GEN_SEED; default fixed)
+//!   --clients N       concurrent keep-alive connections (default 8)
+//!   --requests N      requests per client (default 200)
+//!   --storm-ms MS     wall bound on the storm phase (default 5000)
+//!   --calibrate N     unloaded baseline requests (default 24)
+//!   --deadline-ms MS  per-request wall deadline, 0 = none (default 0)
+//!   --drain-ms MS     recovery budget after the storm (default 30000)
+//!   --timeout-ms MS   socket timeout (default 10000)
+//!   --json PATH       write the mbb-load-capacity/1 report here (default stdout)
+//!   --assert          exit 1 unless the graceful-degradation bounds hold
+//! ```
+//!
+//! Saturation is driven by connection count: `--clients` must exceed the
+//! target's `workers + queue_depth` for the storm to escalate the
+//! brown-out controller.  `--spawn` sizes the in-process server so the
+//! default client count does exactly that.  Exit codes: 0 success,
+//! 1 storm failed its bounds (with `--assert`) or could not be driven,
+//! 2 usage.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use mbb_gen::load::{run, LoadConfig};
+
+fn usage() -> &'static str {
+    "usage: mbb-load (--addr HOST:PORT | --spawn) [options]\n\
+     options:\n\
+       --seed S          storm seed (also honours GEN_SEED; default fixed)\n\
+       --clients N       concurrent keep-alive connections (default 8)\n\
+       --requests N      requests per client (default 200)\n\
+       --storm-ms MS     wall bound on the storm phase (default 5000)\n\
+       --calibrate N     unloaded baseline requests (default 24)\n\
+       --deadline-ms MS  per-request wall deadline, 0 = none (default 0)\n\
+       --drain-ms MS     recovery budget after the storm (default 30000)\n\
+       --timeout-ms MS   socket timeout (default 10000)\n\
+       --workers N       spawned server worker threads (default 1)\n\
+       --queue-depth N   spawned server accept queue (default 4)\n\
+       --json PATH       write the mbb-load-capacity/1 report here (default stdout)\n\
+       --assert          exit 1 unless the graceful-degradation bounds hold\n"
+}
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--addr",
+    "--spawn",
+    "--seed",
+    "--clients",
+    "--requests",
+    "--storm-ms",
+    "--calibrate",
+    "--deadline-ms",
+    "--drain-ms",
+    "--timeout-ms",
+    "--workers",
+    "--queue-depth",
+    "--json",
+    "--assert",
+];
+
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut k = 0;
+        while k < raw.len() {
+            let flag = raw[k].as_str();
+            if !KNOWN_FLAGS.contains(&flag) {
+                return Err(format!("unexpected argument `{flag}`"));
+            }
+            if flag == "--spawn" || flag == "--assert" {
+                flags.insert(flag.to_string(), String::new());
+                k += 1;
+                continue;
+            }
+            let Some(value) = raw.get(k + 1) else {
+                return Err(format!("{flag} needs a value"));
+            };
+            flags.insert(flag.to_string(), value.clone());
+            k += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    fn u64_or(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => parse_u64(v).ok_or_else(|| format!("{flag} wants a number, got `{v}`")),
+        }
+    }
+
+    fn usize_or(&self, flag: &str, default: usize) -> Result<usize, String> {
+        self.u64_or(flag, default as u64).and_then(|n| {
+            usize::try_from(n).map_err(|_| format!("{flag} value {n} is out of range"))
+        })
+    }
+}
+
+/// Accepts decimal and `0x…` hex, matching the `gen` binary.
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn storm_seed(args: &Args) -> Result<u64, String> {
+    if let Some(v) = args.get("--seed") {
+        return parse_u64(v).ok_or_else(|| format!("--seed wants a number, got `{v}`"));
+    }
+    if let Ok(v) = std::env::var("GEN_SEED") {
+        return parse_u64(&v).ok_or_else(|| format!("GEN_SEED wants a number, got `{v}`"));
+    }
+    Ok(LoadConfig::default().seed)
+}
+
+fn load_config(args: &Args) -> Result<LoadConfig, String> {
+    let d = LoadConfig::default();
+    let clients = args.usize_or("--clients", d.clients)?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".to_string());
+    }
+    Ok(LoadConfig {
+        seed: storm_seed(args)?,
+        clients,
+        requests: args.usize_or("--requests", d.requests)?,
+        storm_ms: args.u64_or("--storm-ms", d.storm_ms)?,
+        calibrate: args.usize_or("--calibrate", d.calibrate)?.max(1),
+        deadline_ms: args.u64_or("--deadline-ms", d.deadline_ms)?,
+        drain_ms: args.u64_or("--drain-ms", d.drain_ms)?,
+        timeout_ms: args.u64_or("--timeout-ms", d.timeout_ms)?.max(1),
+    })
+}
+
+/// A spawned in-process target, shut down on drop via its handle.
+struct Spawned {
+    addr: SocketAddr,
+    handle: mbb_server::server::Handle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Spawned {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn spawn_server(args: &Args) -> Result<Spawned, String> {
+    let workers = args.usize_or("--workers", 1)?.max(1);
+    let queue_depth = args.usize_or("--queue-depth", 4)?;
+    let cfg = mbb_server::server::Config {
+        workers,
+        queue_depth,
+        read_timeout: Duration::from_secs(5),
+        ..mbb_server::server::Config::default()
+    };
+    let (tx, rx) = mpsc::channel();
+    let thread = std::thread::spawn(move || {
+        if let Err(e) = mbb_server::server::serve(cfg, move |addr, handle| {
+            let _ = tx.send((addr, handle));
+        }) {
+            eprintln!("mbb-load: spawned server failed: {e}");
+        }
+    });
+    let (addr, handle) = rx
+        .recv_timeout(Duration::from_secs(10))
+        .map_err(|_| "spawned server did not come up".to_string())?;
+    Ok(Spawned { addr, handle, thread: Some(thread) })
+}
+
+/// Where the storm goes: a remote address or an in-process spawn.
+enum Target {
+    Addr(SocketAddr),
+    Spawn,
+}
+
+/// Everything that can fail here is a usage error (exit 2).
+fn plan(args: &Args) -> Result<(LoadConfig, Target), String> {
+    let cfg = load_config(args)?;
+    let target = match (args.has("--spawn"), args.get("--addr")) {
+        (true, None) => Target::Spawn,
+        (false, Some(a)) => Target::Addr(a.parse().map_err(|e| format!("--addr `{a}`: {e}"))?),
+        (true, Some(_)) => return Err("--addr and --spawn are mutually exclusive".to_string()),
+        (false, None) => return Err("need --addr HOST:PORT or --spawn".to_string()),
+    };
+    Ok((cfg, target))
+}
+
+fn drive(args: &Args, cfg: &LoadConfig, target: &Target) -> Result<bool, String> {
+    let spawned = match target {
+        Target::Spawn => Some(spawn_server(args)?),
+        Target::Addr(_) => None,
+    };
+    let addr = match (target, &spawned) {
+        (Target::Addr(a), _) => *a,
+        (Target::Spawn, Some(s)) => s.addr,
+        (Target::Spawn, None) => unreachable!("spawn target always spawns"),
+    };
+
+    eprintln!(
+        "mbb-load: storming {addr} with {} clients x {} requests (seed {:#x})",
+        cfg.clients, cfg.requests, cfg.seed
+    );
+    let report = run(addr, cfg)?;
+    let rendered = report.render().render();
+    match args.get("--json") {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n").map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("mbb-load: report written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    eprintln!(
+        "mbb-load: report ok {}/{} (p99 {:.1}ms), search shed {} degraded {}, \
+         max level {}, recovered in {}ms",
+        report.report.ok,
+        report.report.sent,
+        report.report.percentile_ms(0.99),
+        report.search.busy,
+        report.search.degraded + report.report.degraded + report.optimize.degraded,
+        report.max_level,
+        report.drain_ms
+    );
+
+    if args.has("--assert") {
+        let fails = report.check();
+        for f in &fails {
+            eprintln!("mbb-load: FAIL {f}");
+        }
+        return Ok(fails.is_empty());
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, cfg, target) = match Args::parse(&raw).and_then(|a| {
+        let (cfg, target) = plan(&a)?;
+        Ok((a, cfg, target))
+    }) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("mbb-load: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match drive(&args, &cfg, &target) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("mbb-load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,10 +9,12 @@
 //! generated program through parse/pretty, both engines, the optimizer
 //! and the balance model, shrinking failures to minimal counterexamples
 //! ([`mod@fuzz`]), corpus-scale benchmark sweeps for the nightly
-//! ([`mod@sweep`]), and autotuner sweeps pitting the `mbb-search` beam
-//! search against the fixed pipeline ([`mod@search_sweep`]).
+//! ([`mod@sweep`]), autotuner sweeps pitting the `mbb-search` beam
+//! search against the fixed pipeline ([`mod@search_sweep`]), and a
+//! capacity-storm load generator for the analysis server's overload
+//! controls ([`mod@load`]).
 //!
-//! The `gen` binary exposes all of them:
+//! The `gen` binary exposes all but the last:
 //!
 //! ```text
 //! gen one    --seed S [--template chain]     print one generated program
@@ -24,10 +26,18 @@
 //! gen replay --family F --n N --k K --detail D   re-run one exact case
 //! ```
 //!
+//! The `mbb-load` binary drives the storm lane:
+//!
+//! ```text
+//! mbb-load (--addr HOST:PORT | --spawn) [--clients N] [--deadline-ms MS]
+//!          [--json PATH] [--assert]     seeded capacity storm (mbb-load-capacity/1)
+//! ```
+//!
 //! Everything is seeded splitmix64: the same seed always reproduces the
 //! same programs, and every failure prints the exact replay command.
 
 pub mod fuzz;
+pub mod load;
 pub mod search_sweep;
 pub mod sweep;
 pub mod templates;

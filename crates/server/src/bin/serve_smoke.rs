@@ -53,6 +53,17 @@ fn drive(addr: &str) -> Result<(), String> {
     expect_ok(&resp).map_err(|e| format!("machines: {e}"))?;
     println!("serve_smoke: machines ok");
 
+    // The overload-status admin kind: a lightly-loaded server is healthy.
+    let resp =
+        c.roundtrip(&mbb_server::client::request("health", None, "")).map_err(|e| e.to_string())?;
+    expect_ok(&resp).map_err(|e| format!("health: {e}"))?;
+    let h = resp.get("result").ok_or("health: response without result")?;
+    check(h.get("status").and_then(Json::as_str) == Some("ok"), "health status is ok")?;
+    check(h.get("level") == Some(&Json::UInt(0)), "brown-out level is 0")?;
+    check(h.get("max_level") == Some(&Json::UInt(0)), "high-water level is 0 when never loaded")?;
+    check(h.get("shed_total").is_some(), "health carries shed_total")?;
+    println!("serve_smoke: health ok");
+
     // Repeat: must be a cache hit with bit-identical result payload.
     let again = c.analyze("report", PROGRAM, "origin").map_err(|e| format!("repeat: {e}"))?;
     expect_ok(&again).map_err(|e| format!("repeat: {e}"))?;
@@ -81,6 +92,9 @@ fn drive(addr: &str) -> Result<(), String> {
         "mbb_serve_errors_total{code=\"parse\"} 1",
         "mbb_serve_cache_hits_total 1",
         "mbb_serve_request_cpu_seconds_count",
+        "mbb_serve_requests_total{kind=\"health\"} 1",
+        "mbb_serve_brownout_level",
+        "mbb_serve_shed_total",
     ] {
         check(metrics.contains(needle), &format!("metrics contain `{needle}`"))
             .map_err(|e| format!("{e}\n--- scrape ---\n{metrics}"))?;

@@ -42,17 +42,21 @@ pub enum Site {
     /// Fail a client connection attempt with a transient I/O error
     /// (`client::RetryClient`).
     ClientConnect,
+    /// Stall a worker after it pops a connection but before it serves it
+    /// (`server::worker`), so queued requests age toward their deadlines.
+    WorkerStall,
 }
 
 impl Site {
     /// Every site, in counter order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 7] = [
         Site::HandlerPanic,
         Site::HandlerDelay,
         Site::CacheCompute,
         Site::ConnRead,
         Site::ConnWriteShort,
         Site::ClientConnect,
+        Site::WorkerStall,
     ];
 
     /// A stable display name for logs and replay output.
@@ -64,6 +68,7 @@ impl Site {
             Site::ConnRead => "conn-read",
             Site::ConnWriteShort => "conn-write-short",
             Site::ClientConnect => "client-connect",
+            Site::WorkerStall => "worker-stall",
         }
     }
 

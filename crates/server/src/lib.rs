@@ -34,6 +34,7 @@ pub mod client;
 pub mod error;
 pub mod faults;
 pub mod metrics;
+pub mod overload;
 pub mod protocol;
 pub mod server;
 mod sync;

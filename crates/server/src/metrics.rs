@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use crate::cache::ResultCache;
 use crate::error::ErrorKind;
+use crate::overload::{Class, DegradeAction, Reason};
 use crate::protocol::Kind;
 
 /// Histogram buckets: powers of two from 2¹⁰ ns (≈1 µs) to 2³⁴ ns
@@ -73,6 +74,24 @@ pub struct Metrics {
     /// Worker loops restarted after a connection-level panic escaped the
     /// per-request isolation.
     pub worker_respawns_total: AtomicU64,
+    /// Requests refused service, by priority class × shed reason
+    /// (`mbb_serve_shed_total{class,reason}`).  Connection-level queue-full
+    /// sheds land under the pseudo-class `unknown` — the request was never
+    /// read.
+    shed: [AtomicU64; Class::ALL.len() * Reason::ALL.len()],
+    /// Connections shed at accept because the queue was full (class
+    /// unknown at that point).
+    shed_conn: AtomicU64,
+    /// Current brown-out level (0–3), mirrored from the controller so the
+    /// request path reads a relaxed atomic instead of taking its lock.
+    pub brownout_level: AtomicU64,
+    /// High-water brown-out level since start.  Load generators poll
+    /// `health` for this after a storm: probes sent *during* the loaded
+    /// window are exactly the ones most likely to be shed, so the peak
+    /// must survive until someone can ask about it.
+    pub brownout_level_max: AtomicU64,
+    /// Requests served degraded, by brown-out action.
+    degraded: [AtomicU64; DegradeAction::ALL.len()],
     /// Per-request on-CPU time.
     pub latency: Histogram,
     /// Wall-clock per analysis phase (span name → seconds sum, count),
@@ -106,6 +125,38 @@ impl Metrics {
     /// Errors of one kind.
     pub fn errors_of(&self, kind: ErrorKind) -> u64 {
         self.errors[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts one request refused service.
+    pub fn count_shed(&self, class: Class, reason: Reason) {
+        self.shed[class.index() * Reason::ALL.len() + reason.index()]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sheds of one class × reason cell.
+    pub fn shed_of(&self, class: Class, reason: Reason) -> u64 {
+        self.shed[class.index() * Reason::ALL.len() + reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts one connection shed at accept (class unknown).
+    pub fn count_shed_conn(&self) {
+        self.shed_conn.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total sheds over all classes and reasons, connection-level included.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>()
+            + self.shed_conn.load(Ordering::Relaxed)
+    }
+
+    /// Counts one request served degraded under `action`.
+    pub fn count_degraded(&self, action: DegradeAction) {
+        self.degraded[action.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Degraded servings of one action.
+    pub fn degraded_of(&self, action: DegradeAction) -> u64 {
+        self.degraded[action.index()].load(Ordering::Relaxed)
     }
 
     /// Records the phase timings of one profiled request.  Per-nest spans
@@ -208,6 +259,61 @@ impl Metrics {
 
         let _ = writeln!(
             o,
+            "# HELP mbb_serve_shed_total Requests refused service, by class and reason."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_shed_total counter");
+        let _ = writeln!(
+            o,
+            "mbb_serve_shed_total{{class=\"unknown\",reason=\"queue-full\"}} {}",
+            self.shed_conn.load(Ordering::Relaxed)
+        );
+        for class in Class::ALL {
+            for reason in Reason::ALL {
+                if reason == Reason::QueueFull {
+                    continue; // connection-level only; class is unknown there
+                }
+                let _ = writeln!(
+                    o,
+                    "mbb_serve_shed_total{{class=\"{}\",reason=\"{}\"}} {}",
+                    class.as_str(),
+                    reason.as_str(),
+                    self.shed_of(class, reason)
+                );
+            }
+        }
+
+        let _ = writeln!(o, "# HELP mbb_serve_brownout_level Current brown-out level (0-3).");
+        let _ = writeln!(o, "# TYPE mbb_serve_brownout_level gauge");
+        let _ =
+            writeln!(o, "mbb_serve_brownout_level {}", self.brownout_level.load(Ordering::Relaxed));
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_brownout_level_max High-water brown-out level since start."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_brownout_level_max gauge");
+        let _ = writeln!(
+            o,
+            "mbb_serve_brownout_level_max {}",
+            self.brownout_level_max.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_degraded_total Requests served degraded, by brown-out action."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_degraded_total counter");
+        for action in DegradeAction::ALL {
+            let _ = writeln!(
+                o,
+                "mbb_serve_degraded_total{{action=\"{}\"}} {}",
+                action.as_str(),
+                self.degraded_of(action)
+            );
+        }
+
+        let _ = writeln!(
+            o,
             "# HELP mbb_serve_request_cpu_seconds On-CPU time per request (log-2 buckets)."
         );
         let _ = writeln!(o, "# TYPE mbb_serve_request_cpu_seconds histogram");
@@ -264,6 +370,10 @@ mod tests {
         let c = ResultCache::new(1024, 1);
         m.count_request(Kind::Report);
         m.count_error(ErrorKind::Parse);
+        m.count_shed(Class::Search, Reason::Saturation);
+        m.count_shed_conn();
+        m.count_degraded(DegradeAction::SearchClamp);
+        m.brownout_level.store(2, Ordering::Relaxed);
         m.latency.observe(Duration::from_micros(3));
         let profile = mbb_obs::Profile {
             spans: vec![
@@ -311,6 +421,12 @@ mod tests {
             "mbb_serve_worker_respawns_total 0",
             "mbb_serve_request_cpu_seconds_count 1",
             "mbb_serve_request_cpu_seconds_bucket{le=\"+Inf\"} 1",
+            "mbb_serve_shed_total{class=\"unknown\",reason=\"queue-full\"} 1",
+            "mbb_serve_shed_total{class=\"search\",reason=\"saturation\"} 1",
+            "mbb_serve_shed_total{class=\"report\",reason=\"expired\"} 0",
+            "mbb_serve_brownout_level 2",
+            "mbb_serve_degraded_total{action=\"search-clamp\"} 1",
+            "mbb_serve_degraded_total{action=\"no-profile\"} 0",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

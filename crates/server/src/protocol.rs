@@ -50,13 +50,16 @@ pub enum Kind {
     Machines,
     /// Prometheus metrics scrape.
     Metrics,
+    /// Admin: overload status — brown-out level, smoothed pressure
+    /// signals, and a status word (`ok`/`degraded`/`saturated`).
+    Health,
     /// Admin: stop accepting, drain, exit.
     Shutdown,
 }
 
 impl Kind {
     /// Every kind, in wire order.
-    pub const ALL: [Kind; 8] = [
+    pub const ALL: [Kind; 9] = [
         Kind::Report,
         Kind::Advise,
         Kind::Optimize,
@@ -64,6 +67,7 @@ impl Kind {
         Kind::TraceStats,
         Kind::Machines,
         Kind::Metrics,
+        Kind::Health,
         Kind::Shutdown,
     ];
 
@@ -77,6 +81,7 @@ impl Kind {
             Kind::TraceStats => "trace-stats",
             Kind::Machines => "machines",
             Kind::Metrics => "metrics",
+            Kind::Health => "health",
             Kind::Shutdown => "shutdown",
         }
     }
@@ -368,6 +373,19 @@ pub fn ok_response(kind: Kind, cached: bool, result: &str) -> String {
     )
 }
 
+/// Assembles a *degraded* success response line: the brown-out controller
+/// altered how the request was served (dropped profile splicing, clamped
+/// search options), so the envelope says so explicitly.  `degraded` is an
+/// already-compact JSON object (`{"level":N,"actions":[…]}`).  Degraded
+/// responses are always `cached:false` — they bypass the result cache in
+/// both directions, which keeps cached bytes identical at every level.
+pub fn degraded_response(kind: Kind, degraded: &str, result: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"ok\":true,\"kind\":\"{}\",\"cached\":false,\"degraded\":{degraded},\"result\":{result}}}",
+        kind.as_str()
+    )
+}
+
 /// Assembles an error response line (no trailing newline).
 pub fn error_response(err: &ServeError) -> String {
     Json::obj([
@@ -434,11 +452,28 @@ mod tests {
 
     #[test]
     fn kinds_without_programs_parse_bare() {
-        for kind in ["machines", "metrics", "shutdown"] {
+        for kind in ["machines", "metrics", "health", "shutdown"] {
             let r = parse_request(&req(kind, "")).unwrap();
             assert!(!r.kind.takes_program());
             assert!(r.program.is_none());
         }
+    }
+
+    #[test]
+    fn degraded_responses_carry_the_marker_and_parse_back() {
+        let line = degraded_response(
+            Kind::OptimizeSearch,
+            "{\"level\":2,\"actions\":[\"search-clamp\"]}",
+            "{\"flops\":1}",
+        );
+        assert!(!line.contains('\n'));
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(false)), "degraded is never cached");
+        let d = doc.get("degraded").expect("degraded marker");
+        assert_eq!(d.get("level"), Some(&Json::UInt(2)));
+        // The plain envelope never carries the key at all.
+        assert!(ok_response(Kind::OptimizeSearch, false, "{}").find("degraded").is_none());
     }
 
     #[test]

@@ -33,6 +33,10 @@ use crate::cache::ResultCache;
 use crate::error::{ErrorKind, ServeError};
 use crate::faults::{self, Site};
 use crate::metrics::Metrics;
+use crate::overload::{
+    self, Brownout, BrownoutConfig, Class, DegradeAction, Reason, BROWNOUT_BEAM, BROWNOUT_STEPS,
+    DEFAULT_CLASS_WEIGHTS,
+};
 use crate::protocol::{self, Kind, Line, RequestBudget};
 use crate::sync::{lock, wait_timeout};
 
@@ -63,6 +67,21 @@ pub struct Config {
     /// Wall-deadline cap per request, with the same tighten-only
     /// interaction with the envelope's `budget.deadline_ms`.
     pub request_deadline: Option<Duration>,
+    /// Cost-based admission: reject a request whose estimated cost (from
+    /// nest trip counts) cannot fit its remaining wall deadline, instead
+    /// of burning a worker to discover the same overrun.
+    pub admission: bool,
+    /// Brown-out controller: under sustained pressure, progressively drop
+    /// profile splicing, clamp search width/depth, and shed the lowest
+    /// class (see `overload::Brownout`).
+    pub brownout: bool,
+    /// Per-[`Class`] queue-fullness thresholds, percent of `queue_depth`:
+    /// a class is shed once the queue is more than this full.  Highest
+    /// priority first; `[100, …]` keeps admin traffic unsheddable.
+    pub class_weights: [u8; Class::ALL.len()],
+    /// Per-request busy time treated as "at target" (pressure 1.0) by the
+    /// brown-out controller's busy-time EWMA.
+    pub brownout_target: Duration,
 }
 
 impl Default for Config {
@@ -79,6 +98,10 @@ impl Default for Config {
             // but a guaranteed stop for an effectively unbounded nest.
             request_max_steps: Some(1 << 32),
             request_deadline: None,
+            admission: true,
+            brownout: true,
+            class_weights: DEFAULT_CLASS_WEIGHTS,
+            brownout_target: Duration::from_millis(250),
         }
     }
 }
@@ -100,11 +123,33 @@ fn effective_budget(cfg: &Config, req: RequestBudget) -> Budget {
 
 struct Shared {
     cfg: Config,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections with their accept instant: a queue entry
+    /// carries its deadline clock from accept time, so time spent waiting
+    /// for a worker is charged against the request's wall budget.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     cv: Condvar,
     shutdown: AtomicBool,
     metrics: Metrics,
     cache: ResultCache,
+    overload: Mutex<Brownout>,
+}
+
+impl Shared {
+    fn new(cfg: Config) -> Shared {
+        let workers = cfg.workers.max(1);
+        // One shard per worker (rounded up to a power of two) keeps lock
+        // contention off the fast path without over-allocating.
+        let shards = workers.next_power_of_two().min(64);
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            cache: ResultCache::new(cfg.cache_bytes, shards),
+            overload: Mutex::new(Brownout::new(BrownoutConfig::default())),
+            cfg,
+        }
+    }
 }
 
 /// A handle to a running server: metrics access and remote shutdown.
@@ -141,17 +186,7 @@ pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io:
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
-    // One shard per worker (rounded up to a power of two) keeps lock
-    // contention off the fast path without over-allocating.
-    let shards = workers.next_power_of_two().min(64);
-    let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
-        cv: Condvar::new(),
-        shutdown: AtomicBool::new(false),
-        metrics: Metrics::default(),
-        cache: ResultCache::new(cfg.cache_bytes, shards),
-        cfg,
-    });
+    let shared = Arc::new(Shared::new(cfg));
     on_ready(addr, Handle { shared: Arc::clone(&shared) });
 
     std::thread::scope(|scope| {
@@ -160,6 +195,7 @@ pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io:
             scope.spawn(move || worker(&shared));
         }
         let mut last_activity = Instant::now();
+        let mut last_tick = Instant::now();
         loop {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -171,15 +207,23 @@ pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io:
                     let mut q = lock(&shared.queue);
                     if q.len() >= shared.cfg.queue_depth {
                         drop(q);
+                        shared.metrics.count_shed_conn();
                         shed(stream, &shared);
                     } else {
-                        q.push_back(stream);
+                        q.push_back((stream, Instant::now()));
                         shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
                         drop(q);
                         shared.cv.notify_one();
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Idle tick: decay the brown-out EWMAs while no
+                    // requests complete, so a drained server walks back to
+                    // level 0 instead of freezing at its storm level.
+                    if shared.cfg.brownout && last_tick.elapsed() >= Duration::from_millis(50) {
+                        last_tick = Instant::now();
+                        observe_pressure(&shared, Duration::ZERO);
+                    }
                     if let Some(idle) = shared.cfg.idle_timeout {
                         let quiet = shared.metrics.workers_busy.load(Ordering::Relaxed) == 0
                             && lock(&shared.queue).is_empty();
@@ -219,12 +263,12 @@ fn shed(mut stream: TcpStream, shared: &Shared) {
 /// than unwinding out of the pool — the loop *is* the respawned worker.
 fn worker(shared: &Shared) {
     loop {
-        let stream = {
+        let entry = {
             let mut q = lock(&shared.queue);
             loop {
-                if let Some(s) = q.pop_front() {
+                if let Some(e) = q.pop_front() {
                     shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
-                    break Some(s);
+                    break Some(e);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -232,10 +276,18 @@ fn worker(shared: &Shared) {
                 q = wait_timeout(&shared.cv, q, Duration::from_millis(100));
             }
         };
-        let Some(stream) = stream else { return };
+        let Some((stream, accepted_at)) = entry else { return };
+        if faults::fire(Site::WorkerStall) {
+            // Injected fault: the worker stalls with the connection
+            // already popped, so queued requests age toward expiry.
+            if let Some(d) = faults::handler_delay() {
+                std::thread::sleep(d);
+            }
+        }
         shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_conn(stream, shared)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_conn(stream, accepted_at, shared)
+        }));
         shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
         if outcome.is_err() {
             shared.metrics.worker_respawns_total.fetch_add(1, Ordering::Relaxed);
@@ -245,13 +297,17 @@ fn worker(shared: &Shared) {
 
 /// Serves one connection: request lines in, response lines out, until
 /// EOF, an unrecoverable framing error, a timeout, or shutdown.
-fn handle_conn(stream: TcpStream, shared: &Shared) {
+fn handle_conn(stream: TcpStream, accepted_at: Instant, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
     let Ok(clone) = stream.try_clone() else { return };
     let mut reader = BufReader::new(clone);
     let mut writer = stream;
+    // Only the connection's *first* request waited in the accept queue;
+    // later requests on a kept-alive connection have a dedicated worker,
+    // so their queue age is zero.
+    let mut queued_since = Some(accepted_at);
     loop {
         if faults::fire(Site::ConnRead) {
             return; // injected fault: connection dropped mid-stream
@@ -273,7 +329,8 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
                 if line.is_empty() {
                     continue; // tolerate keep-alive blank lines
                 }
-                let (mut resp, drain) = process_line(&line, shared);
+                let queue_age = queued_since.take().map(|t| t.elapsed()).unwrap_or_default();
+                let (mut resp, drain) = process_line(&line, shared, queue_age);
                 resp.push('\n');
                 if faults::fire(Site::ConnWriteShort) {
                     // Injected fault: half a response, then a dropped
@@ -304,10 +361,13 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
 /// handling — a transform bug, a poisoned invariant, an injected fault —
 /// is caught here and answered with a structured `internal` error, so the
 /// connection and worker keep serving.
-fn process_line(line: &[u8], shared: &Shared) -> (String, bool) {
+fn process_line(line: &[u8], shared: &Shared, queue_age: Duration) -> (String, bool) {
     let meter = mbb_bench::runner::Meter::start();
-    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(line, shared)));
-    shared.metrics.latency.observe(meter.finish().busy());
+    let out =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(line, shared, queue_age)));
+    let busy = meter.finish().busy();
+    shared.metrics.latency.observe(busy);
+    observe_pressure(shared, busy);
     match out {
         Ok(Ok((resp, drain))) => (resp, drain),
         Ok(Err(e)) => {
@@ -324,7 +384,28 @@ fn process_line(line: &[u8], shared: &Shared) -> (String, bool) {
     }
 }
 
-fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
+/// Feeds the brown-out controller one observation — queue fullness and a
+/// busy-time reading (both normalised per-1024) — and publishes the
+/// possibly-updated level for the lock-free request path.
+fn observe_pressure(shared: &Shared, busy: Duration) {
+    if !shared.cfg.brownout {
+        return;
+    }
+    let cap = shared.cfg.queue_depth.max(1) as u64;
+    let queue_frac = shared.metrics.queue_depth.load(Ordering::Relaxed).saturating_mul(1024) / cap;
+    let target = shared.cfg.brownout_target.as_nanos().max(1) as u64;
+    let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
+    let busy_frac = busy_ns.saturating_mul(1024) / target;
+    let level = lock(&shared.overload).observe(queue_frac, busy_frac);
+    shared.metrics.brownout_level.store(level as u64, Ordering::Relaxed);
+    shared.metrics.brownout_level_max.fetch_max(level as u64, Ordering::Relaxed);
+}
+
+fn respond(
+    line: &[u8],
+    shared: &Shared,
+    queue_age: Duration,
+) -> Result<(String, bool), ServeError> {
     if faults::fire(Site::HandlerDelay) {
         if let Some(d) = faults::handler_delay() {
             std::thread::sleep(d);
@@ -337,6 +418,12 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
         .map_err(|_| ServeError::new(ErrorKind::BadRequest, "request is not UTF-8"))?;
     let req = protocol::parse_request(text)?;
     shared.metrics.count_request(req.kind);
+    let class = Class::of(req.kind);
+    // The published brown-out level.  Only the controller stores to this
+    // gauge (and only when `cfg.brownout` is on), so it stays 0 when the
+    // controller is disabled — but reading it unconditionally lets tests
+    // pin a level without racing the controller.
+    let level = shared.metrics.brownout_level.load(Ordering::Relaxed);
     match req.kind {
         Kind::Metrics => {
             let result = Json::obj([("text", Json::str(shared.metrics.render(&shared.cache)))])
@@ -353,17 +440,92 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
                 Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact();
             Ok((protocol::ok_response(Kind::Machines, false, &result), false))
         }
+        Kind::Health => {
+            let ctl = lock(&shared.overload);
+            let result = Json::obj([
+                ("status", Json::str(ctl.status())),
+                ("level", Json::UInt(ctl.level() as u64)),
+                (
+                    "max_level",
+                    Json::UInt(shared.metrics.brownout_level_max.load(Ordering::Relaxed)),
+                ),
+                ("queue_pressure", Json::UInt(ctl.queue_ewma())),
+                ("busy_pressure", Json::UInt(ctl.busy_ewma())),
+                ("shed_total", Json::UInt(shared.metrics.shed_total())),
+                ("brownout_enabled", Json::Bool(shared.cfg.brownout)),
+            ])
+            .render_compact();
+            Ok((protocol::ok_response(Kind::Health, false, &result), false))
+        }
         kind => {
+            // Priority shedding: as the accept queue fills past a class's
+            // threshold, that class is refused with a structured busy —
+            // low classes give way first, admin traffic never does.
+            let depth = shared.metrics.queue_depth.load(Ordering::Relaxed);
+            let weight = u64::from(shared.cfg.class_weights[class.index()]);
+            if depth * 100 > (shared.cfg.queue_depth as u64) * weight {
+                shared.metrics.count_shed(class, Reason::Saturation);
+                return Err(ServeError::new(
+                    ErrorKind::Busy,
+                    format!(
+                        "shedding {} traffic: accept queue {depth}/{} is past the class threshold ({weight}%)",
+                        class.as_str(),
+                        shared.cfg.queue_depth
+                    ),
+                ));
+            }
+            // Brown-out level 3: the lowest class is shed outright.
+            if level >= 3 && class == Class::Search {
+                shared.metrics.count_shed(class, Reason::Brownout);
+                return Err(ServeError::new(
+                    ErrorKind::Busy,
+                    "brown-out level 3: optimize-search is shed until pressure drops",
+                ));
+            }
             let src = req.program.as_deref().expect("enforced by parse_request");
             let mut opts = req.flags.to_options(&req.machine)?;
             opts.budget = effective_budget(&shared.cfg, req.budget);
+            // The wall deadline has been running since accept: charge the
+            // time this request spent queued, and answer expiry without
+            // ever touching the analysis layer.
+            if let Some(wall) = opts.budget.wall {
+                if queue_age >= wall {
+                    shared.metrics.count_shed(class, Reason::Expired);
+                    return Err(ServeError::new(
+                        ErrorKind::DeadlineExceeded,
+                        format!(
+                            "deadline of {}ms expired after {}ms in the accept queue",
+                            wall.as_millis(),
+                            queue_age.as_millis()
+                        ),
+                    ));
+                }
+                opts.budget.wall = Some(wall - queue_age);
+            }
             opts.profile = req.profile;
             opts.engine = req.engine;
             let prog = analysis::load(src)?;
+            // Cost-based admission: a request that cannot possibly finish
+            // inside its remaining deadline is rejected up front.
+            if shared.cfg.admission {
+                if let Some(remaining) = opts.budget.wall {
+                    let est = overload::estimate_cost_ms(&prog, kind);
+                    if Duration::from_millis(est) > remaining {
+                        shared.metrics.count_shed(class, Reason::Admission);
+                        return Err(ServeError::new(
+                            ErrorKind::DeadlineExceeded,
+                            format!(
+                                "admission: estimated cost ~{est}ms cannot fit the remaining {}ms deadline",
+                                remaining.as_millis()
+                            ),
+                        ));
+                    }
+                }
+            }
             // Search width/depth come from the flags (and are part of the
             // cache key via `Flags::key`); the seed stays at the crate
             // default so responses are a pure function of the request.
-            let sp = analysis::SearchParams {
+            let mut sp = analysis::SearchParams {
                 beam: req
                     .flags
                     .beam
@@ -374,6 +536,24 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
                     .map_or_else(|| analysis::SearchParams::default().steps, |s| s as usize),
                 ..analysis::SearchParams::default()
             };
+            // Brown-out degradation: level 1 drops profile splicing,
+            // level 2 also clamps search width/depth.  Either action makes
+            // the response *degraded*: it carries an explicit marker and
+            // bypasses the result cache in both directions (the profile
+            // rule), so cached bytes stay identical at every level.
+            let mut actions: Vec<DegradeAction> = Vec::new();
+            if level >= 1 && opts.profile {
+                opts.profile = false;
+                actions.push(DegradeAction::NoProfile);
+            }
+            if level >= 2
+                && kind == Kind::OptimizeSearch
+                && (sp.beam > BROWNOUT_BEAM || sp.steps > BROWNOUT_STEPS)
+            {
+                sp.beam = sp.beam.min(BROWNOUT_BEAM);
+                sp.steps = sp.steps.min(BROWNOUT_STEPS);
+                actions.push(DegradeAction::SearchClamp);
+            }
             let compute = || -> Result<analysis::Analysis, ServeError> {
                 let a = match kind {
                     Kind::Report => analysis::report(&prog, &opts)?,
@@ -385,6 +565,20 @@ fn respond(line: &[u8], shared: &Shared) -> Result<(String, bool), ServeError> {
                 };
                 Ok(a)
             };
+            if !actions.is_empty() {
+                for &a in &actions {
+                    shared.metrics.count_degraded(a);
+                }
+                let a = compute()?;
+                let val =
+                    Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact();
+                let degraded = Json::obj([
+                    ("level", Json::UInt(level)),
+                    ("actions", Json::Arr(actions.iter().map(|a| Json::str(a.as_str())).collect())),
+                ])
+                .render_compact();
+                return Ok((protocol::degraded_response(kind, &degraded, &val), false));
+            }
             if req.profile {
                 // Profiles describe *this* execution (wall/CPU time), so a
                 // profiled request bypasses the cache in both directions:
@@ -422,19 +616,12 @@ mod tests {
     use super::*;
 
     fn process(shared: &Shared, line: &str) -> Json {
-        let (resp, _) = process_line(line.as_bytes(), shared);
+        let (resp, _) = process_line(line.as_bytes(), shared, Duration::ZERO);
         Json::parse(&resp).expect("response is valid JSON")
     }
 
     fn test_shared() -> Arc<Shared> {
-        Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            metrics: Metrics::default(),
-            cache: ResultCache::new(1 << 20, 2),
-            cfg: Config::default(),
-        })
+        Arc::new(Shared::new(Config::default()))
     }
 
     const REQ: &str = "{\"schema\":\"mbb-serve/1\",\"kind\":\"report\",\"program\":\"array a[64]\\nscalar s = 0  // printed\\nfor i = 0, 63\\n  s = (s + a[i])\\nend for\\n\"}";
@@ -501,8 +688,11 @@ mod tests {
     #[test]
     fn shutdown_request_flags_a_drain() {
         let shared = test_shared();
-        let (resp, drain) =
-            process_line(b"{\"schema\":\"mbb-serve/1\",\"kind\":\"shutdown\"}", &shared);
+        let (resp, drain) = process_line(
+            b"{\"schema\":\"mbb-serve/1\",\"kind\":\"shutdown\"}",
+            &shared,
+            Duration::ZERO,
+        );
         assert!(drain);
         let doc = Json::parse(&resp).unwrap();
         assert_eq!(doc.get("result").and_then(|r| r.get("draining")), Some(&Json::Bool(true)));
@@ -518,14 +708,8 @@ mod tests {
 
     #[test]
     fn config_step_cap_turns_unbounded_optimize_into_deadline_exceeded() {
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            metrics: Metrics::default(),
-            cache: ResultCache::new(1 << 20, 2),
-            cfg: Config { request_max_steps: Some(4096), ..Config::default() },
-        });
+        let shared =
+            Arc::new(Shared::new(Config { request_max_steps: Some(4096), ..Config::default() }));
         let resp = process(&shared, BIG_REQ);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
         assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"), "{resp:?}");
@@ -547,14 +731,8 @@ mod tests {
         let resp = process(&shared, &tight);
         assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"), "{resp:?}");
 
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            metrics: Metrics::default(),
-            cache: ResultCache::new(1 << 20, 2),
-            cfg: Config { request_max_steps: Some(4096), ..Config::default() },
-        });
+        let shared =
+            Arc::new(Shared::new(Config { request_max_steps: Some(4096), ..Config::default() }));
         let loose = BIG_REQ.replace(
             "\"kind\":\"optimize\"",
             "\"kind\":\"optimize\",\"budget\":{\"max_steps\":99999999999}",
@@ -677,7 +855,7 @@ mod tests {
     #[test]
     fn optimize_search_round_trips_and_repeats_byte_identically_from_cache() {
         let shared = test_shared();
-        let (first_raw, _) = process_line(SEARCH_REQ.as_bytes(), &shared);
+        let (first_raw, _) = process_line(SEARCH_REQ.as_bytes(), &shared, Duration::ZERO);
         let first = Json::parse(&first_raw).expect("valid JSON");
         assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first:?}");
         assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
@@ -691,7 +869,7 @@ mod tests {
 
         // A second identical request is a cache hit, and the response
         // bytes differ from the miss only in the `cached` flag.
-        let (second_raw, _) = process_line(SEARCH_REQ.as_bytes(), &shared);
+        let (second_raw, _) = process_line(SEARCH_REQ.as_bytes(), &shared, Duration::ZERO);
         let second = Json::parse(&second_raw).expect("valid JSON");
         assert_eq!(second.get("cached"), Some(&Json::Bool(true)), "{second:?}");
         assert_eq!(
@@ -701,6 +879,193 @@ mod tests {
         );
         assert_eq!(shared.cache.stats().hits, 1);
         assert_eq!(shared.metrics.requests_of(Kind::OptimizeSearch), 2);
+    }
+
+    #[test]
+    fn queue_expiry_answers_deadline_exceeded_without_consulting_analysis() {
+        let shared = Arc::new(Shared::new(Config {
+            request_deadline: Some(Duration::from_millis(50)),
+            ..Config::default()
+        }));
+        // A program that *fails validation* (duplicate loop variable): if
+        // the expired request ever reached `analysis::load`, the answer
+        // would be a `validate` error, not `deadline_exceeded`.
+        let invalid = "{\"schema\":\"mbb-serve/1\",\"kind\":\"report\",\"program\":\"array a[16]\\nfor i = 0, 3\\n  for i = 0, 3\\n    a[i] = 1\\n  end for\\nend for\\n\"}";
+        let (resp, _) = process_line(invalid.as_bytes(), &shared, Duration::from_millis(200));
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(error_code(&doc).as_deref(), Some("deadline_exceeded"), "{doc:?}");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("exit_code")),
+            Some(&Json::UInt(6)),
+            "{doc:?}"
+        );
+        assert_eq!(shared.metrics.shed_of(Class::Report, Reason::Expired), 1);
+        assert_eq!(shared.metrics.errors_of(ErrorKind::Validate), 0, "analysis was consulted");
+        assert_eq!(shared.cache.stats().entries, 0);
+        // The same line un-aged is a plain validate error: the expiry
+        // branch, not the program, produced the deadline answer.
+        let fresh = process(&shared, invalid);
+        assert_eq!(error_code(&fresh).as_deref(), Some("validate"), "{fresh:?}");
+    }
+
+    #[test]
+    fn queue_age_tightens_the_remaining_wall_deadline() {
+        // 50ms deadline minus 40ms queueing leaves ~10ms: far too little
+        // for the ~2.6M-iteration program, so admission rejects it.
+        let shared = Arc::new(Shared::new(Config {
+            request_deadline: Some(Duration::from_millis(50)),
+            ..Config::default()
+        }));
+        let (resp, _) = process_line(BIG_REQ.as_bytes(), &shared, Duration::from_millis(40));
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(error_code(&doc).as_deref(), Some("deadline_exceeded"), "{doc:?}");
+        assert_eq!(shared.metrics.shed_of(Class::Optimize, Reason::Admission), 1);
+    }
+
+    #[test]
+    fn admission_rejects_oversized_programs_and_can_be_disabled() {
+        let cfg = Config { request_deadline: Some(Duration::from_millis(1)), ..Config::default() };
+        let shared = Arc::new(Shared::new(cfg.clone()));
+        let resp = process(&shared, BIG_REQ);
+        assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"), "{resp:?}");
+        assert_eq!(shared.metrics.shed_of(Class::Optimize, Reason::Admission), 1);
+        let msg = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(|m| m.as_str())
+            .unwrap_or_default()
+            .to_string();
+        assert!(msg.starts_with("admission:"), "{msg}");
+
+        // With admission off the request runs and overruns the wall
+        // deadline the hard way instead.
+        let shared = Arc::new(Shared::new(Config { admission: false, ..cfg }));
+        let resp = process(&shared, BIG_REQ);
+        assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"), "{resp:?}");
+        assert_eq!(shared.metrics.shed_of(Class::Optimize, Reason::Admission), 0);
+    }
+
+    #[test]
+    fn class_thresholds_shed_low_priority_traffic_first() {
+        let shared = Arc::new(Shared::new(Config { queue_depth: 10, ..Config::default() }));
+        // Pretend the accept queue sits at 7/10: past search (30%) and
+        // optimize (60%), under report (90%) and admin (100%).
+        shared.metrics.queue_depth.store(7, Ordering::Relaxed);
+        let search = process(&shared, SEARCH_REQ);
+        assert_eq!(error_code(&search).as_deref(), Some("busy"), "{search:?}");
+        let opt = process(&shared, &REQ.replace("\"kind\":\"report\"", "\"kind\":\"optimize\""));
+        assert_eq!(error_code(&opt).as_deref(), Some("busy"), "{opt:?}");
+        let report = process(&shared, REQ);
+        assert_eq!(report.get("ok"), Some(&Json::Bool(true)), "{report:?}");
+        let health = process(&shared, "{\"schema\":\"mbb-serve/1\",\"kind\":\"health\"}");
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)), "{health:?}");
+        assert_eq!(shared.metrics.shed_of(Class::Search, Reason::Saturation), 1);
+        assert_eq!(shared.metrics.shed_of(Class::Optimize, Reason::Saturation), 1);
+        assert_eq!(shared.metrics.shed_of(Class::Report, Reason::Saturation), 0);
+    }
+
+    #[test]
+    fn health_reports_status_level_and_shed_totals() {
+        let shared = test_shared();
+        let resp = process(&shared, "{\"schema\":\"mbb-serve/1\",\"kind\":\"health\"}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let r = resp.get("result").expect("result");
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(r.get("level"), Some(&Json::UInt(0)));
+        assert_eq!(r.get("max_level"), Some(&Json::UInt(0)));
+        assert_eq!(r.get("shed_total"), Some(&Json::UInt(0)));
+        assert!(r.get("queue_pressure").is_some() && r.get("busy_pressure").is_some(), "{r:?}");
+
+        // The high-water mark survives after the live level drops back.
+        shared.metrics.brownout_level.store(2, Ordering::Relaxed);
+        shared.metrics.brownout_level_max.fetch_max(2, Ordering::Relaxed);
+        shared.metrics.brownout_level.store(0, Ordering::Relaxed);
+        let resp = process(&shared, "{\"schema\":\"mbb-serve/1\",\"kind\":\"health\"}");
+        let r = resp.get("result").expect("result");
+        assert_eq!(r.get("level"), Some(&Json::UInt(0)));
+        assert_eq!(r.get("max_level"), Some(&Json::UInt(2)));
+    }
+
+    #[test]
+    fn brownout_level_one_drops_profile_and_marks_the_response_degraded() {
+        let shared = test_shared();
+        shared.metrics.brownout_level.store(1, Ordering::Relaxed);
+        let profiled = REQ.replace("\"kind\":\"report\"", "\"kind\":\"report\",\"profile\":true");
+        let resp = process(&shared, &profiled);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)));
+        let degraded = resp.get("degraded").expect("degraded marker");
+        assert_eq!(degraded.get("level"), Some(&Json::UInt(1)), "{degraded:?}");
+        assert_eq!(
+            degraded.get("actions"),
+            Some(&Json::Arr(vec![Json::str("no-profile")])),
+            "{degraded:?}"
+        );
+        // Profile splicing was skipped: no profile object in the result.
+        assert!(resp.get("result").and_then(|r| r.get("profile")).is_none(), "{resp:?}");
+        // Degraded responses bypass the cache entirely.
+        assert_eq!(shared.cache.stats().entries, 0);
+        assert_eq!(shared.metrics.degraded_of(DegradeAction::NoProfile), 1);
+        // An unprofiled request at level 1 is untouched: cached, no marker.
+        // (The controller re-publishes the live level after every request,
+        // so pin it again for each request under test.)
+        shared.metrics.brownout_level.store(1, Ordering::Relaxed);
+        let plain = process(&shared, REQ);
+        assert!(plain.get("degraded").is_none(), "{plain:?}");
+        assert_eq!(plain.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(shared.cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn brownout_level_two_clamps_search_and_level_three_sheds_it() {
+        let shared = test_shared();
+        // Warm the cache at level 0 with a wide search.
+        let wide = SEARCH_REQ.replace(
+            "\"options\":{\"beam\":2,\"search_steps\":2}",
+            "\"options\":{\"beam\":4,\"search_steps\":5}",
+        );
+        let (baseline_raw, _) = process_line(wide.as_bytes(), &shared, Duration::ZERO);
+        let baseline = Json::parse(&baseline_raw).unwrap();
+        assert_eq!(baseline.get("ok"), Some(&Json::Bool(true)), "{baseline:?}");
+
+        shared.metrics.brownout_level.store(2, Ordering::Relaxed);
+        let resp = process(&shared, &wide);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let degraded = resp.get("degraded").expect("degraded marker at level 2");
+        assert_eq!(
+            degraded.get("actions"),
+            Some(&Json::Arr(vec![Json::str("search-clamp")])),
+            "{degraded:?}"
+        );
+        // Clamped runs never read or write the cache, even with a warm
+        // entry for the same request line.
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)), "{resp:?}");
+        assert_eq!(shared.cache.stats().hits, 0);
+        assert_eq!(shared.metrics.degraded_of(DegradeAction::SearchClamp), 1);
+        // A request already within the clamp is served normally.  (Pin the
+        // level again: the controller re-publishes it after each request.)
+        shared.metrics.brownout_level.store(2, Ordering::Relaxed);
+        let narrow = process(&shared, SEARCH_REQ);
+        assert!(narrow.get("degraded").is_none(), "{narrow:?}");
+
+        shared.metrics.brownout_level.store(3, Ordering::Relaxed);
+        let shed = process(&shared, SEARCH_REQ);
+        assert_eq!(error_code(&shed).as_deref(), Some("busy"), "{shed:?}");
+        assert_eq!(shared.metrics.shed_of(Class::Search, Reason::Brownout), 1);
+        // Higher classes still flow at level 3 (with the profile action
+        // available but unused here).
+        shared.metrics.brownout_level.store(3, Ordering::Relaxed);
+        let report = process(&shared, REQ);
+        assert_eq!(report.get("ok"), Some(&Json::Bool(true)), "{report:?}");
+
+        // Back at level 0 the warm entry replays byte-identically.
+        shared.metrics.brownout_level.store(0, Ordering::Relaxed);
+        let (hit_raw, _) = process_line(wide.as_bytes(), &shared, Duration::ZERO);
+        assert_eq!(
+            baseline_raw.replace("\"cached\":false", "\"cached\":true"),
+            hit_raw,
+            "cache bytes must be untouched by intervening brown-out traffic"
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests for the brown-out state machine in isolation.
+//!
+//! [`Brownout`] is deliberately a pure integer function of its observation
+//! sequence — no floats, no clock — so its safety properties can be
+//! checked exhaustively-ish here: the ladder moves one rung at a time,
+//! escalation is monotone while pressure rises, the hysteresis band
+//! prevents flapping between adjacent levels, and sustained idle always
+//! brings the controller back to level 0.
+
+use mbb_server::overload::{Brownout, BrownoutConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Raw observation values: the controller caps inputs at 4096 internally,
+/// so feed past the cap on purpose.
+fn arb_input() -> impl Strategy<Value = u64> {
+    0u64..=8192
+}
+
+fn cfg(alpha_1024: u64, hold: u32) -> BrownoutConfig {
+    BrownoutConfig { alpha_1024, hold, ..BrownoutConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any observation sequence and any sane tuning: the level
+    /// stays in 0..=3, moves at most one rung per observation, and the
+    /// smoothed pressures respect the input cap.
+    #[test]
+    fn level_is_bounded_and_moves_one_rung_at_a_time(
+        queue in vec(arb_input(), 0..200),
+        busy in vec(arb_input(), 0..200),
+        alpha in 1u64..=1024,
+        hold in 1u32..=4,
+    ) {
+        let mut b = Brownout::new(cfg(alpha, hold));
+        let mut prev = b.level();
+        for i in 0..queue.len().min(busy.len()) {
+            let l = b.observe(queue[i], busy[i]);
+            prop_assert!(l <= 3, "level out of range: {l}");
+            prop_assert!((i64::from(l) - i64::from(prev)).abs() <= 1,
+                "jumped {prev} -> {l} in one observation");
+            prop_assert!(b.pressure() <= 4096, "pressure over the input cap");
+            prev = l;
+        }
+    }
+
+    /// With raw pressure nondecreasing from a fresh controller, the EWMA
+    /// chases it from below, so the level never de-escalates: escalation
+    /// is monotone while the overload builds.
+    #[test]
+    fn escalation_is_monotone_under_nondecreasing_pressure(
+        inputs in vec(0u64..=4096, 1..200),
+        alpha in 1u64..=1024,
+        hold in 1u32..=4,
+    ) {
+        let mut inputs = inputs;
+        inputs.sort_unstable();
+        let mut b = Brownout::new(cfg(alpha, hold));
+        let mut prev = 0u8;
+        for x in inputs {
+            let l = b.observe(x, x);
+            prop_assert!(l >= prev, "de-escalated {prev} -> {l} while pressure rose");
+            prev = l;
+        }
+    }
+
+    /// Pressure that stays strictly inside the hysteresis band around an
+    /// occupied level never moves the ladder: no flapping between
+    /// adjacent levels on in-band noise.
+    #[test]
+    fn hysteresis_band_prevents_flapping(
+        k in 1u8..=3,
+        raws in vec(0u64..=1024, 1..300),
+        seed_raw in 0u64..=1024,
+        alpha in 1u64..=1024,
+        hold in 1u32..=4,
+    ) {
+        let c = cfg(alpha, hold);
+        // The open band for level k: above the de-escalation threshold,
+        // below the escalation one (level 3 has no up-threshold; its
+        // band is bounded the same way for uniformity).
+        let lo = c.down[k as usize - 1] + 1;
+        let hi = c.up[(k as usize).min(2)] - 1;
+        prop_assert!(lo <= hi, "default thresholds must leave a band");
+        let squeeze = |raw: u64| lo + raw % (hi - lo + 1);
+        let mut b = Brownout::with_state(c, k, squeeze(seed_raw));
+        for raw in raws {
+            let l = b.observe(squeeze(raw), squeeze(raw));
+            prop_assert_eq!(l, k, "flapped off level {} inside the band", k);
+        }
+    }
+
+    /// From any state — any level, any pressure, any tuning — sustained
+    /// idle input always decays the controller back to level 0 and zero
+    /// pressure.
+    #[test]
+    fn sustained_idle_always_returns_to_level_zero(
+        level in 0u8..=3,
+        pressure in 0u64..=4096,
+        alpha in 1u64..=1024,
+        hold in 1u32..=4,
+    ) {
+        let mut b = Brownout::with_state(cfg(alpha, hold), level, pressure);
+        // The EWMA strictly decreases on zero input while positive, so
+        // 4096 observations zero the pressure; a few more cover the
+        // hold-debounced walk down the rungs.
+        let mut l = b.level();
+        for _ in 0..(4096 + 16 * hold as usize) {
+            l = b.observe(0, 0);
+        }
+        prop_assert_eq!(l, 0, "stuck at level {} with pressure {}", b.level(), b.pressure());
+        prop_assert_eq!(b.pressure(), 0);
+    }
+}

@@ -204,6 +204,7 @@ fn run_seed(seed: u64) {
         .rate(Site::ConnRead, 40)
         .rate(Site::ConnWriteShort, 40)
         .rate(Site::ClientConnect, 40)
+        .rate(Site::WorkerStall, 60)
         .delay(Duration::from_millis(3));
     let guard = faults::install(plan);
 
@@ -227,9 +228,10 @@ fn run_seed(seed: u64) {
         }
     }
 
-    // Read the injected-panic count while the plan is still armed, then
+    // Read the injected-fault counts while the plan is still armed, then
     // disarm before the verification traffic below.
     let injected_panics = faults::fired(Site::HandlerPanic);
+    let worker_stalls = faults::fired(Site::WorkerStall);
     drop(guard);
 
     let total = (THREADS * REQUESTS_PER_THREAD) as u64;
@@ -241,6 +243,14 @@ fn run_seed(seed: u64) {
          both engines (runs: {}, scalar: {})",
         deadline_exceeded[0],
         deadline_exceeded[1],
+    );
+    // Workers stalled mid-pop dozens of times (4 threads × 60 requests at
+    // 60/1024 draws a stall with overwhelming probability) and the storm
+    // still finished with a success majority: queued requests age but the
+    // pool never wedges.
+    assert!(
+        worker_stalls > 0,
+        "seed {seed:#x}: the worker-stall site never fired — the plan is not exercising it"
     );
     assert!(
         started.elapsed() < SEED_DEADLINE,
