@@ -10,6 +10,8 @@
 //!                    [--request-budget STEPS] [--deadline-ms MS]
 //!                    [--admission on|off] [--brownout on|off]
 //!                    [--class-weights A,R,O,S]
+//!                    [--peers A,B,C] [--advertise HOST:PORT]
+//!                    [--pipeline-depth D]
 //! ```
 //!
 //! `FILE` is a loop program in the paper's pseudo-code (grammar:
@@ -61,7 +63,13 @@ fn usage() -> &'static str {
        --admission on|off       cost-based admission control (default on)\n\
        --brownout on|off        brown-out degradation controller (default on)\n\
        --class-weights A,R,O,S  per-class queue thresholds, percent (default\n\
-     \x20                        100,90,60,30: admin,report,optimize,search)\n"
+     \x20                        100,90,60,30: admin,report,optimize,search)\n\
+       --peers A,B,C      comma-separated tier members (host:port each); the\n\
+     \x20                  nodes consistent-hash the cache key space among\n\
+     \x20                  themselves and forward requests to the owner\n\
+       --advertise H:P    this node's name in --peers (default: the bind\n\
+     \x20                  address; must be a member of --peers)\n\
+       --pipeline-depth D max in-flight requests per connection (default 32)\n"
 }
 
 fn read_source(path: &str) -> Result<String, ServeError> {
@@ -143,6 +151,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "--admission" => onoff(flag, value).map(|b| cfg.admission = b),
             "--brownout" => onoff(flag, value).map(|b| cfg.brownout = b),
             "--class-weights" => class_weights(value).map(|w| cfg.class_weights = w),
+            "--peers" => {
+                cfg.peers = value.split(',').map(|p| p.trim().to_string()).collect();
+                Ok(())
+            }
+            "--advertise" => {
+                cfg.advertise = value.clone();
+                Ok(())
+            }
+            "--pipeline-depth" => positive().map(|n| cfg.pipeline_depth = n as usize),
             other => {
                 eprintln!("mbbc: unknown serve option `{other}`\n{}", usage());
                 return ExitCode::from(2);

@@ -138,6 +138,59 @@ fn serve_overload_flags_reject_garbage() {
 }
 
 #[test]
+fn serve_tier_flags_reject_garbage() {
+    for (flag, value) in [("--pipeline-depth", "0"), ("--pipeline-depth", "deep")] {
+        let out = mbbc().args(["serve", flag, value]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} {value} should be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{flag} {value}: {stderr}");
+    }
+    // A non-member advertise is a config error caught at bind time,
+    // before the listener ever comes up.
+    let out = mbbc()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--peers",
+            "10.0.0.1:1,10.0.0.2:1",
+            "--advertise",
+            "10.9.9.9:9",
+        ])
+        .output()
+        .unwrap();
+    assert_ne!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--advertise"), "{stderr}");
+}
+
+#[test]
+fn serve_accepts_tier_flags_and_drains_on_idle() {
+    // The advertised name is a member of the peers list, so the tier view
+    // builds; the peers never exist, but with no traffic nothing forwards
+    // and the idle clock drains the server cleanly.
+    let out = mbbc()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--idle-timeout",
+            "1",
+            "--pipeline-depth",
+            "8",
+            "--peers",
+            "me:1,other:2",
+            "--advertise",
+            "me:1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("listening on"), "{stdout}");
+}
+
+#[test]
 fn serve_accepts_overload_flags_and_drains_on_idle() {
     let out = mbbc()
         .args([

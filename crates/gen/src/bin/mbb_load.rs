@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mbb-load --addr HOST:PORT [options]          storm an already-running server
+//! mbb-load --tier A,B,C [options]              storm a running shard tier
 //! mbb-load --spawn [--workers N] [--queue-depth N] [options]
 //!                                              spawn an in-process server first
 //! options:
@@ -30,11 +31,13 @@ use std::process::ExitCode;
 use std::sync::mpsc;
 use std::time::Duration;
 
-use mbb_gen::load::{run, LoadConfig};
+use mbb_gen::load::{run_tier, LoadConfig};
 
 fn usage() -> &'static str {
-    "usage: mbb-load (--addr HOST:PORT | --spawn) [options]\n\
+    "usage: mbb-load (--addr HOST:PORT | --tier A,B,C | --spawn) [options]\n\
      options:\n\
+       --tier A,B,C      comma-separated shard-tier members to storm\n\
+     \x20                  round-robin (drain waits for every live member)\n\
        --seed S          storm seed (also honours GEN_SEED; default fixed)\n\
        --clients N       concurrent keep-alive connections (default 8)\n\
        --requests N      requests per client (default 200)\n\
@@ -51,6 +54,7 @@ fn usage() -> &'static str {
 
 const KNOWN_FLAGS: &[&str] = &[
     "--addr",
+    "--tier",
     "--spawn",
     "--seed",
     "--clients",
@@ -191,20 +195,36 @@ fn spawn_server(args: &Args) -> Result<Spawned, String> {
     Ok(Spawned { addr, handle, thread: Some(thread) })
 }
 
-/// Where the storm goes: a remote address or an in-process spawn.
+/// Where the storm goes: a remote address, a whole shard tier, or an
+/// in-process spawn.
 enum Target {
     Addr(SocketAddr),
+    Tier(Vec<SocketAddr>),
     Spawn,
 }
 
 /// Everything that can fail here is a usage error (exit 2).
 fn plan(args: &Args) -> Result<(LoadConfig, Target), String> {
     let cfg = load_config(args)?;
-    let target = match (args.has("--spawn"), args.get("--addr")) {
-        (true, None) => Target::Spawn,
-        (false, Some(a)) => Target::Addr(a.parse().map_err(|e| format!("--addr `{a}`: {e}"))?),
-        (true, Some(_)) => return Err("--addr and --spawn are mutually exclusive".to_string()),
-        (false, None) => return Err("need --addr HOST:PORT or --spawn".to_string()),
+    let target = match (args.has("--spawn"), args.get("--addr"), args.get("--tier")) {
+        (true, None, None) => Target::Spawn,
+        (false, Some(a), None) => {
+            Target::Addr(a.parse().map_err(|e| format!("--addr `{a}`: {e}"))?)
+        }
+        (false, None, Some(t)) => {
+            let members = t
+                .split(',')
+                .map(|a| a.trim().parse().map_err(|e| format!("--tier member `{a}`: {e}")))
+                .collect::<Result<Vec<SocketAddr>, String>>()?;
+            if members.is_empty() {
+                return Err("--tier needs at least one member".to_string());
+            }
+            Target::Tier(members)
+        }
+        (false, None, None) => {
+            return Err("need --addr HOST:PORT, --tier A,B,C, or --spawn".to_string())
+        }
+        _ => return Err("--addr, --tier, and --spawn are mutually exclusive".to_string()),
     };
     Ok((cfg, target))
 }
@@ -212,19 +232,24 @@ fn plan(args: &Args) -> Result<(LoadConfig, Target), String> {
 fn drive(args: &Args, cfg: &LoadConfig, target: &Target) -> Result<bool, String> {
     let spawned = match target {
         Target::Spawn => Some(spawn_server(args)?),
-        Target::Addr(_) => None,
+        Target::Addr(_) | Target::Tier(_) => None,
     };
-    let addr = match (target, &spawned) {
-        (Target::Addr(a), _) => *a,
-        (Target::Spawn, Some(s)) => s.addr,
+    let addrs: Vec<SocketAddr> = match (target, &spawned) {
+        (Target::Addr(a), _) => vec![*a],
+        (Target::Tier(t), _) => t.clone(),
+        (Target::Spawn, Some(s)) => vec![s.addr],
         (Target::Spawn, None) => unreachable!("spawn target always spawns"),
     };
 
+    let names: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
     eprintln!(
-        "mbb-load: storming {addr} with {} clients x {} requests (seed {:#x})",
-        cfg.clients, cfg.requests, cfg.seed
+        "mbb-load: storming {} with {} clients x {} requests (seed {:#x})",
+        names.join(","),
+        cfg.clients,
+        cfg.requests,
+        cfg.seed
     );
-    let report = run(addr, cfg)?;
+    let report = run_tier(&addrs, cfg)?;
     let rendered = report.render().render();
     match args.get("--json") {
         Some(path) => {

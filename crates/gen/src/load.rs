@@ -8,10 +8,13 @@
 //! 2. **storm** — `clients` keep-alive connections each fire a seeded
 //!    mix of report / optimize / optimize-search requests as fast as the
 //!    server answers them, while a health poller records every brown-out
-//!    level the controller visits.  Saturation comes from *connection
-//!    count*: per-cache-line simulation makes even large generated
-//!    programs CPU-cheap, so the reliable way to exceed capacity is to
-//!    hold more connections open than `workers + queue_depth`;
+//!    level the controller visits.  Saturation comes from *concurrent
+//!    in-flight requests*: per-cache-line simulation makes even large
+//!    generated programs CPU-cheap, and the event-driven server admits
+//!    requests (not connections) into its queue — but each blocking
+//!    storm client holds at most one request in flight, so driving more
+//!    clients than `workers + queue_depth` still overflows the request
+//!    queue and escalates the controller;
 //! 3. **recover** — poll `health` until the controller is back at level
 //!    0, then replay the warm-up report and check the cached bytes are
 //!    identical to the pre-storm response.
@@ -19,6 +22,13 @@
 //! Everything is seeded: the program pool, the per-thread kind mix, and
 //! the request order are pure functions of `LoadConfig::seed`, so a storm
 //! that trips an assertion can be replayed exactly.
+//!
+//! [`run_tier`] points the same three phases at a shard tier: storm
+//! clients round-robin over the member addresses, the health poller
+//! tracks every reachable member, and recovery demands level 0 from all
+//! members that still answer — so a node killed mid-storm (the nightly
+//! cluster-storm lane does exactly that) fails its own probes without
+//! masking whether the survivors drained.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -138,6 +148,8 @@ pub struct Report {
     pub seed: u64,
     pub clients: usize,
     pub requests: usize,
+    /// Tier members stormed (1 for a single-node run).
+    pub nodes: usize,
     pub unloaded: ClassStats,
     pub report: ClassStats,
     pub optimize: ClassStats,
@@ -158,6 +170,7 @@ impl Report {
             ("seed", Json::UInt(self.seed)),
             ("clients", Json::UInt(self.clients as u64)),
             ("requests_per_client", Json::UInt(self.requests as u64)),
+            ("nodes", Json::UInt(self.nodes as u64)),
             (
                 "unloaded",
                 Json::obj([
@@ -370,13 +383,37 @@ fn health_level(c: &mut Client) -> Option<(u64, u64)> {
 /// unreachable, warm-up failed) — distinct from a driven run whose
 /// [`Report::check`] fails.
 pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<Report, String> {
+    run_tier(std::slice::from_ref(&addr), cfg)
+}
+
+/// Dials the first tier member that answers, in address order.
+fn connect_any(addrs: &[SocketAddr], timeout: Duration) -> Result<Client, String> {
+    let mut last = "no addresses".to_string();
+    for &a in addrs {
+        match Client::connect(a, timeout) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = format!("connect {a}: {e}"),
+        }
+    }
+    Err(last)
+}
+
+/// [`run`] over a shard tier: storm clients round-robin across `addrs`,
+/// the health poller and the drain check track every member that still
+/// answers, and the post-storm replay may land on any live member
+/// (forwarding makes the bytes identical regardless).  A single address
+/// degenerates to exactly the single-node run.
+pub fn run_tier(addrs: &[SocketAddr], cfg: &LoadConfig) -> Result<Report, String> {
+    if addrs.is_empty() {
+        return Err("run_tier needs at least one address".to_string());
+    }
     let started = Instant::now();
     let timeout = Duration::from_millis(cfg.timeout_ms);
     let pool = program_pool(cfg.seed);
 
     // Warm-up: prime the cache with the first pool program and keep its
     // bytes for the post-storm identity check.
-    let mut cal = Client::connect(addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut cal = connect_any(addrs, timeout)?;
     let warm_req = request("report", Some(&pool[0]), "origin");
     let warm = cal.roundtrip(&warm_req).map_err(|e| format!("warm-up report: {e}"))?;
     if warm.get("ok") != Some(&Json::Bool(true)) {
@@ -391,6 +428,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<Report, String> {
         seed: cfg.seed,
         clients: cfg.clients,
         requests: cfg.requests,
+        nodes: addrs.len(),
         drain_ms: cfg.drain_ms,
         ..Report::default()
     };
@@ -414,18 +452,22 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<Report, String> {
     let poller = {
         let (stop, levels) = (Arc::clone(&stop), Arc::clone(&levels));
         let poll_timeout = timeout;
+        let members = addrs.to_vec();
         // One-shot probes, not a keep-alive connection: a persistent
         // health connection would own a worker for the whole storm and
         // starve the traffic it is supposed to observe.  Probes that get
-        // accept-shed are simply dropped; the drain loop below records
-        // levels too, so escalation is never missed entirely.
+        // shed or hit a dead member are simply dropped; the drain loop
+        // below records levels too, so escalation is never missed
+        // entirely.
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                if let Ok(mut c) = Client::connect(addr, poll_timeout) {
-                    if let Some((l, max)) = health_level(&mut c) {
-                        let mut g = levels.lock().unwrap();
-                        g.0 = g.0.max(max);
-                        g.1[(l as usize).min(3)] = true;
+                for &a in &members {
+                    if let Ok(mut c) = Client::connect(a, poll_timeout) {
+                        if let Some((l, max)) = health_level(&mut c) {
+                            let mut g = levels.lock().unwrap();
+                            g.0 = g.0.max(max);
+                            g.1[(l as usize).min(3)] = true;
+                        }
                     }
                 }
                 std::thread::sleep(Duration::from_millis(50));
@@ -436,7 +478,8 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<Report, String> {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|t| {
                 let (cfg, pool) = (cfg.clone(), pool.clone());
-                scope.spawn(move || sender(addr, &cfg, &pool, t as u64 + 1, stop_at))
+                let target = addrs[t % addrs.len()];
+                scope.spawn(move || sender(target, &cfg, &pool, t as u64 + 1, stop_at))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sender thread")).collect()
@@ -452,25 +495,30 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<Report, String> {
     stop.store(true, Ordering::Relaxed);
     poller.join().expect("health poller");
 
-    // Recover: poll until the controller is back at level 0.
+    // Recover: poll until every member that still answers is back at
+    // level 0.  A member killed mid-storm fails its probe and is skipped
+    // — it cannot mask whether the survivors drained — but at least one
+    // member must answer for the tier to count as recovered.
     let drain_started = Instant::now();
     let drain_budget = Duration::from_millis(cfg.drain_ms);
-    let mut recover = Client::connect(addr, timeout).map_err(|e| format!("reconnect: {e}"))?;
     while drain_started.elapsed() < drain_budget {
-        match health_level(&mut recover) {
-            Some((l, max)) => {
+        let mut reachable = 0usize;
+        let mut at_zero = 0usize;
+        for &a in addrs {
+            let Ok(mut c) = Client::connect(a, timeout) else { continue };
+            if let Some((l, max)) = health_level(&mut c) {
+                reachable += 1;
                 let mut g = levels.lock().unwrap();
                 g.0 = g.0.max(max);
                 g.1[(l as usize).min(3)] = true;
-                drop(g);
                 if l == 0 {
-                    report.recovered = true;
-                    break;
+                    at_zero += 1;
                 }
             }
-            None => {
-                recover = Client::connect(addr, timeout).map_err(|e| format!("reconnect: {e}"))?;
-            }
+        }
+        if reachable > 0 && at_zero == reachable {
+            report.recovered = true;
+            break;
         }
         std::thread::sleep(Duration::from_millis(25));
     }
@@ -482,9 +530,15 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<Report, String> {
             g.1.iter().enumerate().filter(|(_, &s)| s).map(|(l, _)| l as u64).collect();
     }
 
-    // Cache identity: the warm entry must replay byte-for-byte.
+    // Cache identity: the warm entry must replay byte-for-byte.  On a
+    // tier the replay may land on any live member (forwarding keeps the
+    // bytes identical), but the `cached` bit is only demanded of a
+    // single-node run: killing the shard that owned the warm entry
+    // legitimately loses the cached copy, and determinism — identical
+    // recomputed bytes — is the invariant the tier actually promises.
+    let mut recover = connect_any(addrs, timeout)?;
     let replay = recover.roundtrip(&warm_req).map_err(|e| format!("cache replay: {e}"))?;
-    report.cache_identical = replay.get("cached") == Some(&Json::Bool(true))
+    report.cache_identical = (addrs.len() > 1 || replay.get("cached") == Some(&Json::Bool(true)))
         && replay.get("result").cloned() == warm_result;
     report.elapsed_ms = started.elapsed().as_millis() as u64;
     Ok(report)

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use mbb_bench::json::Json;
-use mbb_server::client::{expect_ok, Client};
+use mbb_server::client::{expect_ok, Client, Pipeline};
 
 const PROGRAM: &str = "array res[4096]\narray data[4096]\nscalar sum = 0  // printed\nfor i = 0, 4095\n  res[i] = (res[i] + data[i])\nend for\nfor j = 0, 4095\n  sum = (sum + res[j])\nend for\n";
 
@@ -64,6 +64,40 @@ fn drive(addr: &str) -> Result<(), String> {
     check(h.get("shed_total").is_some(), "health carries shed_total")?;
     println!("serve_smoke: health ok");
 
+    // The cluster-stats admin kind: a standalone server reports the
+    // single-node shape of the mbb-cluster-stats/1 schema.
+    let resp = c
+        .roundtrip(&mbb_server::client::request("cluster-stats", None, ""))
+        .map_err(|e| e.to_string())?;
+    expect_ok(&resp).map_err(|e| format!("cluster-stats: {e}"))?;
+    let s = resp.get("result").ok_or("cluster-stats: response without result")?;
+    check(
+        s.get("schema").and_then(Json::as_str) == Some("mbb-cluster-stats/1"),
+        "cluster-stats schema marker",
+    )?;
+    check(s.get("forwarded_in").is_some(), "cluster-stats carries forwarded_in")?;
+    check(s.get("nodes") == Some(&Json::UInt(0)), "standalone server reports 0 tier nodes")?;
+    println!("serve_smoke: cluster-stats ok");
+
+    // Pipelining: two in-flight requests on one connection, answered with
+    // byte-faithful id echoes so the responses pair up.
+    let mut p =
+        Pipeline::connect(addr, Duration::from_secs(60)).map_err(|e| format!("pipeline: {e}"))?;
+    let m = mbb_server::client::request("machines", None, "");
+    p.send(&m, 7).map_err(|e| format!("pipeline send: {e}"))?;
+    p.send(&m, 8).map_err(|e| format!("pipeline send: {e}"))?;
+    let by_id = p.drain().map_err(|e| format!("pipeline drain: {e}"))?;
+    check(by_id.len() == 2, "both pipelined responses arrived")?;
+    for id in [7u64, 8] {
+        let resp = by_id.get(&id).ok_or_else(|| format!("pipeline: id {id} not echoed"))?;
+        expect_ok(resp).map_err(|e| format!("pipeline id {id}: {e}"))?;
+        check(
+            resp.get("kind").and_then(Json::as_str) == Some("machines"),
+            "pipelined response pairs with its request",
+        )?;
+    }
+    println!("serve_smoke: pipelined id echo ok");
+
     // Repeat: must be a cache hit with bit-identical result payload.
     let again = c.analyze("report", PROGRAM, "origin").map_err(|e| format!("repeat: {e}"))?;
     expect_ok(&again).map_err(|e| format!("repeat: {e}"))?;
@@ -93,6 +127,13 @@ fn drive(addr: &str) -> Result<(), String> {
         "mbb_serve_cache_hits_total 1",
         "mbb_serve_request_cpu_seconds_count",
         "mbb_serve_requests_total{kind=\"health\"} 1",
+        "mbb_serve_requests_total{kind=\"cluster-stats\"} 1",
+        "mbb_serve_requests_total{kind=\"machines\"} 3",
+        // 4 first-pass analyses + the repeat; admin kinds never route.
+        "mbb_serve_route_total{dest=\"local\"} 5",
+        "mbb_serve_route_total{dest=\"forward\"} 0",
+        "mbb_serve_forwarded_in_total 0",
+        "mbb_serve_connections_open",
         "mbb_serve_brownout_level",
         "mbb_serve_shed_total",
     ] {

@@ -18,6 +18,12 @@
 //! Eviction is least-recently-used under a byte budget, approximated with
 //! a logical clock per shard: each hit stamps the entry, and eviction
 //! removes the oldest stamps until the shard fits.
+//!
+//! In a shard tier ([`cluster`](crate::cluster)) each node keeps its own
+//! cache; coherence comes from routing, not replication — the
+//! consistent-hash ring sends every key to one owning node, so the tier
+//! as a whole fills one entry per unique key and serves the same bytes
+//! from every member.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,8 +1,10 @@
 //! A small blocking client for the `mbb-serve/1` protocol.
 //!
 //! Used by the integration tests and the CI smoke driver; also a
-//! reference implementation for anyone scripting against the server: one
-//! compact JSON line out, one line back.
+//! reference implementation for anyone scripting against the server.
+//! [`Client`] is the lock-step shape (one line out, one line back);
+//! [`Pipeline`] keeps many requests in flight on one connection and
+//! pairs responses back up by their echoed `"id"`.
 
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -438,6 +440,113 @@ impl RetryClient {
     }
 }
 
+/// Attaches (or replaces) the `"id"` field on a request envelope, for
+/// pairing pipelined responses back to their requests.
+pub fn with_id(req: &Json, id: u64) -> Json {
+    let Json::Obj(pairs) = req else {
+        return req.clone();
+    };
+    let mut pairs: Vec<(String, Json)> = pairs.iter().filter(|(k, _)| k != "id").cloned().collect();
+    pairs.push(("id".to_string(), Json::UInt(id)));
+    Json::Obj(pairs)
+}
+
+/// A pipelined client: many requests in flight on one connection,
+/// responses read back in whatever order the server completes them and
+/// paired up by their echoed `"id"`.
+///
+/// The caller chooses the ids (sequence numbers work); [`Pipeline::send`]
+/// stamps them via [`with_id`].  Keep the pipeline depth at or under the
+/// server's `pipeline_depth` — past it the server stops reading the
+/// connection until responses drain, and a sender that never reads would
+/// deadlock against it.
+pub struct Pipeline {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    inflight: usize,
+}
+
+impl Pipeline {
+    /// Connects with a read/write timeout (covering the slowest single
+    /// analysis expected, not the whole batch).
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Pipeline> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Pipeline { reader, writer: stream, inflight: 0 })
+    }
+
+    /// Requests currently in flight (sent, not yet received).
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Stamps `id` onto `req` and sends it without waiting for the
+    /// response.
+    pub fn send(&mut self, req: &Json, id: u64) -> Result<(), ServeError> {
+        self.send_raw(&with_id(req, id).render_compact())
+    }
+
+    /// Sends one raw request line (newline appended) without waiting.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.inflight += 1;
+        Ok(())
+    }
+
+    /// Sends a whole batch in a single write — with short lines, one TCP
+    /// segment — exercising the server's multi-request framing.
+    pub fn send_batch(&mut self, lines: &[String]) -> Result<(), ServeError> {
+        let mut buf = String::new();
+        for line in lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        self.inflight += lines.len();
+        Ok(())
+    }
+
+    /// Reads the next response line, in server completion order, and
+    /// returns it with its echoed id (`None` when the server had none to
+    /// echo, e.g. a pre-parse error).
+    pub fn recv(&mut self) -> Result<(Option<u64>, Json), ServeError> {
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(ServeError::new(ErrorKind::Io, "server closed the connection"));
+        }
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        self.inflight = self.inflight.saturating_sub(1);
+        let doc = Json::parse(&resp)
+            .map_err(|e| ServeError::new(ErrorKind::Io, format!("bad response: {e}: {resp}")))?;
+        let id = match doc.get("id") {
+            Some(Json::UInt(n)) => Some(*n),
+            _ => None,
+        };
+        Ok((id, doc))
+    }
+
+    /// Drains every in-flight response into an id-keyed map.  Responses
+    /// the server could not pair (no id echoed) are dropped from the map
+    /// but still consumed off the wire.
+    pub fn drain(&mut self) -> Result<std::collections::HashMap<u64, Json>, ServeError> {
+        let mut out = std::collections::HashMap::new();
+        while self.inflight > 0 {
+            let (id, doc) = self.recv()?;
+            if let Some(id) = id {
+                out.insert(id, doc);
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// Fails with the server's error payload when `resp` is not `ok:true`.
 pub fn expect_ok(resp: &Json) -> Result<(), ServeError> {
     if resp.get("ok") == Some(&Json::Bool(true)) {
@@ -567,6 +676,19 @@ mod tests {
         let e = c.call_hedged(&request("shutdown", None, ""), Duration::ZERO).unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadRequest);
         assert!(e.message.contains("shutdown"), "{}", e.message);
+    }
+
+    #[test]
+    fn with_id_stamps_and_replaces_without_duplicating() {
+        let r = request("report", Some("x"), "");
+        let stamped = with_id(&r, 9);
+        let line = stamped.render_compact();
+        assert!(line.contains("\"id\":9"), "{line}");
+        let restamped = with_id(&stamped, 10);
+        let line = restamped.render_compact();
+        assert!(line.contains("\"id\":10") && !line.contains("\"id\":9"), "{line}");
+        let back = crate::protocol::parse_request(&line).unwrap();
+        assert_eq!(back.id.as_deref(), Some("10"));
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! over a newline-delimited JSON protocol (`mbb-serve/1`, see
 //! [`protocol`]), with:
 //!
-//! * a bounded worker pool and explicit accept-queue depth, shedding
-//!   load with structured busy responses instead of hanging ([`server`]);
+//! * an event-driven connection layer — a readiness loop over
+//!   nonblocking sockets ([`poll`]) feeds a request-granular queue, so
+//!   idle keep-alive connections cost zero threads and a single
+//!   connection may pipeline many in-flight requests ([`server`]);
+//! * a bounded worker pool and explicit request-queue depth, shedding
+//!   load with structured busy responses instead of hanging;
 //! * a sharded content-addressed result cache with single-flight
 //!   computes, so identical requests simulate once and return
 //!   bit-identical bytes ([`cache`]);
+//! * horizontal scale: N instances agree on a consistent-hash [`ring`]
+//!   over the content-address and forward each request to its owning
+//!   shard ([`cluster`]), forming a cache-coherent tier;
 //! * live counters and log-2 latency histograms in Prometheus text
 //!   exposition format ([`metrics`]);
 //! * graceful drain on a `shutdown` admin request or idle timeout.
@@ -31,11 +38,14 @@
 pub mod analysis;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod faults;
 pub mod metrics;
 pub mod overload;
+pub mod poll;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 mod sync;
 

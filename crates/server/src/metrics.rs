@@ -64,8 +64,20 @@ pub struct Metrics {
     pub busy_total: AtomicU64,
     /// Connections accepted (including shed ones).
     pub connections_total: AtomicU64,
-    /// Connections currently waiting in the accept queue.
+    /// Connections currently open on the event loop.
+    pub connections_open: AtomicU64,
+    /// Requests currently waiting in the dispatch queue.
     pub queue_depth: AtomicU64,
+    /// Requests answered by this node's own pipeline (it owns the key, or
+    /// no tier is configured, or the peer route fell back).
+    pub route_local_total: AtomicU64,
+    /// Requests relayed to the owning peer shard.
+    pub route_forward_total: AtomicU64,
+    /// Peer relays that failed (connect/IO error) and fell back to local
+    /// computation.
+    pub forward_errors_total: AtomicU64,
+    /// Requests that arrived already `"fwd":true`-marked from a peer.
+    pub forwarded_in_total: AtomicU64,
     /// Workers currently handling a connection.
     pub workers_busy: AtomicU64,
     /// Handler panics caught and answered with a structured `internal`
@@ -234,13 +246,56 @@ impl Metrics {
         let _ = writeln!(o, "# TYPE mbb_serve_cache_bytes gauge");
         let _ = writeln!(o, "mbb_serve_cache_bytes {}", cs.bytes);
 
-        let _ = writeln!(o, "# HELP mbb_serve_queue_depth Connections waiting for a worker.");
+        let _ = writeln!(o, "# HELP mbb_serve_connections_open Connections currently open.");
+        let _ = writeln!(o, "# TYPE mbb_serve_connections_open gauge");
+        let _ = writeln!(
+            o,
+            "mbb_serve_connections_open {}",
+            self.connections_open.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(o, "# HELP mbb_serve_queue_depth Requests waiting for a worker.");
         let _ = writeln!(o, "# TYPE mbb_serve_queue_depth gauge");
         let _ = writeln!(o, "mbb_serve_queue_depth {}", self.queue_depth.load(Ordering::Relaxed));
 
-        let _ = writeln!(o, "# HELP mbb_serve_workers_busy Workers handling a connection.");
+        let _ = writeln!(o, "# HELP mbb_serve_workers_busy Workers handling a request.");
         let _ = writeln!(o, "# TYPE mbb_serve_workers_busy gauge");
         let _ = writeln!(o, "mbb_serve_workers_busy {}", self.workers_busy.load(Ordering::Relaxed));
+
+        let _ = writeln!(o, "# HELP mbb_serve_route_total Requests routed, by destination.");
+        let _ = writeln!(o, "# TYPE mbb_serve_route_total counter");
+        let _ = writeln!(
+            o,
+            "mbb_serve_route_total{{dest=\"local\"}} {}",
+            self.route_local_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            o,
+            "mbb_serve_route_total{{dest=\"forward\"}} {}",
+            self.route_forward_total.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_forward_errors_total Peer relays that fell back to local."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_forward_errors_total counter");
+        let _ = writeln!(
+            o,
+            "mbb_serve_forward_errors_total {}",
+            self.forward_errors_total.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            o,
+            "# HELP mbb_serve_forwarded_in_total Requests received pre-forwarded from a peer."
+        );
+        let _ = writeln!(o, "# TYPE mbb_serve_forwarded_in_total counter");
+        let _ = writeln!(
+            o,
+            "mbb_serve_forwarded_in_total {}",
+            self.forwarded_in_total.load(Ordering::Relaxed)
+        );
 
         let _ = writeln!(o, "# HELP mbb_serve_panics_total Handler panics caught per request.");
         let _ = writeln!(o, "# TYPE mbb_serve_panics_total counter");
@@ -417,6 +472,11 @@ mod tests {
             "mbb_serve_cache_bytes 0",
             "mbb_serve_queue_depth 0",
             "mbb_serve_workers_busy 0",
+            "mbb_serve_connections_open 0",
+            "mbb_serve_route_total{dest=\"local\"} 0",
+            "mbb_serve_route_total{dest=\"forward\"} 0",
+            "mbb_serve_forward_errors_total 0",
+            "mbb_serve_forwarded_in_total 0",
             "mbb_serve_panics_total 0",
             "mbb_serve_worker_respawns_total 0",
             "mbb_serve_request_cpu_seconds_count 1",

@@ -53,7 +53,9 @@ impl Class {
     /// The class of a request kind.
     pub fn of(kind: Kind) -> Class {
         match kind {
-            Kind::Health | Kind::Metrics | Kind::Machines | Kind::Shutdown => Class::Admin,
+            Kind::Health | Kind::Metrics | Kind::Machines | Kind::ClusterStats | Kind::Shutdown => {
+                Class::Admin
+            }
             Kind::Report | Kind::Advise | Kind::TraceStats => Class::Report,
             Kind::Optimize => Class::Optimize,
             Kind::OptimizeSearch => Class::Search,
@@ -177,13 +179,13 @@ fn kind_passes(kind: Kind) -> u64 {
         Kind::Report | Kind::Advise | Kind::TraceStats => 2,
         Kind::Optimize => 8,
         Kind::OptimizeSearch => 32,
-        Kind::Health | Kind::Machines | Kind::Metrics | Kind::Shutdown => 0,
+        Kind::Health | Kind::Machines | Kind::Metrics | Kind::ClusterStats | Kind::Shutdown => 0,
     }
 }
 
 /// Estimated cost of analysing `prog` under `kind`, in milliseconds.
 /// Used by admission control to reject requests whose cost cannot fit the
-/// remaining deadline; see [`EST_STEPS_PER_MS`] for the bias.
+/// remaining deadline; see `EST_STEPS_PER_MS` for the bias.
 pub fn estimate_cost_ms(prog: &Program, kind: Kind) -> u64 {
     let steps: u64 = prog
         .nests

@@ -20,6 +20,17 @@
 //! The `result` bytes of a cache hit are exactly the bytes the original
 //! miss produced: the envelope is assembled by string concatenation
 //! around the cached compact rendering, never re-serialised.
+//!
+//! **Pipelining.** A connection may have many requests in flight at once
+//! and responses may complete out of order, so an envelope can carry an
+//! optional `"id"` (a string or non-negative integer) that the response —
+//! success, degraded or error — echoes verbatim right after `"kind"` (or
+//! `"ok"` for pre-parse errors, which have no id to echo).  Correlation is
+//! the client's job; the server only guarantees the echo is byte-faithful.
+//!
+//! **Tier forwarding.** A request relayed between shard-tier peers carries
+//! `"fwd":true`; a node never re-forwards such a request (single hop max).
+//! See [`crate::cluster`].
 
 use std::io::BufRead;
 
@@ -53,13 +64,16 @@ pub enum Kind {
     /// Admin: overload status — brown-out level, smoothed pressure
     /// signals, and a status word (`ok`/`degraded`/`saturated`).
     Health,
+    /// Admin: shard-tier routing stats — ring membership and per-peer
+    /// routed/forwarded/error counts (see [`crate::cluster`]).
+    ClusterStats,
     /// Admin: stop accepting, drain, exit.
     Shutdown,
 }
 
 impl Kind {
     /// Every kind, in wire order.
-    pub const ALL: [Kind; 9] = [
+    pub const ALL: [Kind; 10] = [
         Kind::Report,
         Kind::Advise,
         Kind::Optimize,
@@ -68,6 +82,7 @@ impl Kind {
         Kind::Machines,
         Kind::Metrics,
         Kind::Health,
+        Kind::ClusterStats,
         Kind::Shutdown,
     ];
 
@@ -82,6 +97,7 @@ impl Kind {
             Kind::Machines => "machines",
             Kind::Metrics => "metrics",
             Kind::Health => "health",
+            Kind::ClusterStats => "cluster-stats",
             Kind::Shutdown => "shutdown",
         }
     }
@@ -131,6 +147,15 @@ pub struct Request {
     /// request pinned to one engine may be served from a result the other
     /// engine computed.
     pub engine: mbb_ir::Engine,
+    /// The client's correlation id, stored as its *compact JSON
+    /// rendering* (`"\"abc\""` or `"7"`) so the echo is byte-faithful.
+    /// Not part of the cache key: the `result` bytes are id-independent,
+    /// only the envelope around them carries the echo.
+    pub id: Option<String>,
+    /// True when the envelope carries `"fwd":true` — the request was
+    /// relayed by a shard-tier peer and must be served locally (single
+    /// hop max, see [`crate::cluster`]).
+    pub forwarded: bool,
 }
 
 /// The optional `budget` object of a request envelope:
@@ -310,7 +335,22 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         Some(_) => return Err(bad("`engine` must be a string")),
     };
 
-    Ok(Request { kind, program, machine, flags, budget, profile, engine })
+    let id = match doc.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v @ (Json::Str(_) | Json::UInt(_))) => Some(v.render_compact()),
+        Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+            Some(Json::UInt(*x as u64).render_compact())
+        }
+        Some(_) => return Err(bad("`id` must be a string or a non-negative integer")),
+    };
+
+    let forwarded = match doc.get("fwd") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad("`fwd` must be a boolean")),
+    };
+
+    Ok(Request { kind, program, machine, flags, budget, profile, engine, id, forwarded })
 }
 
 /// The outcome of reading one length-bounded request line.
@@ -363,13 +403,21 @@ pub fn read_line_limited<R: BufRead + ?Sized>(reader: &mut R, max: usize) -> Lin
     }
 }
 
+/// The `"id":<raw>,` fragment echoed after `"kind"` (empty when the
+/// request carried no id).  `id` is the parsed request's raw compact
+/// rendering, spliced back verbatim so the echo is byte-faithful.
+fn id_part(id: Option<&str>) -> String {
+    id.map(|raw| format!("\"id\":{raw},")).unwrap_or_default()
+}
+
 /// Assembles a success response line (no trailing newline).  `result` is
 /// an already-compact JSON rendering, spliced in verbatim so cache hits
-/// return bit-identical bytes.
-pub fn ok_response(kind: Kind, cached: bool, result: &str) -> String {
+/// return bit-identical bytes; `id` is echoed from the request envelope.
+pub fn ok_response(kind: Kind, cached: bool, result: &str, id: Option<&str>) -> String {
     format!(
-        "{{\"schema\":\"{SCHEMA}\",\"ok\":true,\"kind\":\"{}\",\"cached\":{cached},\"result\":{result}}}",
-        kind.as_str()
+        "{{\"schema\":\"{SCHEMA}\",\"ok\":true,\"kind\":\"{}\",{}\"cached\":{cached},\"result\":{result}}}",
+        kind.as_str(),
+        id_part(id)
     )
 }
 
@@ -379,28 +427,30 @@ pub fn ok_response(kind: Kind, cached: bool, result: &str) -> String {
 /// already-compact JSON object (`{"level":N,"actions":[…]}`).  Degraded
 /// responses are always `cached:false` — they bypass the result cache in
 /// both directions, which keeps cached bytes identical at every level.
-pub fn degraded_response(kind: Kind, degraded: &str, result: &str) -> String {
+pub fn degraded_response(kind: Kind, degraded: &str, result: &str, id: Option<&str>) -> String {
     format!(
-        "{{\"schema\":\"{SCHEMA}\",\"ok\":true,\"kind\":\"{}\",\"cached\":false,\"degraded\":{degraded},\"result\":{result}}}",
-        kind.as_str()
+        "{{\"schema\":\"{SCHEMA}\",\"ok\":true,\"kind\":\"{}\",{}\"cached\":false,\"degraded\":{degraded},\"result\":{result}}}",
+        kind.as_str(),
+        id_part(id)
     )
 }
 
 /// Assembles an error response line (no trailing newline).
 pub fn error_response(err: &ServeError) -> String {
-    Json::obj([
-        ("schema", Json::str(SCHEMA)),
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::obj([
-                ("code", Json::str(err.kind.code())),
-                ("exit_code", Json::UInt(err.kind.exit_code() as u64)),
-                ("message", Json::str(err.message.clone())),
-            ]),
-        ),
+    error_response_with_id(err, None)
+}
+
+/// [`error_response`] with the request's id echoed, for errors raised
+/// after the envelope parsed.  Pre-parse failures (bad JSON, oversized
+/// lines) have no id to echo and use the plain form.
+pub fn error_response_with_id(err: &ServeError, id: Option<&str>) -> String {
+    let payload = Json::obj([
+        ("code", Json::str(err.kind.code())),
+        ("exit_code", Json::UInt(err.kind.exit_code() as u64)),
+        ("message", Json::str(err.message.clone())),
     ])
-    .render_compact()
+    .render_compact();
+    format!("{{\"schema\":\"{SCHEMA}\",\"ok\":false,{}\"error\":{payload}}}", id_part(id))
 }
 
 #[cfg(test)]
@@ -452,11 +502,48 @@ mod tests {
 
     #[test]
     fn kinds_without_programs_parse_bare() {
-        for kind in ["machines", "metrics", "health", "shutdown"] {
+        for kind in ["machines", "metrics", "health", "cluster-stats", "shutdown"] {
             let r = parse_request(&req(kind, "")).unwrap();
             assert!(!r.kind.takes_program());
             assert!(r.program.is_none());
         }
+    }
+
+    #[test]
+    fn id_parses_as_string_or_integer_and_echoes_byte_faithfully() {
+        let r = parse_request(&req("health", ",\"id\":7")).unwrap();
+        assert_eq!(r.id.as_deref(), Some("7"));
+        let r = parse_request(&req("health", ",\"id\":\"a\\\"b\"")).unwrap();
+        assert_eq!(r.id.as_deref(), Some("\"a\\\"b\""));
+        let r = parse_request(&req("health", "")).unwrap();
+        assert_eq!(r.id, None);
+        for bad in [",\"id\":true", ",\"id\":[1]", ",\"id\":-3", ",\"id\":1.5"] {
+            let e = parse_request(&req("health", bad)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad} -> {e}");
+        }
+
+        // The echo lands right after "kind" in every envelope shape, and
+        // string escapes survive the round trip.
+        let ok = ok_response(Kind::Report, false, "{}", Some("\"a\\\"b\""));
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some("a\"b"));
+        let deg = degraded_response(Kind::Report, "{\"level\":1,\"actions\":[]}", "{}", Some("7"));
+        assert_eq!(Json::parse(&deg).unwrap().get("id"), Some(&Json::UInt(7)));
+        let err = error_response_with_id(&ServeError::busy(), Some("7"));
+        assert_eq!(Json::parse(&err).unwrap().get("id"), Some(&Json::UInt(7)));
+        // Without an id, no key appears at all.
+        assert!(!ok_response(Kind::Report, false, "{}", None).contains("\"id\""));
+        assert!(!error_response(&ServeError::busy()).contains("\"id\""));
+    }
+
+    #[test]
+    fn fwd_marker_parses_and_rejects_non_booleans() {
+        let r = parse_request(&req("report", ",\"program\":\"x\",\"fwd\":true")).unwrap();
+        assert!(r.forwarded);
+        let r = parse_request(&req("report", ",\"program\":\"x\"")).unwrap();
+        assert!(!r.forwarded);
+        let e = parse_request(&req("report", ",\"program\":\"x\",\"fwd\":1")).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
     }
 
     #[test]
@@ -465,6 +552,7 @@ mod tests {
             Kind::OptimizeSearch,
             "{\"level\":2,\"actions\":[\"search-clamp\"]}",
             "{\"flops\":1}",
+            None,
         );
         assert!(!line.contains('\n'));
         let doc = Json::parse(&line).unwrap();
@@ -473,12 +561,12 @@ mod tests {
         let d = doc.get("degraded").expect("degraded marker");
         assert_eq!(d.get("level"), Some(&Json::UInt(2)));
         // The plain envelope never carries the key at all.
-        assert!(ok_response(Kind::OptimizeSearch, false, "{}").find("degraded").is_none());
+        assert!(ok_response(Kind::OptimizeSearch, false, "{}", None).find("degraded").is_none());
     }
 
     #[test]
     fn responses_are_single_lines_that_parse_back() {
-        let ok = ok_response(Kind::Report, true, "{\"flops\":1}");
+        let ok = ok_response(Kind::Report, true, "{\"flops\":1}", None);
         assert!(!ok.contains('\n'));
         let doc = Json::parse(&ok).unwrap();
         assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));

@@ -2,26 +2,37 @@
 //!
 //! Architecture (std only — no async runtime):
 //!
-//! * one acceptor thread runs a nonblocking `accept` poll loop so it can
-//!   also watch the shutdown flag and the idle deadline;
-//! * accepted connections go into a bounded queue; when the queue is
-//!   full the connection is *shed* immediately with a structured busy
-//!   response (the 429 of this protocol) rather than left to time out;
-//! * a fixed pool of scoped worker threads pops connections and speaks
-//!   newline-delimited `mbb-serve/1` on each, one request at a time,
-//!   with per-read timeouts and a request-size limit;
+//! * one event-loop thread owns the nonblocking listener and every open
+//!   connection, multiplexed through a readiness [`Poller`] (epoll on
+//!   Linux via raw syscalls, a scan fallback elsewhere): an idle
+//!   keep-alive connection costs one table entry, not a thread;
+//! * connections are *pipelined*: each complete request line becomes a
+//!   job in a bounded queue, up to `pipeline_depth` may be in flight per
+//!   connection (past that the connection is suspended from the poller —
+//!   backpressure — until responses drain), and responses may complete
+//!   out of order, paired by the envelope's optional `"id"`;
+//! * a fixed pool of worker threads pops jobs, runs the CPU-bound
+//!   analysis, and writes each response straight to the owning
+//!   connection; when the job queue is full the request is *shed*
+//!   immediately with a structured busy response (the 429 of this
+//!   protocol) rather than left to time out;
+//! * with `peers` configured, the node joins a shard tier: each
+//!   content-address is looked up on the consistent-hash
+//!   [`ring`](crate::ring) and requests owned by another node are
+//!   relayed one hop ([`cluster`](crate::cluster)), so the tier's caches
+//!   stay coherent and cached bytes stay identical on every node;
 //! * a `shutdown` admin request (or the idle timeout) flips one flag:
-//!   the acceptor stops accepting, workers finish the queued
-//!   connections' current requests, and [`serve`] returns.
+//!   the event loop stops accepting and reading, workers drain the
+//!   queued jobs, and [`serve`] returns.
 //!
 //! Analysis results flow through the sharded content-addressed
 //! [`ResultCache`], so identical requests — concurrent or repeated —
 //! simulate once and return bit-identical bytes.
 
-use std::collections::VecDeque;
-use std::io::{BufReader, Write as _};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -30,6 +41,7 @@ use mbb_ir::budget::Budget;
 
 use crate::analysis;
 use crate::cache::ResultCache;
+use crate::cluster::{Cluster, Route};
 use crate::error::{ErrorKind, ServeError};
 use crate::faults::{self, Site};
 use crate::metrics::Metrics;
@@ -37,7 +49,8 @@ use crate::overload::{
     self, Brownout, BrownoutConfig, Class, DegradeAction, Reason, BROWNOUT_BEAM, BROWNOUT_STEPS,
     DEFAULT_CLASS_WEIGHTS,
 };
-use crate::protocol::{self, Kind, Line, RequestBudget};
+use crate::poll::Poller;
+use crate::protocol::{self, Kind, RequestBudget};
 use crate::sync::{lock, wait_timeout};
 
 /// Server configuration (see `mbbc serve` for the CLI spelling).
@@ -45,14 +58,16 @@ use crate::sync::{lock, wait_timeout};
 pub struct Config {
     /// Bind address; port 0 picks a free port (reported via `on_ready`).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads handling requests.
     pub workers: usize,
     /// Result-cache capacity in bytes (0 disables storage).
     pub cache_bytes: u64,
-    /// Accepted connections allowed to wait for a worker before new ones
-    /// are shed with a busy response.
+    /// Parsed requests allowed to wait for a worker before new ones are
+    /// shed with a busy response.
     pub queue_depth: usize,
-    /// Per-connection read (and write) timeout.
+    /// Per-connection quiescence timeout (a connection with no in-flight
+    /// requests and no buffered bytes is closed after this long idle) and
+    /// per-response write deadline.
     pub read_timeout: Duration,
     /// Maximum request-line length in bytes.
     pub max_request_bytes: usize,
@@ -82,6 +97,15 @@ pub struct Config {
     /// Per-request busy time treated as "at target" (pressure 1.0) by the
     /// brown-out controller's busy-time EWMA.
     pub brownout_target: Duration,
+    /// In-flight requests allowed per connection before the event loop
+    /// stops reading it (pipelining backpressure).
+    pub pipeline_depth: usize,
+    /// The shard tier's full membership (`host:port` per node, identical
+    /// on every node); empty = no tier, serve standalone.
+    pub peers: Vec<String>,
+    /// This node's own name in `peers`.  Empty = the bound address, which
+    /// is only right when `addr` is the externally reachable name.
+    pub advertise: String,
 }
 
 impl Default for Config {
@@ -102,6 +126,9 @@ impl Default for Config {
             brownout: true,
             class_weights: DEFAULT_CLASS_WEIGHTS,
             brownout_target: Duration::from_millis(250),
+            pipeline_depth: 32,
+            peers: Vec::new(),
+            advertise: String::new(),
         }
     }
 }
@@ -121,17 +148,38 @@ fn effective_budget(cfg: &Config, req: RequestBudget) -> Budget {
     Budget { max_steps, wall }
 }
 
+/// The per-connection state shared between the event loop (which reads
+/// and frames) and the workers (which write responses).
+struct ConnShared {
+    /// Response writer — a clone of the connection's stream.  Held across
+    /// a whole response write so pipelined responses never interleave.
+    writer: Mutex<TcpStream>,
+    /// Requests queued or executing for this connection.
+    inflight: AtomicUsize,
+    /// Set when either side severs the connection; writers bail early.
+    closed: AtomicBool,
+}
+
+/// One parsed-off request line awaiting a worker.
+struct Job {
+    line: Vec<u8>,
+    conn: Arc<ConnShared>,
+    /// Queue-entry instant: the wall deadline keeps running while the job
+    /// waits, so queue time is charged against the request's budget.
+    enqueued_at: Instant,
+}
+
 struct Shared {
     cfg: Config,
-    /// Accepted connections with their accept instant: a queue entry
-    /// carries its deadline clock from accept time, so time spent waiting
-    /// for a worker is charged against the request's wall budget.
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    /// Parsed-off request lines waiting for a worker — request-granular,
+    /// so one slow connection cannot convoy every other connection.
+    queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
     shutdown: AtomicBool,
     metrics: Metrics,
     cache: ResultCache,
     overload: Mutex<Brownout>,
+    cluster: Cluster,
 }
 
 impl Shared {
@@ -140,6 +188,11 @@ impl Shared {
         // One shard per worker (rounded up to a power of two) keeps lock
         // contention off the fast path without over-allocating.
         let shards = workers.next_power_of_two().min(64);
+        // Membership errors are surfaced by `serve` before any Shared is
+        // built; a direct construction with a bad list degrades to
+        // standalone rather than panicking mid-test.
+        let cluster = Cluster::new(&cfg.peers, &cfg.advertise, cfg.read_timeout)
+            .unwrap_or_else(|_| Cluster::single(cfg.read_timeout));
         Shared {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
@@ -147,6 +200,7 @@ impl Shared {
             metrics: Metrics::default(),
             cache: ResultCache::new(cfg.cache_bytes, shards),
             overload: Mutex::new(Brownout::new(BrownoutConfig::default())),
+            cluster,
             cfg,
         }
     }
@@ -171,6 +225,11 @@ impl Handle {
         &self.shared.cache
     }
 
+    /// The live tier view (for its per-peer counters).
+    pub fn cluster(&self) -> &Cluster {
+        &self.shared.cluster
+    }
+
     /// Initiates the same graceful drain as a `shutdown` request.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -178,13 +237,28 @@ impl Handle {
     }
 }
 
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(t: &T) -> std::os::fd::RawFd {
+    t.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    0 // the scan poller never dereferences fds
+}
+
 /// Runs the service until shut down.  `on_ready` receives the bound
 /// address (resolving port 0) and a [`Handle`] once the listener exists —
 /// after it returns, connections are being accepted.
-pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io::Result<()> {
+pub fn serve(mut cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io::Result<()> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    if cfg.advertise.is_empty() {
+        cfg.advertise = addr.to_string();
+    }
+    // Surface a bad tier membership as a bind-time error, not a node that
+    // silently forwards nothing.
+    Cluster::new(&cfg.peers, &cfg.advertise, cfg.read_timeout)?;
     let workers = cfg.workers.max(1);
     let shared = Arc::new(Shared::new(cfg));
     on_ready(addr, Handle { shared: Arc::clone(&shared) });
@@ -194,81 +268,356 @@ pub fn serve(cfg: Config, on_ready: impl FnOnce(SocketAddr, Handle)) -> std::io:
             let shared = Arc::clone(&shared);
             scope.spawn(move || worker(&shared));
         }
-        let mut last_activity = Instant::now();
-        let mut last_tick = Instant::now();
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    last_activity = Instant::now();
-                    shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
-                    let mut q = lock(&shared.queue);
-                    if q.len() >= shared.cfg.queue_depth {
-                        drop(q);
-                        shared.metrics.count_shed_conn();
-                        shed(stream, &shared);
-                    } else {
-                        q.push_back((stream, Instant::now()));
-                        shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
-                        drop(q);
-                        shared.cv.notify_one();
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    // Idle tick: decay the brown-out EWMAs while no
-                    // requests complete, so a drained server walks back to
-                    // level 0 instead of freezing at its storm level.
-                    if shared.cfg.brownout && last_tick.elapsed() >= Duration::from_millis(50) {
-                        last_tick = Instant::now();
-                        observe_pressure(&shared, Duration::ZERO);
-                    }
-                    if let Some(idle) = shared.cfg.idle_timeout {
-                        let quiet = shared.metrics.workers_busy.load(Ordering::Relaxed) == 0
-                            && lock(&shared.queue).is_empty();
-                        if quiet && last_activity.elapsed() >= idle {
-                            shared.shutdown.store(true, Ordering::SeqCst);
-                            continue;
-                        }
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => std::thread::sleep(Duration::from_millis(2)),
-            }
-        }
+        event_loop(&listener, &shared);
         // Wake every worker so it can observe the flag and drain out.
         shared.cv.notify_all();
     });
     Ok(())
 }
 
-/// Sheds a connection with the structured busy response.
-fn shed(mut stream: TcpStream, shared: &Shared) {
-    shared.metrics.busy_total.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.count_error(ErrorKind::Busy);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let mut line = protocol::error_response(&ServeError::busy());
-    line.push('\n');
-    let _ = stream.write_all(line.as_bytes());
+const LISTENER_TOKEN: u64 = 0;
+
+/// Per-connection event-loop state.  The event loop owns the reading
+/// half; `shared` is what the workers see.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Bytes read but not yet framed into requests.
+    buf: Vec<u8>,
+    /// Registered with the poller.  False while suspended on the
+    /// pipeline cap (backpressure) or after EOF.
+    registered: bool,
+    eof: bool,
+    last_activity: Instant,
 }
 
-/// Worker loop: pop a connection, serve it, repeat; exit once shutdown is
+/// The readiness loop: accepts, reads, frames requests into the job
+/// queue, and closes quiescent connections.  Never blocks on a socket
+/// and never runs analysis.
+fn event_loop(listener: &TcpListener, shared: &Shared) {
+    let mut poller = Poller::new();
+    let _ = poller.register(raw_fd(listener), LISTENER_TOKEN);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = LISTENER_TOKEN + 1;
+    let mut ready: Vec<u64> = Vec::new();
+    let mut last_activity = Instant::now();
+    let mut last_tick = Instant::now();
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Resume connections suspended on the pipeline cap: responses may
+        // have drained, making their buffered lines processable again.
+        let mut doomed: Vec<u64> = Vec::new();
+        for (&tok, conn) in conns.iter_mut() {
+            if conn.registered {
+                continue;
+            }
+            if !drain_buf(conn, shared) {
+                doomed.push(tok);
+                continue;
+            }
+            if !conn.eof
+                && !at_cap(conn, shared)
+                && poller.register(raw_fd(&conn.stream), tok).is_ok()
+            {
+                conn.registered = true;
+            }
+        }
+        for tok in doomed {
+            close_conn(&mut conns, &mut poller, tok, shared);
+        }
+
+        ready.clear();
+        poller.wait(&mut ready, Duration::from_millis(20));
+
+        for &tok in &ready {
+            if tok == LISTENER_TOKEN {
+                accept_burst(listener, &mut poller, &mut conns, &mut next_token, shared);
+                last_activity = Instant::now();
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&tok) else {
+                continue; // stale event for a connection closed this round
+            };
+            if faults::fire(Site::ConnRead) {
+                // Injected fault: the connection drops mid-stream.
+                close_conn(&mut conns, &mut poller, tok, shared);
+                continue;
+            }
+            if !read_into_buf(conn, shared.cfg.max_request_bytes) || !drain_buf(conn, shared) {
+                close_conn(&mut conns, &mut poller, tok, shared);
+                continue;
+            }
+            conn.last_activity = Instant::now();
+            last_activity = conn.last_activity;
+            if conn.registered && (conn.eof || at_cap(conn, shared)) {
+                // EOF: nothing further to read, ever.  At cap:
+                // backpressure — stop reading until responses drain.
+                poller.deregister(raw_fd(&conn.stream), tok);
+                conn.registered = false;
+            }
+            if conn_done(conn) {
+                close_conn(&mut conns, &mut poller, tok, shared);
+            }
+        }
+
+        // Housekeeping tick: decay the brown-out EWMAs while no requests
+        // complete (so a drained server walks back to level 0 instead of
+        // freezing at its storm level) and sweep quiescent connections.
+        if last_tick.elapsed() >= Duration::from_millis(50) {
+            last_tick = Instant::now();
+            observe_pressure(shared, Duration::ZERO);
+            let stale: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    let inflight = c.shared.inflight.load(Ordering::Relaxed);
+                    let quiesced = inflight == 0 && !c.buf.contains(&b'\n');
+                    (c.shared.closed.load(Ordering::Relaxed) && inflight == 0)
+                        || (c.eof && quiesced)
+                        // Quiescence, not per-read, is what times a
+                        // pipelined connection out: no in-flight requests
+                        // AND no buffered bytes for the whole window.
+                        || (quiesced
+                            && c.buf.is_empty()
+                            && c.last_activity.elapsed() >= shared.cfg.read_timeout)
+                })
+                .map(|(&tok, _)| tok)
+                .collect();
+            for tok in stale {
+                close_conn(&mut conns, &mut poller, tok, shared);
+            }
+        }
+        if let Some(idle) = shared.cfg.idle_timeout {
+            let quiet = conns.is_empty()
+                && shared.metrics.workers_busy.load(Ordering::Relaxed) == 0
+                && lock(&shared.queue).is_empty();
+            if quiet && last_activity.elapsed() >= idle {
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// True when a connection has nothing left to do: the client half-closed
+/// and every pipelined response has been written.
+fn conn_done(conn: &Conn) -> bool {
+    conn.eof && !conn.buf.contains(&b'\n') && conn.shared.inflight.load(Ordering::Relaxed) == 0
+}
+
+/// Accepts every pending connection (the listener is level-triggered, so
+/// stopping early would be re-reported anyway; draining keeps the accept
+/// backlog short under a connect storm).
+fn accept_burst(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    shared: &Shared,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let Ok(writer) = stream.try_clone() else { continue };
+                let tok = *next_token;
+                *next_token += 1;
+                let mut conn = Conn {
+                    shared: Arc::new(ConnShared {
+                        writer: Mutex::new(writer),
+                        inflight: AtomicUsize::new(0),
+                        closed: AtomicBool::new(false),
+                    }),
+                    stream,
+                    buf: Vec::new(),
+                    registered: false,
+                    eof: false,
+                    last_activity: Instant::now(),
+                };
+                shared.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+                if poller.register(raw_fd(&conn.stream), tok).is_ok() {
+                    conn.registered = true;
+                }
+                conns.insert(tok, conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Removes a connection and severs the socket.  `shutdown` (not a writer
+/// lock) severs so a worker mid-write is interrupted, not waited on.
+fn close_conn(conns: &mut HashMap<u64, Conn>, poller: &mut Poller, tok: u64, shared: &Shared) {
+    if let Some(conn) = conns.remove(&tok) {
+        if conn.registered {
+            poller.deregister(raw_fd(&conn.stream), tok);
+        }
+        conn.shared.closed.store(true, Ordering::Relaxed);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Pulls every available byte off the socket.  Returns `false` when the
+/// connection is dead.  On EOF any complete buffered lines still run; a
+/// partial trailing line is discarded, matching the blocking framing.
+fn read_into_buf(conn: &mut Conn, max: usize) -> bool {
+    let mut tmp = [0u8; 8192];
+    loop {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                conn.eof = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&tmp[..n]);
+                if conn.buf.len() > max.saturating_add(1) {
+                    // Enough buffered to either frame requests or answer
+                    // too-large; stop pulling (level-triggered readiness
+                    // re-reports the remainder).
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// The pipeline cap: past this many in-flight requests the event loop
+/// stops reading the connection until responses drain.
+fn at_cap(conn: &Conn, shared: &Shared) -> bool {
+    conn.shared.inflight.load(Ordering::Relaxed) >= shared.cfg.pipeline_depth.max(1)
+}
+
+/// Frames complete lines out of the read buffer and queues each as a
+/// job, stopping at the pipeline cap (the line stays buffered).  Returns
+/// `false` when the connection must close (framing is unrecoverable).
+fn drain_buf(conn: &mut Conn, shared: &Shared) -> bool {
+    loop {
+        if conn.shared.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let Some(nl) = conn.buf.iter().position(|&b| b == b'\n') else {
+            if conn.buf.len() > shared.cfg.max_request_bytes {
+                answer_too_large(conn, shared);
+                return false;
+            }
+            return true; // need more bytes
+        };
+        if nl > shared.cfg.max_request_bytes {
+            answer_too_large(conn, shared);
+            return false;
+        }
+        if at_cap(conn, shared) {
+            return true; // backpressure: leave the line buffered
+        }
+        let mut line: Vec<u8> = conn.buf.drain(..=nl).collect();
+        line.pop(); // the newline
+        if line.is_empty() {
+            continue; // tolerate keep-alive blank lines
+        }
+        enqueue(line, conn, shared);
+    }
+}
+
+/// Answers an over-long line with a structured error.  The caller closes
+/// the connection: the line framing cannot be resynchronised.
+fn answer_too_large(conn: &Conn, shared: &Shared) {
+    let e = ServeError::new(
+        ErrorKind::TooLarge,
+        format!("request exceeds {} bytes", shared.cfg.max_request_bytes),
+    );
+    shared.metrics.count_error(e.kind);
+    let mut resp = protocol::error_response(&e);
+    resp.push('\n');
+    write_line(&conn.shared, resp.as_bytes(), Duration::from_secs(1));
+}
+
+/// Queues one framed request, or sheds it with a busy response when the
+/// queue is full.  The shed is request-level: the connection stays open
+/// and later requests may be admitted.
+fn enqueue(line: Vec<u8>, conn: &Conn, shared: &Shared) {
+    let mut q = lock(&shared.queue);
+    if q.len() >= shared.cfg.queue_depth {
+        drop(q);
+        shared.metrics.count_shed_conn();
+        shared.metrics.busy_total.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.count_error(ErrorKind::Busy);
+        let mut resp = protocol::error_response(&ServeError::busy());
+        resp.push('\n');
+        write_line(&conn.shared, resp.as_bytes(), Duration::from_secs(1));
+        return;
+    }
+    conn.shared.inflight.fetch_add(1, Ordering::Relaxed);
+    q.push_back(Job { line, conn: Arc::clone(&conn.shared), enqueued_at: Instant::now() });
+    shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
+    drop(q);
+    shared.cv.notify_one();
+}
+
+/// Writes one response line, retrying `WouldBlock` (the stream shares the
+/// connection's nonblocking flag) until `timeout`.  Holding the writer
+/// lock across the whole line keeps pipelined responses uninterleaved.
+fn write_line(conn: &ConnShared, line: &[u8], timeout: Duration) {
+    if conn.closed.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut w = lock(&conn.writer);
+    if faults::fire(Site::ConnWriteShort) {
+        // Injected fault: half a response, then a dropped connection.
+        // The newline never arrives, so a client can not mistake the
+        // prefix for a frame.
+        let _ = write_all_nb(&mut w, &line[..line.len() / 2], timeout);
+        let _ = w.shutdown(std::net::Shutdown::Both);
+        conn.closed.store(true, Ordering::Relaxed);
+        return;
+    }
+    if write_all_nb(&mut w, line, timeout).is_err() {
+        let _ = w.shutdown(std::net::Shutdown::Both);
+        conn.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8], timeout: Duration) -> std::io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Worker loop: pop a job, serve it, repeat; exit once shutdown is
 /// flagged *and* the queue is drained.
 ///
 /// Per-request panics are already caught in [`process_line`]; if one
-/// still escapes `handle_conn` (a connection-level failure outside a
-/// request), the worker counts a respawn and continues in place rather
-/// than unwinding out of the pool — the loop *is* the respawned worker.
+/// still escapes `handle_job` (a failure outside a request), the worker
+/// counts a respawn and continues in place rather than unwinding out of
+/// the pool — the loop *is* the respawned worker.
 fn worker(shared: &Shared) {
     loop {
-        let entry = {
+        let job = {
             let mut q = lock(&shared.queue);
             loop {
-                if let Some(e) = q.pop_front() {
+                if let Some(j) = q.pop_front() {
                     shared.metrics.queue_depth.store(q.len() as u64, Ordering::Relaxed);
-                    break Some(e);
+                    break Some(j);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -276,81 +625,37 @@ fn worker(shared: &Shared) {
                 q = wait_timeout(&shared.cv, q, Duration::from_millis(100));
             }
         };
-        let Some((stream, accepted_at)) = entry else { return };
+        let Some(job) = job else { return };
         if faults::fire(Site::WorkerStall) {
-            // Injected fault: the worker stalls with the connection
-            // already popped, so queued requests age toward expiry.
+            // Injected fault: the worker stalls with the job already
+            // popped, so queued requests age toward expiry.
             if let Some(d) = faults::handler_delay() {
                 std::thread::sleep(d);
             }
         }
         shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_conn(stream, accepted_at, shared)
-        }));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_job(&job, shared)));
         shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+        // The in-flight count must drop even if the handler escaped, or
+        // the connection would stay suspended forever.
+        job.conn.inflight.fetch_sub(1, Ordering::Relaxed);
         if outcome.is_err() {
             shared.metrics.worker_respawns_total.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-/// Serves one connection: request lines in, response lines out, until
-/// EOF, an unrecoverable framing error, a timeout, or shutdown.
-fn handle_conn(stream: TcpStream, accepted_at: Instant, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
-    let Ok(clone) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(clone);
-    let mut writer = stream;
-    // Only the connection's *first* request waited in the accept queue;
-    // later requests on a kept-alive connection have a dedicated worker,
-    // so their queue age is zero.
-    let mut queued_since = Some(accepted_at);
-    loop {
-        if faults::fire(Site::ConnRead) {
-            return; // injected fault: connection dropped mid-stream
-        }
-        match protocol::read_line_limited(&mut reader, shared.cfg.max_request_bytes) {
-            Line::Eof | Line::Gone => return,
-            Line::TooLarge => {
-                let e = ServeError::new(
-                    ErrorKind::TooLarge,
-                    format!("request exceeds {} bytes", shared.cfg.max_request_bytes),
-                );
-                shared.metrics.count_error(e.kind);
-                let mut resp = protocol::error_response(&e);
-                resp.push('\n');
-                let _ = writer.write_all(resp.as_bytes());
-                return; // cannot resynchronise the line framing
-            }
-            Line::Full(line) => {
-                if line.is_empty() {
-                    continue; // tolerate keep-alive blank lines
-                }
-                let queue_age = queued_since.take().map(|t| t.elapsed()).unwrap_or_default();
-                let (mut resp, drain) = process_line(&line, shared, queue_age);
-                resp.push('\n');
-                if faults::fire(Site::ConnWriteShort) {
-                    // Injected fault: half a response, then a dropped
-                    // connection.  The newline never arrives, so a client
-                    // can not mistake the prefix for a frame.
-                    let _ = writer.write_all(&resp.as_bytes()[..resp.len() / 2]);
-                    return;
-                }
-                if writer.write_all(resp.as_bytes()).is_err() {
-                    return;
-                }
-                if drain {
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    shared.cv.notify_all();
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // finish this request, then close the door
-                }
-            }
-        }
+/// Serves one job end to end: charge queue wait, run the request, write
+/// the response to the owning connection.
+fn handle_job(job: &Job, shared: &Shared) {
+    let queue_age = job.enqueued_at.elapsed();
+    let (mut resp, drain) = process_line(&job.line, shared, queue_age);
+    resp.push('\n');
+    write_line(&job.conn, resp.as_bytes(), shared.cfg.read_timeout);
+    if drain {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.cv.notify_all();
     }
 }
 
@@ -363,8 +668,12 @@ fn handle_conn(stream: TcpStream, accepted_at: Instant, shared: &Shared) {
 /// connection and worker keep serving.
 fn process_line(line: &[u8], shared: &Shared, queue_age: Duration) -> (String, bool) {
     let meter = mbb_bench::runner::Meter::start();
-    let out =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(line, shared, queue_age)));
+    // The request's `"id"`, captured as soon as it parses so even error
+    // and panic responses pair up under pipelining.
+    let mut rid: Option<String> = None;
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        respond(line, shared, queue_age, &mut rid)
+    }));
     let busy = meter.finish().busy();
     shared.metrics.latency.observe(busy);
     observe_pressure(shared, busy);
@@ -372,14 +681,14 @@ fn process_line(line: &[u8], shared: &Shared, queue_age: Duration) -> (String, b
         Ok(Ok((resp, drain))) => (resp, drain),
         Ok(Err(e)) => {
             shared.metrics.count_error(e.kind);
-            (protocol::error_response(&e), false)
+            (protocol::error_response_with_id(&e, rid.as_deref()), false)
         }
         Err(_panic) => {
             shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
             let e =
                 ServeError::new(ErrorKind::Internal, "internal error: request handler panicked");
             shared.metrics.count_error(e.kind);
-            (protocol::error_response(&e), false)
+            (protocol::error_response_with_id(&e, rid.as_deref()), false)
         }
     }
 }
@@ -405,6 +714,7 @@ fn respond(
     line: &[u8],
     shared: &Shared,
     queue_age: Duration,
+    rid: &mut Option<String>,
 ) -> Result<(String, bool), ServeError> {
     if faults::fire(Site::HandlerDelay) {
         if let Some(d) = faults::handler_delay() {
@@ -417,7 +727,13 @@ fn respond(
     let text = std::str::from_utf8(line)
         .map_err(|_| ServeError::new(ErrorKind::BadRequest, "request is not UTF-8"))?;
     let req = protocol::parse_request(text)?;
+    rid.clone_from(&req.id);
+    let id = req.id.as_deref();
     shared.metrics.count_request(req.kind);
+    if req.forwarded {
+        shared.metrics.forwarded_in_total.fetch_add(1, Ordering::Relaxed);
+        shared.cluster.count_forwarded_in();
+    }
     let class = Class::of(req.kind);
     // The published brown-out level.  Only the controller stores to this
     // gauge (and only when `cfg.brownout` is on), so it stays 0 when the
@@ -428,17 +744,21 @@ fn respond(
         Kind::Metrics => {
             let result = Json::obj([("text", Json::str(shared.metrics.render(&shared.cache)))])
                 .render_compact();
-            Ok((protocol::ok_response(Kind::Metrics, false, &result), false))
+            Ok((protocol::ok_response(Kind::Metrics, false, &result, id), false))
         }
         Kind::Shutdown => {
             let result = Json::obj([("draining", Json::Bool(true))]).render_compact();
-            Ok((protocol::ok_response(Kind::Shutdown, false, &result), true))
+            Ok((protocol::ok_response(Kind::Shutdown, false, &result, id), true))
         }
         Kind::Machines => {
             let a = analysis::machines();
             let result =
                 Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact();
-            Ok((protocol::ok_response(Kind::Machines, false, &result), false))
+            Ok((protocol::ok_response(Kind::Machines, false, &result, id), false))
+        }
+        Kind::ClusterStats => {
+            let result = shared.cluster.stats_json();
+            Ok((protocol::ok_response(Kind::ClusterStats, false, &result, id), false))
         }
         Kind::Health => {
             let ctl = lock(&shared.overload);
@@ -455,10 +775,10 @@ fn respond(
                 ("brownout_enabled", Json::Bool(shared.cfg.brownout)),
             ])
             .render_compact();
-            Ok((protocol::ok_response(Kind::Health, false, &result), false))
+            Ok((protocol::ok_response(Kind::Health, false, &result, id), false))
         }
         kind => {
-            // Priority shedding: as the accept queue fills past a class's
+            // Priority shedding: as the request queue fills past a class's
             // threshold, that class is refused with a structured busy —
             // low classes give way first, admin traffic never does.
             let depth = shared.metrics.queue_depth.load(Ordering::Relaxed);
@@ -485,9 +805,9 @@ fn respond(
             let src = req.program.as_deref().expect("enforced by parse_request");
             let mut opts = req.flags.to_options(&req.machine)?;
             opts.budget = effective_budget(&shared.cfg, req.budget);
-            // The wall deadline has been running since accept: charge the
-            // time this request spent queued, and answer expiry without
-            // ever touching the analysis layer.
+            // The wall deadline has been running since the request was
+            // queued: charge the time it spent waiting for a worker, and
+            // answer expiry without ever touching the analysis layer.
             if let Some(wall) = opts.budget.wall {
                 if queue_age >= wall {
                     shared.metrics.count_shed(class, Reason::Expired);
@@ -577,7 +897,7 @@ fn respond(
                     ("actions", Json::Arr(actions.iter().map(|a| Json::str(a.as_str())).collect())),
                 ])
                 .render_compact();
-                return Ok((protocol::degraded_response(kind, &degraded, &val), false));
+                return Ok((protocol::degraded_response(kind, &degraded, &val, id), false));
             }
             if req.profile {
                 // Profiles describe *this* execution (wall/CPU time), so a
@@ -590,7 +910,7 @@ fn respond(
                     pairs.push(("profile", analysis::profile_json(p)));
                 }
                 let val = Json::obj(pairs).render_compact();
-                return Ok((protocol::ok_response(kind, false, &val), false));
+                return Ok((protocol::ok_response(kind, false, &val, id), false));
             }
             // Key on the *resolved* machine name (aliases collapse, scaled
             // variants stay distinct) and the canonical pretty-printed
@@ -602,11 +922,32 @@ fn respond(
                 &req.flags.key(),
                 &canon,
             );
+            // Shard routing: if another node owns this content-address,
+            // relay the request one hop (never re-forward a relay) so the
+            // whole tier shares one cache fill per unique key.  A failed
+            // relay falls back to computing locally — correctness never
+            // depends on a peer being up.
+            if !req.forwarded {
+                match shared.cluster.route(key) {
+                    Route::Peer(peer) => {
+                        shared.metrics.route_forward_total.fetch_add(1, Ordering::Relaxed);
+                        match shared.cluster.forward(peer, text) {
+                            Ok(resp) => return Ok((resp, false)),
+                            Err(_) => {
+                                shared.metrics.forward_errors_total.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Route::Local => {
+                        shared.metrics.route_local_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             let (val, hit) = shared.cache.get_or_compute(key, || {
                 let a = compute()?;
                 Ok(Json::obj([("text", Json::str(a.text)), ("data", a.data)]).render_compact())
             })?;
-            Ok((protocol::ok_response(kind, hit, &val), false))
+            Ok((protocol::ok_response(kind, hit, &val, id), false))
         }
     }
 }
@@ -683,6 +1024,7 @@ mod tests {
             .expect("metrics text");
         assert!(text.contains("mbb_serve_requests_total{kind=\"report\"} 1"), "{text}");
         assert!(text.contains("mbb_serve_cache_misses_total 1"), "{text}");
+        assert!(text.contains("mbb_serve_route_total{dest=\"local\"} 1"), "{text}");
     }
 
     #[test]
@@ -696,6 +1038,84 @@ mod tests {
         assert!(drain);
         let doc = Json::parse(&resp).unwrap();
         assert_eq!(doc.get("result").and_then(|r| r.get("draining")), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn id_echo_pairs_responses_with_requests() {
+        let shared = test_shared();
+        let with_id = REQ.replace("\"kind\":\"report\"", "\"kind\":\"report\",\"id\":\"r-1\"");
+        let resp = process(&shared, &with_id);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("r-1"), "{resp:?}");
+        // The id is not part of the cache key: the id-less twin hits.
+        let twin = process(&shared, REQ);
+        assert_eq!(twin.get("cached"), Some(&Json::Bool(true)), "{twin:?}");
+        assert!(twin.get("id").is_none(), "{twin:?}");
+
+        // Errors after parse echo the id too, so pipelined failures still
+        // pair up.
+        let bad = "{\"schema\":\"mbb-serve/1\",\"kind\":\"report\",\"id\":7,\"program\":\"for i = 0, 3\\n  bogus[i] = 1\\nend for\\n\"}";
+        let e = process(&shared, bad);
+        assert_eq!(e.get("ok"), Some(&Json::Bool(false)), "{e:?}");
+        assert_eq!(e.get("id"), Some(&Json::UInt(7)), "{e:?}");
+        // Pre-parse failures have no id to echo.
+        let garbage = process(&shared, "not json");
+        assert_eq!(garbage.get("ok"), Some(&Json::Bool(false)), "{garbage:?}");
+        assert!(garbage.get("id").is_none(), "{garbage:?}");
+    }
+
+    #[test]
+    fn cluster_stats_reports_the_single_node_shape() {
+        let shared = test_shared();
+        let resp =
+            process(&shared, "{\"schema\":\"mbb-serve/1\",\"kind\":\"cluster-stats\",\"id\":1}");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("id"), Some(&Json::UInt(1)), "{resp:?}");
+        let r = resp.get("result").expect("result");
+        assert_eq!(r.get("schema").and_then(Json::as_str), Some("mbb-cluster-stats/1"));
+        assert_eq!(r.get("nodes"), Some(&Json::UInt(0)));
+        assert_eq!(r.get("forwarded_in"), Some(&Json::UInt(0)));
+    }
+
+    #[test]
+    fn forwarded_requests_are_counted_and_never_reforwarded() {
+        let me = "127.0.0.1:1".to_string();
+        let peer = "127.0.0.1:2".to_string();
+        let shared = Arc::new(Shared::new(Config {
+            peers: vec![me.clone(), peer],
+            advertise: me,
+            ..Config::default()
+        }));
+        let fwd = REQ.replace("{\"schema\"", "{\"fwd\":true,\"schema\"");
+        let resp = process(&shared, &fwd);
+        // Served locally regardless of ring ownership: a relay is one hop.
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(shared.metrics.forwarded_in_total.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.cluster.forwarded_in(), 1);
+        assert_eq!(shared.metrics.route_forward_total.load(Ordering::Relaxed), 0);
+        assert_eq!(shared.metrics.route_local_total.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn tier_mode_falls_back_to_local_when_the_peer_is_down() {
+        let me = "127.0.0.1:1".to_string();
+        let peer = "127.0.0.1:2".to_string();
+        let shared = Arc::new(Shared::new(Config {
+            peers: vec![me.clone(), peer],
+            advertise: me,
+            ..Config::default()
+        }));
+        let resp = process(&shared, REQ);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let local = shared.metrics.route_local_total.load(Ordering::Relaxed);
+        let fwd = shared.metrics.route_forward_total.load(Ordering::Relaxed);
+        assert_eq!(local + fwd, 1, "exactly one routing decision");
+        if fwd == 1 {
+            // The peer is down: the relay failed and the local fallback
+            // still produced a full answer.
+            assert_eq!(shared.metrics.forward_errors_total.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(shared.cache.stats().entries, 1, "fallback fills the local cache");
     }
 
     /// ~2.6M innermost iterations: quick unbudgeted, far over any small
@@ -948,7 +1368,7 @@ mod tests {
     #[test]
     fn class_thresholds_shed_low_priority_traffic_first() {
         let shared = Arc::new(Shared::new(Config { queue_depth: 10, ..Config::default() }));
-        // Pretend the accept queue sits at 7/10: past search (30%) and
+        // Pretend the request queue sits at 7/10: past search (30%) and
         // optimize (60%), under report (90%) and admin (100%).
         shared.metrics.queue_depth.store(7, Ordering::Relaxed);
         let search = process(&shared, SEARCH_REQ);

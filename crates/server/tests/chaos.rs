@@ -18,13 +18,13 @@
 //! A failing seed is printed (and written under `CARGO_TARGET_TMPDIR`)
 //! for replay: `CHAOS_SEED=<seed> cargo test -p mbb-server --test chaos`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::net::SocketAddr;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use mbb_bench::json::Json;
-use mbb_server::client::{self, expect_ok, Client, RetryClient, RetryPolicy};
+use mbb_server::client::{self, expect_ok, Client, Pipeline, RetryClient, RetryPolicy};
 use mbb_server::faults::{self, FaultPlan, Site};
 use mbb_server::server::{serve, Config, Handle};
 
@@ -33,6 +33,11 @@ const FIG7: &str = "program fig7\narray res[512]\narray data[512]\nscalar sum = 
 const SAXPY: &str = "program saxpy\narray x[512]\narray y[512]\nscalar s = 0  // printed\nfor i = 0, 511\n  y[i] = (y[i] + (2 * x[i]))\nend for\nfor j = 0, 511\n  s = (s + y[j])\nend for\n";
 /// ~2.6M innermost iterations — only ever sent with a tight step budget.
 const HUGE: &str = "program huge\narray a[8]\nscalar s = 0  // printed\nfor i = 0, 327679\n  for j = 0, 7\n    s = (s + a[j])\n  end for\nend for\n";
+
+/// Serialises the tests that arm the process-global fault plan —
+/// concurrent `faults::install` calls panic by design, and an armed plan
+/// would bleed into the other test's server anyway.
+static ARM_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 const THREADS: usize = 4;
 const REQUESTS_PER_THREAD: usize = 60;
@@ -193,6 +198,7 @@ fn drive_thread(addr: SocketAddr, seed: u64, t: usize) -> Observed {
 }
 
 fn run_seed(seed: u64) {
+    let _arm = ARM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     let started = Instant::now();
     let (addr, handle, server) =
         start(Config { workers: 3, read_timeout: Duration::from_secs(10), ..Config::default() });
@@ -323,6 +329,83 @@ fn budget_outcomes_are_engine_invariant() {
         }
         assert_eq!(results[0], results[1], "{kind}: result bytes diverged across engines");
     }
+
+    handle.shutdown();
+    server.join().expect("server thread exits after drain");
+}
+
+/// The pipelining acceptance storm: one connection with 32 requests in
+/// flight, under injected connection drops and short writes.  Whatever
+/// the faults do to individual connections, every id must eventually be
+/// answered by a *correctly paired* response — the kind echo pins each
+/// response to its id's request — and liveness must hold.
+#[test]
+fn pipelined_storm_pairs_every_id_under_connection_faults() {
+    quiet_injected_panics();
+    let _arm = ARM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (addr, handle, server) =
+        start(Config { workers: 3, pipeline_depth: 32, ..Config::default() });
+    let guard = faults::install(
+        FaultPlan::new(0x51DE).rate(Site::ConnRead, 60).rate(Site::ConnWriteShort, 60),
+    );
+
+    let kinds = ["report", "advise", "trace-stats", "optimize"];
+    let programs = [SUM, FIG7, SAXPY];
+    let mut unanswered: BTreeSet<u64> = (0..32).collect();
+    let deadline = Instant::now() + Duration::from_secs(90);
+    while !unanswered.is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "liveness: {} ids still unanswered under the fault plan",
+            unanswered.len()
+        );
+        // (Re)connect and resend every still-unanswered id as one
+        // pipelined batch.  A dropped or short-written connection just
+        // triggers another round — ids, not connections, are the unit of
+        // progress.
+        let Ok(mut p) = Pipeline::connect(addr, Duration::from_secs(10)) else {
+            continue;
+        };
+        let lines: Vec<String> = unanswered
+            .iter()
+            .map(|&i| {
+                let req = client::request(
+                    kinds[(i % 4) as usize],
+                    Some(programs[(i % 3) as usize]),
+                    "origin",
+                );
+                client::with_id(&req, i).render_compact()
+            })
+            .collect();
+        if p.send_batch(&lines).is_err() {
+            continue;
+        }
+        while p.inflight() > 0 {
+            match p.recv() {
+                Ok((Some(id), resp)) => {
+                    if resp.get("ok") == Some(&Json::Bool(true)) {
+                        let kind = resp.get("kind").and_then(Json::as_str).unwrap_or("?");
+                        assert_eq!(
+                            kind,
+                            kinds[(id % 4) as usize],
+                            "id {id} paired with the wrong response: {resp:?}"
+                        );
+                        unanswered.remove(&id);
+                    }
+                    // ok:false (shed, injected failure): the id stays in
+                    // the set and is retried next round.
+                }
+                Ok((None, _)) => {} // unpairable response; retry the ids
+                Err(_) => break,    // connection died: reconnect and resend
+            }
+        }
+    }
+
+    drop(guard);
+    // Disarmed, the server serves a clean request normally.
+    let mut clean = Client::connect(addr, Duration::from_secs(30)).expect("clean connect");
+    let resp = clean.analyze("report", SUM, "origin").expect("post-storm request");
+    expect_ok(&resp).expect("post-storm request succeeds");
 
     handle.shutdown();
     server.join().expect("server thread exits after drain");

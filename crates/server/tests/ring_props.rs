@@ -1,0 +1,102 @@
+//! Property tests for the consistent-hash ring: determinism across node
+//! orderings, full coverage of the key space, and the consistency bound —
+//! removing one node may move at most the arcs that node owned
+//! (≈ `2/N` of the keys with a safety factor for hash variance).
+
+use mbb_server::ring::Ring;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+/// Distinct node names shaped like real `host:port` members.
+fn arb_nodes(min: usize, max: usize) -> impl Strategy<Value = Vec<String>> {
+    btree_set(0u32..500, min..max).prop_map(|ports| {
+        ports.into_iter().map(|p| format!("10.0.0.{}:{}", p % 16, 9000 + p)).collect()
+    })
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..u64::MAX, 64..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The owner of every key is a pure function of the membership *set*:
+    /// insertion order, duplicates, and reversal must not matter.
+    #[test]
+    fn ownership_is_order_insensitive_and_deterministic(
+        nodes in arb_nodes(2, 8),
+        keys in arb_keys(),
+    ) {
+        let forward = Ring::new(&nodes);
+        let mut shuffled = nodes.clone();
+        shuffled.reverse();
+        shuffled.push(nodes[0].clone()); // duplicate member
+        let backward = Ring::new(&shuffled);
+        prop_assert_eq!(forward.nodes(), backward.nodes());
+        for &k in &keys {
+            prop_assert_eq!(forward.owner_name(k), backward.owner_name(k), "key {:#x}", k);
+            prop_assert!(forward.owner(k).is_some(), "every key has an owner");
+        }
+    }
+
+    /// Removing one node strands only that node's arcs: every key it did
+    /// not own keeps its owner, and the moved fraction stays near `1/N`
+    /// (bounded by `2/N` to absorb hash-placement variance).
+    #[test]
+    fn removing_a_node_moves_at_most_its_own_arcs(
+        nodes in arb_nodes(3, 8),
+        keys in arb_keys(),
+    ) {
+        let full = Ring::new(&nodes);
+        let victim = nodes[0].clone();
+        let rest: Vec<String> = nodes.iter().filter(|n| **n != victim).cloned().collect();
+        let reduced = Ring::new(&rest);
+
+        let mut moved = 0usize;
+        for &k in &keys {
+            let before = full.owner_name(k).expect("full ring owns every key");
+            let after = reduced.owner_name(k).expect("reduced ring owns every key");
+            if before == victim {
+                moved += 1; // must move — its node is gone
+            } else {
+                prop_assert_eq!(before, after, "key {:#x} moved without its node leaving", k);
+            }
+        }
+        let bound = keys.len() * 2 / nodes.len();
+        prop_assert!(
+            moved <= bound.max(1),
+            "{} of {} keys moved on one departure from {} nodes (bound {})",
+            moved, keys.len(), nodes.len(), bound
+        );
+    }
+
+    /// Adding a node only *takes* keys (from any prior owner) — no key
+    /// moves between two surviving nodes — and takes roughly its share.
+    #[test]
+    fn adding_a_node_only_claims_keys_for_itself(
+        nodes in arb_nodes(2, 7),
+        keys in arb_keys(),
+    ) {
+        let base = Ring::new(&nodes);
+        let mut grown_nodes = nodes.clone();
+        grown_nodes.push("10.0.9.9:19999".to_string());
+        let grown = Ring::new(&grown_nodes);
+
+        let mut claimed = 0usize;
+        for &k in &keys {
+            let before = base.owner_name(k).expect("owner");
+            let after = grown.owner_name(k).expect("owner");
+            if before != after {
+                prop_assert_eq!(after, "10.0.9.9:19999", "key {:#x} moved to a survivor", k);
+                claimed += 1;
+            }
+        }
+        let bound = keys.len() * 2 / grown_nodes.len();
+        prop_assert!(
+            claimed <= bound.max(1),
+            "the newcomer claimed {} of {} keys (bound {})",
+            claimed, keys.len(), bound
+        );
+    }
+}

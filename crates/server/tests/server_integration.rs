@@ -171,23 +171,36 @@ fn queue_saturation_sheds_with_busy_responses_and_never_hangs() {
     };
     let m = handle.metrics();
 
-    // Occupy the only worker with a connection that sends nothing…
-    let _worker_hog = TcpStream::connect(addr).unwrap();
-    wait_for("the worker to pick up the idle connection", &|| {
+    // Occupy the only worker with a multi-second optimize (the HUGE
+    // program takes seconds in a debug build)…
+    let mut hog = TcpStream::connect(addr).unwrap();
+    let hog_line = mbb_server::client::request("optimize", Some(HUGE), "origin").render_compact();
+    hog.write_all(hog_line.as_bytes()).unwrap();
+    hog.write_all(b"\n").unwrap();
+    wait_for("the worker to pick up the hog request", &|| {
         m.workers_busy.load(std::sync::atomic::Ordering::Relaxed) == 1
     });
-    // …then fill the accept queue with two more idle connections.
-    let _queued_a = TcpStream::connect(addr).unwrap();
-    let _queued_b = TcpStream::connect(addr).unwrap();
-    wait_for("the accept queue to fill", &|| {
+    // …then fill the request queue with two more parsed requests.
+    let quick = mbb_server::client::request("report", Some(SUM), "origin").render_compact();
+    let mut queued = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(quick.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        queued.push(s);
+    }
+    wait_for("the request queue to fill", &|| {
         m.queue_depth.load(std::sync::atomic::Ordering::Relaxed) == 2
     });
 
-    // Every further connection must be shed promptly with a structured
-    // busy response — a read, not a hang.
+    // Every further request must be shed promptly with a structured busy
+    // response — a read, not a hang — and the shed is request-level: the
+    // connection stays open.
     for k in 0..3 {
-        let shed = TcpStream::connect(addr).unwrap();
+        let mut shed = TcpStream::connect(addr).unwrap();
         shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        shed.write_all(quick.as_bytes()).unwrap();
+        shed.write_all(b"\n").unwrap();
         let mut line = String::new();
         BufReader::new(shed).read_line(&mut line).unwrap();
         let doc = Json::parse(line.trim_end()).unwrap_or_else(|e| panic!("shed {k}: {e}: {line}"));
@@ -197,10 +210,15 @@ fn queue_saturation_sheds_with_busy_responses_and_never_hangs() {
     }
     assert_eq!(m.busy_total.load(std::sync::atomic::Ordering::Relaxed), 3);
 
-    // Releasing the hog lets the queue drain and new requests succeed.
-    drop(_worker_hog);
-    drop(_queued_a);
-    drop(_queued_b);
+    // The hog and both queued requests still complete: shedding dropped
+    // the excess, not the admitted work.
+    for s in queued {
+        s.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).unwrap();
+        let doc = Json::parse(line.trim_end()).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{line}");
+    }
     wait_for("the queue to drain", &|| {
         m.queue_depth.load(std::sync::atomic::Ordering::Relaxed) == 0
     });
